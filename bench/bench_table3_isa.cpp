@@ -1,0 +1,98 @@
+// Reproduces Table III: PHOENIX's relative optimization rate versus each
+// baseline under {CNOT, SU(4)} x {all-to-all, heavy-hex}. Entries are
+// geomean(PHOENIX metric / baseline metric) over the UCCSD suite — e.g. the
+// paper's "PHOENIX v.s. PAULIHEDRAL 82.12%" means PHOENIX needs 82.12% of
+// Paulihedral's CNOTs at the logical level. The paper's key finding: the
+// advantage grows (ratios shrink) when targeting the SU(4) ISA, because
+// PHOENIX's simplified groups are intrinsically 2Q-local while baselines
+// must be rebased after the fact.
+
+#include <cstdio>
+
+#include "baselines/paulihedral.hpp"
+#include "baselines/tetris.hpp"
+#include "baselines/tket.hpp"
+#include "bench_util.hpp"
+#include "hamlib/uccsd.hpp"
+#include "mapping/topology.hpp"
+#include "phoenix/compiler.hpp"
+#include "transpile/rebase.hpp"
+
+int main() {
+  using namespace phoenix;
+  using namespace phoenix::bench;
+
+  const Graph device = topology_manhattan();
+  const char* base_names[3] = {"TKET", "PAULIHEDRAL", "TETRIS"};
+
+  // ratios[setting][baseline][metric: 0 = 2Q count, 1 = 2Q depth]
+  std::vector<double> ratios[4][3][2];
+
+  Stopwatch sw;
+  for (const auto& b : uccsd_suite()) {
+    BaselineOptions logical, hw;
+    hw.hardware_aware = true;
+    hw.coupling = &device;
+    PhoenixOptions plog, phw;
+    phw.hardware_aware = true;
+    phw.coupling = &device;
+
+    // Each compiler's CNOT-ISA circuit; the SU(4)-ISA circuit is its rebase
+    // (the paper's transpile step; PHOENIX's own SU(4) emission coincides
+    // with rebasing its intrinsically 2Q-local output).
+    const Circuit base_log[3] = {
+        tket_compile(b.terms, b.num_qubits, logical),
+        paulihedral_compile(b.terms, b.num_qubits, logical),
+        tetris_compile(b.terms, b.num_qubits, logical),
+    };
+    const Circuit base_hw[3] = {
+        tket_compile(b.terms, b.num_qubits, hw),
+        paulihedral_compile(b.terms, b.num_qubits, hw),
+        tetris_compile(b.terms, b.num_qubits, hw),
+    };
+    const Circuit phx_log = phoenix_compile(b.terms, b.num_qubits, plog).circuit;
+    const Circuit phx_hw = phoenix_compile(b.terms, b.num_qubits, phw).circuit;
+
+    for (int k = 0; k < 3; ++k) {
+      const Metrics settings[4][2] = {
+          {measure(phx_log), measure(base_log[k])},
+          {measure(rebase_su4(phx_log)), measure(rebase_su4(base_log[k]))},
+          {measure(phx_hw), measure(base_hw[k])},
+          {measure(rebase_su4(phx_hw)), measure(rebase_su4(base_hw[k]))},
+      };
+      for (int s = 0; s < 4; ++s) {
+        ratios[s][k][0].push_back(static_cast<double>(settings[s][0].two_q) /
+                                  static_cast<double>(settings[s][1].two_q));
+        ratios[s][k][1].push_back(
+            static_cast<double>(settings[s][0].depth_2q) /
+            static_cast<double>(settings[s][1].depth_2q));
+      }
+    }
+  }
+
+  const double paper[4][3][2] = {
+      // CNOT all-to-all            SU4 all-to-all
+      {{63.87, 64.00}, {82.12, 73.33}, {57.52, 53.04}},
+      {{56.04, 54.22}, {75.57, 65.20}, {56.54, 50.55}},
+      // CNOT heavy-hex             SU4 heavy-hex
+      {{40.63, 48.32}, {62.38, 54.70}, {75.97, 71.18}},
+      {{44.29, 50.71}, {39.84, 35.07}, {62.23, 58.74}},
+  };
+  const char* setting_names[4] = {
+      "CNOT ISA (all-to-all)", "SU(4) ISA (all-to-all)",
+      "CNOT ISA (heavy-hex)", "SU(4) ISA (heavy-hex)"};
+  // Paper table lists settings in order: cnot-a2a, su4-a2a, cnot-hh, su4-hh.
+  std::printf("Table III — PHOENIX's opt. rate relative to each baseline\n");
+  for (int s = 0; s < 4; ++s) {
+    std::printf("\n%s:\n", setting_names[s]);
+    std::printf("  %-26s %10s %10s   (paper: #2Q / Depth-2Q)\n", "vs baseline",
+                "#2Q", "Depth-2Q");
+    for (int k = 0; k < 3; ++k)
+      std::printf("  PHOENIX v.s. %-13s %9.2f%% %9.2f%%   (%.2f%% / %.2f%%)\n",
+                  base_names[k], 100.0 * geomean(ratios[s][k][0]),
+                  100.0 * geomean(ratios[s][k][1]), paper[s][k][0],
+                  paper[s][k][1]);
+  }
+  std::printf("\ntotal time: %.2fs\n", sw.seconds());
+  return 0;
+}

@@ -1,0 +1,59 @@
+#pragma once
+
+// Shared helpers for the table/figure reproduction harnesses. Each bench
+// binary prints the rows/series of one table or figure from the paper;
+// EXPERIMENTS.md records paper-vs-measured for each.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace phoenix::bench {
+
+struct Metrics {
+  std::size_t gates = 0;     ///< total gate count (1Q + 2Q)
+  std::size_t two_q = 0;     ///< 2Q gates (CNOT or SU4 after rebase)
+  std::size_t depth = 0;     ///< full depth
+  std::size_t depth_2q = 0;  ///< 2Q-only depth (the paper's Depth-2Q)
+};
+
+inline Metrics measure(const Circuit& c) {
+  return {c.size(), c.count_2q(), c.depth(), c.depth_2q()};
+}
+
+/// Geometric mean of a list of ratios.
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += std::log(x);
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+inline double pct(std::size_t num, std::size_t den) {
+  return den == 0 ? 0.0 : 100.0 * static_cast<double>(num) /
+                              static_cast<double>(den);
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace phoenix::bench

@@ -1,0 +1,56 @@
+// ISA retargeting: the same program emitted to the CNOT ISA and to the
+// continuous SU(4) ISA (every 2Q unitary is one native gate — the AshN
+// scheme discussed in the paper's §V-D). PHOENIX's simplified IR groups are
+// intrinsically 2Q-local, so they collapse into very few SU(4) gates.
+// The example also verifies both circuits against the exact evolution.
+//
+//   $ ./example_isa_retarget
+
+#include <cstdio>
+
+#include "circuit/synthesis.hpp"
+#include "hamlib/qaoa.hpp"
+#include "phoenix/compiler.hpp"
+#include "sim/matrix.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/rebase.hpp"
+
+int main() {
+  using namespace phoenix;
+
+  // A commuting 2-local program (one QAOA cost layer on a ring), so the
+  // compiled circuit is exactly unitarily checkable.
+  Rng rng(7);
+  const Graph ring = random_regular_graph(8, 2, rng);
+  const auto terms = qaoa_cost_terms(ring, 0.4);
+
+  PhoenixOptions cnot_isa, su4_isa;
+  su4_isa.isa = TwoQubitIsa::Su4;
+  const Circuit c_cnot = phoenix_compile(terms, 8, cnot_isa).circuit;
+  const Circuit c_su4 = phoenix_compile(terms, 8, su4_isa).circuit;
+
+  std::printf("program: %zu commuting ZZ terms on 8 qubits\n", terms.size());
+  std::printf("  CNOT ISA : %2zu CNOTs,      2Q depth %zu\n",
+              c_cnot.count(GateKind::Cnot), c_cnot.depth_2q());
+  std::printf("  SU(4) ISA: %2zu SU(4) gates, 2Q depth %zu\n",
+              c_su4.count(GateKind::Su4), c_su4.depth_2q());
+
+  // Both must implement the exact product of exponentials (terms commute).
+  StateVector ref(8);
+  for (const auto& t : terms) ref.apply_pauli_rotation(t);
+  StateVector a(8), b(8);
+  a.apply_circuit(c_cnot);
+  b.apply_circuit(c_su4);
+  const double fa = std::abs(a.inner_product(ref));
+  const double fb = std::abs(b.inner_product(ref));
+  std::printf("  fidelity vs exact evolution on |0...0>: CNOT %.12f, "
+              "SU(4) %.12f\n", fa, fb);
+
+  // A baseline circuit rebased after the fact needs more SU(4) blocks than
+  // PHOENIX's intrinsically 2Q-local output.
+  const Circuit naive = synthesize_naive(terms, 8);
+  std::printf("  naive circuit rebased to SU(4): %zu gates (PHOENIX: %zu)\n",
+              rebase_su4(naive).count(GateKind::Su4),
+              c_su4.count(GateKind::Su4));
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Quickstart: compile a tiny Hamiltonian-simulation program end to end.
+//
+// A Hamiltonian is just a list of weighted Pauli strings; PHOENIX turns the
+// corresponding product of exponentials exp(-i h_j P_j) into a circuit over
+// basic 1Q/2Q gates, globally optimized at the Pauli-IR level.
+//
+//   $ ./example_quickstart
+
+#include <cstdio>
+
+#include "circuit/synthesis.hpp"
+#include "phoenix/compiler.hpp"
+
+int main() {
+  using namespace phoenix;
+
+  // The paper's Fig. 1(b) group plus a 2-local term: four weight-3 strings
+  // on qubits {0,1,2} that PHOENIX simplifies simultaneously with a single
+  // 2Q Clifford conjugation.
+  const std::vector<PauliTerm> hamiltonian = {
+      {"ZYY", 0.12}, {"ZZY", 0.34}, {"XYY", -0.21}, {"XZY", 0.08},
+      {"IZZ", 0.50},
+  };
+  const std::size_t num_qubits = 3;
+
+  // Conventional per-term synthesis — the baseline every paper metric is
+  // measured against.
+  const Circuit naive = synthesize_naive(hamiltonian, num_qubits);
+  std::printf("naive synthesis : %3zu gates, %2zu CNOTs, 2Q depth %2zu\n",
+              naive.size(), naive.count(GateKind::Cnot), naive.depth_2q());
+
+  // The PHOENIX pipeline: grouping -> BSF simplification -> Tetris-like
+  // ordering -> emission.
+  const CompileResult res = phoenix_compile(hamiltonian, num_qubits);
+  std::printf("PHOENIX         : %3zu gates, %2zu CNOTs, 2Q depth %2zu "
+              "(%zu IR groups, %zu search epochs)\n",
+              res.circuit.size(), res.circuit.count(GateKind::Cnot),
+              res.circuit.depth_2q(), res.num_groups, res.bsf_epochs);
+
+  std::printf("\ncompiled circuit:\n%s", res.circuit.to_string().c_str());
+  std::printf("\nOpenQASM:\n%s", res.circuit.to_qasm().c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Hamiltonian dynamics end to end: Trotterize a spin-chain Hamiltonian
+// (Eq. 1 of the paper), compile each variant with PHOENIX, and measure both
+// the circuit cost and the actual algorithmic error against the exact
+// evolution — the workflow behind the paper's Fig. 8.
+//
+//   $ ./example_trotter_evolution
+
+#include <cstdio>
+#include <tuple>
+
+#include "hamlib/trotter.hpp"
+#include "phoenix/compiler.hpp"
+#include "sim/expectation.hpp"
+#include "sim/matrix.hpp"
+#include "sim/statevector.hpp"
+
+int main() {
+  using namespace phoenix;
+
+  // Transverse-field Ising chain on 6 qubits: H = Σ J ZZ + Σ h X.
+  const std::size_t n = 6;
+  std::vector<PauliTerm> h;
+  for (std::size_t q = 0; q + 1 < n; ++q) {
+    PauliString zz(n);
+    zz.set_op(q, Pauli::Z);
+    zz.set_op(q + 1, Pauli::Z);
+    h.emplace_back(zz, 1.0);
+  }
+  for (std::size_t q = 0; q < n; ++q)
+    h.emplace_back(PauliString::single(n, q, Pauli::X), 0.7);
+
+  const double t = 0.6;
+  const Matrix exact = expm_minus_i(hamiltonian_matrix(h, n), t);
+
+  std::printf("TFIM chain, n=%zu, t=%.2f — Trotterized, PHOENIX-compiled\n\n", n, t);
+  std::printf("%-22s %6s %8s %12s\n", "formula", "#CNOT", "2Q depth",
+              "infidelity");
+
+  // One compile unit per Trotter step (phoenix_compile's contract: the input
+  // is an arrangement-free step, so a multi-step evolution repeats the
+  // compiled step circuit). S_2's palindrome is built from the compiled
+  // forward half-step and its inverse with negated angles.
+  auto step_circuit = [&](TrotterOrder order, std::size_t steps) {
+    const double tau = t / static_cast<double>(steps);
+    Circuit out(n);
+    if (order == TrotterOrder::First) {
+      const Circuit step =
+          phoenix_compile(trotter_first_order(h, tau), n).circuit;
+      for (std::size_t s = 0; s < steps; ++s) out.append(step);
+    } else {
+      const Circuit fwd =
+          phoenix_compile(trotter_first_order(h, tau / 2), n).circuit;
+      const Circuit rev =
+          phoenix_compile(trotter_first_order(h, -tau / 2), n)
+              .circuit.inverse();
+      for (std::size_t s = 0; s < steps; ++s) {
+        out.append(fwd);
+        out.append(rev);
+      }
+    }
+    return out;
+  };
+
+  for (const auto& [label, order, steps] :
+       {std::tuple{"1st order, r=1", TrotterOrder::First, std::size_t{1}},
+        std::tuple{"1st order, r=4", TrotterOrder::First, std::size_t{4}},
+        std::tuple{"2nd order, r=1", TrotterOrder::Second, std::size_t{1}},
+        std::tuple{"2nd order, r=4", TrotterOrder::Second, std::size_t{4}}}) {
+    const Circuit c = step_circuit(order, steps);
+    const double err = infidelity(exact, circuit_unitary(c));
+    std::printf("%-22s %6zu %8zu %12.3e\n", label, c.count(GateKind::Cnot),
+                c.depth_2q(), err);
+  }
+
+  // VQE-style readout: energy of the compiled evolution applied to |+...+>.
+  StateVector psi(n);
+  for (std::size_t q = 0; q < n; ++q) psi.apply_gate(Gate::h(q));
+  psi.apply_circuit(step_circuit(TrotterOrder::Second, 4));
+  std::printf("\nenergy <H> after evolution from |+...+>: %.6f\n",
+              energy_expectation(psi, h));
+  return 0;
+}

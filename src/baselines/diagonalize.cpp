@@ -1,0 +1,107 @@
+#include "baselines/diagonalize.hpp"
+
+#include <stdexcept>
+
+#include "pauli/bsf.hpp"
+
+namespace phoenix {
+
+Diagonalization diagonalize_commuting_set(const std::vector<PauliTerm>& terms,
+                                          std::size_t num_qubits) {
+  for (std::size_t i = 0; i < terms.size(); ++i)
+    for (std::size_t j = i + 1; j < terms.size(); ++j)
+      if (!terms[i].string.commutes_with(terms[j].string))
+        throw std::invalid_argument(
+            "diagonalize_commuting_set: terms do not commute");
+
+  Bsf bsf(num_qubits);
+  for (const auto& t : terms) bsf.add_term(t);
+
+  Diagonalization out;
+  out.clifford = Circuit(num_qubits);
+  auto h = [&](std::size_t q) {
+    bsf.apply_h(q);
+    out.clifford.append(Gate::h(q));
+  };
+  auto s = [&](std::size_t q) {
+    bsf.apply_s(q);
+    out.clifford.append(Gate::s(q));
+  };
+  auto sdg = [&](std::size_t q) {
+    bsf.apply_sdg(q);
+    out.clifford.append(Gate::sdg(q));
+  };
+  auto cnot = [&](std::size_t c, std::size_t t) {
+    bsf.apply_cnot(c, t);
+    out.clifford.append(Gate::cnot(c, t));
+  };
+  auto cz = [&](std::size_t a, std::size_t b) {
+    h(b);
+    cnot(a, b);
+    h(b);
+  };
+
+  // Repeatedly eliminate the first row carrying any X component. Operations
+  // on qubit columns never reintroduce X into x-free rows: CNOT/CZ/S leave a
+  // zero X-block row zero, and the final H at a pivot column is safe because
+  // commutation with the pure-X pivot row forces diagonal rows to carry no Z
+  // there (see tests for the property check).
+  while (true) {
+    std::size_t r = bsf.num_rows();
+    for (std::size_t i = 0; i < bsf.num_rows(); ++i)
+      if (bsf.row_x(i).any()) {
+        r = i;
+        break;
+      }
+    if (r == bsf.num_rows()) break;
+
+    const std::size_t q = bsf.row_x(r).find_first();
+    if (bsf.row_z(r).get(q)) sdg(q);  // Y -> X at the pivot
+    // Clear the remaining X entries of row r.
+    for (std::size_t p = bsf.row_x(r).find_next(q + 1); p < num_qubits;
+         p = bsf.row_x(r).find_next(p + 1))
+      cnot(q, p);
+    // CNOTs may have folded Z back onto the pivot.
+    if (bsf.row_z(r).get(q)) s(q);
+    // Clear row r's Z entries elsewhere.
+    for (std::size_t p = bsf.row_z(r).find_first(); p < num_qubits;
+         p = bsf.row_z(r).find_next(p + 1)) {
+      if (p == q) continue;
+      cz(q, p);
+    }
+    if (bsf.row_z(r).get(q)) s(q);  // CZ composition may reintroduce it
+    h(q);  // X_q -> Z_q: row r is now diagonal
+    if (bsf.row_x(r).any())
+      throw std::logic_error("diagonalize_commuting_set: pivot not cleared");
+  }
+
+  out.diagonal_terms.reserve(bsf.num_rows());
+  for (std::size_t i = 0; i < bsf.num_rows(); ++i)
+    out.diagonal_terms.push_back(bsf.term(i));
+  return out;
+}
+
+std::vector<std::vector<PauliTerm>> partition_commuting(
+    const std::vector<PauliTerm>& terms) {
+  std::vector<std::vector<PauliTerm>> sets;
+  for (const auto& t : terms) {
+    bool placed = false;
+    for (auto& set : sets) {
+      bool ok = true;
+      for (const auto& u : set)
+        if (!t.string.commutes_with(u.string)) {
+          ok = false;
+          break;
+        }
+      if (ok) {
+        set.push_back(t);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) sets.push_back({t});
+  }
+  return sets;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+/// Result of simultaneously diagonalizing a pairwise-commuting Pauli set:
+/// a Clifford circuit C with C P_i C† = ±(Z-string)_i for every input term.
+/// The rotation subcircuit is then `C · Π_i exp(-iθ_i D_i) · C†`.
+struct Diagonalization {
+  Circuit clifford;                       ///< conjugation circuit C
+  std::vector<PauliTerm> diagonal_terms;  ///< Z-only strings, signs folded
+};
+
+/// Constructive simultaneous diagonalization of a pairwise-commuting set
+/// (the core of TKET's PauliSimp "sets" strategy / Cowtan et al. 2019):
+/// repeatedly pivot one row to a single X via CNOT/CZ/S column operations,
+/// then H it to a single Z. Pairwise commutativity guarantees previously
+/// diagonalized rows are never disturbed. Throws if the input does not
+/// commute pairwise.
+Diagonalization diagonalize_commuting_set(const std::vector<PauliTerm>& terms,
+                                          std::size_t num_qubits);
+
+/// Greedy sequential partition of a term list into pairwise-commuting sets,
+/// preserving first-fit order (each term joins the earliest compatible set).
+std::vector<std::vector<PauliTerm>> partition_commuting(
+    const std::vector<PauliTerm>& terms);
+
+}  // namespace phoenix

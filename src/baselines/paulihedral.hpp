@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/graph.hpp"
+#include "mapping/sabre.hpp"
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+/// Options shared by the reimplemented baseline compilers.
+struct BaselineOptions {
+  /// Append the full O3-like resynthesis pipeline (the paper's "+O3" rows).
+  bool with_o3 = false;
+  bool hardware_aware = false;
+  const Graph* coupling = nullptr;
+  SabreOptions sabre;
+};
+
+/// Paulihedral-style compilation (Li et al., ASPLOS'22): support-set
+/// blocking, greedy max-overlap block ordering, lexicographic term order
+/// inside blocks, chain CNOT-tree synthesis sharing the block root, and the
+/// O2-like cancellation pass the paper associates with it by default.
+Circuit paulihedral_compile(const std::vector<PauliTerm>& terms,
+                            std::size_t num_qubits,
+                            const BaselineOptions& opt = {});
+
+}  // namespace phoenix

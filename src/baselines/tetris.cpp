@@ -1,0 +1,106 @@
+#include "baselines/tetris.hpp"
+
+#include <algorithm>
+
+#include "circuit/synthesis.hpp"
+#include "hamlib/grouping.hpp"
+#include "transpile/peephole.hpp"
+#include "transpile/rebase.hpp"
+
+namespace phoenix {
+
+namespace {
+
+/// Inverse-pair cancellation that only looks through gates on disjoint
+/// qubits — no commutation reasoning. This models Tetris's logical pass,
+/// which exploits exactly the cancellations its tree construction makes
+/// structurally adjacent (paper §V-B: Tetris trails the others at the
+/// logical level because it saves its machinery for routing).
+void structural_cancel(Circuit& c) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Gate> gates = c.gates();
+    std::vector<bool> alive(gates.size(), true);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (!alive[i]) continue;
+      for (std::size_t j = i + 1; j < gates.size(); ++j) {
+        if (!alive[j]) continue;
+        bool shares = false;
+        for (std::size_t q : gates[i].qubits()) shares |= gates[j].acts_on(q);
+        if (!shares) continue;
+        if (gates[i].qubits() == gates[j].qubits() &&
+            gates[i].is_inverse_of(gates[j])) {
+          alive[i] = alive[j] = false;
+          changed = true;
+        }
+        break;
+      }
+    }
+    if (changed) {
+      Circuit out(c.num_qubits());
+      for (std::size_t i = 0; i < gates.size(); ++i)
+        if (alive[i]) out.append(gates[i]);
+      c = std::move(out);
+    }
+  }
+}
+
+}  // namespace
+
+Circuit tetris_compile(const std::vector<PauliTerm>& terms,
+                       std::size_t num_qubits, const BaselineOptions& opt) {
+  auto groups = group_by_support(terms);
+
+  // Block ordering by interaction adjacency: favor successors whose support
+  // overlaps the previous block (keeps the mapping transition small — the
+  // routing-oriented criterion Tetris optimizes for).
+  std::vector<std::size_t> remaining(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) remaining[i] = i;
+  std::vector<std::size_t> order;
+  while (!remaining.empty()) {
+    std::size_t pick = 0;
+    if (!order.empty()) {
+      const BitVec& last = groups[order.back()].support;
+      std::size_t best = 0;
+      for (std::size_t w = 0; w < remaining.size(); ++w) {
+        const std::size_t ov = (groups[remaining[w]].support & last).popcount();
+        if (ov > best) {
+          best = ov;
+          pick = w;
+        }
+      }
+    }
+    order.push_back(remaining[pick]);
+    remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+
+  // Tetris keeps the program's own term order inside each block and builds
+  // plain ascending-order chains (its trees follow qubit order; the sharing
+  // machinery is saved for SWAP co-optimization during routing), relying on
+  // literal structural adjacency for cancellation.
+  Circuit c(num_qubits);
+  for (std::size_t gi : order)
+    for (const auto& t : groups[gi].terms) append_pauli_rotation(c, t);
+
+  if (opt.with_o3)
+    optimize_o3(c);
+  else
+    structural_cancel(c);
+
+  if (!opt.hardware_aware) return c;
+
+  // Routing co-optimization: wider lookahead and more layout refinement than
+  // the stock SABRE configuration, then aggressive post-routing cancellation
+  // (SWAP CNOTs vs. ladder CNOTs) — the regime where Tetris excels.
+  SabreOptions sabre = opt.sabre;
+  sabre.extended_set_size = 48;
+  sabre.extended_set_weight = 0.8;
+  sabre.layout_rounds = 3;
+  const SabreResult routed = sabre_route(c, *opt.coupling, sabre);
+  Circuit physical = decompose_swaps(routed.routed);
+  optimize_o3(physical);
+  return physical;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "baselines/paulihedral.hpp"
+
+namespace phoenix {
+
+/// Tetris-style compilation (Jin et al., ISCA'24). Tetris concentrates on
+/// routing co-optimization rather than logical synthesis (the paper's §V-B
+/// finding): logical output is plain per-term chain trees with only local
+/// inverse cancellation, while hardware-aware compilation orders blocks by
+/// interaction adjacency and routes with an aggressive lookahead so SWAP
+/// CNOTs annihilate against tree ladders.
+Circuit tetris_compile(const std::vector<PauliTerm>& terms,
+                       std::size_t num_qubits,
+                       const BaselineOptions& opt = {});
+
+}  // namespace phoenix

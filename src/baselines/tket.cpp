@@ -1,0 +1,40 @@
+#include "baselines/tket.hpp"
+
+#include <algorithm>
+
+#include "baselines/diagonalize.hpp"
+#include "circuit/synthesis.hpp"
+#include "transpile/peephole.hpp"
+#include "transpile/rebase.hpp"
+
+namespace phoenix {
+
+Circuit tket_compile(const std::vector<PauliTerm>& terms,
+                     std::size_t num_qubits, const BaselineOptions& opt) {
+  Circuit c(num_qubits);
+  for (auto& set : partition_commuting(terms)) {
+    Diagonalization diag = diagonalize_commuting_set(set, num_qubits);
+    // Gray-code-flavored ordering: lexicographic on the diagonal labels so
+    // neighboring rotations share CNOT-ladder prefixes.
+    std::stable_sort(diag.diagonal_terms.begin(), diag.diagonal_terms.end(),
+                     [](const PauliTerm& a, const PauliTerm& b) {
+                       return a.string.to_string() < b.string.to_string();
+                     });
+    c.append(diag.clifford);
+    for (const auto& t : diag.diagonal_terms)
+      append_pauli_rotation(c, t, CnotTree::Chain);
+    c.append(diag.clifford.inverse());
+  }
+
+  // FullPeepholeOptimise stand-in — part of the TKET flow, always applied.
+  optimize_o3(c);
+  (void)opt.with_o3;
+
+  if (!opt.hardware_aware) return c;
+  const SabreResult routed = sabre_route(c, *opt.coupling, opt.sabre);
+  Circuit physical = decompose_swaps(routed.routed);
+  optimize_o2(physical);
+  return physical;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "baselines/paulihedral.hpp"
+
+namespace phoenix {
+
+/// TKET-style compilation (Sivarajah et al. 2020, Cowtan et al. 2019):
+/// PauliSimp with the "sets" strategy — greedy partition into pairwise
+/// commuting sets, simultaneous Clifford diagonalization of each set,
+/// phase-polynomial synthesis of the diagonal rotations — followed by a
+/// FullPeepholeOptimise-like resynthesis pass (always on, matching the
+/// paper's TKET configuration).
+Circuit tket_compile(const std::vector<PauliTerm>& terms,
+                     std::size_t num_qubits, const BaselineOptions& opt = {});
+
+}  // namespace phoenix

@@ -1,0 +1,158 @@
+#include "baselines/twoqan.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "transpile/peephole.hpp"
+#include "transpile/rebase.hpp"
+
+namespace phoenix {
+
+TwoQanResult twoqan_compile(const std::vector<PauliTerm>& terms,
+                            std::size_t num_qubits, const Graph& coupling) {
+  if (coupling.num_vertices() < num_qubits)
+    throw std::invalid_argument("twoqan_compile: device too small");
+  struct Term {
+    std::size_t a, b;
+    double theta;
+  };
+  std::vector<Term> pending;
+  Graph interaction(num_qubits);
+  for (const auto& t : terms) {
+    const auto sup = t.string.support();
+    if (sup.size() != 2)
+      throw std::invalid_argument("twoqan_compile: term is not 2-local");
+    pending.push_back({sup[0], sup[1], t.coeff});
+    if (!interaction.has_edge(sup[0], sup[1]))
+      interaction.add_edge(sup[0], sup[1]);
+  }
+
+  const auto dist = coupling.distance_matrix();
+
+  // --- Initial placement: highest-degree logical qubit onto the physical
+  // node of minimum eccentricity; every next logical qubit onto the free
+  // node minimizing distance to its already-placed interaction neighbors.
+  std::vector<std::size_t> logical_order(num_qubits);
+  std::iota(logical_order.begin(), logical_order.end(), std::size_t{0});
+  std::stable_sort(logical_order.begin(), logical_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return interaction.degree(a) > interaction.degree(b);
+                   });
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> phys(num_qubits, npos);
+  std::vector<bool> used(coupling.num_vertices(), false);
+  for (std::size_t q : logical_order) {
+    std::size_t best_node = npos;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < coupling.num_vertices(); ++p) {
+      if (used[p]) continue;
+      double score = 0;
+      bool any_neighbor = false;
+      for (std::size_t nb : interaction.neighbors(q))
+        if (phys[nb] != npos) {
+          score += static_cast<double>(dist[p][phys[nb]]);
+          any_neighbor = true;
+        }
+      if (!any_neighbor) {
+        // Fall back to centrality: stay near already-used nodes, or pick a
+        // low-eccentricity node for the very first placement.
+        bool any_used = false;
+        for (std::size_t u = 0; u < coupling.num_vertices(); ++u)
+          if (used[u]) {
+            score += static_cast<double>(dist[p][u]);
+            any_used = true;
+          }
+        if (!any_used)
+          score = static_cast<double>(
+              *std::max_element(dist[p].begin(), dist[p].end()));
+      }
+      if (score < best_score) {
+        best_score = score;
+        best_node = p;
+      }
+    }
+    phys[q] = best_node;
+    used[best_node] = true;
+  }
+
+  // --- Commutativity-aware scheduling loop.
+  TwoQanResult res;
+  res.initial_layout = phys;
+  res.circuit = Circuit(coupling.num_vertices());
+  const std::size_t swap_limit = 100 + 20 * pending.size();
+  std::pair<std::size_t, std::size_t> last_swap{npos, npos};
+  while (!pending.empty()) {
+    bool progress = false;
+    std::vector<Term> still;
+    for (const auto& t : pending) {
+      if (coupling.has_edge(phys[t.a], phys[t.b])) {
+        res.circuit.append(Gate::cnot(phys[t.a], phys[t.b]));
+        res.circuit.append(Gate::rz(phys[t.b], 2.0 * t.theta));
+        res.circuit.append(Gate::cnot(phys[t.a], phys[t.b]));
+        progress = true;
+      } else {
+        still.push_back(t);
+      }
+    }
+    pending = std::move(still);
+    if (pending.empty()) break;
+    if (progress) continue;
+
+    // Pick the SWAP unlocking the most pending terms; ties by the largest
+    // total distance reduction over all pending terms.
+    std::vector<bool> involved(coupling.num_vertices(), false);
+    for (const auto& t : pending) {
+      involved[phys[t.a]] = true;
+      involved[phys[t.b]] = true;
+    }
+    std::size_t best_unlocked = 0;
+    double best_delta = std::numeric_limits<double>::infinity();
+    std::pair<std::size_t, std::size_t> best_swap{npos, npos};
+    for (const auto& [pa, pb] : coupling.edges()) {
+      if (!involved[pa] && !involved[pb]) continue;
+      if (pa == last_swap.first && pb == last_swap.second)
+        continue;  // never immediately undo the previous swap
+      auto mapped = [&](std::size_t p) {
+        if (p == pa) return pb;
+        if (p == pb) return pa;
+        return p;
+      };
+      std::size_t unlocked = 0;
+      double delta = 0;
+      for (const auto& t : pending) {
+        const std::size_t d_old = dist[phys[t.a]][phys[t.b]];
+        const std::size_t d_new = dist[mapped(phys[t.a])][mapped(phys[t.b])];
+        if (d_new == 1) ++unlocked;
+        delta += static_cast<double>(d_new) - static_cast<double>(d_old);
+      }
+      if (unlocked > best_unlocked ||
+          (unlocked == best_unlocked && delta < best_delta)) {
+        best_unlocked = unlocked;
+        best_delta = delta;
+        best_swap = {pa, pb};
+      }
+    }
+    if (best_swap.first == npos)
+      throw std::logic_error("twoqan_compile: no candidate swap");
+    res.circuit.append(Gate::swap(best_swap.first, best_swap.second));
+    ++res.num_swaps;
+    last_swap = best_swap;
+    for (auto& p : phys) {
+      if (p == best_swap.first)
+        p = best_swap.second;
+      else if (p == best_swap.second)
+        p = best_swap.first;
+    }
+    if (res.num_swaps > swap_limit)
+      throw std::runtime_error("twoqan_compile: swap limit exceeded");
+  }
+
+  res.final_layout = std::move(phys);
+  res.circuit = decompose_swaps(res.circuit);
+  optimize_o2(res.circuit);
+  return res;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/graph.hpp"
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+struct TwoQanResult {
+  Circuit circuit;  ///< physical register, SWAPs decomposed into CNOTs
+  std::size_t num_swaps = 0;
+  std::vector<std::size_t> initial_layout;  ///< logical -> physical
+  std::vector<std::size_t> final_layout;    ///< logical -> physical
+};
+
+/// 2QAN-style compilation (Lao & Browne, ISCA'22) for 2-local Hamiltonian
+/// simulation: since every ZZ term commutes, the scheduler is free to
+/// execute any term whose qubits are currently adjacent. The pipeline is
+/// (1) interaction-graph-aware initial placement, (2) a greedy loop that
+/// drains all executable terms and otherwise inserts the SWAP unlocking the
+/// most pending terms (ties broken by total distance reduction), and
+/// (3) SWAP decomposition with peephole merging so SWAP CNOTs fuse with the
+/// adjacent ZZ ladders.
+///
+/// Every term must have weight exactly 2.
+TwoQanResult twoqan_compile(const std::vector<PauliTerm>& terms,
+                            std::size_t num_qubits, const Graph& coupling);
+
+}  // namespace phoenix

@@ -1,0 +1,143 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace phoenix {
+
+void Circuit::append(Gate g) {
+  if (g.q0 >= n_ || (g.is_two_qubit() && g.q1 >= n_))
+    throw std::out_of_range("Circuit::append: qubit out of range");
+  if (g.is_two_qubit() && g.q0 == g.q1)
+    throw std::invalid_argument("Circuit::append: 2Q gate on a single qubit");
+  gates_.push_back(std::move(g));
+}
+
+void Circuit::append(const Circuit& other) {
+  if (other.n_ > n_)
+    throw std::invalid_argument("Circuit::append: register too small");
+  gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+}
+
+void Circuit::prepend(const Circuit& other) {
+  if (other.n_ > n_)
+    throw std::invalid_argument("Circuit::prepend: register too small");
+  gates_.insert(gates_.begin(), other.gates_.begin(), other.gates_.end());
+}
+
+Circuit Circuit::inverse() const {
+  Circuit c(n_);
+  c.gates_.reserve(gates_.size());
+  for (auto it = gates_.rbegin(); it != gates_.rend(); ++it)
+    c.gates_.push_back(it->inverse());
+  return c;
+}
+
+std::size_t Circuit::count(GateKind k) const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [k](const Gate& g) { return g.kind == k; }));
+}
+
+std::size_t Circuit::count_2q() const {
+  return static_cast<std::size_t>(
+      std::count_if(gates_.begin(), gates_.end(),
+                    [](const Gate& g) { return g.is_two_qubit(); }));
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> level(n_, 0);
+  std::size_t d = 0;
+  for (const auto& g : gates_) {
+    std::size_t l = level[g.q0];
+    if (g.is_two_qubit()) l = std::max(l, level[g.q1]);
+    ++l;
+    level[g.q0] = l;
+    if (g.is_two_qubit()) level[g.q1] = l;
+    d = std::max(d, l);
+  }
+  return d;
+}
+
+std::size_t Circuit::depth_2q() const {
+  std::vector<std::size_t> level(n_, 0);
+  std::size_t d = 0;
+  for (const auto& g : gates_) {
+    if (!g.is_two_qubit()) continue;
+    const std::size_t l = std::max(level[g.q0], level[g.q1]) + 1;
+    level[g.q0] = level[g.q1] = l;
+    d = std::max(d, l);
+  }
+  return d;
+}
+
+std::vector<std::size_t> Circuit::support() const {
+  std::vector<bool> used(n_, false);
+  for (const auto& g : gates_) {
+    used[g.q0] = true;
+    if (g.is_two_qubit()) used[g.q1] = true;
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t q = 0; q < n_; ++q)
+    if (used[q]) out.push_back(q);
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> Circuit::two_qubit_layers() const {
+  std::vector<std::size_t> level(n_, 0);
+  std::vector<std::vector<std::size_t>> layers;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const Gate& g = gates_[i];
+    if (!g.is_two_qubit()) continue;
+    const std::size_t l = std::max(level[g.q0], level[g.q1]) + 1;
+    level[g.q0] = level[g.q1] = l;
+    if (l > layers.size()) layers.resize(l);
+    layers[l - 1].push_back(i);
+  }
+  return layers;
+}
+
+Circuit Circuit::flattened() const {
+  Circuit c(n_);
+  for (const auto& g : gates_) {
+    if (g.kind == GateKind::Su4) {
+      for (const auto& s : g.sub) c.append(s);
+    } else {
+      c.append(g);
+    }
+  }
+  return c;
+}
+
+void Circuit::drop_trivial_gates(double tol) {
+  std::erase_if(gates_, [tol](const Gate& g) {
+    if (g.kind == GateKind::I) return true;
+    return gate_has_param(g.kind) && std::abs(g.param) < tol;
+  });
+}
+
+std::string Circuit::to_string() const {
+  std::string out;
+  for (const auto& g : gates_) {
+    out += g.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Circuit::to_qasm() const {
+  std::string out = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[" +
+                    std::to_string(n_) + "];\n";
+  const Circuit flat = flattened();
+  for (const auto& g : flat.gates_) {
+    out += gate_name(g.kind);
+    if (gate_has_param(g.kind)) out += "(" + std::to_string(g.param) + ")";
+    out += " q[" + std::to_string(g.q0) + "]";
+    if (g.is_two_qubit()) out += ",q[" + std::to_string(g.q1) + "]";
+    out += ";\n";
+  }
+  return out;
+}
+
+}  // namespace phoenix

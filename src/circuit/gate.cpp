@@ -1,0 +1,128 @@
+#include "circuit/gate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace phoenix {
+
+bool gate_is_two_qubit(GateKind k) {
+  switch (k) {
+    case GateKind::Cnot:
+    case GateKind::Cz:
+    case GateKind::Swap:
+    case GateKind::Su4:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool gate_has_param(GateKind k) {
+  return k == GateKind::Rx || k == GateKind::Ry || k == GateKind::Rz;
+}
+
+const char* gate_name(GateKind k) {
+  switch (k) {
+    case GateKind::I: return "i";
+    case GateKind::H: return "h";
+    case GateKind::X: return "x";
+    case GateKind::Y: return "y";
+    case GateKind::Z: return "z";
+    case GateKind::S: return "s";
+    case GateKind::Sdg: return "sdg";
+    case GateKind::T: return "t";
+    case GateKind::Tdg: return "tdg";
+    case GateKind::SqrtX: return "sx";
+    case GateKind::SqrtXdg: return "sxdg";
+    case GateKind::Rx: return "rx";
+    case GateKind::Ry: return "ry";
+    case GateKind::Rz: return "rz";
+    case GateKind::Cnot: return "cx";
+    case GateKind::Cz: return "cz";
+    case GateKind::Swap: return "swap";
+    case GateKind::Su4: return "su4";
+  }
+  throw std::logic_error("gate_name: invalid kind");
+}
+
+Gate Gate::su4(std::size_t a, std::size_t b, std::vector<Gate> parts) {
+  Gate g(GateKind::Su4, a, b);
+  g.sub = std::move(parts);
+  return g;
+}
+
+std::vector<std::size_t> Gate::qubits() const {
+  if (is_two_qubit()) return {q0, q1};
+  return {q0};
+}
+
+Gate Gate::inverse() const {
+  Gate g = *this;
+  switch (kind) {
+    case GateKind::S: g.kind = GateKind::Sdg; break;
+    case GateKind::Sdg: g.kind = GateKind::S; break;
+    case GateKind::T: g.kind = GateKind::Tdg; break;
+    case GateKind::Tdg: g.kind = GateKind::T; break;
+    case GateKind::SqrtX: g.kind = GateKind::SqrtXdg; break;
+    case GateKind::SqrtXdg: g.kind = GateKind::SqrtX; break;
+    case GateKind::Rx:
+    case GateKind::Ry:
+    case GateKind::Rz:
+      g.param = -param;
+      break;
+    case GateKind::Su4: {
+      g.sub.clear();
+      g.sub.reserve(sub.size());
+      for (auto it = sub.rbegin(); it != sub.rend(); ++it)
+        g.sub.push_back(it->inverse());
+      break;
+    }
+    default:
+      break;  // Hermitian gates are their own inverse
+  }
+  return g;
+}
+
+bool Gate::same_as(const Gate& o, double tol) const {
+  if (kind != o.kind || q0 != o.q0) return false;
+  if (is_two_qubit() && q1 != o.q1) return false;
+  if (gate_has_param(kind) && std::abs(param - o.param) > tol) return false;
+  if (kind == GateKind::Su4) {
+    if (sub.size() != o.sub.size()) return false;
+    for (std::size_t i = 0; i < sub.size(); ++i)
+      if (!sub[i].same_as(o.sub[i], tol)) return false;
+  }
+  return true;
+}
+
+bool Gate::is_inverse_of(const Gate& o, double tol) const {
+  // CNOT/CZ/SWAP and the Hermitian 1Q gates cancel with an identical copy;
+  // CZ and SWAP are also symmetric in their qubits.
+  if (kind != o.kind) {
+    // S/Sdg, T/Tdg, SqrtX/SqrtXdg pairs
+    return same_as(o.inverse(), tol);
+  }
+  if ((kind == GateKind::Cz || kind == GateKind::Swap) &&
+      ((q0 == o.q0 && q1 == o.q1) || (q0 == o.q1 && q1 == o.q0)))
+    return true;
+  return same_as(o.inverse(), tol);
+}
+
+std::string Gate::to_string() const {
+  std::string s = gate_name(kind);
+  if (gate_has_param(kind)) {
+    s += '(';
+    s += std::to_string(param);
+    s += ')';
+  }
+  s += ' ';
+  s += std::to_string(q0);
+  if (is_two_qubit()) {
+    s += ',';
+    s += std::to_string(q1);
+  }
+  return s;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace phoenix {
+
+/// Gate vocabulary. 1Q gates are considered free in all paper metrics;
+/// 2Q gates (Cnot, Cz, Swap, Su4) are the costed resources.
+///
+/// `Su4` is a consolidated generic two-qubit block: the SU(4)-ISA unit of the
+/// paper (every maximal run of 2Q+1Q gates on one qubit pair). It retains its
+/// constituent gates so consolidated circuits stay simulable.
+enum class GateKind : std::uint8_t {
+  I, H, X, Y, Z, S, Sdg, T, Tdg, SqrtX, SqrtXdg,
+  Rx, Ry, Rz,
+  Cnot, Cz, Swap, Su4,
+};
+
+bool gate_is_two_qubit(GateKind k);
+bool gate_has_param(GateKind k);
+const char* gate_name(GateKind k);
+
+struct Gate {
+  GateKind kind = GateKind::I;
+  std::size_t q0 = 0;
+  std::size_t q1 = 0;        ///< only meaningful for 2Q kinds
+  double param = 0.0;        ///< rotation angle for Rx/Ry/Rz
+  std::vector<Gate> sub;     ///< constituents, Su4 only
+
+  Gate() = default;
+  Gate(GateKind k, std::size_t a) : kind(k), q0(a) {}
+  Gate(GateKind k, std::size_t a, std::size_t b) : kind(k), q0(a), q1(b) {}
+  Gate(GateKind k, std::size_t a, double p) : kind(k), q0(a), param(p) {}
+
+  static Gate h(std::size_t q) { return {GateKind::H, q}; }
+  static Gate x(std::size_t q) { return {GateKind::X, q}; }
+  static Gate y(std::size_t q) { return {GateKind::Y, q}; }
+  static Gate z(std::size_t q) { return {GateKind::Z, q}; }
+  static Gate s(std::size_t q) { return {GateKind::S, q}; }
+  static Gate sdg(std::size_t q) { return {GateKind::Sdg, q}; }
+  static Gate t(std::size_t q) { return {GateKind::T, q}; }
+  static Gate tdg(std::size_t q) { return {GateKind::Tdg, q}; }
+  static Gate sqrt_x(std::size_t q) { return {GateKind::SqrtX, q}; }
+  static Gate sqrt_xdg(std::size_t q) { return {GateKind::SqrtXdg, q}; }
+  static Gate rx(std::size_t q, double a) { return {GateKind::Rx, q, a}; }
+  static Gate ry(std::size_t q, double a) { return {GateKind::Ry, q, a}; }
+  static Gate rz(std::size_t q, double a) { return {GateKind::Rz, q, a}; }
+  static Gate cnot(std::size_t c, std::size_t t) { return {GateKind::Cnot, c, t}; }
+  static Gate cz(std::size_t a, std::size_t b) { return {GateKind::Cz, a, b}; }
+  static Gate swap(std::size_t a, std::size_t b) { return {GateKind::Swap, a, b}; }
+  static Gate su4(std::size_t a, std::size_t b, std::vector<Gate> parts);
+
+  bool is_two_qubit() const { return gate_is_two_qubit(kind); }
+
+  /// Qubits the gate acts on (1 or 2 entries).
+  std::vector<std::size_t> qubits() const;
+  bool acts_on(std::size_t q) const {
+    return q0 == q || (is_two_qubit() && q1 == q);
+  }
+
+  /// The inverse gate (Su4 inverts and reverses its constituents).
+  Gate inverse() const;
+
+  /// Structural equality with angle tolerance; used by cancellation passes.
+  bool same_as(const Gate& o, double tol = 1e-12) const;
+
+  /// True when `this` followed by `o` composes to identity.
+  bool is_inverse_of(const Gate& o, double tol = 1e-12) const;
+
+  std::string to_string() const;
+};
+
+}  // namespace phoenix

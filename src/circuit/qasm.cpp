@@ -1,0 +1,178 @@
+#include "circuit/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace phoenix {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t lineno, const std::string& msg) {
+  throw std::runtime_error("qasm line " + std::to_string(lineno) + ": " + msg);
+}
+
+std::string strip(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+/// Parse "q[k]" and return k.
+std::size_t parse_qubit(const std::string& tok, std::size_t lineno,
+                        const std::string& reg) {
+  const std::string t = strip(tok);
+  if (t.size() < reg.size() + 3 || t.compare(0, reg.size(), reg) != 0 ||
+      t[reg.size()] != '[' || t.back() != ']')
+    fail(lineno, "bad qubit reference '" + t + "'");
+  return std::stoul(t.substr(reg.size() + 1, t.size() - reg.size() - 2));
+}
+
+/// Simple constant-expression evaluator for angles: numbers, pi, unary
+/// minus, * and /. Covers everything to_qasm emits and common qelib usage.
+double parse_angle(const std::string& expr, std::size_t lineno) {
+  // Tokenless recursive evaluation over a flat */ chain with unary minus.
+  std::string s = strip(expr);
+  if (s.empty()) fail(lineno, "empty angle expression");
+  double sign = 1.0;
+  std::size_t pos = 0;
+  while (pos < s.size() && (s[pos] == '-' || s[pos] == '+')) {
+    if (s[pos] == '-') sign = -sign;
+    ++pos;
+  }
+  double value = 0.0;
+  bool have_value = false;
+  char pending_op = '*';
+  auto apply = [&](double operand) {
+    if (!have_value) {
+      value = operand;
+      have_value = true;
+    } else if (pending_op == '*') {
+      value *= operand;
+    } else {
+      value /= operand;
+    }
+  };
+  while (pos < s.size()) {
+    if (std::isspace(static_cast<unsigned char>(s[pos]))) {
+      ++pos;
+      continue;
+    }
+    if (s[pos] == '*' || s[pos] == '/') {
+      pending_op = s[pos];
+      ++pos;
+      continue;
+    }
+    if (s.compare(pos, 2, "pi") == 0) {
+      apply(M_PI);
+      pos += 2;
+      continue;
+    }
+    std::size_t used = 0;
+    double num;
+    try {
+      num = std::stod(s.substr(pos), &used);
+    } catch (const std::exception&) {
+      fail(lineno, "bad angle expression '" + s + "'");
+    }
+    apply(num);
+    pos += used;
+  }
+  if (!have_value) fail(lineno, "bad angle expression '" + s + "'");
+  return sign * value;
+}
+
+const std::unordered_map<std::string, GateKind>& gate_table() {
+  static const std::unordered_map<std::string, GateKind> table = {
+      {"id", GateKind::I},    {"h", GateKind::H},      {"x", GateKind::X},
+      {"y", GateKind::Y},     {"z", GateKind::Z},      {"s", GateKind::S},
+      {"sdg", GateKind::Sdg}, {"t", GateKind::T},      {"tdg", GateKind::Tdg},
+      {"sx", GateKind::SqrtX}, {"sxdg", GateKind::SqrtXdg},
+      {"rx", GateKind::Rx},   {"ry", GateKind::Ry},    {"rz", GateKind::Rz},
+      {"cx", GateKind::Cnot}, {"cz", GateKind::Cz},    {"swap", GateKind::Swap},
+  };
+  return table;
+}
+
+}  // namespace
+
+Circuit circuit_from_qasm(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  std::optional<Circuit> circuit;
+  std::string reg = "q";
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t comment = line.find("//");
+    if (comment != std::string::npos) line.erase(comment);
+    line = strip(line);
+    if (line.empty()) continue;
+    if (line.back() != ';') fail(lineno, "missing ';'");
+    line.pop_back();
+    line = strip(line);
+
+    if (line.rfind("OPENQASM", 0) == 0 || line.rfind("include", 0) == 0 ||
+        line.rfind("barrier", 0) == 0)
+      continue;
+    if (line.rfind("qreg", 0) == 0) {
+      const std::size_t lb = line.find('['), rb = line.find(']');
+      if (lb == std::string::npos || rb == std::string::npos || rb < lb)
+        fail(lineno, "malformed qreg");
+      reg = strip(line.substr(4, lb - 4));
+      const std::size_t n = std::stoul(line.substr(lb + 1, rb - lb - 1));
+      circuit.emplace(n);
+      continue;
+    }
+    if (!circuit) fail(lineno, "gate before qreg declaration");
+
+    // "<name>[(angle)] q[a][,q[b]]"
+    std::string head = line;
+    std::string angle_text;
+    const std::size_t paren = line.find('(');
+    std::size_t args_begin;
+    if (paren != std::string::npos) {
+      const std::size_t close = line.find(')', paren);
+      if (close == std::string::npos) fail(lineno, "unbalanced '('");
+      head = strip(line.substr(0, paren));
+      angle_text = line.substr(paren + 1, close - paren - 1);
+      args_begin = close + 1;
+    } else {
+      const std::size_t sp = line.find_first_of(" \t");
+      if (sp == std::string::npos) fail(lineno, "gate without operands");
+      head = strip(line.substr(0, sp));
+      args_begin = sp + 1;
+    }
+    const auto it = gate_table().find(head);
+    if (it == gate_table().end()) fail(lineno, "unknown gate '" + head + "'");
+    const GateKind kind = it->second;
+
+    std::vector<std::size_t> qubits;
+    std::string args = line.substr(args_begin);
+    std::istringstream as(args);
+    std::string tok;
+    while (std::getline(as, tok, ',')) qubits.push_back(parse_qubit(tok, lineno, reg));
+
+    const bool two_q = gate_is_two_qubit(kind);
+    if (qubits.size() != (two_q ? 2u : 1u))
+      fail(lineno, "wrong operand count for '" + head + "'");
+    if (gate_has_param(kind)) {
+      if (angle_text.empty()) fail(lineno, "missing angle for '" + head + "'");
+      circuit->append(Gate(kind, qubits[0], parse_angle(angle_text, lineno)));
+    } else if (two_q) {
+      circuit->append(Gate(kind, qubits[0], qubits[1]));
+    } else {
+      if (!angle_text.empty()) fail(lineno, "unexpected angle for '" + head + "'");
+      circuit->append(Gate(kind, qubits[0]));
+    }
+  }
+  if (!circuit) throw std::runtime_error("qasm: no qreg declaration found");
+  return *circuit;
+}
+
+}  // namespace phoenix

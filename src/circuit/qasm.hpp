@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace phoenix {
+
+/// Parse the OpenQASM-2 subset emitted by Circuit::to_qasm(): a single
+/// `qreg`, the qelib1 gate names this library uses (h, x, y, z, s, sdg, t,
+/// tdg, sx, sxdg, rx, ry, rz, cx, cz, swap) and `barrier`/comment lines
+/// (ignored). Round-trips with to_qasm(). Throws std::runtime_error with a
+/// line number on malformed input.
+Circuit circuit_from_qasm(const std::string& text);
+
+}  // namespace phoenix

@@ -1,0 +1,141 @@
+#include "circuit/synthesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace phoenix {
+
+namespace {
+
+/// Pre-rotation basis change taking the axis on qubit q to Z. The returned
+/// gates are in circuit order; the post change is their reversed inverse.
+std::vector<Gate> basis_change_pre(Pauli p, std::size_t q) {
+  switch (p) {
+    case Pauli::Z: return {};
+    case Pauli::X: return {Gate::h(q)};
+    // exp(-iθY) = (S·H) exp(-iθZ) (S·H)†; pre = circuit of (S·H)† = Sdg, H.
+    case Pauli::Y: return {Gate::sdg(q), Gate::h(q)};
+    case Pauli::I: break;
+  }
+  throw std::invalid_argument("basis_change_pre: identity has no axis");
+}
+
+/// CNOT tree accumulating the parity of `qubits` onto `root`, circuit order.
+std::vector<Gate> parity_tree(const std::vector<std::size_t>& qubits,
+                              std::size_t root, CnotTree tree) {
+  std::vector<Gate> out;
+  if (qubits.size() < 2) return out;
+  std::vector<std::size_t> order;
+  for (std::size_t q : qubits)
+    if (q != root) order.push_back(q);
+  switch (tree) {
+    case CnotTree::Chain: {
+      // q1 -> q2 -> ... -> root
+      std::vector<std::size_t> chain = order;
+      chain.push_back(root);
+      for (std::size_t i = 0; i + 1 < chain.size(); ++i)
+        out.push_back(Gate::cnot(chain[i], chain[i + 1]));
+      break;
+    }
+    case CnotTree::Star: {
+      for (std::size_t q : order) out.push_back(Gate::cnot(q, root));
+      break;
+    }
+    case CnotTree::Balanced: {
+      std::vector<std::size_t> live = order;
+      live.push_back(root);
+      // Pairwise reduce; keep the latter of each pair so root survives last.
+      while (live.size() > 1) {
+        std::vector<std::size_t> next;
+        for (std::size_t i = 0; i + 1 < live.size(); i += 2) {
+          out.push_back(Gate::cnot(live[i], live[i + 1]));
+          next.push_back(live[i + 1]);
+        }
+        if (live.size() % 2 == 1) next.push_back(live.back());
+        live = std::move(next);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void append_pauli_rotation(Circuit& c, const PauliTerm& term, CnotTree tree,
+                           std::optional<std::size_t> root_opt) {
+  const PauliString& p = term.string;
+  const auto support = p.support();
+  if (support.empty()) return;  // exp(-iθI) is a global phase
+  if (std::abs(term.coeff) < 1e-15) return;
+
+  const std::size_t root = root_opt.value_or(support.back());
+  if (std::find(support.begin(), support.end(), root) == support.end())
+    throw std::invalid_argument("append_pauli_rotation: root not in support");
+
+  std::vector<Gate> pre;
+  for (std::size_t q : support)
+    for (const Gate& g : basis_change_pre(p.op(q), q)) pre.push_back(g);
+  const std::vector<Gate> ladder = parity_tree(support, root, tree);
+
+  for (const Gate& g : pre) c.append(g);
+  for (const Gate& g : ladder) c.append(g);
+  c.append(Gate::rz(root, 2.0 * term.coeff));
+  for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) c.append(*it);
+  for (auto it = pre.rbegin(); it != pre.rend(); ++it) c.append(it->inverse());
+}
+
+void append_pauli_rotation_chain(Circuit& c, const PauliTerm& term,
+                                 const std::vector<std::size_t>& chain) {
+  const PauliString& p = term.string;
+  const auto support = p.support();
+  if (support.empty() || std::abs(term.coeff) < 1e-15) return;
+  if (chain.size() != support.size())
+    throw std::invalid_argument(
+        "append_pauli_rotation_chain: chain must cover the support");
+  for (std::size_t q : chain)
+    if (std::find(support.begin(), support.end(), q) == support.end())
+      throw std::invalid_argument(
+          "append_pauli_rotation_chain: chain qubit outside support");
+
+  std::vector<Gate> pre;
+  for (std::size_t q : chain)
+    for (const Gate& g : basis_change_pre(p.op(q), q)) pre.push_back(g);
+  std::vector<Gate> ladder;
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i)
+    ladder.push_back(Gate::cnot(chain[i], chain[i + 1]));
+
+  for (const Gate& g : pre) c.append(g);
+  for (const Gate& g : ladder) c.append(g);
+  c.append(Gate::rz(chain.back(), 2.0 * term.coeff));
+  for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) c.append(*it);
+  for (auto it = pre.rbegin(); it != pre.rend(); ++it) c.append(it->inverse());
+}
+
+void append_clifford2q(Circuit& c, const Clifford2Q& cl) {
+  for (const auto& op : cl.expansion()) {
+    switch (op.step) {
+      case CliffStep::H: c.append(Gate::h(op.a)); break;
+      case CliffStep::S: c.append(Gate::s(op.a)); break;
+      case CliffStep::Sdg: c.append(Gate::sdg(op.a)); break;
+      case CliffStep::Cnot: c.append(Gate::cnot(op.a, op.b)); break;
+    }
+  }
+}
+
+Circuit pauli_rotation_circuit(const PauliTerm& term, std::size_t num_qubits,
+                               CnotTree tree) {
+  Circuit c(num_qubits);
+  append_pauli_rotation(c, term, tree);
+  return c;
+}
+
+Circuit synthesize_naive(const std::vector<PauliTerm>& terms,
+                         std::size_t num_qubits) {
+  Circuit c(num_qubits);
+  for (const auto& t : terms) append_pauli_rotation(c, t);
+  return c;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "pauli/bsf.hpp"
+#include "pauli/clifford2q.hpp"
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+/// CNOT-tree shape for multi-qubit Pauli rotation synthesis (the "variable
+/// CNOT-tree unrolling schemes" of Fig. 1a).
+enum class CnotTree {
+  Chain,     ///< sequential parity chain into the root
+  Star,      ///< every support qubit CNOTs directly into the root
+  Balanced,  ///< logarithmic-depth pairwise reduction into the root
+};
+
+/// Append exp(-i coeff · P) to `c` as basis changes + CNOT tree + Rz + mirror.
+/// `root` selects the qubit carrying the Rz (defaults to the last support
+/// qubit); it must lie in the support of the string.
+void append_pauli_rotation(Circuit& c, const PauliTerm& term,
+                           CnotTree tree = CnotTree::Chain,
+                           std::optional<std::size_t> root = std::nullopt);
+
+/// Append exp(-i coeff · P) with an explicit parity-chain order: `chain`
+/// must be a permutation of the string's support; the last element carries
+/// the Rz. Consecutive rotations whose chains share a prefix expose CNOT
+/// cancellations at the seam (the mechanism Paulihedral's block synthesis
+/// exploits).
+void append_pauli_rotation_chain(Circuit& c, const PauliTerm& term,
+                                 const std::vector<std::size_t>& chain);
+
+/// Append a universal controlled gate as H/S/CNOT primitives (1 CNOT).
+void append_clifford2q(Circuit& c, const Clifford2Q& cl);
+
+/// Standalone rotation circuit on an n-qubit register.
+Circuit pauli_rotation_circuit(const PauliTerm& term, std::size_t num_qubits,
+                               CnotTree tree = CnotTree::Chain);
+
+/// Conventional whole-program synthesis: every term in the given order,
+/// chain trees. This is the paper's "original circuit" baseline from which
+/// all optimization rates are measured.
+Circuit synthesize_naive(const std::vector<PauliTerm>& terms,
+                         std::size_t num_qubits);
+
+}  // namespace phoenix

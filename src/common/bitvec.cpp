@@ -1,0 +1,112 @@
+#include "common/bitvec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace phoenix {
+
+BitVec BitVec::from_string(const std::string& bits) {
+  BitVec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1')
+      v.set(i, true);
+    else if (bits[i] != '0')
+      throw std::invalid_argument("BitVec::from_string: bad character");
+  }
+  return v;
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t c = 0;
+  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool BitVec::any() const {
+  for (auto w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+std::size_t BitVec::find_first() const { return find_next(0); }
+
+std::size_t BitVec::find_next(std::size_t from) const {
+  if (from >= size_) return size_;
+  std::size_t wi = from >> 6;
+  std::uint64_t w = words_[wi] & (~std::uint64_t{0} << (from & 63));
+  while (true) {
+    if (w != 0) {
+      std::size_t idx = (wi << 6) + static_cast<std::size_t>(std::countr_zero(w));
+      return idx < size_ ? idx : size_;
+    }
+    if (++wi >= words_.size()) return size_;
+    w = words_[wi];
+  }
+}
+
+std::vector<std::size_t> BitVec::ones() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = find_first(); i < size_; i = find_next(i + 1))
+    out.push_back(i);
+  return out;
+}
+
+void BitVec::clear() {
+  for (auto& w : words_) w = 0;
+}
+
+void BitVec::check_same_size(const BitVec& o) const {
+  if (size_ != o.size_)
+    throw std::invalid_argument("BitVec: size mismatch in bitwise operation");
+}
+
+void BitVec::mask_tail() {
+  const std::size_t rem = size_ & 63;
+  if (rem != 0 && !words_.empty())
+    words_.back() &= (std::uint64_t{1} << rem) - 1;
+}
+
+BitVec& BitVec::operator&=(const BitVec& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+bool BitVec::and_parity(const BitVec& a, const BitVec& b) {
+  a.check_same_size(b);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < a.words_.size(); ++i)
+    acc ^= a.words_[i] & b.words_[i];
+  return std::popcount(acc) & 1;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i)
+    if (get(i)) s[i] = '1';
+  return s;
+}
+
+std::size_t BitVec::hash() const {
+  // FNV-1a over words, seeded with size.
+  std::uint64_t h = 1469598103934665603ull ^ size_;
+  for (auto w : words_) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace phoenix

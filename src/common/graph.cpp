@@ -1,0 +1,58 @@
+#include "common/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace phoenix {
+
+void Graph::add_edge(std::size_t a, std::size_t b) {
+  if (a >= adj_.size() || b >= adj_.size())
+    throw std::out_of_range("Graph::add_edge: vertex out of range");
+  if (a == b) throw std::invalid_argument("Graph::add_edge: self loop");
+  if (has_edge(a, b)) throw std::invalid_argument("Graph::add_edge: duplicate");
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+  edges_.emplace_back(std::min(a, b), std::max(a, b));
+}
+
+bool Graph::has_edge(std::size_t a, std::size_t b) const {
+  if (a >= adj_.size() || b >= adj_.size()) return false;
+  const auto& na = adj_[a].size() <= adj_[b].size() ? adj_[a] : adj_[b];
+  const std::size_t other = adj_[a].size() <= adj_[b].size() ? b : a;
+  return std::find(na.begin(), na.end(), other) != na.end();
+}
+
+bool Graph::connected() const {
+  if (adj_.empty()) return true;
+  const auto d = bfs_distances(0);
+  return std::find(d.begin(), d.end(), kUnreachable) == d.end();
+}
+
+std::vector<std::size_t> Graph::bfs_distances(std::size_t src) const {
+  if (src >= adj_.size())
+    throw std::out_of_range("Graph::bfs_distances: vertex out of range");
+  std::vector<std::size_t> dist(adj_.size(), kUnreachable);
+  std::deque<std::size_t> q{src};
+  dist[src] = 0;
+  while (!q.empty()) {
+    const std::size_t v = q.front();
+    q.pop_front();
+    for (std::size_t u : adj_[v]) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        q.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<std::size_t>> Graph::distance_matrix() const {
+  std::vector<std::vector<std::size_t>> d;
+  d.reserve(adj_.size());
+  for (std::size_t v = 0; v < adj_.size(); ++v) d.push_back(bfs_distances(v));
+  return d;
+}
+
+}  // namespace phoenix

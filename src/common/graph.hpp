@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace phoenix {
+
+/// Simple undirected graph on vertices 0..n-1.
+///
+/// Serves two roles in the library: hardware coupling graphs
+/// (see `mapping/topology.hpp`) and qubit-interaction graphs used by the
+/// Tetris-like ordering's routing-awareness factor (Eq. 7 of the paper).
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t n) : adj_(n) {}
+
+  std::size_t num_vertices() const { return adj_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  /// Add an undirected edge; duplicate and self edges are rejected.
+  void add_edge(std::size_t a, std::size_t b);
+  bool has_edge(std::size_t a, std::size_t b) const;
+
+  const std::vector<std::size_t>& neighbors(std::size_t v) const {
+    return adj_[v];
+  }
+  const std::vector<std::pair<std::size_t, std::size_t>>& edges() const {
+    return edges_;
+  }
+  std::size_t degree(std::size_t v) const { return adj_[v].size(); }
+
+  bool connected() const;
+
+  /// BFS hop distances from `src`; unreachable vertices get kUnreachable.
+  std::vector<std::size_t> bfs_distances(std::size_t src) const;
+
+  /// All-pairs shortest hop distances (n BFS traversals).
+  std::vector<std::vector<std::size_t>> distance_matrix() const;
+
+  static constexpr std::size_t kUnreachable = static_cast<std::size_t>(-1);
+
+ private:
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<std::pair<std::size_t, std::size_t>> edges_;
+};
+
+}  // namespace phoenix

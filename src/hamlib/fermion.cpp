@@ -1,0 +1,102 @@
+#include "hamlib/fermion.hpp"
+
+#include <stdexcept>
+
+namespace phoenix {
+
+namespace {
+std::size_t lowbit(std::size_t i) { return i & (~i + 1); }
+}  // namespace
+
+FermionEncoder::FermionEncoder(std::size_t num_modes, FermionEncoding enc)
+    : n_(num_modes), enc_(enc) {
+  if (n_ == 0) throw std::invalid_argument("FermionEncoder: zero modes");
+}
+
+std::vector<std::size_t> FermionEncoder::update_set(std::size_t j) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = j + 1 + lowbit(j + 1); i <= n_; i += lowbit(i))
+    out.push_back(i - 1);
+  return out;
+}
+
+std::vector<std::size_t> FermionEncoder::parity_set(std::size_t j) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = j; i > 0; i -= lowbit(i)) out.push_back(i - 1);
+  return out;
+}
+
+std::vector<std::size_t> FermionEncoder::flip_set(std::size_t j) const {
+  std::vector<std::size_t> out;
+  for (std::size_t k = j + 1 - lowbit(j + 1); k < j; ++k) out.push_back(k);
+  return out;
+}
+
+std::vector<std::size_t> FermionEncoder::remainder_set(std::size_t j) const {
+  // P(j) and F(j) are both sorted-descending / ascending ranges; do a simple
+  // membership filter (sets are O(log n) sized).
+  const auto p = parity_set(j);
+  const auto f = flip_set(j);
+  std::vector<std::size_t> out;
+  for (std::size_t q : p) {
+    bool in_f = false;
+    for (std::size_t k : f) in_f |= (k == q);
+    if (!in_f) out.push_back(q);
+  }
+  return out;
+}
+
+PauliString FermionEncoder::majorana(std::size_t k) const {
+  if (k >= 2 * n_) throw std::out_of_range("FermionEncoder::majorana");
+  const std::size_t j = k / 2;
+  const bool odd = k % 2;
+  PauliString s(n_);
+  if (enc_ == FermionEncoding::JordanWigner) {
+    for (std::size_t q = 0; q < j; ++q) s.set_op(q, Pauli::Z);
+    s.set_op(j, odd ? Pauli::Y : Pauli::X);
+    return s;
+  }
+  // Bravyi–Kitaev.
+  for (std::size_t q : update_set(j)) s.set_op(q, Pauli::X);
+  const auto zs = odd ? remainder_set(j) : parity_set(j);
+  for (std::size_t q : zs) s.set_op(q, Pauli::Z);
+  s.set_op(j, odd ? Pauli::Y : Pauli::X);
+  return s;
+}
+
+PauliPolynomial FermionEncoder::lower(std::size_t j) const {
+  PauliPolynomial p(n_);
+  p.add(majorana(2 * j), {0.5, 0});
+  p.add(majorana(2 * j + 1), {0, 0.5});
+  p.prune();
+  return p;
+}
+
+PauliPolynomial FermionEncoder::raise(std::size_t j) const {
+  PauliPolynomial p(n_);
+  p.add(majorana(2 * j), {0.5, 0});
+  p.add(majorana(2 * j + 1), {0, -0.5});
+  p.prune();
+  return p;
+}
+
+PauliPolynomial FermionEncoder::number(std::size_t j) const {
+  PauliPolynomial p = raise(j) * lower(j);
+  p.prune();
+  return p;
+}
+
+std::vector<BitVec> FermionEncoder::encoding_matrix() const {
+  std::vector<BitVec> rows(n_, BitVec(n_));
+  for (std::size_t j = 0; j < n_; ++j) {
+    if (enc_ == FermionEncoding::JordanWigner) {
+      rows[j].set(j, true);
+    } else {
+      for (std::size_t k = j + 1 - lowbit(j + 1); k <= j; ++k)
+        rows[j].set(k, true);
+    }
+  }
+  return rows;
+}
+
+}  // namespace phoenix

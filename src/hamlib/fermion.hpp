@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "pauli/polynomial.hpp"
+
+namespace phoenix {
+
+/// Fermion-to-qubit mapping choice; the two encodings evaluated by the paper
+/// (Table I benchmarks carry _JW / _BK suffixes).
+enum class FermionEncoding { JordanWigner, BravyiKitaev };
+
+/// Maps fermionic modes to qubit operators.
+///
+/// Both encodings are generated from their Majorana representations:
+///   JW:  c_{2j}   = Z_0 … Z_{j-1} X_j
+///        c_{2j+1} = Z_0 … Z_{j-1} Y_j
+///   BK:  c_{2j}   = X_{U(j)} X_j Z_{P(j)}
+///        c_{2j+1} = X_{U(j)} Y_j Z_{ρ(j)}
+/// with the Bravyi–Kitaev update / parity / remainder sets derived from the
+/// classic Fenwick-tree partial-sum structure.
+class FermionEncoder {
+ public:
+  FermionEncoder(std::size_t num_modes, FermionEncoding enc);
+
+  std::size_t num_modes() const { return n_; }
+  FermionEncoding encoding() const { return enc_; }
+
+  /// Majorana operator c_k, k in [0, 2n).
+  PauliString majorana(std::size_t k) const;
+
+  /// Annihilation operator a_j = (c_{2j} + i c_{2j+1}) / 2.
+  PauliPolynomial lower(std::size_t j) const;
+  /// Creation operator a†_j = (c_{2j} - i c_{2j+1}) / 2.
+  PauliPolynomial raise(std::size_t j) const;
+
+  /// Occupation-number operator n_j = a†_j a_j.
+  PauliPolynomial number(std::size_t j) const;
+
+  // --- Bravyi–Kitaev index sets (exposed for tests/documentation) ---------
+  /// Qubits (above j) whose stored partial sums include mode j.
+  std::vector<std::size_t> update_set(std::size_t j) const;
+  /// Qubits whose stored values XOR to the parity of modes [0, j).
+  std::vector<std::size_t> parity_set(std::size_t j) const;
+  /// Modes other than j whose occupation qubit j stores (Fenwick range).
+  std::vector<std::size_t> flip_set(std::size_t j) const;
+  /// ρ(j): parity_set(j) minus flip_set(j) when qubit j stores a sum.
+  std::vector<std::size_t> remainder_set(std::size_t j) const;
+
+  /// The BK basis-change matrix β as row bit-masks: qubit j stores the XOR
+  /// of the modes in row j. For JW this is the identity.
+  std::vector<BitVec> encoding_matrix() const;
+
+ private:
+  std::size_t n_;
+  FermionEncoding enc_;
+};
+
+}  // namespace phoenix

@@ -1,0 +1,30 @@
+#include "hamlib/grouping.hpp"
+
+#include <unordered_map>
+
+namespace phoenix {
+
+std::vector<IrGroup> group_by_support(const std::vector<PauliTerm>& terms) {
+  std::vector<IrGroup> groups;
+  std::unordered_map<BitVec, std::size_t, BitVecHash> index;
+  for (const auto& t : terms) {
+    const BitVec mask = t.string.support_mask();
+    const auto it = index.find(mask);
+    if (it == index.end()) {
+      index.emplace(mask, groups.size());
+      groups.push_back(IrGroup{mask, {t}});
+    } else {
+      groups[it->second].terms.push_back(t);
+    }
+  }
+  return groups;
+}
+
+std::vector<PauliTerm> flatten_groups(const std::vector<IrGroup>& groups) {
+  std::vector<PauliTerm> out;
+  for (const auto& g : groups)
+    out.insert(out.end(), g.terms.begin(), g.terms.end());
+  return out;
+}
+
+}  // namespace phoenix

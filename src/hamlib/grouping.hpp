@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+/// One IR group: Pauli exponentiations sharing a qubit support set.
+/// PHOENIX, Paulihedral and Tetris all operate on this blocking (§IV-A:
+/// "Pauli-based IRs are first grouped according to the same set of qubit
+/// indices non-trivially acted on").
+struct IrGroup {
+  BitVec support;               ///< union support mask
+  std::vector<PauliTerm> terms;
+
+  std::size_t weight() const { return support.popcount(); }
+};
+
+/// Group terms by identical support set, preserving first-appearance order
+/// (UCCSD excitation blocks arrive contiguously and stay intact).
+std::vector<IrGroup> group_by_support(const std::vector<PauliTerm>& terms);
+
+/// Flatten groups back to a term list (group order preserved).
+std::vector<PauliTerm> flatten_groups(const std::vector<IrGroup>& groups);
+
+}  // namespace phoenix

@@ -1,0 +1,68 @@
+#include "hamlib/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace phoenix {
+
+std::string hamiltonian_to_text(const std::vector<PauliTerm>& terms) {
+  std::ostringstream out;
+  out << "# phoenix hamiltonian: " << terms.size() << " terms\n";
+  out.precision(17);
+  for (const auto& t : terms)
+    out << t.string.to_string() << "  " << t.coeff << "\n";
+  return out.str();
+}
+
+std::vector<PauliTerm> hamiltonian_from_text(const std::string& text) {
+  std::vector<PauliTerm> terms;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t n = 0;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string label;
+    double coeff;
+    if (!(ls >> label)) continue;  // blank line
+    if (!(ls >> coeff))
+      throw std::runtime_error("hamiltonian_from_text: missing coefficient on line " +
+                               std::to_string(lineno));
+    std::string trailing;
+    if (ls >> trailing)
+      throw std::runtime_error("hamiltonian_from_text: trailing tokens on line " +
+                               std::to_string(lineno));
+    PauliTerm term(label, coeff);
+    if (n == 0)
+      n = term.string.num_qubits();
+    else if (term.string.num_qubits() != n)
+      throw std::runtime_error(
+          "hamiltonian_from_text: inconsistent qubit count on line " +
+          std::to_string(lineno));
+    terms.push_back(std::move(term));
+  }
+  return terms;
+}
+
+void save_hamiltonian(const std::string& path,
+                      const std::vector<PauliTerm>& terms) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_hamiltonian: cannot open " + path);
+  out << hamiltonian_to_text(terms);
+  if (!out) throw std::runtime_error("save_hamiltonian: write failed: " + path);
+}
+
+std::vector<PauliTerm> load_hamiltonian(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_hamiltonian: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return hamiltonian_from_text(buf.str());
+}
+
+}  // namespace phoenix

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+/// Plain-text Hamiltonian interchange format, one term per line:
+///
+///     # comment / blank lines ignored
+///     XIZY  0.25
+///     IZZI -0.5
+///
+/// All labels must agree on qubit count. This is how users bring their own
+/// Hamiltonian-simulation programs to the compiler.
+
+std::string hamiltonian_to_text(const std::vector<PauliTerm>& terms);
+std::vector<PauliTerm> hamiltonian_from_text(const std::string& text);
+
+void save_hamiltonian(const std::string& path,
+                      const std::vector<PauliTerm>& terms);
+std::vector<PauliTerm> load_hamiltonian(const std::string& path);
+
+}  // namespace phoenix

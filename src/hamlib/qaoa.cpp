@@ -1,0 +1,64 @@
+#include "hamlib/qaoa.hpp"
+
+#include <stdexcept>
+
+namespace phoenix {
+
+Graph random_regular_graph(std::size_t n, std::size_t d, Rng& rng,
+                           std::size_t max_attempts) {
+  if (n * d % 2 != 0)
+    throw std::invalid_argument("random_regular_graph: n*d must be even");
+  if (d >= n)
+    throw std::invalid_argument("random_regular_graph: degree too large");
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    // Configuration model: shuffle d copies of each vertex and pair them up;
+    // reject on self-loops, multi-edges, or disconnection.
+    std::vector<std::size_t> stubs;
+    stubs.reserve(n * d);
+    for (std::size_t v = 0; v < n; ++v)
+      for (std::size_t k = 0; k < d; ++k) stubs.push_back(v);
+    rng.shuffle(stubs);
+    Graph g(n);
+    bool ok = true;
+    for (std::size_t i = 0; i < stubs.size() && ok; i += 2) {
+      const std::size_t a = stubs[i], b = stubs[i + 1];
+      if (a == b || g.has_edge(a, b))
+        ok = false;
+      else
+        g.add_edge(a, b);
+    }
+    if (ok && g.connected()) return g;
+  }
+  throw std::runtime_error("random_regular_graph: sampling failed");
+}
+
+std::vector<PauliTerm> qaoa_cost_terms(const Graph& g, double gamma) {
+  std::vector<PauliTerm> terms;
+  terms.reserve(g.num_edges());
+  for (const auto& [a, b] : g.edges()) {
+    PauliString s(g.num_vertices());
+    s.set_op(a, Pauli::Z);
+    s.set_op(b, Pauli::Z);
+    terms.emplace_back(s, gamma);
+  }
+  return terms;
+}
+
+std::vector<QaoaBenchmark> qaoa_suite() {
+  std::vector<QaoaBenchmark> out;
+  const std::size_t sizes[] = {16, 20, 24};
+  for (std::size_t degree : {std::size_t{4}, std::size_t{3}}) {
+    for (std::size_t n : sizes) {
+      Rng rng(0xC0FFEEull * degree + n);
+      QaoaBenchmark b;
+      b.name = (degree == 4 ? "Rand-" : "Reg3-") + std::to_string(n);
+      b.num_qubits = n;
+      b.graph = random_regular_graph(n, degree, rng);
+      b.terms = qaoa_cost_terms(b.graph);
+      out.push_back(std::move(b));
+    }
+  }
+  return out;
+}
+
+}  // namespace phoenix

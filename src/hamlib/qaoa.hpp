@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/graph.hpp"
+#include "common/rng.hpp"
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+/// Uniform random d-regular simple connected graph on n vertices
+/// (configuration-model pairing with rejection). n*d must be even.
+Graph random_regular_graph(std::size_t n, std::size_t d, Rng& rng,
+                           std::size_t max_attempts = 10000);
+
+/// One-layer QAOA cost Hamiltonian of a MaxCut instance: a weight-2 ZZ term
+/// per edge with angle `gamma`.
+std::vector<PauliTerm> qaoa_cost_terms(const Graph& g, double gamma = 0.35);
+
+/// One QAOA benchmark program (Table IV row).
+struct QaoaBenchmark {
+  std::string name;  ///< e.g. "Rand-16", "Reg3-20"
+  std::size_t num_qubits;
+  Graph graph;
+  std::vector<PauliTerm> terms;
+};
+
+/// The paper's six QAOA programs: Rand-{16,20,24} (4-regular random graphs)
+/// and Reg3-{16,20,24} (3-regular graphs), deterministic seeds.
+std::vector<QaoaBenchmark> qaoa_suite();
+
+}  // namespace phoenix

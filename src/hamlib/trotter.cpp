@@ -1,0 +1,39 @@
+#include "hamlib/trotter.hpp"
+
+#include <stdexcept>
+
+namespace phoenix {
+
+std::vector<PauliTerm> trotter_first_order(const std::vector<PauliTerm>& h,
+                                           double tau) {
+  std::vector<PauliTerm> out;
+  out.reserve(h.size());
+  for (const auto& t : h) out.emplace_back(t.string, t.coeff * tau);
+  return out;
+}
+
+std::vector<PauliTerm> trotter_second_order(const std::vector<PauliTerm>& h,
+                                            double tau) {
+  std::vector<PauliTerm> out;
+  out.reserve(2 * h.size());
+  for (const auto& t : h) out.emplace_back(t.string, t.coeff * tau / 2);
+  for (auto it = h.rbegin(); it != h.rend(); ++it)
+    out.emplace_back(it->string, it->coeff * tau / 2);
+  return out;
+}
+
+std::vector<PauliTerm> trotterize(const std::vector<PauliTerm>& h, double t,
+                                  std::size_t steps, TrotterOrder order) {
+  if (steps == 0) throw std::invalid_argument("trotterize: zero steps");
+  const double tau = t / static_cast<double>(steps);
+  const std::vector<PauliTerm> step = order == TrotterOrder::First
+                                          ? trotter_first_order(h, tau)
+                                          : trotter_second_order(h, tau);
+  std::vector<PauliTerm> out;
+  out.reserve(step.size() * steps);
+  for (std::size_t s = 0; s < steps; ++s)
+    out.insert(out.end(), step.begin(), step.end());
+  return out;
+}
+
+}  // namespace phoenix

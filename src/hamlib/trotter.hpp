@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+/// Trotterization utilities (paper Eq. 1): expand exp(-iHt) into a product
+/// of Pauli exponentiations, U(t) ≈ (S_k(τ))^r with τ = t / r.
+///
+/// The returned term lists are exactly what the compilers consume; the
+/// arrangement within each step is free (the freedom PHOENIX exploits).
+
+/// First-order step S_1(τ): every term once, coefficients scaled by τ.
+std::vector<PauliTerm> trotter_first_order(const std::vector<PauliTerm>& h,
+                                           double tau);
+
+/// Second-order (symmetric) step S_2(τ): forward sweep at τ/2 followed by
+/// the reversed sweep at τ/2.
+std::vector<PauliTerm> trotter_second_order(const std::vector<PauliTerm>& h,
+                                            double tau);
+
+enum class TrotterOrder { First, Second };
+
+/// Full Trotter sequence for evolution time `t` with `steps` repetitions of
+/// the chosen step formula.
+std::vector<PauliTerm> trotterize(const std::vector<PauliTerm>& h, double t,
+                                  std::size_t steps,
+                                  TrotterOrder order = TrotterOrder::First);
+
+}  // namespace phoenix

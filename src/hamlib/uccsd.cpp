@@ -1,0 +1,107 @@
+#include "hamlib/uccsd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace phoenix {
+
+Molecule Molecule::ch2() { return {"CH2", 7, 8}; }
+Molecule Molecule::h2o() { return {"H2O", 7, 10}; }
+Molecule Molecule::lih() { return {"LiH", 6, 4}; }
+Molecule Molecule::nh() { return {"NH", 6, 8}; }
+
+Molecule Molecule::frozen_core() const {
+  if (n_spatial < 2 || n_electrons < 3)
+    throw std::logic_error("Molecule::frozen_core: nothing to freeze");
+  return {name, n_spatial - 1, n_electrons - 2};
+}
+
+namespace {
+
+/// i (T - T†) — the Hermitian generator of the unitary excitation
+/// exp(θ (T - T†)) = exp(-i θ · i(T - T†)).
+PauliPolynomial hermitian_generator(const PauliPolynomial& t,
+                                    const PauliPolynomial& tdag) {
+  PauliPolynomial h = t;
+  h -= tdag;
+  h *= std::complex<double>{0, 1};
+  h.prune();
+  return h;
+}
+
+}  // namespace
+
+UccsdBenchmark generate_uccsd(const Molecule& mol_in, bool frozen,
+                              FermionEncoding enc, std::uint64_t seed) {
+  const Molecule mol = frozen ? mol_in.frozen_core() : mol_in;
+  const std::size_t n = mol.n_spin_orbitals();
+  const std::size_t ne = mol.n_electrons;
+  if (ne >= n)
+    throw std::invalid_argument("generate_uccsd: no virtual orbitals");
+
+  FermionEncoder enc_map(n, enc);
+  Rng rng(seed ^ (n * 1315423911ull) ^ ne);
+
+  UccsdBenchmark bench;
+  bench.name = mol.name + (frozen ? "_frz_" : "_cmplt_") +
+               (enc == FermionEncoding::BravyiKitaev ? "BK" : "JW");
+  bench.num_qubits = n;
+
+  const auto spin = [](std::size_t so) { return so % 2; };
+  auto emit = [&](const PauliPolynomial& h, double amplitude) {
+    PauliPolynomial scaled = h;
+    scaled *= std::complex<double>{amplitude, 0};
+    for (const auto& t : scaled.to_terms()) bench.terms.push_back(t);
+  };
+
+  // Singles: spin-conserving i(occ) -> a(virt).
+  for (std::size_t i = 0; i < ne; ++i)
+    for (std::size_t a = ne; a < n; ++a) {
+      if (spin(i) != spin(a)) continue;
+      const PauliPolynomial t = enc_map.raise(a) * enc_map.lower(i);
+      const PauliPolynomial td = enc_map.raise(i) * enc_map.lower(a);
+      emit(hermitian_generator(t, td), 0.05 * rng.next_gaussian());
+    }
+
+  // Doubles: spin-conserving (i<j occ) -> (a<b virt).
+  for (std::size_t i = 0; i < ne; ++i)
+    for (std::size_t j = i + 1; j < ne; ++j)
+      for (std::size_t a = ne; a < n; ++a)
+        for (std::size_t b = a + 1; b < n; ++b) {
+          if (spin(i) + spin(j) != spin(a) + spin(b)) continue;
+          const PauliPolynomial t = enc_map.raise(a) * enc_map.raise(b) *
+                                    enc_map.lower(j) * enc_map.lower(i);
+          const PauliPolynomial td = enc_map.raise(i) * enc_map.raise(j) *
+                                     enc_map.lower(b) * enc_map.lower(a);
+          const PauliPolynomial h = hermitian_generator(t, td);
+          if (h.empty()) continue;
+          emit(h, 0.02 * rng.next_gaussian());
+        }
+
+  for (const auto& t : bench.terms)
+    bench.w_max = std::max(bench.w_max, t.string.weight());
+  return bench;
+}
+
+std::vector<UccsdBenchmark> uccsd_suite() {
+  std::vector<UccsdBenchmark> out;
+  const Molecule mols[] = {Molecule::ch2(), Molecule::h2o(), Molecule::lih(),
+                           Molecule::nh()};
+  for (const auto& mol : mols)
+    for (bool frozen : {false, true})
+      for (FermionEncoding enc :
+           {FermionEncoding::BravyiKitaev, FermionEncoding::JordanWigner})
+        out.push_back(generate_uccsd(mol, frozen, enc));
+  return out;
+}
+
+std::vector<UccsdBenchmark> uccsd_suite_small(std::size_t max_qubits) {
+  std::vector<UccsdBenchmark> out;
+  for (auto& b : uccsd_suite())
+    if (b.num_qubits <= max_qubits) out.push_back(std::move(b));
+  return out;
+}
+
+}  // namespace phoenix

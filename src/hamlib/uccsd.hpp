@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hamlib/fermion.hpp"
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+/// STO-3G molecule descriptions used by the paper's UCCSD suite (Table I).
+/// Spatial-orbital and electron counts are the standard STO-3G values;
+/// "frozen" freezes the lowest (core) spatial orbital.
+struct Molecule {
+  std::string name;
+  std::size_t n_spatial;    ///< spatial orbitals in STO-3G
+  std::size_t n_electrons;  ///< electrons occupying the lowest spin orbitals
+
+  std::size_t n_spin_orbitals() const { return 2 * n_spatial; }
+
+  static Molecule ch2();
+  static Molecule h2o();
+  static Molecule lih();
+  static Molecule nh();
+
+  /// Frozen-core variant: drop the core spatial orbital and its 2 electrons.
+  Molecule frozen_core() const;
+};
+
+/// One generated UCCSD ansatz program: the Pauli exponentiation list of a
+/// single Trotter step, blocks of strings contiguous per excitation operator.
+struct UccsdBenchmark {
+  std::string name;         ///< e.g. "LiH_frz_BK"
+  std::size_t num_qubits;   ///< spin orbitals = qubits
+  std::size_t w_max = 0;    ///< maximum Pauli-string weight
+  std::vector<PauliTerm> terms;
+};
+
+/// Generate the UCCSD singles+doubles ansatz of a molecule under the given
+/// encoding. Amplitudes are deterministic synthetic values drawn from
+/// `seed` (see DESIGN.md — the paper uses molecular integrals; the compiler
+/// only consumes the Pauli-string structure, which is exact here).
+UccsdBenchmark generate_uccsd(const Molecule& mol, bool frozen,
+                              FermionEncoding enc, std::uint64_t seed = 7);
+
+/// The paper's 16-entry benchmark suite (Table I):
+/// {CH2, H2O, LiH, NH} × {cmplt, frz} × {BK, JW}.
+std::vector<UccsdBenchmark> uccsd_suite();
+
+/// Subset of the suite on at most `max_qubits` qubits (Fig. 8 uses <= 10).
+std::vector<UccsdBenchmark> uccsd_suite_small(std::size_t max_qubits);
+
+}  // namespace phoenix

@@ -1,0 +1,18 @@
+#include "mapping/bridge.hpp"
+
+#include <stdexcept>
+
+namespace phoenix {
+
+void append_bridge_cnot(Circuit& c, std::size_t control, std::size_t middle,
+                        std::size_t target) {
+  if (control == middle || middle == target || control == target)
+    throw std::invalid_argument("append_bridge_cnot: qubits must be distinct");
+  // Verified by basis tracking: t ends as t ^ c, m is restored, c unchanged.
+  c.append(Gate::cnot(control, middle));
+  c.append(Gate::cnot(middle, target));
+  c.append(Gate::cnot(control, middle));
+  c.append(Gate::cnot(middle, target));
+}
+
+}  // namespace phoenix

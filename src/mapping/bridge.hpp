@@ -1,0 +1,18 @@
+#pragma once
+
+#include <cstddef>
+
+#include "circuit/circuit.hpp"
+
+namespace phoenix {
+
+/// Ancilla-free bridge gate (Itoko et al., cited by the paper's §IV-C.3):
+/// realizes CNOT(control, target) across a middle qubit adjacent to both,
+/// using 4 physical CNOTs and leaving the qubit mapping unchanged —
+/// the alternative to SWAP insertion for distance-2 interactions.
+///
+///   CNOT(c,t) = CNOT(m,t) · CNOT(c,m) · CNOT(m,t) · CNOT(c,m)
+void append_bridge_cnot(Circuit& c, std::size_t control, std::size_t middle,
+                        std::size_t target);
+
+}  // namespace phoenix

@@ -1,0 +1,260 @@
+#include "mapping/sabre.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace phoenix {
+
+namespace {
+
+struct Dag {
+  // For each gate: indices of gates that must precede it (last writer per
+  // qubit) and its dependents.
+  std::vector<std::vector<std::size_t>> succs;
+  std::vector<std::size_t> indegree;
+
+  explicit Dag(const Circuit& c) {
+    const std::size_t m = c.size();
+    succs.assign(m, {});
+    indegree.assign(m, 0);
+    std::vector<std::size_t> last(c.num_qubits(),
+                                  static_cast<std::size_t>(-1));
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t q : c.gate(i).qubits()) {
+        if (last[q] != static_cast<std::size_t>(-1)) {
+          succs[last[q]].push_back(i);
+          ++indegree[i];
+        }
+        last[q] = i;
+      }
+    }
+  }
+};
+
+class Router {
+ public:
+  Router(const Circuit& logical, const Graph& coupling,
+         const std::vector<std::vector<std::size_t>>& dist,
+         const SabreOptions& opt)
+      : logical_(logical), coupling_(coupling), dist_(dist), opt_(opt) {}
+
+  /// Route with the given initial layout (logical -> physical); emit_gates
+  /// false runs layout-refinement passes without building the circuit.
+  SabreResult run(std::vector<std::size_t> layout, bool emit_gates) {
+    const std::size_t n_phys = coupling_.num_vertices();
+    SabreResult res;
+    res.initial_layout = layout;
+    res.routed = Circuit(n_phys);
+
+    std::vector<std::size_t> phys = std::move(layout);  // logical -> physical
+    Dag dag(logical_);
+    std::vector<std::size_t> indeg = dag.indegree;
+    std::vector<bool> done(logical_.size(), false);
+
+    std::vector<std::size_t> front;  // blocked 2Q gates
+    std::vector<std::size_t> ready;
+    for (std::size_t i = 0; i < logical_.size(); ++i)
+      if (indeg[i] == 0) ready.push_back(i);
+
+    std::vector<double> decay(n_phys, 1.0);
+    std::size_t decisions = 0;
+    std::size_t executed = 0;
+    const std::size_t swap_limit = 1000 + 100 * logical_.size();
+
+    auto complete = [&](std::size_t gi) {
+      done[gi] = true;
+      ++executed;
+      for (std::size_t s : dag.succs[gi])
+        if (--indeg[s] == 0) ready.push_back(s);
+    };
+
+    while (executed < logical_.size()) {
+      // Drain the ready queue: 1Q gates always execute; 2Q gates execute when
+      // their physical qubits are adjacent, otherwise join the front layer.
+      bool progress = false;
+      while (!ready.empty()) {
+        const std::size_t gi = ready.back();
+        ready.pop_back();
+        const Gate& g = logical_.gate(gi);
+        if (!g.is_two_qubit()) {
+          if (emit_gates) {
+            Gate pg = g;
+            pg.q0 = phys[g.q0];
+            res.routed.append(pg);
+          }
+          complete(gi);
+          progress = true;
+        } else if (coupling_.has_edge(phys[g.q0], phys[g.q1])) {
+          if (emit_gates) {
+            Gate pg = g;
+            pg.q0 = phys[g.q0];
+            pg.q1 = phys[g.q1];
+            res.routed.append(pg);
+          }
+          complete(gi);
+          progress = true;
+        } else {
+          front.push_back(gi);
+        }
+      }
+      // Re-test blocked gates after any progress (their qubits may now touch).
+      if (progress) {
+        std::vector<std::size_t> still;
+        for (std::size_t gi : front) {
+          const Gate& g = logical_.gate(gi);
+          if (coupling_.has_edge(phys[g.q0], phys[g.q1]))
+            ready.push_back(gi);
+          else
+            still.push_back(gi);
+        }
+        front = std::move(still);
+        if (!ready.empty()) continue;
+      }
+      if (executed == logical_.size()) break;
+      if (front.empty())
+        throw std::logic_error("sabre_route: deadlock without blocked gates");
+
+      // Pick the SWAP minimizing the decayed front + lookahead distance sum.
+      const auto extended = extended_set(dag, indeg, front);
+      double best = std::numeric_limits<double>::infinity();
+      std::pair<std::size_t, std::size_t> best_swap{0, 0};
+      for (const auto& [pa, pb] : candidate_swaps(front, phys)) {
+        std::vector<std::size_t> trial = phys;
+        apply_swap(trial, pa, pb);
+        double h = heuristic(front, extended, trial);
+        h *= std::max(decay[pa], decay[pb]);
+        if (h < best) {
+          best = h;
+          best_swap = {pa, pb};
+        }
+      }
+      apply_swap(phys, best_swap.first, best_swap.second);
+      if (emit_gates)
+        res.routed.append(Gate::swap(best_swap.first, best_swap.second));
+      ++res.num_swaps;
+      decay[best_swap.first] += opt_.decay_delta;
+      decay[best_swap.second] += opt_.decay_delta;
+      if (++decisions % opt_.decay_reset == 0)
+        std::fill(decay.begin(), decay.end(), 1.0);
+      if (res.num_swaps > swap_limit)
+        throw std::runtime_error("sabre_route: swap limit exceeded");
+      // Unblock any front gate made adjacent by the swap.
+      std::vector<std::size_t> still;
+      for (std::size_t gi : front) {
+        const Gate& g = logical_.gate(gi);
+        if (coupling_.has_edge(phys[g.q0], phys[g.q1]))
+          ready.push_back(gi);
+        else
+          still.push_back(gi);
+      }
+      front = std::move(still);
+    }
+    res.final_layout = std::move(phys);
+    return res;
+  }
+
+ private:
+  void apply_swap(std::vector<std::size_t>& phys, std::size_t pa,
+                  std::size_t pb) const {
+    for (auto& p : phys) {
+      if (p == pa)
+        p = pb;
+      else if (p == pb)
+        p = pa;
+    }
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> candidate_swaps(
+      const std::vector<std::size_t>& front,
+      const std::vector<std::size_t>& phys) const {
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    std::vector<bool> involved(coupling_.num_vertices(), false);
+    for (std::size_t gi : front) {
+      involved[phys[logical_.gate(gi).q0]] = true;
+      involved[phys[logical_.gate(gi).q1]] = true;
+    }
+    for (const auto& [a, b] : coupling_.edges())
+      if (involved[a] || involved[b]) out.emplace_back(a, b);
+    return out;
+  }
+
+  std::vector<std::size_t> extended_set(const Dag& dag,
+                                        const std::vector<std::size_t>& indeg,
+                                        const std::vector<std::size_t>& front)
+      const {
+    std::vector<std::size_t> ext;
+    std::vector<bool> visited(logical_.size(), false);
+    std::vector<std::size_t> frontier = front;
+    while (!frontier.empty() && ext.size() < opt_.extended_set_size) {
+      std::vector<std::size_t> next;
+      for (std::size_t gi : frontier)
+        for (std::size_t s : dag.succs[gi]) {
+          if (visited[s]) continue;
+          visited[s] = true;
+          if (logical_.gate(s).is_two_qubit() &&
+              ext.size() < opt_.extended_set_size)
+            ext.push_back(s);
+          next.push_back(s);
+        }
+      frontier = std::move(next);
+      (void)indeg;
+    }
+    return ext;
+  }
+
+  double heuristic(const std::vector<std::size_t>& front,
+                   const std::vector<std::size_t>& extended,
+                   const std::vector<std::size_t>& phys) const {
+    double h = 0;
+    for (std::size_t gi : front) {
+      const Gate& g = logical_.gate(gi);
+      h += static_cast<double>(dist_[phys[g.q0]][phys[g.q1]]);
+    }
+    h /= static_cast<double>(front.size());
+    if (!extended.empty()) {
+      double e = 0;
+      for (std::size_t gi : extended) {
+        const Gate& g = logical_.gate(gi);
+        e += static_cast<double>(dist_[phys[g.q0]][phys[g.q1]]);
+      }
+      h += opt_.extended_set_weight * e / static_cast<double>(extended.size());
+    }
+    return h;
+  }
+
+  const Circuit& logical_;
+  const Graph& coupling_;
+  const std::vector<std::vector<std::size_t>>& dist_;
+  const SabreOptions& opt_;
+};
+
+}  // namespace
+
+SabreResult sabre_route(const Circuit& logical, const Graph& coupling,
+                        const SabreOptions& opt) {
+  if (coupling.num_vertices() < logical.num_qubits())
+    throw std::invalid_argument("sabre_route: device too small");
+  if (!coupling.connected())
+    throw std::invalid_argument("sabre_route: disconnected coupling graph");
+
+  const auto dist = coupling.distance_matrix();
+  Router router(logical, coupling, dist, opt);
+
+  // Initial layout: identity, refined by forward-backward traversal — the
+  // final layout of each pass seeds the next pass on the reversed circuit.
+  std::vector<std::size_t> layout(logical.num_qubits());
+  std::iota(layout.begin(), layout.end(), std::size_t{0});
+  const Circuit reversed = logical.inverse();
+  Router rev_router(reversed, coupling, dist, opt);
+  for (std::size_t round = 0; round < opt.layout_rounds; ++round) {
+    layout = router.run(layout, /*emit_gates=*/false).final_layout;
+    layout = rev_router.run(layout, /*emit_gates=*/false).final_layout;
+  }
+  return router.run(layout, /*emit_gates=*/true);
+}
+
+}  // namespace phoenix

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/graph.hpp"
+
+namespace phoenix {
+
+struct SabreOptions {
+  /// Size of the lookahead (extended) set.
+  std::size_t extended_set_size = 20;
+  /// Weight of the extended set in the heuristic.
+  double extended_set_weight = 0.5;
+  /// Decay increment discouraging repeated SWAPs on the same qubits.
+  double decay_delta = 0.001;
+  /// Reset the decay array every this many SWAP decisions.
+  std::size_t decay_reset = 5;
+  /// Number of forward/backward refinement rounds for the initial layout.
+  std::size_t layout_rounds = 2;
+  /// Seed for the initial random layout.
+  std::uint64_t seed = 11;
+};
+
+struct SabreResult {
+  Circuit routed;                        ///< over physical qubits, with Swap gates
+  std::vector<std::size_t> initial_layout;  ///< logical -> physical
+  std::vector<std::size_t> final_layout;    ///< logical -> physical
+  std::size_t num_swaps = 0;
+};
+
+/// SABRE qubit mapping and SWAP routing (Li, Ding, Xie — ASPLOS'19):
+/// front-layer driven heuristic search with a lookahead window and decay,
+/// plus forward-backward traversal rounds to refine the initial layout.
+/// The coupling graph must be connected and at least as large as the
+/// circuit's register.
+SabreResult sabre_route(const Circuit& logical, const Graph& coupling,
+                        const SabreOptions& opt = {});
+
+}  // namespace phoenix

@@ -1,0 +1,74 @@
+#include "mapping/topology.hpp"
+
+#include <stdexcept>
+
+namespace phoenix {
+
+Graph topology_all_to_all(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) g.add_edge(i, j);
+  return g;
+}
+
+Graph topology_line(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph topology_grid(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t v = r * cols + c;
+      if (c + 1 < cols) g.add_edge(v, v + 1);
+      if (r + 1 < rows) g.add_edge(v, v + cols);
+    }
+  return g;
+}
+
+Graph topology_heavy_hex(std::size_t rows, std::size_t row_len) {
+  if (rows == 0 || row_len == 0)
+    throw std::invalid_argument("topology_heavy_hex: empty lattice");
+  // Row qubits first, then bridge qubits appended gap by gap.
+  std::size_t total = rows * row_len;
+  std::vector<std::vector<std::size_t>> bridge_cols(rows > 0 ? rows - 1
+                                                             : 0);
+  for (std::size_t gap = 0; gap + 1 < rows; ++gap) {
+    const std::size_t offset = (gap % 2 == 0) ? 0 : 2;
+    for (std::size_t c = offset; c < row_len; c += 4) {
+      bridge_cols[gap].push_back(c);
+      ++total;
+    }
+  }
+  Graph g(total);
+  const auto row_qubit = [row_len](std::size_t r, std::size_t c) {
+    return r * row_len + c;
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c + 1 < row_len; ++c)
+      g.add_edge(row_qubit(r, c), row_qubit(r, c + 1));
+  std::size_t next = rows * row_len;
+  for (std::size_t gap = 0; gap + 1 < rows; ++gap)
+    for (std::size_t c : bridge_cols[gap]) {
+      g.add_edge(row_qubit(gap, c), next);
+      g.add_edge(next, row_qubit(gap + 1, c));
+      ++next;
+    }
+  return g;
+}
+
+Graph topology_manhattan() {
+  // 4 rows x 13 columns + 11 bridges = 63 heavy-hex qubits; two tail qubits
+  // bring the device to Manhattan's 65 while keeping max degree 3.
+  const Graph hh = topology_heavy_hex(4, 13);
+  Graph g(hh.num_vertices() + 2);
+  for (const auto& [a, b] : hh.edges()) g.add_edge(a, b);
+  const std::size_t tail0 = hh.num_vertices();
+  g.add_edge(1 * 13 + 12, tail0);      // right end of row 1 (degree 2)
+  g.add_edge(2 * 13 + 12, tail0 + 1);  // right end of row 2 (degree 2)
+  return g;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/graph.hpp"
+
+namespace phoenix {
+
+/// Complete coupling graph (logical-level compilation target).
+Graph topology_all_to_all(std::size_t n);
+
+/// 1-D chain.
+Graph topology_line(std::size_t n);
+
+/// rows x cols square grid.
+Graph topology_grid(std::size_t rows, std::size_t cols);
+
+/// IBM-style heavy-hex "brick wall": `rows` horizontal chains of `row_len`
+/// qubits, with bridge qubits between consecutive rows at every 4th column,
+/// offset by 2 on alternating row gaps. Every vertex has degree <= 3 and the
+/// cells are 12-qubit hexagons, matching the connectivity class of IBM's
+/// heavy-hex processors.
+Graph topology_heavy_hex(std::size_t rows, std::size_t row_len);
+
+/// The 65-qubit Manhattan-like device used for all hardware-aware
+/// experiments (the paper uses IBM Manhattan's heavy-hex coupling graph).
+/// Built as topology_heavy_hex(4, 13) plus an extra trailing bridge column:
+/// 65 qubits, max degree 3.
+Graph topology_manhattan();
+
+}  // namespace phoenix

@@ -1,0 +1,124 @@
+#include "pauli/bsf.hpp"
+
+#include <stdexcept>
+
+namespace phoenix {
+
+Bsf::Bsf(const std::vector<PauliTerm>& terms) {
+  if (terms.empty()) return;
+  n_ = terms.front().string.num_qubits();
+  for (const auto& t : terms) add_term(t);
+}
+
+void Bsf::add_term(const PauliTerm& t) {
+  if (n_ == 0 && rows_.empty()) n_ = t.string.num_qubits();
+  if (t.string.num_qubits() != n_)
+    throw std::invalid_argument("Bsf::add_term: qubit count mismatch");
+  rows_.push_back(Row{t.string.x(), t.string.z(), false, t.coeff});
+}
+
+void Bsf::add_row(Row r) {
+  if (r.x.size() != n_ || r.z.size() != n_)
+    throw std::invalid_argument("Bsf::add_row: qubit count mismatch");
+  rows_.push_back(std::move(r));
+}
+
+PauliTerm Bsf::term(std::size_t i) const {
+  const Row& r = rows_[i];
+  return PauliTerm(PauliString(r.x, r.z), r.sign ? -r.coeff : r.coeff);
+}
+
+std::vector<PauliTerm> Bsf::terms() const {
+  std::vector<PauliTerm> out;
+  out.reserve(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) out.push_back(term(i));
+  return out;
+}
+
+BitVec Bsf::support_mask() const {
+  BitVec m(n_);
+  for (const auto& r : rows_) {
+    m |= r.x;
+    m |= r.z;
+  }
+  return m;
+}
+
+std::vector<Bsf::Row> Bsf::pop_local_rows() {
+  std::vector<Row> locals;
+  std::vector<Row> kept;
+  kept.reserve(rows_.size());
+  for (auto& r : rows_) {
+    if ((r.x | r.z).popcount() <= 1)
+      locals.push_back(std::move(r));
+    else
+      kept.push_back(std::move(r));
+  }
+  rows_ = std::move(kept);
+  return locals;
+}
+
+void Bsf::apply_h(std::size_t q) {
+  for (auto& r : rows_) {
+    const bool x = r.x.get(q), z = r.z.get(q);
+    r.sign ^= x && z;  // H Y H = -Y
+    r.x.set(q, z);
+    r.z.set(q, x);
+  }
+}
+
+void Bsf::apply_s(std::size_t q) {
+  for (auto& r : rows_) {
+    const bool x = r.x.get(q), z = r.z.get(q);
+    r.sign ^= x && z;  // S Y S† = -X
+    r.z.set(q, x != z);
+  }
+}
+
+void Bsf::apply_sdg(std::size_t q) {
+  for (auto& r : rows_) {
+    const bool x = r.x.get(q), z = r.z.get(q);
+    r.sign ^= x && !z;  // S† X S = -Y
+    r.z.set(q, x != z);
+  }
+}
+
+void Bsf::apply_cnot(std::size_t control, std::size_t target) {
+  if (control == target)
+    throw std::invalid_argument("Bsf::apply_cnot: control == target");
+  for (auto& r : rows_) {
+    const bool xc = r.x.get(control), zc = r.z.get(control);
+    const bool xt = r.x.get(target), zt = r.z.get(target);
+    r.sign ^= xc && zt && (xt == zc);  // i.e. xt ^ zc ^ 1
+    r.x.set(target, xt != xc);
+    r.z.set(control, zc != zt);
+  }
+}
+
+void Bsf::apply_step(const CliffStepOp& op) {
+  switch (op.step) {
+    case CliffStep::H: apply_h(op.a); break;
+    case CliffStep::S: apply_s(op.a); break;
+    case CliffStep::Sdg: apply_sdg(op.a); break;
+    case CliffStep::Cnot: apply_cnot(op.a, op.b); break;
+  }
+}
+
+void Bsf::apply_clifford2q(const Clifford2Q& c) {
+  for (const auto& op : c.expansion()) apply_step(op);
+}
+
+std::string Bsf::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto t = term(i);
+    out += (rows_[i].sign ? '-' : '+');
+    out += PauliString(rows_[i].x, rows_[i].z).to_string();
+    out += " * ";
+    out += std::to_string(rows_[i].coeff);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace phoenix

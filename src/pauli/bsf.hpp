@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "pauli/clifford2q.hpp"
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+/// Binary symplectic form (BSF) tableau of a list of weighted Pauli strings
+/// (paper §III). Row i holds the i-th Pauli string as bit vectors
+/// [x_i | z_i], a sign bit, and the rotation coefficient.
+///
+/// Clifford conjugation P ← C P C† is realized by sign-correct
+/// Aaronson–Gottesman-style column updates; the six universal controlled
+/// gates of Eq. (5) are applied via their H/S/CNOT expansion so their sign
+/// bookkeeping is automatic.
+class Bsf {
+ public:
+  struct Row {
+    BitVec x, z;
+    bool sign = false;   ///< true means the conjugated Pauli is -P
+    double coeff = 0.0;  ///< rotation coefficient (sign not folded in)
+
+    bool operator==(const Row& o) const = default;
+  };
+
+  Bsf() = default;
+  explicit Bsf(std::size_t num_qubits) : n_(num_qubits) {}
+  explicit Bsf(const std::vector<PauliTerm>& terms);
+
+  std::size_t num_qubits() const { return n_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const Row& row(std::size_t i) const { return rows_[i]; }
+  const BitVec& row_x(std::size_t i) const { return rows_[i].x; }
+  const BitVec& row_z(std::size_t i) const { return rows_[i].z; }
+
+  void add_term(const PauliTerm& t);
+  void add_row(Row r);
+
+  /// The i-th row as a weighted Pauli term, with the sign folded into the
+  /// coefficient (exp(-iθ(-P)) == rotation by -θ about P).
+  PauliTerm term(std::size_t i) const;
+  std::vector<PauliTerm> terms() const;
+
+  /// Non-identity positions of row i.
+  std::size_t row_weight(std::size_t i) const {
+    return (rows_[i].x | rows_[i].z).popcount();
+  }
+  /// Local rows act on at most one qubit (1Q rotations, free to synthesize).
+  bool row_is_local(std::size_t i) const { return row_weight(i) <= 1; }
+
+  /// OR of (x|z) over all rows — the set of qubits the tableau touches.
+  BitVec support_mask() const;
+  std::vector<std::size_t> support() const { return support_mask().ones(); }
+
+  /// Total weight w_tot of Eq. (4): size of the union support. A tableau with
+  /// w_tot <= 2 is directly synthesizable with 1Q/2Q gates.
+  std::size_t total_weight() const { return support_mask().popcount(); }
+
+  /// Remove all local (weight <= 1) rows and return them in original order.
+  std::vector<Row> pop_local_rows();
+
+  // --- Clifford conjugation updates (P ← C P C†), sign-correct -----------
+  void apply_h(std::size_t q);
+  void apply_s(std::size_t q);
+  void apply_sdg(std::size_t q);
+  void apply_cnot(std::size_t control, std::size_t target);
+  void apply_step(const CliffStepOp& op);
+  /// Apply a universal controlled gate via its H/S/CNOT expansion.
+  void apply_clifford2q(const Clifford2Q& c);
+
+  /// Multi-line debug form: one "±LABEL * coeff" per row.
+  std::string to_string() const;
+
+  bool operator==(const Bsf& o) const = default;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<Row> rows_;
+};
+
+}  // namespace phoenix

@@ -1,0 +1,96 @@
+#include "pauli/clifford2q.hpp"
+
+#include <stdexcept>
+
+namespace phoenix {
+
+namespace {
+
+/// Steps realizing u with u Z u† = sigma (for the control side), in
+/// application order. The operator product is last-listed · ... · first.
+std::vector<CliffStep> u_control(Pauli sigma) {
+  switch (sigma) {
+    case Pauli::Z: return {};
+    case Pauli::X: return {CliffStep::H};
+    // (S·H) Z (S·H)† = S X S† = Y
+    case Pauli::Y: return {CliffStep::H, CliffStep::S};
+    case Pauli::I: break;
+  }
+  throw std::invalid_argument("Clifford2Q: control axis must be X, Y or Z");
+}
+
+/// Steps realizing u with u X u† = sigma (for the target side).
+std::vector<CliffStep> u_target(Pauli sigma) {
+  switch (sigma) {
+    case Pauli::X: return {};
+    case Pauli::Z: return {CliffStep::H};
+    case Pauli::Y: return {CliffStep::S};  // S X S† = Y
+    case Pauli::I: break;
+  }
+  throw std::invalid_argument("Clifford2Q: target axis must be X, Y or Z");
+}
+
+CliffStep dagger(CliffStep s) {
+  switch (s) {
+    case CliffStep::S: return CliffStep::Sdg;
+    case CliffStep::Sdg: return CliffStep::S;
+    default: return s;  // H and CNOT are Hermitian
+  }
+}
+
+void append_1q(std::vector<CliffStepOp>& out, const std::vector<CliffStep>& seq,
+               std::size_t q) {
+  for (CliffStep s : seq) out.push_back({s, q, 0});
+}
+
+/// Dagger of a step sequence: reverse order, dagger each step.
+std::vector<CliffStep> dagger_seq(std::vector<CliffStep> seq) {
+  std::vector<CliffStep> out;
+  out.reserve(seq.size());
+  for (auto it = seq.rbegin(); it != seq.rend(); ++it) out.push_back(dagger(*it));
+  return out;
+}
+
+}  // namespace
+
+std::vector<CliffStepOp> Clifford2Q::expansion() const {
+  const auto u0 = u_control(sigma0);
+  const auto u1 = u_target(sigma1);
+  std::vector<CliffStepOp> out;
+  out.reserve(2 * (u0.size() + u1.size()) + 1);
+  // C = U · CNOT · U†, U = u0 ⊗ u1. Application order is right factor first:
+  // U† steps, then CNOT, then U steps.
+  append_1q(out, dagger_seq(u0), q0);
+  append_1q(out, dagger_seq(u1), q1);
+  out.push_back({CliffStep::Cnot, q0, q1});
+  append_1q(out, u1, q1);
+  append_1q(out, u0, q0);
+  return out;
+}
+
+std::string Clifford2Q::to_string() const {
+  std::string s = "C(";
+  s += pauli_char(sigma0);
+  s += ',';
+  s += pauli_char(sigma1);
+  s += ")[";
+  s += std::to_string(q0);
+  s += ',';
+  s += std::to_string(q1);
+  s += ']';
+  return s;
+}
+
+const std::array<Clifford2Q, 6>& clifford2q_generators() {
+  static const std::array<Clifford2Q, 6> gens = {{
+      {Pauli::X, Pauli::X, 0, 1},
+      {Pauli::Y, Pauli::Y, 0, 1},
+      {Pauli::Z, Pauli::Z, 0, 1},
+      {Pauli::X, Pauli::Y, 0, 1},
+      {Pauli::Y, Pauli::Z, 0, 1},
+      {Pauli::Z, Pauli::X, 0, 1},
+  }};
+  return gens;
+}
+
+}  // namespace phoenix

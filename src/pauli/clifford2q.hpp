@@ -1,0 +1,52 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+/// Primitive Clifford conjugation steps used to expand a universal controlled
+/// gate into sign-correct tableau updates (and, later, into circuit gates).
+enum class CliffStep : std::uint8_t { H, S, Sdg, Cnot };
+
+/// One expansion step: a primitive on qubit `a` (H/S/Sdg) or on the ordered
+/// pair (`a`,`b`) for Cnot.
+struct CliffStepOp {
+  CliffStep step;
+  std::size_t a = 0;
+  std::size_t b = 0;  // target qubit, Cnot only
+};
+
+/// A universal controlled gate C(sigma0, sigma1) acting on an ordered qubit
+/// pair (paper Eq. 5). Every such gate is Hermitian, entangling, and equal to
+/// CNOT up to local H/S conjugation; the six combinations
+/// {C(X,X), C(Y,Y), C(Z,Z), C(X,Y), C(Y,Z), C(Z,X)} generate the 2Q Clifford
+/// group and form PHOENIX's search space for BSF simplification.
+struct Clifford2Q {
+  Pauli sigma0 = Pauli::Z;  ///< control axis (I is invalid)
+  Pauli sigma1 = Pauli::X;  ///< target axis (I is invalid)
+  std::size_t q0 = 0;       ///< control qubit
+  std::size_t q1 = 0;       ///< target qubit
+
+  /// Expansion into primitive conjugation steps, in application order:
+  /// C = (u0 ⊗ u1) · CNOT · (u0 ⊗ u1)† with u0 Z u0† = sigma0 and
+  /// u1 X u1† = sigma1. Applying the returned steps left to right to a
+  /// tableau (or as circuit gates in time order) realizes exactly C.
+  std::vector<CliffStepOp> expansion() const;
+
+  /// Number of 2Q entangling gates in the CNOT-ISA realization (always 1).
+  static constexpr std::size_t cnot_cost() { return 1; }
+
+  bool operator==(const Clifford2Q& o) const = default;
+
+  std::string to_string() const;
+};
+
+/// The six generators of Eq. (5), with placeholder qubits (0, 1).
+const std::array<Clifford2Q, 6>& clifford2q_generators();
+
+}  // namespace phoenix

@@ -1,0 +1,73 @@
+#include "pauli/pauli.hpp"
+
+#include <stdexcept>
+
+namespace phoenix {
+
+char pauli_char(Pauli p) {
+  switch (p) {
+    case Pauli::I: return 'I';
+    case Pauli::X: return 'X';
+    case Pauli::Y: return 'Y';
+    case Pauli::Z: return 'Z';
+  }
+  throw std::logic_error("pauli_char: invalid Pauli");
+}
+
+Pauli pauli_from_char(char c) {
+  switch (c) {
+    case 'I': case 'i': return Pauli::I;
+    case 'X': case 'x': return Pauli::X;
+    case 'Y': case 'y': return Pauli::Y;
+    case 'Z': case 'z': return Pauli::Z;
+    default:
+      throw std::invalid_argument(std::string("pauli_from_char: bad char '") +
+                                  c + "'");
+  }
+}
+
+bool pauli_commutes(Pauli a, Pauli b) {
+  return a == Pauli::I || b == Pauli::I || a == b;
+}
+
+PauliString::PauliString(BitVec x, BitVec z) : x_(std::move(x)), z_(std::move(z)) {
+  if (x_.size() != z_.size())
+    throw std::invalid_argument("PauliString: X/Z size mismatch");
+}
+
+PauliString PauliString::from_label(const std::string& label) {
+  PauliString s(label.size());
+  for (std::size_t i = 0; i < label.size(); ++i) s.set_op(i, pauli_from_char(label[i]));
+  return s;
+}
+
+PauliString PauliString::single(std::size_t n, std::size_t q, Pauli p) {
+  PauliString s(n);
+  s.set_op(q, p);
+  return s;
+}
+
+Pauli PauliString::op(std::size_t q) const {
+  const bool x = x_.get(q), z = z_.get(q);
+  if (x && z) return Pauli::Y;
+  if (x) return Pauli::X;
+  if (z) return Pauli::Z;
+  return Pauli::I;
+}
+
+void PauliString::set_op(std::size_t q, Pauli p) {
+  x_.set(q, p == Pauli::X || p == Pauli::Y);
+  z_.set(q, p == Pauli::Z || p == Pauli::Y);
+}
+
+bool PauliString::commutes_with(const PauliString& o) const {
+  return BitVec::and_parity(x_, o.z_) == BitVec::and_parity(o.x_, z_);
+}
+
+std::string PauliString::to_string() const {
+  std::string s(num_qubits(), 'I');
+  for (std::size_t q = 0; q < num_qubits(); ++q) s[q] = pauli_char(op(q));
+  return s;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.hpp"
+
+namespace phoenix {
+
+/// Single-qubit Pauli operator.
+enum class Pauli : std::uint8_t { I = 0, X = 1, Y = 2, Z = 3 };
+
+char pauli_char(Pauli p);
+Pauli pauli_from_char(char c);
+
+/// True when the two single-qubit Paulis commute (i.e. equal or either is I).
+bool pauli_commutes(Pauli a, Pauli b);
+
+/// An n-qubit Pauli string in binary symplectic encoding:
+/// X -> [1|0], Z -> [0|1], Y -> [1|1], I -> [0|0] (paper §III).
+class PauliString {
+ public:
+  PauliString() = default;
+  explicit PauliString(std::size_t n) : x_(n), z_(n) {}
+  PauliString(BitVec x, BitVec z);
+
+  /// Parse a label such as "XIZY"; character k addresses qubit k.
+  static PauliString from_label(const std::string& label);
+
+  /// Identity-except: place `p` on qubit `q` of an n-qubit identity string.
+  static PauliString single(std::size_t n, std::size_t q, Pauli p);
+
+  std::size_t num_qubits() const { return x_.size(); }
+
+  Pauli op(std::size_t q) const;
+  void set_op(std::size_t q, Pauli p);
+
+  const BitVec& x() const { return x_; }
+  const BitVec& z() const { return z_; }
+
+  /// Number of non-identity positions.
+  std::size_t weight() const { return (x_ | z_).popcount(); }
+
+  /// Qubits acted on non-trivially, ascending.
+  std::vector<std::size_t> support() const { return (x_ | z_).ones(); }
+
+  /// Bit mask of the support.
+  BitVec support_mask() const { return x_ | z_; }
+
+  bool is_identity() const { return !x_.any() && !z_.any(); }
+
+  /// Symplectic commutation test: strings commute iff the symplectic inner
+  /// product <x, z'> + <x', z> vanishes mod 2.
+  bool commutes_with(const PauliString& o) const;
+
+  bool operator==(const PauliString& o) const = default;
+
+  /// Label such as "XIZY".
+  std::string to_string() const;
+
+  std::size_t hash() const { return x_.hash() * 1000003 ^ z_.hash(); }
+
+ private:
+  BitVec x_, z_;
+};
+
+struct PauliStringHash {
+  std::size_t operator()(const PauliString& s) const { return s.hash(); }
+};
+
+/// A weighted Pauli string — one term `h · P` of a Hamiltonian, or
+/// equivalently the rotation `exp(-i h P)` once a Trotter step is fixed.
+struct PauliTerm {
+  PauliString string;
+  double coeff = 0.0;
+
+  PauliTerm() = default;
+  PauliTerm(PauliString s, double c) : string(std::move(s)), coeff(c) {}
+  PauliTerm(const std::string& label, double c)
+      : string(PauliString::from_label(label)), coeff(c) {}
+
+  bool operator==(const PauliTerm& o) const = default;
+};
+
+}  // namespace phoenix

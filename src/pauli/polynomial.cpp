@@ -1,0 +1,117 @@
+#include "pauli/polynomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace phoenix {
+
+namespace {
+using Cx = std::complex<double>;
+
+/// Phase of p * q for single-qubit Paulis: result axis is p XOR q in the
+/// symplectic encoding; the phase is +i for cyclic (XY, YZ, ZX), -i for
+/// anti-cyclic, +1 otherwise.
+Cx pair_phase(Pauli p, Pauli q) {
+  if (p == Pauli::I || q == Pauli::I || p == q) return {1, 0};
+  const int a = static_cast<int>(p), b = static_cast<int>(q);
+  // X=1, Y=2, Z=3: cyclic means b == a % 3 + 1.
+  return (b == a % 3 + 1) ? Cx{0, 1} : Cx{0, -1};
+}
+}  // namespace
+
+std::pair<Cx, PauliString> pauli_multiply(const PauliString& a,
+                                          const PauliString& b) {
+  if (a.num_qubits() != b.num_qubits())
+    throw std::invalid_argument("pauli_multiply: size mismatch");
+  Cx phase{1, 0};
+  for (std::size_t q = 0; q < a.num_qubits(); ++q)
+    phase *= pair_phase(a.op(q), b.op(q));
+  return {phase, PauliString(a.x() ^ b.x(), a.z() ^ b.z())};
+}
+
+PauliPolynomial PauliPolynomial::scalar(std::size_t n, Cx c) {
+  PauliPolynomial p(n);
+  p.add(PauliString(n), c);
+  return p;
+}
+
+PauliPolynomial PauliPolynomial::term(const PauliString& s, Cx c) {
+  PauliPolynomial p(s.num_qubits());
+  p.add(s, c);
+  return p;
+}
+
+Cx PauliPolynomial::coeff(const PauliString& s) const {
+  const auto it = terms_.find(s);
+  return it == terms_.end() ? Cx{0, 0} : it->second;
+}
+
+void PauliPolynomial::add(const PauliString& s, Cx c) {
+  if (s.num_qubits() != n_)
+    throw std::invalid_argument("PauliPolynomial::add: size mismatch");
+  auto [it, inserted] = terms_.try_emplace(s, c);
+  if (!inserted) it->second += c;
+}
+
+PauliPolynomial& PauliPolynomial::operator+=(const PauliPolynomial& o) {
+  if (n_ != o.n_)
+    throw std::invalid_argument("PauliPolynomial::+=: size mismatch");
+  for (const auto& [s, c] : o.terms_) add(s, c);
+  return *this;
+}
+
+PauliPolynomial& PauliPolynomial::operator-=(const PauliPolynomial& o) {
+  if (n_ != o.n_)
+    throw std::invalid_argument("PauliPolynomial::-=: size mismatch");
+  for (const auto& [s, c] : o.terms_) add(s, -c);
+  return *this;
+}
+
+PauliPolynomial& PauliPolynomial::operator*=(Cx c) {
+  for (auto& [s, v] : terms_) v *= c;
+  return *this;
+}
+
+PauliPolynomial operator*(const PauliPolynomial& a, const PauliPolynomial& b) {
+  if (a.n_ != b.n_)
+    throw std::invalid_argument("PauliPolynomial::*: size mismatch");
+  PauliPolynomial out(a.n_);
+  for (const auto& [sa, ca] : a.terms_)
+    for (const auto& [sb, cb] : b.terms_) {
+      auto [phase, s] = pauli_multiply(sa, sb);
+      out.add(s, ca * cb * phase);
+    }
+  return out;
+}
+
+void PauliPolynomial::prune(double tol) {
+  std::erase_if(terms_, [tol](const auto& kv) {
+    return std::abs(kv.second) < tol;
+  });
+}
+
+bool PauliPolynomial::is_hermitian(double tol) const {
+  for (const auto& [s, c] : terms_)
+    if (std::abs(c.imag()) > tol) return false;
+  return true;
+}
+
+std::vector<PauliTerm> PauliPolynomial::to_terms(double tol) const {
+  std::vector<PauliTerm> out;
+  for (const auto& [s, c] : terms_) {
+    if (std::abs(c) < tol) continue;
+    if (s.is_identity()) continue;  // global phase under exponentiation
+    if (std::abs(c.imag()) > tol)
+      throw std::runtime_error(
+          "PauliPolynomial::to_terms: non-Hermitian coefficient on " +
+          s.to_string());
+    out.emplace_back(s, c.real());
+  }
+  std::sort(out.begin(), out.end(), [](const PauliTerm& a, const PauliTerm& b) {
+    return a.string.to_string() < b.string.to_string();
+  });
+  return out;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+/// Product of two Pauli strings: P1 · P2 = phase · P3 with phase in
+/// {±1, ±i}. Phases per position follow XY = iZ, YZ = iX, ZX = iY (cyclic)
+/// and their reverses with -i.
+std::pair<std::complex<double>, PauliString> pauli_multiply(
+    const PauliString& a, const PauliString& b);
+
+/// Sparse complex-weighted sum of Pauli strings, closed under addition and
+/// multiplication. This is the operator algebra used to expand fermionic
+/// operators into qubit Hamiltonians (JW / BK encodings).
+class PauliPolynomial {
+ public:
+  PauliPolynomial() = default;
+  explicit PauliPolynomial(std::size_t num_qubits) : n_(num_qubits) {}
+
+  /// The constant polynomial c·I on n qubits.
+  static PauliPolynomial scalar(std::size_t num_qubits, std::complex<double> c);
+  /// A single weighted string.
+  static PauliPolynomial term(const PauliString& s, std::complex<double> c);
+
+  std::size_t num_qubits() const { return n_; }
+  std::size_t num_terms() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+  std::complex<double> coeff(const PauliString& s) const;
+
+  void add(const PauliString& s, std::complex<double> c);
+
+  PauliPolynomial& operator+=(const PauliPolynomial& o);
+  PauliPolynomial& operator-=(const PauliPolynomial& o);
+  PauliPolynomial& operator*=(std::complex<double> c);
+
+  friend PauliPolynomial operator+(PauliPolynomial a, const PauliPolynomial& b) {
+    return a += b;
+  }
+  friend PauliPolynomial operator-(PauliPolynomial a, const PauliPolynomial& b) {
+    return a -= b;
+  }
+  friend PauliPolynomial operator*(PauliPolynomial a, std::complex<double> c) {
+    return a *= c;
+  }
+  /// Operator product with phase-correct string multiplication.
+  friend PauliPolynomial operator*(const PauliPolynomial& a,
+                                   const PauliPolynomial& b);
+
+  /// Drop terms with |coeff| < tol.
+  void prune(double tol = 1e-12);
+
+  /// True when every coefficient is real within tol (operator is Hermitian,
+  /// since Pauli strings are Hermitian).
+  bool is_hermitian(double tol = 1e-10) const;
+
+  /// Convert to a real-coefficient term list, dropping the identity component
+  /// (a global phase under exponentiation) and near-zero terms. Throws if a
+  /// non-negligible imaginary part remains. Order is deterministic
+  /// (lexicographic in the string label).
+  std::vector<PauliTerm> to_terms(double tol = 1e-10) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::unordered_map<PauliString, std::complex<double>, PauliStringHash> terms_;
+};
+
+}  // namespace phoenix

@@ -1,0 +1,186 @@
+#include "pauli/tableau.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pauli/polynomial.hpp"
+
+namespace phoenix {
+
+CliffordTableau::CliffordTableau(std::size_t num_qubits) : n_(num_qubits) {
+  rows_.reserve(2 * n_);
+  for (std::size_t q = 0; q < n_; ++q) {
+    Row r{BitVec(n_), BitVec(n_), false};
+    r.x.set(q, true);
+    rows_.push_back(r);
+  }
+  for (std::size_t q = 0; q < n_; ++q) {
+    Row r{BitVec(n_), BitVec(n_), false};
+    r.z.set(q, true);
+    rows_.push_back(r);
+  }
+}
+
+void CliffordTableau::apply_h(std::size_t q) {
+  for (auto& r : rows_) {
+    const bool x = r.x.get(q), z = r.z.get(q);
+    r.sign ^= x && z;
+    r.x.set(q, z);
+    r.z.set(q, x);
+  }
+}
+
+void CliffordTableau::apply_s(std::size_t q) {
+  for (auto& r : rows_) {
+    const bool x = r.x.get(q), z = r.z.get(q);
+    r.sign ^= x && z;
+    r.z.set(q, x != z);
+  }
+}
+
+void CliffordTableau::apply_sdg(std::size_t q) {
+  for (auto& r : rows_) {
+    const bool x = r.x.get(q), z = r.z.get(q);
+    r.sign ^= x && !z;
+    r.z.set(q, x != z);
+  }
+}
+
+void CliffordTableau::apply_x(std::size_t q) {
+  for (auto& r : rows_) r.sign ^= r.z.get(q);
+}
+
+void CliffordTableau::apply_z(std::size_t q) {
+  for (auto& r : rows_) r.sign ^= r.x.get(q);
+}
+
+void CliffordTableau::apply_cnot(std::size_t c, std::size_t t) {
+  if (c == t) throw std::invalid_argument("CliffordTableau: control == target");
+  for (auto& r : rows_) {
+    const bool xc = r.x.get(c), zc = r.z.get(c);
+    const bool xt = r.x.get(t), zt = r.z.get(t);
+    r.sign ^= xc && zt && (xt == zc);
+    r.x.set(t, xt != xc);
+    r.z.set(c, zc != zt);
+  }
+}
+
+void CliffordTableau::apply_cz(std::size_t a, std::size_t b) {
+  apply_h(b);
+  apply_cnot(a, b);
+  apply_h(b);
+}
+
+void CliffordTableau::apply_swap(std::size_t a, std::size_t b) {
+  apply_cnot(a, b);
+  apply_cnot(b, a);
+  apply_cnot(a, b);
+}
+
+void CliffordTableau::apply_gate(const Gate& g) {
+  switch (g.kind) {
+    case GateKind::I: return;
+    case GateKind::H: apply_h(g.q0); return;
+    case GateKind::S: apply_s(g.q0); return;
+    case GateKind::Sdg: apply_sdg(g.q0); return;
+    case GateKind::X: apply_x(g.q0); return;
+    case GateKind::Z: apply_z(g.q0); return;
+    case GateKind::Y:
+      apply_z(g.q0);
+      apply_x(g.q0);
+      return;
+    case GateKind::SqrtX:  // conjugation action of H·S·H
+      apply_h(g.q0);
+      apply_s(g.q0);
+      apply_h(g.q0);
+      return;
+    case GateKind::SqrtXdg:
+      apply_h(g.q0);
+      apply_sdg(g.q0);
+      apply_h(g.q0);
+      return;
+    case GateKind::Cnot: apply_cnot(g.q0, g.q1); return;
+    case GateKind::Cz: apply_cz(g.q0, g.q1); return;
+    case GateKind::Swap: apply_swap(g.q0, g.q1); return;
+    case GateKind::Rz:
+    case GateKind::Rx:
+    case GateKind::Ry: {
+      // Accept only Clifford angles (multiples of π/2).
+      const double k = g.param / (M_PI / 2);
+      const long ki = std::lround(k);
+      if (std::abs(k - static_cast<double>(ki)) > 1e-9)
+        throw std::invalid_argument("CliffordTableau: non-Clifford rotation");
+      const int m = static_cast<int>(((ki % 4) + 4) % 4);
+      auto quarter = [&](void (CliffordTableau::*pos)(std::size_t)) {
+        for (int i = 0; i < m; ++i) (this->*pos)(g.q0);
+      };
+      if (g.kind == GateKind::Rz) {
+        quarter(&CliffordTableau::apply_s);
+      } else if (g.kind == GateKind::Rx) {
+        apply_h(g.q0);
+        quarter(&CliffordTableau::apply_s);
+        apply_h(g.q0);
+      } else {  // Ry = Sdg · Rx-conj · S up to phase: use (S H) basis
+        apply_sdg(g.q0);
+        apply_h(g.q0);
+        quarter(&CliffordTableau::apply_s);
+        apply_h(g.q0);
+        apply_s(g.q0);
+      }
+      return;
+    }
+    default:
+      throw std::invalid_argument("CliffordTableau: non-Clifford gate");
+  }
+}
+
+CliffordTableau CliffordTableau::from_circuit(const Circuit& c) {
+  CliffordTableau t(c.num_qubits());
+  for (const auto& g : c.gates()) t.apply_gate(g);
+  return t;
+}
+
+PauliTerm CliffordTableau::image_of_x(std::size_t q) const {
+  const Row& r = xrow(q);
+  return PauliTerm(PauliString(r.x, r.z), r.sign ? -1.0 : 1.0);
+}
+
+PauliTerm CliffordTableau::image_of_z(std::size_t q) const {
+  const Row& r = zrow(q);
+  return PauliTerm(PauliString(r.x, r.z), r.sign ? -1.0 : 1.0);
+}
+
+PauliTerm CliffordTableau::image(const PauliString& p) const {
+  if (p.num_qubits() != n_)
+    throw std::invalid_argument("CliffordTableau::image: size mismatch");
+  // P = i^{#Y} · Π_q X_q^{x_q} Z_q^{z_q} (X before Z per qubit, ascending).
+  // The image multiplies the generator images in the same order, tracking
+  // the i-power from string products and the row signs.
+  std::complex<double> phase{1, 0};
+  PauliString acc(n_);
+  auto absorb = [&](const Row& r) {
+    auto [ph, prod] = pauli_multiply(acc, PauliString(r.x, r.z));
+    phase *= ph;
+    if (r.sign) phase = -phase;
+    acc = prod;
+  };
+  std::size_t y_count = 0;
+  for (std::size_t q = 0; q < n_; ++q) {
+    const Pauli op = p.op(q);
+    if (op == Pauli::Y) ++y_count;
+    if (op == Pauli::X || op == Pauli::Y) absorb(xrow(q));
+    if (op == Pauli::Z || op == Pauli::Y) absorb(zrow(q));
+  }
+  // The XZ decomposition carries Y = i·X·Z, so restore the i^{#Y} factor;
+  // pauli_multiply already accounts for Y phases inside the products.
+  for (std::size_t k = 0; k < y_count; ++k) phase *= std::complex<double>{0, 1};
+  if (std::abs(phase.imag()) > 1e-9)
+    throw std::logic_error("CliffordTableau::image: non-real phase");
+  return PauliTerm(acc, phase.real());
+}
+
+bool CliffordTableau::is_identity() const {
+  return *this == CliffordTableau(n_);
+}
+
+}  // namespace phoenix

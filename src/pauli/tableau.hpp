@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+/// Full n-qubit Clifford tableau: tracks the images C X_j C† and C Z_j C†
+/// of every single-qubit Pauli generator under conjugation by a Clifford
+/// circuit C. Complements `Bsf` (which conjugates a fixed string list):
+/// the tableau represents the *map* itself, supports composition with any
+/// Clifford gate, and evaluates the image of arbitrary Pauli strings —
+/// the machinery used to verify structurally that compiled conjugation
+/// circuits act exactly as the BSF bookkeeping claims.
+class CliffordTableau {
+ public:
+  /// Identity map on n qubits.
+  explicit CliffordTableau(std::size_t num_qubits);
+
+  /// Tableau of a Clifford circuit (throws on non-Clifford gates: rotations
+  /// with angles that are not multiples of π/2 are rejected).
+  static CliffordTableau from_circuit(const Circuit& c);
+
+  std::size_t num_qubits() const { return n_; }
+
+  /// Compose with a gate on the left: this ← gate ∘ this.
+  void apply_gate(const Gate& g);
+
+  void apply_h(std::size_t q);
+  void apply_s(std::size_t q);
+  void apply_sdg(std::size_t q);
+  void apply_x(std::size_t q);
+  void apply_z(std::size_t q);
+  void apply_cnot(std::size_t c, std::size_t t);
+  void apply_cz(std::size_t a, std::size_t b);
+  void apply_swap(std::size_t a, std::size_t b);
+
+  /// Image of a generator: C X_q C† (sign folded into the term coefficient
+  /// as ±1) or C Z_q C†.
+  PauliTerm image_of_x(std::size_t q) const;
+  PauliTerm image_of_z(std::size_t q) const;
+
+  /// Image of an arbitrary Pauli string: C P C† = ± P′. The returned term
+  /// has coefficient ±1.
+  PauliTerm image(const PauliString& p) const;
+
+  /// True when the map is the identity (all generators fixed, signs +).
+  bool is_identity() const;
+
+  bool operator==(const CliffordTableau& o) const = default;
+
+ private:
+  struct Row {
+    BitVec x, z;
+    bool sign = false;
+    bool operator==(const Row& o) const = default;
+  };
+
+  Row& xrow(std::size_t q) { return rows_[q]; }
+  Row& zrow(std::size_t q) { return rows_[n_ + q]; }
+  const Row& xrow(std::size_t q) const { return rows_[q]; }
+  const Row& zrow(std::size_t q) const { return rows_[n_ + q]; }
+
+  std::size_t n_;
+  std::vector<Row> rows_;  ///< rows 0..n-1: images of X_q; n..2n-1: of Z_q
+};
+
+}  // namespace phoenix

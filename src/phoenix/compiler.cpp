@@ -1,0 +1,108 @@
+#include "phoenix/compiler.hpp"
+
+#include <stdexcept>
+
+#include "circuit/synthesis.hpp"
+#include "hamlib/grouping.hpp"
+#include "phoenix/qaoa_router.hpp"
+#include "transpile/peephole.hpp"
+#include "transpile/rebase.hpp"
+
+namespace phoenix {
+
+CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
+                              std::size_t num_qubits,
+                              const PhoenixOptions& opt) {
+  if (opt.hardware_aware && opt.coupling == nullptr)
+    throw std::invalid_argument(
+        "phoenix_compile: hardware-aware mode needs a coupling graph");
+
+  CompileResult res;
+
+  // Commuting 2-local programs (QAOA cost layers): the Trotter arrangement
+  // is completely free, so hardware-aware compilation uses the
+  // commutativity-aware router (§IV-C.3 specialized to 2-local IR groups)
+  // instead of the order-preserving SABRE path.
+  if (opt.hardware_aware && terms.size() <= 4096 &&
+      is_commuting_two_local(terms)) {
+    QaoaRouteResult routed =
+        route_commuting_two_local(terms, num_qubits, *opt.coupling);
+    res.num_groups = terms.size();
+    res.num_swaps = routed.num_swaps;
+    Circuit logical(num_qubits);
+    for (const auto& t : terms) append_pauli_rotation(logical, t);
+    res.logical = std::move(logical);
+    res.circuit = opt.isa == TwoQubitIsa::Su4 ? rebase_su4(routed.circuit)
+                                              : std::move(routed.circuit);
+    return res;
+  }
+
+  // 1. IR grouping by support set (§IV-A).
+  const auto groups = group_by_support(terms);
+  res.num_groups = groups.size();
+
+  // 2. Group-wise BSF simplification (Algorithm 1) and subcircuit emission.
+  //    Global-frame 1Q locals float to a prelude so group boundaries stay
+  //    clean for Clifford2Q cancellation.
+  Circuit prelude(num_qubits);
+  std::vector<SubcircuitProfile> profiles;
+  profiles.reserve(groups.size());
+  for (const auto& g : groups) {
+    const SimplifiedGroup sg = simplify_bsf(g.terms, opt.simplify);
+    res.bsf_epochs += sg.search_epochs;
+    for (const auto& r : sg.global_locals()) {
+      append_pauli_rotation(
+          prelude,
+          PauliTerm(PauliString(r.x, r.z), r.sign ? -r.coeff : r.coeff));
+    }
+    Circuit sub = sg.emit(num_qubits, /*include_global_locals=*/false);
+    if (sub.empty()) continue;
+    profiles.push_back(profile_subcircuit(std::move(sub), sg.cliffords));
+  }
+
+  // 3. Tetris-like ordering (§IV-C) and assembly.
+  OrderingOptions order_opt;
+  order_opt.lookahead = opt.lookahead;
+  order_opt.routing_aware = opt.hardware_aware;
+  const auto order = tetris_order(profiles, order_opt);
+
+  Circuit assembled(num_qubits);
+  assembled.append(prelude);
+  for (std::size_t idx : order) assembled.append(profiles[idx].circ);
+
+  // 4. Logical-level gate cancellation.
+  switch (opt.peephole) {
+    case PeepholeLevel::None:
+      break;
+    case PeepholeLevel::Own:
+      optimize_o2(assembled);
+      break;
+    case PeepholeLevel::O3:
+      optimize_o3(assembled);
+      break;
+  }
+  res.logical = assembled;
+
+  // 5. ISA emission / hardware mapping.
+  if (!opt.hardware_aware) {
+    res.circuit = opt.isa == TwoQubitIsa::Su4 ? rebase_su4(assembled)
+                                              : std::move(assembled);
+    return res;
+  }
+
+  SabreResult routed = sabre_route(assembled, *opt.coupling, opt.sabre);
+  res.num_swaps = routed.num_swaps;
+  Circuit physical = decompose_swaps(routed.routed);
+  // Post-routing cancellation: SWAP CNOTs frequently annihilate against the
+  // rotation-ladder CNOTs they abut (the paper follows every hardware-aware
+  // flow with a full Qiskit O3 pass).
+  if (opt.peephole == PeepholeLevel::None)
+    optimize_o2(physical);
+  else
+    optimize_o3(physical);
+  res.circuit = opt.isa == TwoQubitIsa::Su4 ? rebase_su4(physical)
+                                            : std::move(physical);
+  return res;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/graph.hpp"
+#include "mapping/sabre.hpp"
+#include "pauli/pauli.hpp"
+#include "phoenix/ordering.hpp"
+#include "phoenix/simplify.hpp"
+
+namespace phoenix {
+
+/// Target 2Q instruction set (paper §V-D): the conventional CNOT ISA, or the
+/// continuous SU(4) ISA in which any two-qubit unitary is one native gate.
+enum class TwoQubitIsa { Cnot, Su4 };
+
+/// Post-assembly peephole level. `Own` is PHOENIX's built-in gate
+/// cancellation (the "PHOENIX" rows of Table II); `O3` additionally applies
+/// the full O3-like resynthesis pipeline ("PHOENIX + O3").
+enum class PeepholeLevel { None, Own, O3 };
+
+struct PhoenixOptions {
+  TwoQubitIsa isa = TwoQubitIsa::Cnot;
+  PeepholeLevel peephole = PeepholeLevel::Own;
+  /// Hardware-aware mode: routing-aware Tetris ordering plus SABRE mapping
+  /// onto `coupling` (must be non-null and connected).
+  bool hardware_aware = false;
+  const Graph* coupling = nullptr;
+  std::size_t lookahead = 20;  ///< Tetris ordering window
+  SabreOptions sabre;
+  SimplifyOptions simplify;
+};
+
+struct CompileResult {
+  /// Final circuit: logical register for logical-level compilation, physical
+  /// register (SWAPs decomposed into CNOTs) for hardware-aware compilation.
+  Circuit circuit;
+  /// The circuit after logical optimization, before any mapping (equals
+  /// `circuit` for logical-level compilation, pre-rebase).
+  Circuit logical;
+  std::size_t num_swaps = 0;
+  std::size_t num_groups = 0;
+  std::size_t bsf_epochs = 0;  ///< total greedy search epochs across groups
+};
+
+/// The full PHOENIX pipeline of §IV: IR grouping → group-wise BSF
+/// simplification → Tetris-like IR group ordering → ISA emission
+/// (→ SABRE mapping when hardware-aware).
+///
+/// Contract: `terms` is ONE Trotter step — a set whose arrangement is free
+/// (paper §I). For multi-step evolutions compile one step and repeat the
+/// circuit; feeding r concatenated steps would let the grouping merge
+/// repeated rotations across steps and collapse the formula
+/// (see examples/trotter_evolution.cpp).
+CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
+                              std::size_t num_qubits,
+                              const PhoenixOptions& opt = {});
+
+}  // namespace phoenix

@@ -1,0 +1,189 @@
+#include "phoenix/ordering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+namespace phoenix {
+
+namespace {
+
+/// Interaction graph of a boundary slice: scan 2Q gates from one end, adding
+/// edges, until every support qubit has been touched (the paper's "head/tail
+/// incorporating more and more 2Q gates until all qubits are acted upon").
+Graph slice_graph(const Circuit& c, const std::vector<std::size_t>& support,
+                  bool from_left) {
+  Graph g(c.num_qubits());
+  std::set<std::size_t> waiting(support.begin(), support.end());
+  const auto& gates = c.gates();
+  auto visit = [&](const Gate& gate) {
+    if (!gate.is_two_qubit()) return;
+    if (!g.has_edge(gate.q0, gate.q1)) g.add_edge(gate.q0, gate.q1);
+    waiting.erase(gate.q0);
+    waiting.erase(gate.q1);
+  };
+  if (from_left) {
+    for (std::size_t i = 0; i < gates.size() && !waiting.empty(); ++i)
+      visit(gates[i]);
+  } else {
+    for (std::size_t i = gates.size(); i-- > 0 && !waiting.empty();)
+      visit(gates[i]);
+  }
+  return g;
+}
+
+bool cliffords_match(const Clifford2Q& a, const Clifford2Q& b) {
+  if (a.sigma0 != b.sigma0 || a.sigma1 != b.sigma1) return false;
+  if (a.q0 == b.q0 && a.q1 == b.q1) return true;
+  // Symmetric generators act identically with swapped qubits.
+  return a.sigma0 == a.sigma1 && a.q0 == b.q1 && a.q1 == b.q0;
+}
+
+/// Cosine similarity of two distance-matrix rows restricted to `qubits`;
+/// unreachable distances contribute 0.
+double row_cosine(const std::vector<std::size_t>& a,
+                  const std::vector<std::size_t>& b,
+                  const std::vector<std::size_t>& qubits) {
+  double dot = 0, na = 0, nb = 0;
+  for (std::size_t q : qubits) {
+    const double va =
+        a[q] == Graph::kUnreachable ? 0.0 : static_cast<double>(a[q]);
+    const double vb =
+        b[q] == Graph::kUnreachable ? 0.0 : static_cast<double>(b[q]);
+    dot += va * vb;
+    na += va * va;
+    nb += vb * vb;
+  }
+  if (na == 0 || nb == 0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+std::vector<std::size_t> support_union(const SubcircuitProfile& a,
+                                       const SubcircuitProfile& b) {
+  std::vector<std::size_t> u;
+  std::set_union(a.support.begin(), a.support.end(), b.support.begin(),
+                 b.support.end(), std::back_inserter(u));
+  return u;
+}
+
+}  // namespace
+
+SubcircuitProfile profile_subcircuit(Circuit circ,
+                                     std::vector<Clifford2Q> boundary_cliffs) {
+  SubcircuitProfile p;
+  p.support = circ.support();
+  const std::size_t n = circ.num_qubits();
+
+  const auto layers = circ.two_qubit_layers();
+  p.num_layers = layers.size();
+  p.e_l.assign(n, p.num_layers);
+  p.e_r.assign(n, p.num_layers);
+  for (std::size_t l = 0; l < layers.size(); ++l)
+    for (std::size_t gi : layers[l])
+      for (std::size_t q : circ.gate(gi).qubits()) {
+        p.e_l[q] = std::min(p.e_l[q], l);
+        p.e_r[q] = std::min(p.e_r[q], layers.size() - 1 - l);
+      }
+
+  p.head_cliffs = boundary_cliffs;
+  p.tail_cliffs = std::move(boundary_cliffs);
+  p.head_graph = slice_graph(circ, p.support, /*from_left=*/true);
+  p.tail_graph = slice_graph(circ, p.support, /*from_left=*/false);
+  p.circ = std::move(circ);
+  return p;
+}
+
+double depth_cost(const SubcircuitProfile& prev,
+                  const SubcircuitProfile& next) {
+  const auto qubits = support_union(prev, next);
+  bool guard = true;
+  double sum = 0;
+  for (std::size_t q : qubits) {
+    const std::size_t er = prev.e_r[q];
+    const std::size_t el = next.e_l[q];
+    if (el == 0 && er == 0) guard = false;
+    sum += static_cast<double>(er + el);
+  }
+  if (!guard) sum -= static_cast<double>(qubits.size());
+  return sum;
+}
+
+std::size_t boundary_cancellations(const SubcircuitProfile& prev,
+                                   const SubcircuitProfile& next) {
+  const std::size_t limit =
+      std::min(prev.tail_cliffs.size(), next.head_cliffs.size());
+  std::size_t m = 0;
+  while (m < limit && cliffords_match(prev.tail_cliffs[m], next.head_cliffs[m]))
+    ++m;
+  return m;
+}
+
+double assembling_cost(const SubcircuitProfile& prev,
+                       const SubcircuitProfile& next,
+                       const OrderingOptions& opt) {
+  double cost = depth_cost(prev, next);
+
+  const std::size_t m = boundary_cancellations(prev, next);
+  if (m > 0) {
+    cost -= 2.0 * static_cast<double>(m);
+    // Depth credit: a cancelled boundary Clifford2Q that was alone in its
+    // boundary 2Q layer frees that layer (§IV-C.2 cases b/c). Our emitted
+    // groups place the conjugation CNOTs in dedicated layers whenever they
+    // share qubits, so approximate with one layer per cancelled pair per
+    // side that has no other boundary-layer occupants.
+    auto sole_boundary_layers = [&](const SubcircuitProfile& p) {
+      return std::min<std::size_t>(m, p.num_layers);
+    };
+    cost -= static_cast<double>(sole_boundary_layers(prev) +
+                                sole_boundary_layers(next)) /
+            2.0;
+  }
+
+  if (opt.routing_aware) {
+    const auto qubits = support_union(prev, next);
+    const auto d_tail = prev.tail_graph.distance_matrix();
+    const auto d_head = next.head_graph.distance_matrix();
+    double s = 0;
+    for (std::size_t q : qubits) s += row_cosine(d_tail[q], d_head[q], qubits);
+    cost *= 1.0 / std::max(s, 0.5);
+  }
+  return cost;
+}
+
+std::vector<std::size_t> tetris_order(
+    const std::vector<SubcircuitProfile>& profiles,
+    const OrderingOptions& opt) {
+  // Pre-arrange in descending width; stable to keep input order among ties.
+  std::vector<std::size_t> pending(profiles.size());
+  std::iota(pending.begin(), pending.end(), std::size_t{0});
+  std::stable_sort(pending.begin(), pending.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return profiles[a].support.size() >
+                            profiles[b].support.size();
+                   });
+
+  std::vector<std::size_t> order;
+  order.reserve(profiles.size());
+  while (!pending.empty()) {
+    std::size_t pick = 0;
+    if (!order.empty()) {
+      const SubcircuitProfile& last = profiles[order.back()];
+      double best = std::numeric_limits<double>::infinity();
+      const std::size_t window = std::min(opt.lookahead, pending.size());
+      for (std::size_t w = 0; w < window; ++w) {
+        const double c = assembling_cost(last, profiles[pending[w]], opt);
+        if (c < best) {
+          best = c;
+          pick = w;
+        }
+      }
+    }
+    order.push_back(pending[pick]);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return order;
+}
+
+}  // namespace phoenix

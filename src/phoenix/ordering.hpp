@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/graph.hpp"
+#include "pauli/clifford2q.hpp"
+
+namespace phoenix {
+
+/// Static profile of one simplified-IR-group subcircuit, precomputed once and
+/// reused across all pairwise assembling-cost queries of the Tetris ordering.
+struct SubcircuitProfile {
+  Circuit circ;                       ///< emitted subcircuit, full register
+  std::vector<std::size_t> support;   ///< qubits with at least one gate
+  std::size_t num_layers = 0;         ///< 2Q layer count
+  std::vector<std::size_t> e_l, e_r;  ///< endian vectors (§IV-C.1), length n
+
+  /// Boundary Clifford2Q conjugations, boundary-first order (the group
+  /// structure exposes c_1 ... c_k on both ends; see SimplifiedGroup::emit).
+  std::vector<Clifford2Q> head_cliffs, tail_cliffs;
+
+  /// Interaction graphs of the head/tail slices (edges of 2Q gates read from
+  /// the respective boundary until the whole support is covered), used by the
+  /// routing-awareness factor of Eq. (7).
+  Graph head_graph, tail_graph;
+};
+
+/// Build a profile from an emitted subcircuit. `boundary_cliffs` carries the
+/// group's Clifford conjugation sequence c_1..c_k (may be empty for
+/// irreducible groups such as QAOA ZZ terms).
+SubcircuitProfile profile_subcircuit(Circuit circ,
+                                     std::vector<Clifford2Q> boundary_cliffs);
+
+struct OrderingOptions {
+  std::size_t lookahead = 20;  ///< candidate window per assembly step
+  bool routing_aware = false;  ///< enable the Eq. (7) similarity factor
+};
+
+/// The §IV-C.1 depth overhead of abutting `prev` (via e_r) and `next`
+/// (via e_l), summed over the union of their supports, with the Tetris
+/// interlock discount when the endian guard fails.
+double depth_cost(const SubcircuitProfile& prev, const SubcircuitProfile& next);
+
+/// Number of Clifford2Q pairs that cancel across the prev|next interface
+/// (common prefix of tail_cliffs/head_cliffs; symmetric generators also match
+/// with swapped qubits).
+std::size_t boundary_cancellations(const SubcircuitProfile& prev,
+                                   const SubcircuitProfile& next);
+
+/// Full assembling cost: depth overhead, minus cancellation credits
+/// (−2 per cancelled pair, −1 per boundary layer emptied on either side),
+/// scaled by the inverse interaction-graph similarity when routing-aware.
+double assembling_cost(const SubcircuitProfile& prev,
+                       const SubcircuitProfile& next,
+                       const OrderingOptions& opt);
+
+/// Tetris-like IR group ordering: pre-arrange by descending width, then
+/// repeatedly pick, within the lookahead window, the subcircuit with the
+/// minimum assembling cost relative to the last assembled one. Returns the
+/// chosen permutation of indices into `profiles`.
+std::vector<std::size_t> tetris_order(
+    const std::vector<SubcircuitProfile>& profiles, const OrderingOptions& opt);
+
+}  // namespace phoenix

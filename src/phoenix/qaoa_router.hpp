@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/graph.hpp"
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+struct QaoaRouteResult {
+  Circuit circuit;  ///< physical register, SWAPs decomposed, peepholed
+  std::size_t num_swaps = 0;
+  std::vector<std::size_t> initial_layout;
+  std::vector<std::size_t> final_layout;
+};
+
+/// True when every term is 2-local and the set is pairwise commuting — the
+/// precondition for commutativity-aware routing (QAOA cost layers).
+bool is_commuting_two_local(const std::vector<PauliTerm>& terms);
+
+/// PHOENIX's hardware-aware scheduler for commuting 2-local programs
+/// (§IV-C.3 applied to QAOA): terms are free to execute in any order, so the
+/// router drains every currently-adjacent term, then inserts parallel SWAPs
+/// chosen by (terms unlocked, CNOT-merge opportunities with adjacent term
+/// ladders, distance reduction, boundary depth) — the Tetris-like criteria
+/// expressed at routing time. The `order` argument seeds term priority
+/// (PHOENIX passes its Tetris-like group ordering).
+QaoaRouteResult route_commuting_two_local(const std::vector<PauliTerm>& terms,
+                                          std::size_t num_qubits,
+                                          const Graph& coupling);
+
+}  // namespace phoenix

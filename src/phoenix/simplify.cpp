@@ -1,0 +1,180 @@
+#include "phoenix/simplify.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace phoenix {
+
+double bsf_cost(const Bsf& bsf) {
+  const std::size_t rows = bsf.num_rows();
+  std::size_t n_nl = 0;
+  for (std::size_t i = 0; i < rows; ++i)
+    if (bsf.row_weight(i) > 1) ++n_nl;
+
+  double cost = static_cast<double>(bsf.total_weight()) *
+                static_cast<double>(n_nl) * static_cast<double>(n_nl);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const BitVec ui = bsf.row_x(i) | bsf.row_z(i);
+    for (std::size_t j = i + 1; j < rows; ++j) {
+      const BitVec uj = bsf.row_x(j) | bsf.row_z(j);
+      cost += static_cast<double>((ui | uj).popcount());
+      cost += 0.5 * static_cast<double>((bsf.row_x(i) | bsf.row_x(j)).popcount());
+      cost += 0.5 * static_cast<double>((bsf.row_z(i) | bsf.row_z(j)).popcount());
+    }
+  }
+  return cost;
+}
+
+namespace {
+
+/// All Clifford2Q candidates over the currently occupied columns: unordered
+/// pairs for the symmetric generators C(X,X)/C(Y,Y)/C(Z,Z), both orders for
+/// the asymmetric ones.
+std::vector<Clifford2Q> candidates(const std::vector<std::size_t>& support) {
+  std::vector<Clifford2Q> out;
+  for (const auto& gen : clifford2q_generators()) {
+    const bool symmetric = gen.sigma0 == gen.sigma1;
+    for (std::size_t i = 0; i < support.size(); ++i)
+      for (std::size_t j = i + 1; j < support.size(); ++j) {
+        Clifford2Q c = gen;
+        c.q0 = support[i];
+        c.q1 = support[j];
+        out.push_back(c);
+        if (!symmetric) {
+          std::swap(c.q0, c.q1);
+          out.push_back(c);
+        }
+      }
+  }
+  return out;
+}
+
+/// Deterministic fallback move guaranteed to lower the weight of row `r`:
+/// for the row's leading support pair (a, b) with operators (Pa, Pb), some
+/// generator C(σ0, σ1) with σ1 == Pb and σ0 anticommuting with Pa maps
+/// Pa⊗Pb to Pa⊗I (see tests/test_phoenix.cpp for the exhaustive check).
+Clifford2Q row_reduction_move(const Bsf& bsf, std::size_t r) {
+  const BitVec mask = bsf.row_x(r) | bsf.row_z(r);
+  const auto sup = mask.ones();
+  if (sup.size() < 2)
+    throw std::logic_error("row_reduction_move: row already local");
+  const std::size_t a = sup[0], b = sup[1];
+  const std::size_t before = (bsf.row_x(r) | bsf.row_z(r)).popcount();
+  for (const auto& gen : clifford2q_generators())
+    for (auto [q0, q1] : {std::pair<std::size_t, std::size_t>{a, b},
+                          std::pair<std::size_t, std::size_t>{b, a}}) {
+      Clifford2Q c = gen;
+      c.q0 = q0;
+      c.q1 = q1;
+      Bsf probe = bsf;
+      probe.apply_clifford2q(c);
+      if ((probe.row_x(r) | probe.row_z(r)).popcount() < before) return c;
+    }
+  throw std::logic_error("row_reduction_move: no reducing generator found");
+}
+
+}  // namespace
+
+SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
+                             const SimplifyOptions& opt) {
+  if (terms.empty())
+    throw std::invalid_argument("simplify_bsf: empty term list");
+  Bsf bsf(terms);
+
+  SimplifiedGroup g;
+  g.num_qubits = bsf.num_qubits();
+
+  double last_cost = std::numeric_limits<double>::infinity();
+  std::size_t stall = 0;
+
+  while (bsf.total_weight() > 2) {
+    std::vector<Bsf::Row> peeled = bsf.pop_local_rows();
+    if (bsf.total_weight() <= 2) {
+      g.locals.push_back(std::move(peeled));
+      break;
+    }
+    if (++g.search_epochs > opt.max_epochs)
+      throw std::runtime_error("simplify_bsf: epoch limit exceeded");
+
+    Clifford2Q chosen;
+    bool have_choice = false;
+    if (stall < 25) {
+      // Greedy: the generator/pair minimizing the Eq. (6) cost. Ties are
+      // broken toward qubit pairs already used by this group and toward
+      // short index spans — the cost function is frequently degenerate, and
+      // locality-friendly choices shrink the interaction graph handed to
+      // the router (§IV-C.3's goal).
+      double best = std::numeric_limits<double>::infinity();
+      auto tie_rank = [&](const Clifford2Q& c) {
+        const std::size_t lo = std::min(c.q0, c.q1), hi = std::max(c.q0, c.q1);
+        bool used = false;
+        for (const auto& prev : g.cliffords)
+          used |= (std::min(prev.q0, prev.q1) == lo &&
+                   std::max(prev.q0, prev.q1) == hi);
+        return std::pair<int, std::size_t>(used ? 0 : 1, hi - lo);
+      };
+      for (const auto& cand : candidates(bsf.support())) {
+        Bsf probe = bsf;
+        probe.apply_clifford2q(cand);
+        const double cost = bsf_cost(probe);
+        const bool better =
+            cost < best - 1e-9 ||
+            (cost < best + 1e-9 && have_choice &&
+             tie_rank(cand) < tie_rank(chosen));
+        if (!have_choice || better) {
+          best = std::min(best, cost);
+          chosen = cand;
+          have_choice = true;
+        }
+      }
+      if (best < last_cost - 1e-9) {
+        stall = 0;
+        last_cost = best;
+      } else {
+        ++stall;
+      }
+    }
+    if (!have_choice) {
+      // Plateau guard: deterministically shrink the first nonlocal row.
+      std::size_t r = 0;
+      while (r < bsf.num_rows() && bsf.row_weight(r) <= 1) ++r;
+      chosen = row_reduction_move(bsf, r);
+    }
+
+    bsf.apply_clifford2q(chosen);
+    g.cliffords.push_back(chosen);
+    g.locals.push_back(std::move(peeled));
+  }
+
+  // Align: locals[e] precedes cliffords[e]; locals[k] precedes the final BSF.
+  while (g.locals.size() < g.cliffords.size() + 1) g.locals.emplace_back();
+  g.final_bsf = std::move(bsf);
+  return g;
+}
+
+Circuit SimplifiedGroup::emit(std::size_t total_qubits,
+                              bool include_global_locals) const {
+  if (total_qubits < num_qubits)
+    throw std::invalid_argument("SimplifiedGroup::emit: register too small");
+  Circuit c(total_qubits);
+  auto emit_rows = [&](const std::vector<Bsf::Row>& rows) {
+    for (const auto& r : rows) {
+      const PauliTerm t(PauliString(r.x, r.z), r.sign ? -r.coeff : r.coeff);
+      append_pauli_rotation(c, t);
+    }
+  };
+
+  const std::size_t k = cliffords.size();
+  for (std::size_t e = 0; e < k; ++e) {
+    if (e > 0 || include_global_locals) emit_rows(locals[e]);
+    append_clifford2q(c, cliffords[e]);
+  }
+  if (locals.size() > k && (k > 0 || include_global_locals))
+    emit_rows(locals[k]);
+  for (std::size_t i = 0; i < final_bsf.num_rows(); ++i)
+    append_pauli_rotation(c, final_bsf.term(i));
+  for (std::size_t e = k; e-- > 0;) append_clifford2q(c, cliffords[e]);
+  return c;
+}
+
+}  // namespace phoenix

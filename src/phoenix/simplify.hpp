@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/synthesis.hpp"
+#include "pauli/bsf.hpp"
+#include "pauli/clifford2q.hpp"
+#include "pauli/pauli.hpp"
+
+namespace phoenix {
+
+/// The heuristic BSF disparity cost of Eq. (6):
+///   cost = w_tot · n_nl² + Σ_⟨i,j⟩ ‖rx_i ∨ rz_i ∨ rx_j ∨ rz_j‖
+///          + ½ Σ_⟨i,j⟩ (‖rx_i ∨ rx_j‖ + ‖rz_i ∨ rz_j‖)
+/// where n_nl counts nonlocal (weight > 1) rows. Lower is closer to a
+/// directly synthesizable tableau.
+double bsf_cost(const Bsf& bsf);
+
+/// Result of Algorithm 1 on one IR group: the Clifford2Q conjugation
+/// sequence, the local rows peeled before each epoch (expressed in the frame
+/// after the preceding Cliffords), and the final tableau with w_tot <= 2.
+///
+/// The group subcircuit is emitted as
+///   R(L_1) · c_1 · R(L_2) · c_2 · … · R(L_k) · c_k · R(B_f) · c_k … c_1
+/// (circuit order), which conjugates every rotation back to its original
+/// frame; it equals the group's Trotter product up to intra-group term
+/// reordering (a freedom the paper relies on throughout).
+struct SimplifiedGroup {
+  std::size_t num_qubits = 0;
+  std::vector<Clifford2Q> cliffords;            ///< c_1 … c_k, epoch order
+  std::vector<std::vector<Bsf::Row>> locals;    ///< locals[e] peeled before c_{e+1}
+  Bsf final_bsf;                                ///< w_tot <= 2
+  std::size_t search_epochs = 0;                ///< diagnostics
+
+  /// Emit the subcircuit over the full register. 2Q cost: 1 CNOT per
+  /// Clifford2Q + 2 CNOTs per weight-2 rotation (before peephole passes).
+  /// When `include_global_locals` is false, the rotations of locals[0] —
+  /// which live in the global (unconjugated) frame and can float anywhere in
+  /// the Trotter product — are left out, keeping the subcircuit boundary
+  /// clean for Clifford2Q cancellation across groups; the caller emits them
+  /// separately (see phoenix_compile).
+  Circuit emit(std::size_t total_qubits, bool include_global_locals = true) const;
+
+  /// The global-frame local rows (locals[0]): 1Q rotations peeled before the
+  /// first Clifford, free to float anywhere in the Trotter product.
+  const std::vector<Bsf::Row>& global_locals() const {
+    static const std::vector<Bsf::Row> kEmpty;
+    return locals.empty() ? kEmpty : locals.front();
+  }
+};
+
+struct SimplifyOptions {
+  /// Abort knob for pathological inputs; the greedy search normally
+  /// terminates in O(total weight) epochs.
+  std::size_t max_epochs = 10000;
+};
+
+/// Algorithm 1: greedy simultaneous BSF simplification. `terms` must share a
+/// register size; rows of weight <= 1 are peeled for free. The search space
+/// per epoch is the six generators of Eq. (5) over ordered pairs of currently
+/// occupied columns (unordered for the symmetric generators).
+SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
+                             const SimplifyOptions& opt = {});
+
+}  // namespace phoenix

@@ -1,0 +1,19 @@
+#include "sim/expectation.hpp"
+
+namespace phoenix {
+
+double pauli_expectation(const StateVector& psi, const PauliString& p) {
+  StateVector tmp = psi;
+  tmp.apply_pauli(p);
+  return psi.inner_product(tmp).real();
+}
+
+double energy_expectation(const StateVector& psi,
+                          const std::vector<PauliTerm>& hamiltonian) {
+  double e = 0;
+  for (const auto& t : hamiltonian)
+    e += t.coeff * pauli_expectation(psi, t.string);
+  return e;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <vector>
+
+#include "pauli/pauli.hpp"
+#include "sim/statevector.hpp"
+
+namespace phoenix {
+
+/// ⟨ψ| P |ψ⟩ for a Hermitian Pauli string (always real).
+double pauli_expectation(const StateVector& psi, const PauliString& p);
+
+/// ⟨ψ| H |ψ⟩ = Σ_j h_j ⟨ψ| P_j |ψ⟩ — the VQE energy functional evaluated on
+/// a compiled-ansatz output state.
+double energy_expectation(const StateVector& psi,
+                          const std::vector<PauliTerm>& hamiltonian);
+
+}  // namespace phoenix

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace phoenix {
+
+using Complex = std::complex<double>;
+
+/// Dense square complex matrix (row-major). Sized for the algorithmic-error
+/// experiments of the paper (unitaries of <= 10-qubit circuits, i.e. up to
+/// 1024 x 1024).
+class Matrix {
+ public:
+  Matrix() = default;
+  explicit Matrix(std::size_t dim) : dim_(dim), a_(dim * dim, Complex{0, 0}) {}
+
+  static Matrix identity(std::size_t dim);
+
+  std::size_t dim() const { return dim_; }
+
+  Complex& at(std::size_t r, std::size_t c) { return a_[r * dim_ + c]; }
+  const Complex& at(std::size_t r, std::size_t c) const {
+    return a_[r * dim_ + c];
+  }
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(Complex s);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, Complex s) { return a *= s; }
+
+  /// Matrix product (blocked triple loop; adequate for dim <= 1024).
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+
+  Matrix adjoint() const;
+  Complex trace() const;
+
+  /// Max absolute entry (used for scaling in expm and for comparisons).
+  double max_abs() const;
+  /// 1-norm (max column absolute sum); drives expm scaling.
+  double one_norm() const;
+
+  bool approx_equal(const Matrix& o, double tol = 1e-9) const;
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<Complex> a_;
+};
+
+/// exp(-i t H) for Hermitian H via scaling-and-squaring with a Taylor series
+/// evaluated to machine precision on the scaled matrix.
+Matrix expm_minus_i(const Matrix& h, double t);
+
+/// Unitary infidelity of the paper's §V-F: 1 - |Tr(U† V)| / N.
+double infidelity(const Matrix& u, const Matrix& v);
+
+}  // namespace phoenix

@@ -1,0 +1,263 @@
+#include "sim/statevector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace phoenix {
+
+namespace {
+constexpr Complex kI{0, 1};
+}
+
+std::array<Complex, 4> gate_matrix_1q(const Gate& g) {
+  const double c = std::cos(g.param / 2), s = std::sin(g.param / 2);
+  const double r = 1.0 / std::sqrt(2.0);
+  switch (g.kind) {
+    case GateKind::I: return {1, 0, 0, 1};
+    case GateKind::H: return {r, r, r, -r};
+    case GateKind::X: return {0, 1, 1, 0};
+    case GateKind::Y: return {0, -kI, kI, 0};
+    case GateKind::Z: return {1, 0, 0, -1};
+    case GateKind::S: return {1, 0, 0, kI};
+    case GateKind::Sdg: return {1, 0, 0, -kI};
+    case GateKind::T: return {1, 0, 0, std::polar(1.0, M_PI / 4)};
+    case GateKind::Tdg: return {1, 0, 0, std::polar(1.0, -M_PI / 4)};
+    case GateKind::SqrtX:
+      return {Complex{0.5, 0.5}, Complex{0.5, -0.5}, Complex{0.5, -0.5},
+              Complex{0.5, 0.5}};
+    case GateKind::SqrtXdg:
+      return {Complex{0.5, -0.5}, Complex{0.5, 0.5}, Complex{0.5, 0.5},
+              Complex{0.5, -0.5}};
+    case GateKind::Rx: return {c, -kI * s, -kI * s, c};
+    case GateKind::Ry: return {c, -s, s, c};
+    case GateKind::Rz:
+      return {std::polar(1.0, -g.param / 2), 0, 0, std::polar(1.0, g.param / 2)};
+    default:
+      throw std::invalid_argument("gate_matrix_1q: not a 1Q gate");
+  }
+}
+
+StateVector::StateVector(std::size_t num_qubits)
+    : n_(num_qubits), amps_(std::size_t{1} << num_qubits, Complex{0, 0}) {
+  amps_[0] = 1;
+}
+
+void StateVector::set_basis_state(std::size_t k) {
+  if (k >= amps_.size())
+    throw std::out_of_range("StateVector::set_basis_state");
+  std::fill(amps_.begin(), amps_.end(), Complex{0, 0});
+  amps_[k] = 1;
+}
+
+void StateVector::apply_1q(const std::array<Complex, 4>& m, std::size_t q) {
+  const std::size_t bit = std::size_t{1} << (n_ - 1 - q);
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (i & bit) continue;
+    const Complex a0 = amps_[i], a1 = amps_[i | bit];
+    amps_[i] = m[0] * a0 + m[1] * a1;
+    amps_[i | bit] = m[2] * a0 + m[3] * a1;
+  }
+}
+
+void StateVector::apply_cnot(std::size_t c, std::size_t t) {
+  const std::size_t cb = std::size_t{1} << (n_ - 1 - c);
+  const std::size_t tb = std::size_t{1} << (n_ - 1 - t);
+  for (std::size_t i = 0; i < amps_.size(); ++i)
+    if ((i & cb) && !(i & tb)) std::swap(amps_[i], amps_[i | tb]);
+}
+
+void StateVector::apply_cz(std::size_t a, std::size_t b) {
+  const std::size_t ab = std::size_t{1} << (n_ - 1 - a);
+  const std::size_t bb = std::size_t{1} << (n_ - 1 - b);
+  for (std::size_t i = 0; i < amps_.size(); ++i)
+    if ((i & ab) && (i & bb)) amps_[i] = -amps_[i];
+}
+
+void StateVector::apply_swap(std::size_t a, std::size_t b) {
+  const std::size_t ab = std::size_t{1} << (n_ - 1 - a);
+  const std::size_t bb = std::size_t{1} << (n_ - 1 - b);
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    const bool ba = i & ab, bbit = i & bb;
+    if (ba && !bbit) std::swap(amps_[i], amps_[(i ^ ab) | bb]);
+  }
+}
+
+void StateVector::apply_gate(const Gate& g) {
+  if (g.q0 >= n_ || (g.is_two_qubit() && g.q1 >= n_))
+    throw std::out_of_range("StateVector::apply_gate: qubit out of range");
+  switch (g.kind) {
+    case GateKind::Cnot: apply_cnot(g.q0, g.q1); return;
+    case GateKind::Cz: apply_cz(g.q0, g.q1); return;
+    case GateKind::Swap: apply_swap(g.q0, g.q1); return;
+    case GateKind::Su4:
+      for (const auto& s : g.sub) apply_gate(s);
+      return;
+    default:
+      apply_1q(gate_matrix_1q(g), g.q0);
+  }
+}
+
+void StateVector::apply_circuit(const Circuit& c) {
+  if (c.num_qubits() > n_)
+    throw std::invalid_argument("StateVector::apply_circuit: register too small");
+  for (const auto& g : c.gates()) apply_gate(g);
+}
+
+void StateVector::apply_pauli(const PauliString& p) {
+  if (p.num_qubits() != n_)
+    throw std::invalid_argument("StateVector::apply_pauli: size mismatch");
+  // Flip mask for X/Y positions; per-state phase from Y and Z positions.
+  std::size_t flip = 0;
+  std::vector<std::size_t> ybits, zbits;
+  for (std::size_t q = 0; q < n_; ++q) {
+    const Pauli op = p.op(q);
+    const std::size_t bit = std::size_t{1} << (n_ - 1 - q);
+    if (op == Pauli::X || op == Pauli::Y) flip |= bit;
+    if (op == Pauli::Y) ybits.push_back(bit);
+    if (op == Pauli::Z) zbits.push_back(bit);
+  }
+  std::vector<Complex> out(amps_.size());
+  for (std::size_t b = 0; b < amps_.size(); ++b) {
+    Complex phase{1, 0};
+    for (std::size_t yb : ybits) phase *= (b & yb) ? -kI : kI;
+    for (std::size_t zb : zbits)
+      if (b & zb) phase = -phase;
+    out[b ^ flip] = phase * amps_[b];
+  }
+  amps_ = std::move(out);
+}
+
+void StateVector::apply_pauli_rotation(const PauliTerm& term) {
+  const double c = std::cos(term.coeff), s = std::sin(term.coeff);
+  StateVector tmp = *this;
+  tmp.apply_pauli(term.string);
+  for (std::size_t i = 0; i < amps_.size(); ++i)
+    amps_[i] = c * amps_[i] - kI * s * tmp.amps_[i];
+}
+
+double StateVector::norm() const {
+  double s = 0;
+  for (const auto& a : amps_) s += std::norm(a);
+  return std::sqrt(s);
+}
+
+Complex StateVector::inner_product(const StateVector& o) const {
+  if (n_ != o.n_)
+    throw std::invalid_argument("StateVector::inner_product: size mismatch");
+  Complex s{0, 0};
+  for (std::size_t i = 0; i < amps_.size(); ++i)
+    s += std::conj(amps_[i]) * o.amps_[i];
+  return s;
+}
+
+namespace {
+
+/// Left-multiply a 1Q gate into the accumulated unitary: combine row pairs
+/// across all columns at once (contiguous memory, vectorizes well — this is
+/// the hot path of the Fig. 8 algorithmic-error experiment).
+void left_apply_1q(Matrix& u, const std::array<Complex, 4>& m, std::size_t q,
+                   std::size_t n) {
+  const std::size_t dim = std::size_t{1} << n;
+  const std::size_t bit = std::size_t{1} << (n - 1 - q);
+  for (std::size_t i = 0; i < dim; ++i) {
+    if (i & bit) continue;
+    Complex* r0 = &u.at(i, 0);
+    Complex* r1 = &u.at(i | bit, 0);
+    for (std::size_t col = 0; col < dim; ++col) {
+      const Complex a0 = r0[col], a1 = r1[col];
+      r0[col] = m[0] * a0 + m[1] * a1;
+      r1[col] = m[2] * a0 + m[3] * a1;
+    }
+  }
+}
+
+void left_apply_gate(Matrix& u, const Gate& g, std::size_t n) {
+  const std::size_t dim = std::size_t{1} << n;
+  switch (g.kind) {
+    case GateKind::Cnot: {
+      const std::size_t cb = std::size_t{1} << (n - 1 - g.q0);
+      const std::size_t tb = std::size_t{1} << (n - 1 - g.q1);
+      for (std::size_t i = 0; i < dim; ++i)
+        if ((i & cb) && !(i & tb))
+          std::swap_ranges(&u.at(i, 0), &u.at(i, 0) + dim, &u.at(i | tb, 0));
+      return;
+    }
+    case GateKind::Cz: {
+      const std::size_t ab = std::size_t{1} << (n - 1 - g.q0);
+      const std::size_t bb = std::size_t{1} << (n - 1 - g.q1);
+      for (std::size_t i = 0; i < dim; ++i)
+        if ((i & ab) && (i & bb)) {
+          Complex* row = &u.at(i, 0);
+          for (std::size_t col = 0; col < dim; ++col) row[col] = -row[col];
+        }
+      return;
+    }
+    case GateKind::Swap: {
+      const std::size_t ab = std::size_t{1} << (n - 1 - g.q0);
+      const std::size_t bb = std::size_t{1} << (n - 1 - g.q1);
+      for (std::size_t i = 0; i < dim; ++i) {
+        const bool ba = i & ab, bbit = i & bb;
+        if (ba && !bbit)
+          std::swap_ranges(&u.at(i, 0), &u.at(i, 0) + dim,
+                           &u.at((i ^ ab) | bb, 0));
+      }
+      return;
+    }
+    case GateKind::Su4:
+      for (const auto& s : g.sub) left_apply_gate(u, s, n);
+      return;
+    default:
+      left_apply_1q(u, gate_matrix_1q(g), g.q0, n);
+  }
+}
+
+}  // namespace
+
+Matrix circuit_unitary(const Circuit& c) {
+  const std::size_t n = c.num_qubits();
+  const std::size_t dim = std::size_t{1} << n;
+  Matrix u = Matrix::identity(dim);
+  for (const auto& g : c.gates()) left_apply_gate(u, g, n);
+  return u;
+}
+
+Matrix hamiltonian_matrix(const std::vector<PauliTerm>& terms,
+                          std::size_t num_qubits) {
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  Matrix h(dim);
+  // Each Pauli string maps |col> to phase(col) * |col ^ flip>: one nonzero
+  // entry per column, so the matrix is filled term-by-term in O(L * 2^n * w).
+  for (const auto& t : terms) {
+    std::size_t flip = 0;
+    std::vector<std::size_t> ybits, zbits;
+    for (std::size_t q = 0; q < num_qubits; ++q) {
+      const Pauli op = t.string.op(q);
+      const std::size_t bit = std::size_t{1} << (num_qubits - 1 - q);
+      if (op == Pauli::X || op == Pauli::Y) flip |= bit;
+      if (op == Pauli::Y) ybits.push_back(bit);
+      if (op == Pauli::Z) zbits.push_back(bit);
+    }
+    for (std::size_t col = 0; col < dim; ++col) {
+      Complex phase{1, 0};
+      for (std::size_t yb : ybits) phase *= (col & yb) ? -kI : kI;
+      for (std::size_t zb : zbits)
+        if (col & zb) phase = -phase;
+      h.at(col ^ flip, col) += t.coeff * phase;
+    }
+  }
+  return h;
+}
+
+Matrix pauli_rotation_matrix(const PauliTerm& term, std::size_t num_qubits) {
+  const std::size_t dim = std::size_t{1} << num_qubits;
+  Matrix u(dim);
+  StateVector sv(num_qubits);
+  for (std::size_t col = 0; col < dim; ++col) {
+    sv.set_basis_state(col);
+    sv.apply_pauli_rotation(term);
+    for (std::size_t row = 0; row < dim; ++row) u.at(row, col) = sv.amplitude(row);
+  }
+  return u;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <array>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "pauli/pauli.hpp"
+#include "sim/matrix.hpp"
+
+namespace phoenix {
+
+/// The 2x2 unitary of a 1Q gate (throws for 2Q kinds).
+std::array<Complex, 4> gate_matrix_1q(const Gate& g);
+
+/// Dense state-vector simulator.
+///
+/// Qubit 0 is the most significant index bit (matching the tensor-product
+/// convention `U = u_0 ⊗ u_1 ⊗ …` used across the library).
+class StateVector {
+ public:
+  /// |0...0> on n qubits.
+  explicit StateVector(std::size_t num_qubits);
+
+  std::size_t num_qubits() const { return n_; }
+  std::size_t dim() const { return amps_.size(); }
+
+  const std::vector<Complex>& amplitudes() const { return amps_; }
+  Complex amplitude(std::size_t basis_state) const { return amps_[basis_state]; }
+
+  /// Reset to the computational basis state |k>.
+  void set_basis_state(std::size_t k);
+
+  void apply_gate(const Gate& g);
+  void apply_circuit(const Circuit& c);
+
+  /// Multiply by exp(-i coeff P) analytically (cos I - i sin P applied
+  /// directly). Reference implementation used to validate synthesized
+  /// rotation circuits and to build ideal Trotter-step unitaries.
+  void apply_pauli_rotation(const PauliTerm& term);
+
+  /// In-place |psi> <- P |psi| for a Pauli string (phase included).
+  void apply_pauli(const PauliString& p);
+
+  double norm() const;
+  Complex inner_product(const StateVector& o) const;
+
+ private:
+  void apply_1q(const std::array<Complex, 4>& m, std::size_t q);
+  void apply_cnot(std::size_t c, std::size_t t);
+  void apply_cz(std::size_t a, std::size_t b);
+  void apply_swap(std::size_t a, std::size_t b);
+
+  std::size_t n_ = 0;
+  std::vector<Complex> amps_;
+};
+
+/// Full unitary of a circuit, built column-by-column with the state-vector
+/// simulator. Feasible up to ~10-12 qubits.
+Matrix circuit_unitary(const Circuit& c);
+
+/// Dense matrix of a Hamiltonian given as a weighted Pauli-string sum.
+Matrix hamiltonian_matrix(const std::vector<PauliTerm>& terms,
+                          std::size_t num_qubits);
+
+/// Dense matrix of exp(-i coeff P).
+Matrix pauli_rotation_matrix(const PauliTerm& term, std::size_t num_qubits);
+
+}  // namespace phoenix

@@ -1,0 +1,277 @@
+#include "transpile/peephole.hpp"
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "sim/statevector.hpp"
+
+namespace phoenix {
+
+namespace {
+
+bool is_z_diagonal(const Gate& g) {
+  switch (g.kind) {
+    case GateKind::I:
+    case GateKind::Z:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::T:
+    case GateKind::Tdg:
+    case GateKind::Rz:
+    case GateKind::Cz:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_x_like(const Gate& g) {
+  return g.kind == GateKind::X || g.kind == GateKind::Rx ||
+         g.kind == GateKind::SqrtX || g.kind == GateKind::SqrtXdg;
+}
+
+bool shares_qubit(const Gate& a, const Gate& b) {
+  for (std::size_t q : a.qubits())
+    if (b.acts_on(q)) return true;
+  return false;
+}
+
+bool same_qubit_set(const Gate& a, const Gate& b) {
+  if (a.is_two_qubit() != b.is_two_qubit()) return false;
+  if (!a.is_two_qubit()) return a.q0 == b.q0;
+  return (a.q0 == b.q0 && a.q1 == b.q1) || (a.q0 == b.q1 && a.q1 == b.q0);
+}
+
+}  // namespace
+
+bool gates_commute(const Gate& a, const Gate& b) {
+  if (!shares_qubit(a, b)) return true;
+  if (is_z_diagonal(a) && is_z_diagonal(b)) return true;
+
+  // CNOT commutation rules.
+  auto cnot_rules = [](const Gate& cx, const Gate& o) {
+    if (!o.is_two_qubit()) {
+      if (o.q0 == cx.q0) return is_z_diagonal(o);
+      if (o.q0 == cx.q1) return is_x_like(o);
+      return true;
+    }
+    if (o.kind == GateKind::Cnot) {
+      const bool share_control = o.q0 == cx.q0;
+      const bool share_target = o.q1 == cx.q1;
+      const bool cross = o.q0 == cx.q1 || o.q1 == cx.q0;
+      if (cross) return false;
+      return share_control || share_target;
+    }
+    if (o.kind == GateKind::Cz)
+      return !(o.q0 == cx.q1 || o.q1 == cx.q1);  // CZ diagonal: control ok
+    return false;
+  };
+  if (a.kind == GateKind::Cnot) return cnot_rules(a, b);
+  if (b.kind == GateKind::Cnot) return cnot_rules(b, a);
+
+  if (a.kind == GateKind::Cz || b.kind == GateKind::Cz) {
+    const Gate& cz = a.kind == GateKind::Cz ? a : b;
+    const Gate& o = a.kind == GateKind::Cz ? b : a;
+    if (!o.is_two_qubit()) return is_z_diagonal(o);
+    (void)cz;
+    return false;
+  }
+  // Same-axis 1Q rotations on the same qubit commute.
+  if (!a.is_two_qubit() && !b.is_two_qubit() && a.q0 == b.q0 &&
+      a.kind == b.kind && gate_has_param(a.kind))
+    return true;
+  return false;
+}
+
+std::size_t cancel_gates(Circuit& c) {
+  std::vector<Gate> gates = c.gates();
+  std::vector<bool> alive(gates.size(), true);
+  std::size_t removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (!alive[i]) continue;
+      for (std::size_t j = i + 1; j < gates.size(); ++j) {
+        if (!alive[j]) continue;
+        if (!shares_qubit(gates[i], gates[j])) continue;
+        if (same_qubit_set(gates[i], gates[j]) &&
+            gates[i].is_inverse_of(gates[j])) {
+          alive[i] = alive[j] = false;
+          removed += 2;
+          changed = true;
+          break;
+        }
+        if (same_qubit_set(gates[i], gates[j]) && gates[i].kind == gates[j].kind &&
+            gate_has_param(gates[i].kind) && gates[i].q0 == gates[j].q0) {
+          // Merge same-axis rotations.
+          gates[j].param += gates[i].param;
+          alive[i] = false;
+          ++removed;
+          if (std::abs(gates[j].param) < 1e-12) {
+            alive[j] = false;
+            ++removed;
+          }
+          changed = true;
+          break;
+        }
+        if (gates_commute(gates[i], gates[j])) continue;
+        break;  // blocked by a non-commuting gate
+      }
+    }
+  }
+  Circuit out(c.num_qubits());
+  for (std::size_t i = 0; i < gates.size(); ++i)
+    if (alive[i]) out.append(gates[i]);
+  c = std::move(out);
+  return removed;
+}
+
+namespace {
+
+/// ZYZ angles of a 2x2 unitary, global phase discarded:
+/// U ~ Rz(alpha) · Ry(beta) · Rz(gamma).
+struct Zyz {
+  double alpha, beta, gamma;
+};
+
+Zyz zyz_decompose(const std::array<Complex, 4>& u) {
+  const double c = std::abs(u[0]);
+  const double s = std::abs(u[2]);
+  Zyz r{};
+  r.beta = 2.0 * std::atan2(s, c);
+  if (s < 1e-12) {
+    r.gamma = 0.0;
+    r.alpha = std::arg(u[3]) - std::arg(u[0]);
+  } else if (c < 1e-12) {
+    r.gamma = 0.0;
+    r.alpha = std::arg(u[2]) - std::arg(u[1]) - M_PI;
+  } else {
+    const double sum = std::arg(u[3]) - std::arg(u[0]);   // alpha + gamma
+    const double diff = std::arg(u[2]) - std::arg(u[1]) - M_PI;  // alpha - gamma
+    r.alpha = 0.5 * (sum + diff);
+    r.gamma = 0.5 * (sum - diff);
+    // sum and diff are each only determined mod 2π; an inconsistent pair of
+    // representatives flips the off-diagonal sign of the reconstruction.
+    // Verify against u (phase-aligned on the largest diagonal entry) and
+    // repair with (alpha, gamma) -> (alpha + π, gamma − π), which flips the
+    // off-diagonals back while leaving the diagonal untouched.
+    const Complex d00 = std::polar(1.0, -(r.alpha + r.gamma) / 2) * c;
+    const Complex o10 = std::polar(1.0, (r.alpha - r.gamma) / 2) * s;
+    const Complex phase = u[0] / d00;
+    if (std::abs(o10 * phase - u[2]) > 1e-9) {
+      r.alpha += M_PI;
+      r.gamma -= M_PI;
+    }
+  }
+  return r;
+}
+
+std::array<Complex, 4> mat_mul2(const std::array<Complex, 4>& a,
+                                const std::array<Complex, 4>& b) {
+  return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+          a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+bool is_identity_up_to_phase(const std::array<Complex, 4>& u) {
+  return std::abs(u[1]) < 1e-12 && std::abs(u[2]) < 1e-12 &&
+         std::abs(u[0] - u[3]) < 1e-12;
+}
+
+}  // namespace
+
+std::size_t fuse_single_qubit_runs(Circuit& c) {
+  const auto& gates = c.gates();
+  const std::size_t n = c.num_qubits();
+  // run_head[q]: index of first gate of the current 1Q run on q, or npos.
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> run_head(n, npos);
+  std::vector<std::vector<std::size_t>> runs;  // gate indices per closed run
+  std::vector<std::vector<std::size_t>> open(n);
+
+  auto close_run = [&](std::size_t q) {
+    if (open[q].size() >= 2) runs.push_back(open[q]);
+    open[q].clear();
+  };
+
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const Gate& g = gates[i];
+    if (g.is_two_qubit()) {
+      close_run(g.q0);
+      close_run(g.q1);
+    } else {
+      open[g.q0].push_back(i);
+    }
+  }
+  for (std::size_t q = 0; q < n; ++q) close_run(q);
+  if (runs.empty()) return 0;
+
+  // Replacement plan: for each run, fused gates appear at the first index.
+  std::vector<bool> drop(gates.size(), false);
+  std::vector<std::vector<Gate>> replace(gates.size());
+  std::size_t removed = 0;
+  for (const auto& run : runs) {
+    std::array<Complex, 4> u = {1, 0, 0, 1};
+    for (std::size_t gi : run) u = mat_mul2(gate_matrix_1q(gates[gi]), u);
+    const std::size_t q = gates[run.front()].q0;
+    std::vector<Gate> fused;
+    if (!is_identity_up_to_phase(u)) {
+      // Prefer single-axis forms: a diagonal run becomes one Rz and an
+      // X-basis-diagonal run (e.g. the H·S†·H left over when adjacent Pauli
+      // gadgets swap an X corner for a Y corner) becomes one Rx. Both shapes
+      // commute through CNOTs on the appropriate side, unblocking further
+      // 2Q cancellation; the generic fallback is the ZYZ triple.
+      if (std::abs(u[1]) < 1e-12 && std::abs(u[2]) < 1e-12) {
+        fused.push_back(Gate::rz(q, std::arg(u[3]) - std::arg(u[0])));
+      } else if (std::abs(u[0] - u[3]) < 1e-12 && std::abs(u[1] - u[2]) < 1e-12 &&
+                 std::abs(std::real(u[1] * std::conj(u[0]))) < 1e-12) {
+        // u ~ e^{iφ} Rx(θ): equal diagonal, equal purely-imaginary-ratio
+        // off-diagonal. θ from |entries|, sign from Im(u01/u00).
+        const double theta =
+            2.0 * std::atan2(std::abs(u[1]), std::abs(u[0])) *
+            (std::imag(u[1] * std::conj(u[0])) < 0 ? 1.0 : -1.0);
+        fused.push_back(Gate::rx(q, theta));
+      } else {
+        const Zyz a = zyz_decompose(u);
+        if (std::abs(a.gamma) > 1e-12) fused.push_back(Gate::rz(q, a.gamma));
+        if (std::abs(a.beta) > 1e-12) fused.push_back(Gate::ry(q, a.beta));
+        if (std::abs(a.alpha) > 1e-12) fused.push_back(Gate::rz(q, a.alpha));
+      }
+    }
+    if (fused.size() >= run.size()) continue;  // no improvement
+    removed += run.size() - fused.size();
+    for (std::size_t gi : run) drop[gi] = true;
+    replace[run.front()] = std::move(fused);
+  }
+  if (removed == 0) return 0;
+
+  Circuit out(n);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (drop[i]) {
+      for (const Gate& g : replace[i]) out.append(g);
+    } else {
+      out.append(gates[i]);
+    }
+  }
+  c = std::move(out);
+  return removed;
+}
+
+void optimize_o3(Circuit& c) {
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t a = fuse_single_qubit_runs(c);
+    const std::size_t b = cancel_gates(c);
+    if (a + b == 0) break;
+  }
+  c.drop_trivial_gates();
+}
+
+void optimize_o2(Circuit& c) {
+  for (int iter = 0; iter < 20; ++iter) {
+    if (cancel_gates(c) == 0) break;
+  }
+  c.drop_trivial_gates();
+}
+
+}  // namespace phoenix

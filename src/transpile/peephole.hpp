@@ -1,0 +1,33 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace phoenix {
+
+/// True when the two gates commute under a conservative, syntactic rule set
+/// (disjoint supports, both Z-diagonal, diagonal-on-control / X-like-on-
+/// target versus CNOT, CNOTs sharing only a control or only a target).
+/// Used by the commutation-aware cancellation pass; false negatives only
+/// cost optimization opportunities, never correctness.
+bool gates_commute(const Gate& a, const Gate& b);
+
+/// Cancel adjacent inverse pairs and merge adjacent same-axis rotations,
+/// looking through commuting gates. Iterates to a fixpoint. Returns the
+/// number of gates removed.
+std::size_t cancel_gates(Circuit& c);
+
+/// Fuse maximal runs of single-qubit gates into at most three rotations
+/// (Rz·Ry·Rz from the 2x2 product). Drops identity-equivalent runs entirely.
+/// Global phases are discarded. Returns the number of gates removed (may be
+/// negative-free: never increases the count).
+std::size_t fuse_single_qubit_runs(Circuit& c);
+
+/// The "O3-like" logical optimization pipeline standing in for Qiskit O3:
+/// alternate 1Q fusion and commutation-aware cancellation to a fixpoint.
+/// This is what the paper appends to Paulihedral/Tetris/PHOENIX outputs.
+void optimize_o3(Circuit& c);
+
+/// Lighter "O2-like" pipeline: cancellation only (no resynthesis).
+void optimize_o2(Circuit& c);
+
+}  // namespace phoenix

@@ -1,0 +1,86 @@
+#include "transpile/rebase.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace phoenix {
+
+namespace {
+
+struct Block {
+  std::size_t a, b;  // qubit pair, a < b
+  std::vector<Gate> gates;
+  bool has_2q = false;
+};
+
+}  // namespace
+
+Circuit rebase_su4(const Circuit& c) {
+  const std::size_t n = c.num_qubits();
+  Circuit out(n);
+
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::vector<Block> blocks;
+  std::vector<std::size_t> open(n, npos);     // qubit -> open block index
+  std::vector<std::vector<Gate>> pending(n);  // loose 1Q gates per qubit
+
+  auto close_block = [&](std::size_t bi) {
+    Block& blk = blocks[bi];
+    if (blk.has_2q) {
+      out.append(Gate::su4(blk.a, blk.b, std::move(blk.gates)));
+    } else {
+      for (Gate& g : blk.gates) out.append(std::move(g));
+    }
+    open[blk.a] = npos;
+    open[blk.b] = npos;
+  };
+
+  for (const Gate& g : c.gates()) {
+    if (!g.is_two_qubit()) {
+      if (open[g.q0] != npos)
+        blocks[open[g.q0]].gates.push_back(g);
+      else
+        pending[g.q0].push_back(g);
+      continue;
+    }
+    const std::size_t a = std::min(g.q0, g.q1), b = std::max(g.q0, g.q1);
+    if (open[a] != npos && open[a] == open[b]) {
+      Block& blk = blocks[open[a]];
+      blk.gates.push_back(g);
+      blk.has_2q = true;
+      continue;
+    }
+    if (open[a] != npos) close_block(open[a]);
+    if (open[b] != npos) close_block(open[b]);
+    Block blk{a, b, {}, true};
+    // Loose 1Q gates on either qubit become the block's leading layer.
+    for (Gate& lg : pending[a]) blk.gates.push_back(std::move(lg));
+    for (Gate& lg : pending[b]) blk.gates.push_back(std::move(lg));
+    pending[a].clear();
+    pending[b].clear();
+    blk.gates.push_back(g);
+    open[a] = open[b] = blocks.size();
+    blocks.push_back(std::move(blk));
+  }
+  for (std::size_t q = 0; q < n; ++q)
+    if (open[q] != npos) close_block(open[q]);
+  for (std::size_t q = 0; q < n; ++q)
+    for (Gate& lg : pending[q]) out.append(std::move(lg));
+  return out;
+}
+
+Circuit decompose_swaps(const Circuit& c) {
+  Circuit out(c.num_qubits());
+  for (const Gate& g : c.gates()) {
+    if (g.kind == GateKind::Swap) {
+      out.append(Gate::cnot(g.q0, g.q1));
+      out.append(Gate::cnot(g.q1, g.q0));
+      out.append(Gate::cnot(g.q0, g.q1));
+    } else {
+      out.append(g);
+    }
+  }
+  return out;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace phoenix {
+
+/// Rebase a circuit onto the SU(4) ISA: every maximal run of gates confined
+/// to one qubit pair (2Q gates plus interleaved 1Q gates) collapses into a
+/// single `Su4` gate that retains its constituents (so rebased circuits stay
+/// simulable). Pure 1Q stretches outside any block are kept as-is — 1Q gates
+/// are free in all paper metrics.
+///
+/// This performs exactly the gate-collection step of a KAK-based transpiler;
+/// since an arbitrary two-qubit unitary is one native gate in the SU(4) ISA
+/// (the AshN scheme of the paper's §V-D), no numeric decomposition is needed
+/// for gate counts or depth.
+Circuit rebase_su4(const Circuit& c);
+
+/// Decompose every SWAP into 3 CNOTs (used after routing when reporting
+/// CNOT-ISA metrics).
+Circuit decompose_swaps(const Circuit& c);
+
+}  // namespace phoenix

@@ -1,0 +1,115 @@
+#pragma once
+
+// Small dense complex-matrix helpers used by tests to verify tableau and
+// simulator behaviour against direct linear algebra. Intentionally
+// independent of src/sim so the two implementations cross-check each other.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace phoenix::testutil {
+
+using Cx = std::complex<double>;
+using Mat = std::vector<std::vector<Cx>>;
+
+inline Mat zeros(std::size_t n) { return Mat(n, std::vector<Cx>(n, Cx{0, 0})); }
+
+inline Mat eye(std::size_t n) {
+  Mat m = zeros(n);
+  for (std::size_t i = 0; i < n; ++i) m[i][i] = 1;
+  return m;
+}
+
+inline Mat mul(const Mat& a, const Mat& b) {
+  const std::size_t n = a.size(), m = b[0].size(), k = b.size();
+  Mat c(n, std::vector<Cx>(m, Cx{0, 0}));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t l = 0; l < k; ++l) {
+      const Cx ail = a[i][l];
+      if (ail == Cx{0, 0}) continue;
+      for (std::size_t j = 0; j < m; ++j) c[i][j] += ail * b[l][j];
+    }
+  return c;
+}
+
+inline Mat adjoint(const Mat& a) {
+  const std::size_t n = a.size(), m = a[0].size();
+  Mat c(m, std::vector<Cx>(n));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j) c[j][i] = std::conj(a[i][j]);
+  return c;
+}
+
+inline Mat kron(const Mat& a, const Mat& b) {
+  const std::size_t na = a.size(), nb = b.size();
+  Mat c = zeros(na * nb);
+  for (std::size_t i = 0; i < na; ++i)
+    for (std::size_t j = 0; j < na; ++j)
+      for (std::size_t k = 0; k < nb; ++k)
+        for (std::size_t l = 0; l < nb; ++l)
+          c[i * nb + k][j * nb + l] = a[i][j] * b[k][l];
+  return c;
+}
+
+inline Mat scale(const Mat& a, Cx s) {
+  Mat c = a;
+  for (auto& row : c)
+    for (auto& v : row) v *= s;
+  return c;
+}
+
+inline Mat add(const Mat& a, const Mat& b) {
+  Mat c = a;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < a[0].size(); ++j) c[i][j] += b[i][j];
+  return c;
+}
+
+inline bool approx_eq(const Mat& a, const Mat& b, double tol = 1e-9) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < a[0].size(); ++j)
+      if (std::abs(a[i][j] - b[i][j]) > tol) return false;
+  return true;
+}
+
+/// Equal up to a global phase.
+inline bool approx_eq_phase(const Mat& a, const Mat& b, double tol = 1e-9) {
+  // Find the largest-magnitude entry of b and align phases there.
+  std::size_t bi = 0, bj = 0;
+  double best = -1;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    for (std::size_t j = 0; j < b[0].size(); ++j)
+      if (std::abs(b[i][j]) > best) {
+        best = std::abs(b[i][j]);
+        bi = i;
+        bj = j;
+      }
+  if (best < tol) return approx_eq(a, b, tol);
+  if (std::abs(a[bi][bj]) < tol) return false;
+  const Cx phase = b[bi][bj] / a[bi][bj];
+  if (std::abs(std::abs(phase) - 1.0) > 1e-6) return false;
+  return approx_eq(scale(a, phase), b, tol);
+}
+
+// --- standard gates -------------------------------------------------------
+
+inline Mat pauli_i() { return eye(2); }
+inline Mat pauli_x() { return {{0, 1}, {1, 0}}; }
+inline Mat pauli_y() { return {{0, Cx{0, -1}}, {Cx{0, 1}, 0}}; }
+inline Mat pauli_z() { return {{1, 0}, {0, -1}}; }
+inline Mat hadamard() {
+  const double s = 1.0 / std::sqrt(2.0);
+  return {{s, s}, {s, -s}};
+}
+inline Mat s_gate() { return {{1, 0}, {0, Cx{0, 1}}}; }
+inline Mat sdg_gate() { return {{1, 0}, {0, Cx{0, -1}}}; }
+inline Mat cnot_gate() {
+  Mat m = zeros(4);
+  m[0][0] = m[1][1] = 1;
+  m[2][3] = m[3][2] = 1;
+  return m;
+}
+
+}  // namespace phoenix::testutil

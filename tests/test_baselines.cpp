@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "baselines/diagonalize.hpp"
+#include "baselines/paulihedral.hpp"
+#include "baselines/tetris.hpp"
+#include "baselines/tket.hpp"
+#include "baselines/twoqan.hpp"
+#include "circuit/synthesis.hpp"
+#include "common/rng.hpp"
+#include "hamlib/qaoa.hpp"
+#include "hamlib/uccsd.hpp"
+#include "mapping/topology.hpp"
+#include "sim/matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace phoenix {
+namespace {
+
+Matrix trotter_product_unitary(const std::vector<PauliTerm>& terms,
+                               std::size_t n) {
+  const std::size_t dim = std::size_t{1} << n;
+  Matrix u(dim);
+  StateVector sv(n);
+  for (std::size_t col = 0; col < dim; ++col) {
+    sv.set_basis_state(col);
+    for (const auto& t : terms) sv.apply_pauli_rotation(t);
+    for (std::size_t row = 0; row < dim; ++row)
+      u.at(row, col) = sv.amplitude(row);
+  }
+  return u;
+}
+
+/// Random pairwise-commuting set built by multiplying random pairs of a
+/// commuting seed set (products of commuting elements commute).
+std::vector<PauliTerm> random_commuting_set(std::size_t n, std::size_t count,
+                                            std::uint64_t seed) {
+  Rng rng(seed);
+  // Seed: random diagonal strings conjugated by a fixed random circuit would
+  // need a simulator; instead build from an abelian group: random products
+  // of fixed commuting generators {XXII.., IXXI.., ..., ZZZZ..}.
+  std::vector<PauliString> gens;
+  for (std::size_t q = 0; q + 1 < n; ++q) {
+    PauliString s(n);
+    s.set_op(q, Pauli::X);
+    s.set_op(q + 1, Pauli::X);
+    gens.push_back(s);
+  }
+  PauliString allz(n);
+  for (std::size_t q = 0; q < n; ++q) allz.set_op(q, Pauli::Z);
+  gens.push_back(allz);
+  std::vector<PauliTerm> out;
+  while (out.size() < count) {
+    PauliString acc(n);
+    for (const auto& g : gens)
+      if (rng.next_below(2)) acc = pauli_multiply(acc, g).second;
+    if (acc.is_identity()) continue;
+    out.emplace_back(acc, rng.next_range(-0.5, 0.5));
+  }
+  return out;
+}
+
+TEST(Diagonalize, PartitionSetsPairwiseCommute) {
+  const auto bench =
+      generate_uccsd(Molecule::lih(), true, FermionEncoding::JordanWigner);
+  const auto sets = partition_commuting(bench.terms);
+  std::size_t total = 0;
+  for (const auto& set : sets) {
+    total += set.size();
+    for (std::size_t i = 0; i < set.size(); ++i)
+      for (std::size_t j = i + 1; j < set.size(); ++j)
+        ASSERT_TRUE(set[i].string.commutes_with(set[j].string));
+  }
+  EXPECT_EQ(total, bench.terms.size());
+  EXPECT_LT(sets.size(), bench.terms.size());  // grouping actually helps
+}
+
+class DiagonalizeParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DiagonalizeParam, ProducesDiagonalTermsAndExactConjugation) {
+  const std::size_t n = 5;
+  const auto set = random_commuting_set(n, 8, GetParam());
+  const auto diag = diagonalize_commuting_set(set, n);
+  ASSERT_EQ(diag.diagonal_terms.size(), set.size());
+  for (const auto& t : diag.diagonal_terms)
+    for (std::size_t q = 0; q < n; ++q)
+      EXPECT_TRUE(t.string.op(q) == Pauli::I || t.string.op(q) == Pauli::Z);
+  // C · Π exp(-iθ D) · C† must equal Π exp(-iθ P) exactly (diagonals
+  // commute, so order inside the set is irrelevant).
+  Circuit c(n);
+  c.append(diag.clifford);
+  for (const auto& t : diag.diagonal_terms) append_pauli_rotation(c, t);
+  c.append(diag.clifford.inverse());
+  const Matrix want = trotter_product_unitary(set, n);
+  EXPECT_TRUE(circuit_unitary(c).approx_equal(want, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiagonalizeParam,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Diagonalize, RejectsNonCommutingInput) {
+  EXPECT_THROW(diagonalize_commuting_set(
+                   {PauliTerm("XI", 0.1), PauliTerm("ZI", 0.2)}, 2),
+               std::invalid_argument);
+}
+
+TEST(Diagonalize, AlreadyDiagonalSetNeedsNoCliffordCnots) {
+  const auto diag = diagonalize_commuting_set(
+      {PauliTerm("ZZI", 0.1), PauliTerm("IZZ", 0.2)}, 3);
+  EXPECT_EQ(diag.clifford.count_2q(), 0u);
+}
+
+TEST(Baselines, AllCompilersExactOnCommutingPrograms) {
+  Rng rng(17);
+  const Graph g = random_regular_graph(6, 3, rng);
+  const auto terms = qaoa_cost_terms(g, 0.3);
+  const Matrix want = trotter_product_unitary(terms, 6);
+  EXPECT_TRUE(circuit_unitary(paulihedral_compile(terms, 6))
+                  .approx_equal(want, 1e-8));
+  EXPECT_TRUE(circuit_unitary(tetris_compile(terms, 6)).approx_equal(want, 1e-8));
+  EXPECT_TRUE(circuit_unitary(tket_compile(terms, 6)).approx_equal(want, 1e-8));
+}
+
+TEST(Baselines, CompilersReduceUccsdCnotCount) {
+  const auto bench =
+      generate_uccsd(Molecule::lih(), true, FermionEncoding::BravyiKitaev);
+  const std::size_t naive =
+      synthesize_naive(bench.terms, bench.num_qubits).count(GateKind::Cnot);
+  EXPECT_LT(paulihedral_compile(bench.terms, bench.num_qubits)
+                .count(GateKind::Cnot),
+            naive);
+  EXPECT_LT(tket_compile(bench.terms, bench.num_qubits).count(GateKind::Cnot),
+            naive);
+  EXPECT_LE(tetris_compile(bench.terms, bench.num_qubits).count(GateKind::Cnot),
+            naive);
+}
+
+TEST(Baselines, HardwareAwareOutputsRespectCoupling) {
+  const auto bench =
+      generate_uccsd(Molecule::nh(), true, FermionEncoding::BravyiKitaev);
+  const Graph device = topology_heavy_hex(3, 9);
+  BaselineOptions opt;
+  opt.hardware_aware = true;
+  opt.coupling = &device;
+  for (const Circuit& c :
+       {paulihedral_compile(bench.terms, bench.num_qubits, opt),
+        tetris_compile(bench.terms, bench.num_qubits, opt)}) {
+    for (const auto& gate : c.gates()) {
+      if (!gate.is_two_qubit()) continue;
+      ASSERT_TRUE(device.has_edge(gate.q0, gate.q1)) << gate.to_string();
+    }
+  }
+}
+
+TEST(TwoQan, RoutesOnCouplingAndCountsSwaps) {
+  const auto suite = qaoa_suite();
+  const Graph device = topology_manhattan();
+  const auto& bench = suite[3];  // Reg3-16
+  const auto res = twoqan_compile(bench.terms, bench.num_qubits, device);
+  for (const auto& gate : res.circuit.gates()) {
+    if (!gate.is_two_qubit()) continue;
+    EXPECT_TRUE(device.has_edge(gate.q0, gate.q1)) << gate.to_string();
+  }
+  EXPECT_EQ(res.circuit.count(GateKind::Swap), 0u);
+  EXPECT_GT(res.circuit.count(GateKind::Cnot), 2 * bench.terms.size() - 1);
+}
+
+TEST(TwoQan, ExactUnitaryUpToLayoutPermutation) {
+  Rng rng(23);
+  const Graph g = random_regular_graph(6, 3, rng);
+  const auto terms = qaoa_cost_terms(g, 0.25);
+  const Graph device = topology_line(6);
+  const auto res = twoqan_compile(terms, 6, device);
+  // Build permutations from layouts.
+  auto perm_matrix = [&](const std::vector<std::size_t>& layout) {
+    const std::size_t dim = std::size_t{1} << 6;
+    Matrix p(dim);
+    for (std::size_t x = 0; x < dim; ++x) {
+      std::size_t y = 0;
+      for (std::size_t q = 0; q < 6; ++q)
+        if ((x >> (5 - q)) & 1) y |= std::size_t{1} << (5 - layout[q]);
+      p.at(y, x) = 1;
+    }
+    return p;
+  };
+  const Matrix u_log = trotter_product_unitary(terms, 6);
+  const Matrix expected = perm_matrix(res.final_layout) * u_log *
+                          perm_matrix(res.initial_layout).adjoint();
+  EXPECT_TRUE(circuit_unitary(res.circuit).approx_equal(expected, 1e-8));
+}
+
+TEST(TwoQan, RejectsNonTwoLocalTerms) {
+  const Graph device = topology_line(4);
+  EXPECT_THROW(twoqan_compile({PauliTerm("ZZZ", 0.1)}, 3, device),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,118 @@
+#include "common/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace phoenix {
+namespace {
+
+TEST(BitVec, DefaultConstructedIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, SizedConstructionIsAllZero) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVec, SetGetFlipAcrossWordBoundaries) {
+  BitVec v(200);
+  for (std::size_t i : {0u, 63u, 64u, 127u, 128u, 199u}) {
+    v.set(i, true);
+    EXPECT_TRUE(v.get(i)) << i;
+  }
+  EXPECT_EQ(v.popcount(), 6u);
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  v.flip(65);
+  EXPECT_TRUE(v.get(65));
+  EXPECT_EQ(v.popcount(), 6u);
+}
+
+TEST(BitVec, FromStringRoundTrip) {
+  const std::string s = "0110010000000000000000000000000000000000000000000000000000000000011";
+  BitVec v = BitVec::from_string(s);
+  EXPECT_EQ(v.to_string(), s);
+  EXPECT_EQ(v.popcount(), 5u);
+}
+
+TEST(BitVec, FromStringRejectsBadChars) {
+  EXPECT_THROW(BitVec::from_string("01a"), std::invalid_argument);
+}
+
+TEST(BitVec, FindFirstAndNext) {
+  BitVec v(150);
+  EXPECT_EQ(v.find_first(), 150u);
+  v.set(3, true);
+  v.set(70, true);
+  v.set(149, true);
+  EXPECT_EQ(v.find_first(), 3u);
+  EXPECT_EQ(v.find_next(4), 70u);
+  EXPECT_EQ(v.find_next(71), 149u);
+  EXPECT_EQ(v.find_next(150), 150u);
+}
+
+TEST(BitVec, OnesListsAscendingIndices) {
+  BitVec v(80);
+  v.set(5, true);
+  v.set(64, true);
+  v.set(79, true);
+  EXPECT_EQ(v.ones(), (std::vector<std::size_t>{5, 64, 79}));
+}
+
+TEST(BitVec, BitwiseOps) {
+  BitVec a = BitVec::from_string("1100");
+  BitVec b = BitVec::from_string("1010");
+  EXPECT_EQ((a & b).to_string(), "1000");
+  EXPECT_EQ((a | b).to_string(), "1110");
+  EXPECT_EQ((a ^ b).to_string(), "0110");
+}
+
+TEST(BitVec, BitwiseOpsRejectSizeMismatch) {
+  BitVec a(4), b(5);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a ^= b, std::invalid_argument);
+}
+
+TEST(BitVec, AndParity) {
+  BitVec a = BitVec::from_string("1101");
+  BitVec b = BitVec::from_string("1011");
+  // AND = 1001 -> parity 0
+  EXPECT_FALSE(BitVec::and_parity(a, b));
+  b.set(1, true);  // AND = 1101 -> parity 1
+  EXPECT_TRUE(BitVec::and_parity(a, b));
+}
+
+TEST(BitVec, ClearZeroesEverything) {
+  BitVec v = BitVec::from_string("1111");
+  v.clear();
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.size(), 4u);
+}
+
+TEST(BitVec, EqualityAndHash) {
+  BitVec a = BitVec::from_string("10101");
+  BitVec b = BitVec::from_string("10101");
+  BitVec c = BitVec::from_string("10100");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.hash(), b.hash());
+  // Different sizes hash differently even when all-zero.
+  EXPECT_NE(BitVec(3).hash(), BitVec(4).hash());
+}
+
+TEST(BitVec, PopcountLargeVector) {
+  BitVec v(1000);
+  for (std::size_t i = 0; i < 1000; i += 3) v.set(i, true);
+  EXPECT_EQ(v.popcount(), 334u);
+}
+
+}  // namespace
+}  // namespace phoenix

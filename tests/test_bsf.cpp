@@ -1,0 +1,262 @@
+#include "pauli/bsf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix_testutil.hpp"
+#include "pauli/clifford2q.hpp"
+
+namespace phoenix {
+namespace {
+
+using testutil::Cx;
+using testutil::Mat;
+
+// Qubit 0 is the most significant tensor factor throughout the tests.
+Mat pauli_matrix_1q(Pauli p) {
+  switch (p) {
+    case Pauli::I: return testutil::pauli_i();
+    case Pauli::X: return testutil::pauli_x();
+    case Pauli::Y: return testutil::pauli_y();
+    case Pauli::Z: return testutil::pauli_z();
+  }
+  return testutil::pauli_i();
+}
+
+Mat pauli_string_matrix(const PauliString& s, bool sign) {
+  Mat m = pauli_matrix_1q(s.op(0));
+  for (std::size_t q = 1; q < s.num_qubits(); ++q)
+    m = testutil::kron(m, pauli_matrix_1q(s.op(q)));
+  if (sign) m = testutil::scale(m, Cx{-1, 0});
+  return m;
+}
+
+Mat embed_1q(const Mat& u, std::size_t q, std::size_t n) {
+  Mat m = q == 0 ? u : testutil::eye(std::size_t{1} << 1);
+  if (q == 0)
+    m = u;
+  else
+    m = testutil::eye(2);
+  Mat full = (q == 0) ? u : testutil::eye(2);
+  for (std::size_t k = 1; k < n; ++k)
+    full = testutil::kron(full, k == q ? u : testutil::eye(2));
+  return full;
+}
+
+Mat cnot_matrix(std::size_t c, std::size_t t, std::size_t n) {
+  const std::size_t dim = std::size_t{1} << n;
+  Mat m = testutil::zeros(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const bool cb = (i >> (n - 1 - c)) & 1;
+    const std::size_t j = cb ? (i ^ (std::size_t{1} << (n - 1 - t))) : i;
+    m[j][i] = 1;
+  }
+  return m;
+}
+
+Mat step_matrix(const CliffStepOp& op, std::size_t n) {
+  switch (op.step) {
+    case CliffStep::H: return embed_1q(testutil::hadamard(), op.a, n);
+    case CliffStep::S: return embed_1q(testutil::s_gate(), op.a, n);
+    case CliffStep::Sdg: return embed_1q(testutil::sdg_gate(), op.a, n);
+    case CliffStep::Cnot: return cnot_matrix(op.a, op.b, n);
+  }
+  return testutil::eye(std::size_t{1} << n);
+}
+
+Mat clifford2q_matrix(const Clifford2Q& c, std::size_t n) {
+  Mat m = testutil::eye(std::size_t{1} << n);
+  // Application order: each successive step multiplies on the left.
+  for (const auto& op : c.expansion()) m = testutil::mul(step_matrix(op, n), m);
+  return m;
+}
+
+std::vector<PauliString> all_two_qubit_paulis() {
+  std::vector<PauliString> out;
+  const Pauli ps[] = {Pauli::I, Pauli::X, Pauli::Y, Pauli::Z};
+  for (Pauli a : ps)
+    for (Pauli b : ps) {
+      PauliString s(2);
+      s.set_op(0, a);
+      s.set_op(1, b);
+      out.push_back(s);
+    }
+  return out;
+}
+
+TEST(Bsf, ConstructionFromTerms) {
+  Bsf b({PauliTerm("XYZ", 0.5), PauliTerm("ZZI", -0.25)});
+  EXPECT_EQ(b.num_qubits(), 3u);
+  EXPECT_EQ(b.num_rows(), 2u);
+  EXPECT_EQ(b.term(0).string.to_string(), "XYZ");
+  EXPECT_DOUBLE_EQ(b.term(1).coeff, -0.25);
+}
+
+TEST(Bsf, RowWeightAndTotalWeight) {
+  Bsf b({PauliTerm("XIZ", 1.0), PauliTerm("IYI", 1.0)});
+  EXPECT_EQ(b.row_weight(0), 2u);
+  EXPECT_EQ(b.row_weight(1), 1u);
+  EXPECT_TRUE(b.row_is_local(1));
+  EXPECT_FALSE(b.row_is_local(0));
+  // Union support = {0,1,2} -> w_tot = 3 (Eq. 4).
+  EXPECT_EQ(b.total_weight(), 3u);
+}
+
+TEST(Bsf, PopLocalRowsSeparatesWeightOne) {
+  Bsf b({PauliTerm("XX", 1.0), PauliTerm("IZ", 2.0), PauliTerm("YI", 3.0)});
+  const auto locals = b.pop_local_rows();
+  EXPECT_EQ(locals.size(), 2u);
+  EXPECT_EQ(b.num_rows(), 1u);
+  EXPECT_EQ(b.term(0).string.to_string(), "XX");
+  EXPECT_DOUBLE_EQ(locals[0].coeff, 2.0);
+  EXPECT_DOUBLE_EQ(locals[1].coeff, 3.0);
+}
+
+TEST(Bsf, HadamardUpdateRule) {
+  // H: X<->Z, Y -> -Y (Fig. 2a plus sign bookkeeping).
+  Bsf b({PauliTerm("X", 1.0), PauliTerm("Z", 1.0), PauliTerm("Y", 1.0)});
+  b.apply_h(0);
+  EXPECT_EQ(b.term(0).string.to_string(), "Z");
+  EXPECT_EQ(b.term(1).string.to_string(), "X");
+  EXPECT_EQ(b.term(2).string.to_string(), "Y");
+  EXPECT_DOUBLE_EQ(b.term(2).coeff, -1.0);
+}
+
+TEST(Bsf, PhaseGateUpdateRule) {
+  // S: X -> Y, Y -> -X, Z -> Z (Fig. 2b plus sign bookkeeping).
+  Bsf b({PauliTerm("X", 1.0), PauliTerm("Y", 1.0), PauliTerm("Z", 1.0)});
+  b.apply_s(0);
+  EXPECT_EQ(b.term(0).string.to_string(), "Y");
+  EXPECT_DOUBLE_EQ(b.term(0).coeff, 1.0);
+  EXPECT_EQ(b.term(1).string.to_string(), "X");
+  EXPECT_DOUBLE_EQ(b.term(1).coeff, -1.0);
+  EXPECT_EQ(b.term(2).string.to_string(), "Z");
+}
+
+TEST(Bsf, SdgIsInverseOfS) {
+  Bsf b({PauliTerm("XYZ", 1.0), PauliTerm("YXI", 0.5)});
+  const Bsf original = b;
+  b.apply_s(1);
+  b.apply_sdg(1);
+  EXPECT_EQ(b, original);
+}
+
+TEST(Bsf, CnotUpdateRule) {
+  // CNOT: x_t ^= x_c, z_c ^= z_t (Fig. 2c); YY -> -XZ.
+  Bsf b({PauliTerm("XI", 1.0), PauliTerm("IZ", 1.0), PauliTerm("YY", 1.0)});
+  b.apply_cnot(0, 1);
+  EXPECT_EQ(b.term(0).string.to_string(), "XX");
+  EXPECT_EQ(b.term(1).string.to_string(), "ZZ");
+  EXPECT_EQ(b.term(2).string.to_string(), "XZ");
+  EXPECT_DOUBLE_EQ(b.term(2).coeff, -1.0);
+}
+
+TEST(Bsf, CnotRejectsEqualQubits) {
+  Bsf b({PauliTerm("XX", 1.0)});
+  EXPECT_THROW(b.apply_cnot(1, 1), std::invalid_argument);
+}
+
+// Every one of the six Clifford2Q generators must act on every 2Q Pauli
+// exactly as matrix conjugation C P C† does — signs included. This pins the
+// whole sign-tracking machinery.
+TEST(Bsf, GeneratorsMatchMatrixConjugationOnAllPaulis) {
+  for (const auto& gen : clifford2q_generators()) {
+    for (auto [a, b] : {std::pair<std::size_t, std::size_t>{0, 1},
+                        std::pair<std::size_t, std::size_t>{1, 0}}) {
+      Clifford2Q c = gen;
+      c.q0 = a;
+      c.q1 = b;
+      const Mat cm = clifford2q_matrix(c, 2);
+      for (const auto& p : all_two_qubit_paulis()) {
+        Bsf tab(2);
+        tab.add_term(PauliTerm(p, 1.0));
+        tab.apply_clifford2q(c);
+        const Mat got =
+            pauli_string_matrix(PauliString(tab.row_x(0), tab.row_z(0)),
+                                tab.row(0).sign);
+        const Mat want =
+            testutil::mul(testutil::mul(cm, pauli_string_matrix(p, false)),
+                          testutil::adjoint(cm));
+        EXPECT_TRUE(testutil::approx_eq(got, want))
+            << c.to_string() << " on " << p.to_string();
+      }
+    }
+  }
+}
+
+TEST(Bsf, GeneratorsAreHermitianOnTableau) {
+  // Applying any generator twice must restore the original tableau.
+  Bsf b({PauliTerm("XYZ", 0.7), PauliTerm("ZZY", -0.3), PauliTerm("YIX", 1.1)});
+  for (const auto& gen : clifford2q_generators()) {
+    Clifford2Q c = gen;
+    c.q0 = 0;
+    c.q1 = 2;
+    Bsf copy = b;
+    copy.apply_clifford2q(c);
+    copy.apply_clifford2q(c);
+    EXPECT_EQ(copy, b) << c.to_string();
+  }
+}
+
+TEST(Bsf, CliffordPreservesCommutationRelations) {
+  Bsf b({PauliTerm("XYZ", 1.0), PauliTerm("ZZY", 1.0), PauliTerm("YXI", 1.0)});
+  auto relations = [](const Bsf& t) {
+    std::vector<bool> r;
+    for (std::size_t i = 0; i < t.num_rows(); ++i)
+      for (std::size_t j = i + 1; j < t.num_rows(); ++j)
+        r.push_back(PauliString(t.row_x(i), t.row_z(i))
+                        .commutes_with(PauliString(t.row_x(j), t.row_z(j))));
+    return r;
+  };
+  const auto before = relations(b);
+  Clifford2Q c{Pauli::Y, Pauli::Z, 1, 2};
+  b.apply_clifford2q(c);
+  EXPECT_EQ(relations(b), before);
+}
+
+// The paper's Fig. 1(b): the weight-3 strings [ZYY, ZZY, XYY, XZY] are
+// simultaneously reducible to weight <= 2 by a single 2Q Clifford generator.
+TEST(Bsf, Fig1bSimultaneousSimplificationExists) {
+  const std::vector<PauliTerm> terms = {
+      {"ZYY", 1.0}, {"ZZY", 1.0}, {"XYY", 1.0}, {"XZY", 1.0}};
+  bool found = false;
+  for (const auto& gen : clifford2q_generators()) {
+    for (std::size_t a = 0; a < 3 && !found; ++a)
+      for (std::size_t b = 0; b < 3 && !found; ++b) {
+        if (a == b) continue;
+        Bsf tab(terms);
+        Clifford2Q c = gen;
+        c.q0 = a;
+        c.q1 = b;
+        tab.apply_clifford2q(c);
+        bool all_small = true;
+        for (std::size_t i = 0; i < tab.num_rows(); ++i)
+          all_small &= tab.row_weight(i) <= 2;
+        if (all_small) found = true;
+      }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Bsf, SupportMaskUnionsRows) {
+  Bsf b({PauliTerm("XII", 1.0), PauliTerm("IIZ", 1.0)});
+  EXPECT_EQ(b.support(), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(b.total_weight(), 2u);
+}
+
+TEST(Bsf, TermFoldsSignIntoCoefficient) {
+  Bsf b({PauliTerm("Y", 2.0)});
+  b.apply_h(0);  // Y -> -Y
+  EXPECT_EQ(b.term(0).string.to_string(), "Y");
+  EXPECT_DOUBLE_EQ(b.term(0).coeff, -2.0);
+}
+
+TEST(Bsf, MismatchedTermSizeRejected) {
+  Bsf b({PauliTerm("XX", 1.0)});
+  EXPECT_THROW(b.add_term(PauliTerm("XXX", 1.0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "hamlib/io.hpp"
+#include "hamlib/trotter.hpp"
+#include "hamlib/uccsd.hpp"
+#include "sim/expectation.hpp"
+#include "sim/matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace phoenix {
+namespace {
+
+TEST(Trotter, FirstOrderScalesCoefficients) {
+  const std::vector<PauliTerm> h = {{"XX", 0.4}, {"ZI", -0.2}};
+  const auto step = trotter_first_order(h, 0.5);
+  ASSERT_EQ(step.size(), 2u);
+  EXPECT_DOUBLE_EQ(step[0].coeff, 0.2);
+  EXPECT_DOUBLE_EQ(step[1].coeff, -0.1);
+}
+
+TEST(Trotter, SecondOrderIsPalindromic) {
+  const std::vector<PauliTerm> h = {{"XX", 0.4}, {"ZI", -0.2}, {"IY", 0.1}};
+  const auto step = trotter_second_order(h, 1.0);
+  ASSERT_EQ(step.size(), 6u);
+  for (std::size_t i = 0; i < step.size(); ++i) {
+    EXPECT_EQ(step[i].string, step[step.size() - 1 - i].string);
+    EXPECT_DOUBLE_EQ(step[i].coeff, step[step.size() - 1 - i].coeff);
+  }
+}
+
+TEST(Trotter, RepeatsSteps) {
+  const std::vector<PauliTerm> h = {{"XX", 0.4}};
+  EXPECT_EQ(trotterize(h, 1.0, 4).size(), 4u);
+  EXPECT_EQ(trotterize(h, 1.0, 4, TrotterOrder::Second).size(), 8u);
+  EXPECT_THROW(trotterize(h, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Trotter, SecondOrderConvergesFasterThanFirst) {
+  const std::vector<PauliTerm> h = {{"XX", 0.31}, {"ZI", -0.5}, {"IZ", 0.22}};
+  const Matrix exact = expm_minus_i(hamiltonian_matrix(h, 2), 1.0);
+  auto error = [&](TrotterOrder order, std::size_t steps) {
+    StateVector sv(2);
+    sv.apply_gate(Gate::h(0));
+    StateVector ref = sv;
+    for (const auto& t : trotterize(h, 1.0, steps, order))
+      sv.apply_pauli_rotation(t);
+    // Reference via the exact matrix.
+    StateVector out(2);
+    std::vector<Complex> amps(4, Complex{0, 0});
+    for (std::size_t r = 0; r < 4; ++r)
+      for (std::size_t cc = 0; cc < 4; ++cc)
+        amps[r] += exact.at(r, cc) * ref.amplitude(cc);
+    Complex overlap{0, 0};
+    for (std::size_t r = 0; r < 4; ++r)
+      overlap += std::conj(amps[r]) * sv.amplitude(r);
+    return 1.0 - std::abs(overlap);
+  };
+  EXPECT_LT(error(TrotterOrder::Second, 4), error(TrotterOrder::First, 4));
+  EXPECT_LT(error(TrotterOrder::First, 16), error(TrotterOrder::First, 4));
+}
+
+TEST(HamiltonianIo, TextRoundTrip) {
+  const std::vector<PauliTerm> terms = {
+      {"XIZY", 0.25}, {"IZZI", -0.5}, {"YYYY", 1e-3}};
+  const auto parsed = hamiltonian_from_text(hamiltonian_to_text(terms));
+  ASSERT_EQ(parsed.size(), terms.size());
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    EXPECT_EQ(parsed[i].string, terms[i].string);
+    EXPECT_DOUBLE_EQ(parsed[i].coeff, terms[i].coeff);
+  }
+}
+
+TEST(HamiltonianIo, IgnoresCommentsAndBlanks) {
+  const auto terms = hamiltonian_from_text(
+      "# header\n\nXX 0.5  # trailing comment\n  \nZZ -1\n");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[1].string.to_string(), "ZZ");
+}
+
+TEST(HamiltonianIo, RejectsMalformedText) {
+  EXPECT_THROW(hamiltonian_from_text("XX\n"), std::runtime_error);
+  EXPECT_THROW(hamiltonian_from_text("XX 0.5 junk\n"), std::runtime_error);
+  EXPECT_THROW(hamiltonian_from_text("XX 0.5\nXXX 0.1\n"), std::runtime_error);
+  EXPECT_THROW(hamiltonian_from_text("XQ 0.5\n"), std::invalid_argument);
+}
+
+TEST(HamiltonianIo, FileRoundTrip) {
+  const auto bench =
+      generate_uccsd(Molecule::lih(), true, FermionEncoding::BravyiKitaev);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "phoenix_io_test.ham").string();
+  save_hamiltonian(path, bench.terms);
+  const auto loaded = load_hamiltonian(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.size(), bench.terms.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i)
+    EXPECT_EQ(loaded[i].string, bench.terms[i].string);
+}
+
+TEST(HamiltonianIo, MissingFileThrows) {
+  EXPECT_THROW(load_hamiltonian("/nonexistent/path.ham"), std::runtime_error);
+}
+
+TEST(Expectation, ComputationalBasisZValues) {
+  StateVector sv(2);  // |00>
+  EXPECT_NEAR(pauli_expectation(sv, PauliString::from_label("ZI")), 1.0, 1e-12);
+  sv.apply_gate(Gate::x(0));  // |10>
+  EXPECT_NEAR(pauli_expectation(sv, PauliString::from_label("ZI")), -1.0, 1e-12);
+  EXPECT_NEAR(pauli_expectation(sv, PauliString::from_label("XI")), 0.0, 1e-12);
+}
+
+TEST(Expectation, BellStateCorrelations) {
+  StateVector sv(2);
+  sv.apply_gate(Gate::h(0));
+  sv.apply_gate(Gate::cnot(0, 1));
+  EXPECT_NEAR(pauli_expectation(sv, PauliString::from_label("ZZ")), 1.0, 1e-12);
+  EXPECT_NEAR(pauli_expectation(sv, PauliString::from_label("XX")), 1.0, 1e-12);
+  EXPECT_NEAR(pauli_expectation(sv, PauliString::from_label("YY")), -1.0, 1e-12);
+  EXPECT_NEAR(pauli_expectation(sv, PauliString::from_label("ZI")), 0.0, 1e-12);
+}
+
+TEST(Expectation, EnergyIsLinearInTerms) {
+  StateVector sv(2);
+  sv.apply_gate(Gate::h(0));
+  sv.apply_gate(Gate::cnot(0, 1));
+  const std::vector<PauliTerm> h = {{"ZZ", 0.5}, {"XX", 0.25}, {"YY", -1.0}};
+  EXPECT_NEAR(energy_expectation(sv, h), 0.5 + 0.25 + 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace phoenix

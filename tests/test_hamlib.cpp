@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <set>
+
+#include "hamlib/fermion.hpp"
+#include "hamlib/grouping.hpp"
+#include "hamlib/qaoa.hpp"
+#include "hamlib/uccsd.hpp"
+#include "sim/matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace phoenix {
+namespace {
+
+using Cx = std::complex<double>;
+
+class FermionEncodingTest
+    : public ::testing::TestWithParam<FermionEncoding> {};
+
+// Canonical anticommutation relations {a_i, a†_j} = δ_ij, {a_i, a_j} = 0
+// must hold in any valid fermion-to-qubit encoding.
+TEST_P(FermionEncodingTest, CanonicalAnticommutationRelations) {
+  const std::size_t n = 5;
+  FermionEncoder enc(n, GetParam());
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      PauliPolynomial anti = enc.lower(i) * enc.raise(j) +
+                             enc.raise(j) * enc.lower(i);
+      anti.prune();
+      if (i == j) {
+        EXPECT_EQ(anti.num_terms(), 1u) << i << "," << j;
+        EXPECT_NEAR(std::abs(anti.coeff(PauliString(n)) - Cx{1, 0}), 0.0,
+                    1e-12);
+      } else {
+        EXPECT_TRUE(anti.empty()) << i << "," << j;
+      }
+      PauliPolynomial anti2 = enc.lower(i) * enc.lower(j) +
+                              enc.lower(j) * enc.lower(i);
+      anti2.prune();
+      EXPECT_TRUE(anti2.empty()) << i << "," << j;
+    }
+}
+
+TEST_P(FermionEncodingTest, MajoranasAnticommuteAndSquareToIdentity) {
+  const std::size_t n = 6;
+  FermionEncoder enc(n, GetParam());
+  for (std::size_t k = 0; k < 2 * n; ++k) {
+    const PauliString ck = enc.majorana(k);
+    auto [phase, sq] = pauli_multiply(ck, ck);
+    EXPECT_TRUE(sq.is_identity());
+    for (std::size_t l = k + 1; l < 2 * n; ++l)
+      EXPECT_FALSE(ck.commutes_with(enc.majorana(l))) << k << "," << l;
+  }
+}
+
+TEST_P(FermionEncodingTest, NumberOperatorIsProjector) {
+  const std::size_t n = 3;
+  FermionEncoder enc(n, GetParam());
+  for (std::size_t j = 0; j < n; ++j) {
+    // n_j^2 = n_j for a projector.
+    PauliPolynomial nj = enc.number(j);
+    PauliPolynomial diff = nj * nj - nj;
+    diff.prune(1e-10);
+    EXPECT_TRUE(diff.empty()) << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Encodings, FermionEncodingTest,
+                         ::testing::Values(FermionEncoding::JordanWigner,
+                                           FermionEncoding::BravyiKitaev),
+                         [](const auto& info) {
+                           return info.param == FermionEncoding::JordanWigner
+                                      ? "JW"
+                                      : "BK";
+                         });
+
+TEST(FermionEncoder, JordanWignerMajoranaShape) {
+  FermionEncoder enc(4, FermionEncoding::JordanWigner);
+  EXPECT_EQ(enc.majorana(0).to_string(), "XIII");
+  EXPECT_EQ(enc.majorana(1).to_string(), "YIII");
+  EXPECT_EQ(enc.majorana(4).to_string(), "ZZXI");
+  EXPECT_EQ(enc.majorana(7).to_string(), "ZZZY");
+}
+
+TEST(FermionEncoder, BravyiKitaevSetsMatchFenwickStructure) {
+  FermionEncoder enc(8, FermionEncoding::BravyiKitaev);
+  // Qubit 7 (1-based 8 = 2^3) stores modes 0..7 -> flip set {0..6}.
+  EXPECT_EQ(enc.flip_set(7), (std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6}));
+  // Update set of mode 0: ancestors 2, 4, 8 (1-based) -> {1, 3, 7}.
+  EXPECT_EQ(enc.update_set(0), (std::vector<std::size_t>{1, 3, 7}));
+  // Parity of modes < 6: prefix 6 = 0b110 -> qubits 5 and 3.
+  EXPECT_EQ(enc.parity_set(6), (std::vector<std::size_t>{5, 3}));
+  // Even mode: remainder equals parity set.
+  EXPECT_EQ(enc.remainder_set(6), enc.parity_set(6));
+}
+
+TEST(FermionEncoder, BravyiKitaevLowersMaxWeight) {
+  // The motivating property of BK: O(log n) operator weight versus O(n).
+  const std::size_t n = 16;
+  FermionEncoder jw(n, FermionEncoding::JordanWigner);
+  FermionEncoder bk(n, FermionEncoding::BravyiKitaev);
+  EXPECT_EQ(jw.majorana(2 * (n - 1)).weight(), n);
+  EXPECT_LT(bk.majorana(2 * (n - 1)).weight(), n / 2);
+}
+
+// JW and BK must describe the same physics: H_BK = V H_JW V† where V is the
+// basis permutation |x> -> |βx> given by the encoding matrix.
+TEST(FermionEncoder, BkEqualsBasisChangedJw) {
+  const std::size_t n = 4;
+  FermionEncoder jw(n, FermionEncoding::JordanWigner);
+  FermionEncoder bk(n, FermionEncoding::BravyiKitaev);
+
+  // A generic Hermitian 1-body operator sum_{pq} h_pq a†_p a_q.
+  auto build = [&](const FermionEncoder& enc) {
+    PauliPolynomial h(n);
+    const double coef[4][4] = {{0.7, 0.2, -0.1, 0.05},
+                               {0.2, -0.3, 0.4, 0.0},
+                               {-0.1, 0.4, 0.9, -0.6},
+                               {0.05, 0.0, -0.6, 0.1}};
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = 0; q < n; ++q) {
+        PauliPolynomial t = enc.raise(p) * enc.lower(q);
+        t *= Cx{coef[p][q], 0};
+        h += t;
+      }
+    h.prune();
+    return h;
+  };
+
+  auto to_matrix = [&](const PauliPolynomial& poly) {
+    // Keep the identity component too (to_terms drops it by design).
+    const Cx id = poly.coeff(PauliString(n));
+    Matrix m = hamiltonian_matrix(poly.to_terms(), n);
+    for (std::size_t i = 0; i < m.dim(); ++i) m.at(i, i) += id;
+    return m;
+  };
+
+  const Matrix h_jw = to_matrix(build(jw));
+  const Matrix h_bk = to_matrix(build(bk));
+
+  // Permutation V: BK basis state y has y_j = XOR of occupations in row j.
+  const auto beta = bk.encoding_matrix();
+  const std::size_t dim = std::size_t{1} << n;
+  Matrix v(dim);
+  for (std::size_t x = 0; x < dim; ++x) {
+    std::size_t y = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      bool bit = false;
+      for (std::size_t k = 0; k < n; ++k)
+        if (beta[j].get(k)) bit ^= (x >> (n - 1 - k)) & 1;
+      if (bit) y |= std::size_t{1} << (n - 1 - j);
+    }
+    v.at(y, x) = 1;
+  }
+  const Matrix lhs = v * h_jw * v.adjoint();
+  EXPECT_TRUE(lhs.approx_equal(h_bk, 1e-10));
+}
+
+TEST(Molecule, StandardSto3gCounts) {
+  EXPECT_EQ(Molecule::ch2().n_spin_orbitals(), 14u);
+  EXPECT_EQ(Molecule::h2o().n_spin_orbitals(), 14u);
+  EXPECT_EQ(Molecule::lih().n_spin_orbitals(), 12u);
+  EXPECT_EQ(Molecule::nh().n_spin_orbitals(), 12u);
+  EXPECT_EQ(Molecule::lih().frozen_core().n_spin_orbitals(), 10u);
+  EXPECT_EQ(Molecule::lih().frozen_core().n_electrons, 2u);
+}
+
+TEST(Uccsd, SuiteMatchesTableOneQubitCounts) {
+  const auto suite = uccsd_suite();
+  ASSERT_EQ(suite.size(), 16u);
+  // Table I ordering: {CH2,H2O,LiH,NH} x {cmplt,frz} x {BK,JW}.
+  const struct {
+    const char* name;
+    std::size_t qubits;
+  } want[] = {
+      {"CH2_cmplt_BK", 14}, {"CH2_cmplt_JW", 14}, {"CH2_frz_BK", 12},
+      {"CH2_frz_JW", 12},   {"H2O_cmplt_BK", 14}, {"H2O_cmplt_JW", 14},
+      {"H2O_frz_BK", 12},   {"H2O_frz_JW", 12},   {"LiH_cmplt_BK", 12},
+      {"LiH_cmplt_JW", 12}, {"LiH_frz_BK", 10},   {"LiH_frz_JW", 10},
+      {"NH_cmplt_BK", 12},  {"NH_cmplt_JW", 12},  {"NH_frz_BK", 10},
+      {"NH_frz_JW", 10},
+  };
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(suite[i].name, want[i].name);
+    EXPECT_EQ(suite[i].num_qubits, want[i].qubits) << suite[i].name;
+    EXPECT_FALSE(suite[i].terms.empty()) << suite[i].name;
+  }
+}
+
+TEST(Uccsd, JwMaxWeightIsFullRegister) {
+  // The longest JW double excitation spans the whole register (Table I).
+  for (const auto& b : uccsd_suite()) {
+    if (b.name.find("_JW") == std::string::npos) continue;
+    EXPECT_EQ(b.w_max, b.num_qubits) << b.name;
+  }
+}
+
+TEST(Uccsd, BkMaxWeightBelowRegister) {
+  for (const auto& b : uccsd_suite()) {
+    if (b.name.find("_BK") == std::string::npos) continue;
+    EXPECT_LT(b.w_max, b.num_qubits) << b.name;
+  }
+}
+
+TEST(Uccsd, JwGroupsAreExcitationBlocks) {
+  // Grouping by support must recover blocks of 2 (singles) or 8 (doubles)
+  // strings for the JW encoding.
+  const auto b = generate_uccsd(Molecule::lih(), true, FermionEncoding::JordanWigner);
+  const auto groups = group_by_support(b.terms);
+  for (const auto& g : groups) {
+    EXPECT_TRUE(g.terms.size() == 2 || g.terms.size() == 8)
+        << "group size " << g.terms.size();
+  }
+}
+
+TEST(Uccsd, DeterministicAcrossCalls) {
+  const auto a = generate_uccsd(Molecule::nh(), false, FermionEncoding::BravyiKitaev);
+  const auto b = generate_uccsd(Molecule::nh(), false, FermionEncoding::BravyiKitaev);
+  ASSERT_EQ(a.terms.size(), b.terms.size());
+  for (std::size_t i = 0; i < a.terms.size(); ++i) EXPECT_EQ(a.terms[i], b.terms[i]);
+}
+
+TEST(Uccsd, AllCoefficientsRealAndNonzero) {
+  const auto b = generate_uccsd(Molecule::lih(), true, FermionEncoding::BravyiKitaev);
+  for (const auto& t : b.terms) EXPECT_NE(t.coeff, 0.0);
+}
+
+TEST(Qaoa, RandomRegularGraphIsRegularAndConnected) {
+  Rng rng(99);
+  const Graph g = random_regular_graph(16, 4, rng);
+  EXPECT_TRUE(g.connected());
+  for (std::size_t v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(g.num_edges(), 32u);
+}
+
+TEST(Qaoa, OddProductRejected) {
+  Rng rng(1);
+  EXPECT_THROW(random_regular_graph(5, 3, rng), std::invalid_argument);
+  EXPECT_THROW(random_regular_graph(4, 4, rng), std::invalid_argument);
+}
+
+TEST(Qaoa, SuiteMatchesTableFourPauliCounts) {
+  const auto suite = qaoa_suite();
+  ASSERT_EQ(suite.size(), 6u);
+  const struct {
+    const char* name;
+    std::size_t n, paulis;
+  } want[] = {
+      {"Rand-16", 16, 32}, {"Rand-20", 20, 40}, {"Rand-24", 24, 48},
+      {"Reg3-16", 16, 24}, {"Reg3-20", 20, 30}, {"Reg3-24", 24, 36},
+  };
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(suite[i].name, want[i].name);
+    EXPECT_EQ(suite[i].num_qubits, want[i].n);
+    EXPECT_EQ(suite[i].terms.size(), want[i].paulis) << suite[i].name;
+  }
+}
+
+TEST(Qaoa, TermsAreWeightTwoZz) {
+  for (const auto& b : qaoa_suite())
+    for (const auto& t : b.terms) {
+      EXPECT_EQ(t.string.weight(), 2u);
+      for (std::size_t q : t.string.support())
+        EXPECT_EQ(t.string.op(q), Pauli::Z);
+    }
+}
+
+TEST(Grouping, GroupsBySupportPreservingOrder) {
+  const std::vector<PauliTerm> terms = {
+      {"XXI", 0.1}, {"YYI", 0.2}, {"IZZ", 0.3}, {"XYI", 0.4}, {"IIZ", 0.5}};
+  const auto groups = group_by_support(terms);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].terms.size(), 3u);  // XXI, YYI, XYI share support {0,1}
+  EXPECT_EQ(groups[1].terms.size(), 1u);
+  EXPECT_EQ(groups[2].terms.size(), 1u);
+  EXPECT_EQ(groups[0].weight(), 2u);
+  const auto flat = flatten_groups(groups);
+  EXPECT_EQ(flat.size(), terms.size());
+}
+
+}  // namespace
+}  // namespace phoenix

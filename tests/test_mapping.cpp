@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "mapping/sabre.hpp"
+#include "mapping/topology.hpp"
+#include "sim/matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace phoenix {
+namespace {
+
+TEST(Topology, AllToAllEdgeCount) {
+  const Graph g = topology_all_to_all(6);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_TRUE(g.connected());
+}
+
+TEST(Topology, LineAndGrid) {
+  EXPECT_EQ(topology_line(5).num_edges(), 4u);
+  const Graph grid = topology_grid(3, 4);
+  EXPECT_EQ(grid.num_vertices(), 12u);
+  EXPECT_EQ(grid.num_edges(), 17u);  // 3*3 + 2*4
+  EXPECT_TRUE(grid.connected());
+}
+
+TEST(Topology, HeavyHexDegreeAtMostThree) {
+  const Graph g = topology_heavy_hex(4, 13);
+  EXPECT_TRUE(g.connected());
+  for (std::size_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_LE(g.degree(v), 3u) << v;
+}
+
+TEST(Topology, ManhattanHas65QubitsDegreeThree) {
+  const Graph g = topology_manhattan();
+  EXPECT_EQ(g.num_vertices(), 65u);
+  EXPECT_TRUE(g.connected());
+  for (std::size_t v = 0; v < g.num_vertices(); ++v)
+    EXPECT_LE(g.degree(v), 3u) << v;
+}
+
+TEST(Topology, HeavyHexHasTwelveQubitCells) {
+  // The defining heavy-hex feature: shortest cycles have 12 vertices.
+  const Graph g = topology_heavy_hex(3, 9);
+  // Girth check via BFS from each vertex: the shortest cycle through any
+  // edge (u,v) is 1 + dist(u,v) with the edge removed; heavy-hex -> 12.
+  std::size_t girth = static_cast<std::size_t>(-1);
+  for (const auto& [u, v] : g.edges()) {
+    Graph h(g.num_vertices());
+    for (const auto& [a, b] : g.edges())
+      if (!((a == u && b == v) || (a == v && b == u))) h.add_edge(a, b);
+    const auto d = h.bfs_distances(u);
+    if (d[v] != Graph::kUnreachable) girth = std::min(girth, d[v] + 1);
+  }
+  EXPECT_EQ(girth, 12u);
+}
+
+Circuit random_two_qubit_circuit(std::size_t n, std::size_t len,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  Circuit c(n);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (rng.next_below(3) == 0) {
+      c.append(Gate::rz(rng.next_below(n), rng.next_range(-1, 1)));
+    } else {
+      const std::size_t a = rng.next_below(n);
+      std::size_t b = rng.next_below(n - 1);
+      if (b >= a) ++b;
+      c.append(Gate::cnot(a, b));
+    }
+  }
+  return c;
+}
+
+/// Permutation matrix sending logical basis bits to physical positions:
+/// bit of logical qubit q lands on wire layout[q].
+Matrix layout_permutation(const std::vector<std::size_t>& layout,
+                          std::size_t n) {
+  const std::size_t dim = std::size_t{1} << n;
+  Matrix p(dim);
+  for (std::size_t x = 0; x < dim; ++x) {
+    std::size_t y = 0;
+    for (std::size_t q = 0; q < layout.size(); ++q)
+      if ((x >> (n - 1 - q)) & 1) y |= std::size_t{1} << (n - 1 - layout[q]);
+    p.at(y, x) = 1;
+  }
+  return p;
+}
+
+TEST(Sabre, AllGatesRoutedOntoCouplingEdges) {
+  const Graph line = topology_line(5);
+  const Circuit c = random_two_qubit_circuit(5, 30, 7);
+  const SabreResult r = sabre_route(c, line);
+  for (const auto& g : r.routed.gates()) {
+    if (!g.is_two_qubit()) continue;
+    EXPECT_TRUE(line.has_edge(g.q0, g.q1)) << g.to_string();
+  }
+  EXPECT_EQ(r.routed.count_2q(), c.count_2q() + r.num_swaps);
+}
+
+TEST(Sabre, NoSwapsNeededOnAllToAll) {
+  const Graph full = topology_all_to_all(5);
+  const Circuit c = random_two_qubit_circuit(5, 40, 3);
+  const SabreResult r = sabre_route(c, full);
+  EXPECT_EQ(r.num_swaps, 0u);
+}
+
+TEST(Sabre, RoutedCircuitIsPermutationEquivalent) {
+  // routed == P_final · U_logical · P_init† on equal-sized registers.
+  const Graph line = topology_line(4);
+  for (std::uint64_t seed : {41u, 42u, 43u}) {
+    const Circuit c = random_two_qubit_circuit(4, 20, seed);
+    const SabreResult r = sabre_route(c, line);
+    const Matrix u_log = circuit_unitary(c);
+    const Matrix u_routed = circuit_unitary(r.routed);
+    const Matrix pi = layout_permutation(r.initial_layout, 4);
+    const Matrix pf = layout_permutation(r.final_layout, 4);
+    const Matrix expected = pf * u_log * pi.adjoint();
+    EXPECT_TRUE(u_routed.approx_equal(expected, 1e-9)) << seed;
+  }
+}
+
+TEST(Sabre, LayoutsArePermutations) {
+  const Graph g = topology_heavy_hex(3, 9);
+  const Circuit c = random_two_qubit_circuit(8, 25, 5);
+  const SabreResult r = sabre_route(c, g);
+  auto is_injective = [&](const std::vector<std::size_t>& v) {
+    std::vector<bool> seen(g.num_vertices(), false);
+    for (std::size_t p : v) {
+      if (p >= g.num_vertices() || seen[p]) return false;
+      seen[p] = true;
+    }
+    return true;
+  };
+  EXPECT_TRUE(is_injective(r.initial_layout));
+  EXPECT_TRUE(is_injective(r.final_layout));
+}
+
+TEST(Sabre, RejectsBadInputs) {
+  const Circuit c = random_two_qubit_circuit(5, 10, 1);
+  EXPECT_THROW(sabre_route(c, topology_line(3)), std::invalid_argument);
+  Graph disconnected(5);
+  disconnected.add_edge(0, 1);
+  EXPECT_THROW(sabre_route(c, disconnected), std::invalid_argument);
+}
+
+TEST(Sabre, HeavyHexRoutingOverheadIsBounded) {
+  // Sanity: routing a 16-qubit program onto heavy-hex should cost SWAPs but
+  // not explode (paper reports ~2-3x CNOT multiples).
+  const Graph hh = topology_manhattan();
+  const Circuit c = random_two_qubit_circuit(16, 60, 9);
+  const SabreResult r = sabre_route(c, hh);
+  EXPECT_GT(r.num_swaps, 0u);
+  EXPECT_LT(r.num_swaps, 6 * c.count_2q());
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,89 @@
+#include "pauli/pauli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace phoenix {
+namespace {
+
+TEST(Pauli, CharConversionRoundTrip) {
+  for (Pauli p : {Pauli::I, Pauli::X, Pauli::Y, Pauli::Z})
+    EXPECT_EQ(pauli_from_char(pauli_char(p)), p);
+  EXPECT_EQ(pauli_from_char('x'), Pauli::X);
+  EXPECT_THROW(pauli_from_char('Q'), std::invalid_argument);
+}
+
+TEST(Pauli, SingleQubitCommutation) {
+  EXPECT_TRUE(pauli_commutes(Pauli::I, Pauli::X));
+  EXPECT_TRUE(pauli_commutes(Pauli::Z, Pauli::Z));
+  EXPECT_FALSE(pauli_commutes(Pauli::X, Pauli::Z));
+  EXPECT_FALSE(pauli_commutes(Pauli::Y, Pauli::X));
+}
+
+TEST(PauliString, LabelRoundTrip) {
+  const PauliString s = PauliString::from_label("XIZY");
+  EXPECT_EQ(s.num_qubits(), 4u);
+  EXPECT_EQ(s.op(0), Pauli::X);
+  EXPECT_EQ(s.op(1), Pauli::I);
+  EXPECT_EQ(s.op(2), Pauli::Z);
+  EXPECT_EQ(s.op(3), Pauli::Y);
+  EXPECT_EQ(s.to_string(), "XIZY");
+}
+
+TEST(PauliString, SymplecticEncoding) {
+  const PauliString s = PauliString::from_label("IXYZ");
+  EXPECT_EQ(s.x().to_string(), "0110");
+  EXPECT_EQ(s.z().to_string(), "0011");
+}
+
+TEST(PauliString, WeightAndSupport) {
+  const PauliString s = PauliString::from_label("XIZYI");
+  EXPECT_EQ(s.weight(), 3u);
+  EXPECT_EQ(s.support(), (std::vector<std::size_t>{0, 2, 3}));
+  EXPECT_FALSE(s.is_identity());
+  EXPECT_TRUE(PauliString(5).is_identity());
+}
+
+TEST(PauliString, SetOpOverwrites) {
+  PauliString s(3);
+  s.set_op(1, Pauli::Y);
+  EXPECT_EQ(s.to_string(), "IYI");
+  s.set_op(1, Pauli::Z);
+  EXPECT_EQ(s.to_string(), "IZI");
+  s.set_op(1, Pauli::I);
+  EXPECT_TRUE(s.is_identity());
+}
+
+TEST(PauliString, SingleFactory) {
+  const PauliString s = PauliString::single(4, 2, Pauli::Y);
+  EXPECT_EQ(s.to_string(), "IIYI");
+}
+
+TEST(PauliString, CommutationBySymplecticForm) {
+  // XX and ZZ commute (two anticommuting positions), XI and ZI do not.
+  EXPECT_TRUE(PauliString::from_label("XX").commutes_with(
+      PauliString::from_label("ZZ")));
+  EXPECT_FALSE(PauliString::from_label("XI").commutes_with(
+      PauliString::from_label("ZI")));
+  EXPECT_TRUE(PauliString::from_label("XYZ").commutes_with(
+      PauliString::from_label("XYZ")));
+  // ZYY vs XZY: positions (Z,X) anti, (Y,Z) anti, (Y,Y) comm -> commute.
+  EXPECT_TRUE(PauliString::from_label("ZYY").commutes_with(
+      PauliString::from_label("XZY")));
+  // Identity commutes with everything.
+  EXPECT_TRUE(PauliString(3).commutes_with(PauliString::from_label("XYZ")));
+}
+
+TEST(PauliString, MismatchedXZSizesRejected) {
+  EXPECT_THROW(PauliString(BitVec(3), BitVec(4)), std::invalid_argument);
+}
+
+TEST(PauliTerm, LabelConstructor) {
+  const PauliTerm t("XY", 0.25);
+  EXPECT_EQ(t.string.to_string(), "XY");
+  EXPECT_DOUBLE_EQ(t.coeff, 0.25);
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/synthesis.hpp"
+#include "hamlib/grouping.hpp"
+#include "hamlib/qaoa.hpp"
+#include "hamlib/uccsd.hpp"
+#include "mapping/topology.hpp"
+#include "phoenix/compiler.hpp"
+#include "phoenix/ordering.hpp"
+#include "phoenix/simplify.hpp"
+#include "sim/matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace phoenix {
+namespace {
+
+Matrix trotter_product_unitary(const std::vector<PauliTerm>& terms,
+                               std::size_t n) {
+  const std::size_t dim = std::size_t{1} << n;
+  Matrix u(dim);
+  StateVector sv(n);
+  for (std::size_t col = 0; col < dim; ++col) {
+    sv.set_basis_state(col);
+    for (const auto& t : terms) sv.apply_pauli_rotation(t);
+    for (std::size_t row = 0; row < dim; ++row) u.at(row, col) = sv.amplitude(row);
+  }
+  return u;
+}
+
+TEST(BsfCost, ZeroRowsCostZero) {
+  Bsf empty(3);
+  EXPECT_DOUBLE_EQ(bsf_cost(empty), 0.0);
+}
+
+TEST(BsfCost, MatchesHandComputedExample) {
+  // Rows: XX. and .ZZ on 3 qubits. w_tot = 3, n_nl = 2.
+  // Pair union weight ||XX. or .ZZ|| = 3; X overlap ||110 or 000|| = 2;
+  // Z overlap ||000 or 011|| = 2. cost = 3*4 + 3 + 0.5*(2+2) = 17.
+  Bsf b({PauliTerm("XXI", 1.0), PauliTerm("IZZ", 1.0)});
+  EXPECT_DOUBLE_EQ(bsf_cost(b), 17.0);
+}
+
+TEST(BsfCost, DropsWhenStringsAlign) {
+  // Aligned strings (same support) must cost less than scattered ones.
+  Bsf aligned({PauliTerm("XXII", 1.0), PauliTerm("YYII", 1.0)});
+  Bsf scattered({PauliTerm("XXII", 1.0), PauliTerm("IIYY", 1.0)});
+  EXPECT_LT(bsf_cost(aligned), bsf_cost(scattered));
+}
+
+// Foundation of the plateau-guard move: for every ordered pair of non-I
+// Paulis there must exist a generator from Eq. (5) lowering the weight of
+// that two-qubit string.
+TEST(Simplify, EveryPauliPairReducibleBySomeGenerator) {
+  const Pauli ps[] = {Pauli::X, Pauli::Y, Pauli::Z};
+  for (Pauli a : ps)
+    for (Pauli b : ps) {
+      PauliString s(2);
+      s.set_op(0, a);
+      s.set_op(1, b);
+      bool reduced = false;
+      for (const auto& gen : clifford2q_generators())
+        for (auto [q0, q1] : {std::pair<std::size_t, std::size_t>{0, 1},
+                              std::pair<std::size_t, std::size_t>{1, 0}}) {
+          Bsf tab(2);
+          tab.add_term(PauliTerm(s, 1.0));
+          Clifford2Q c = gen;
+          c.q0 = q0;
+          c.q1 = q1;
+          tab.apply_clifford2q(c);
+          reduced |= tab.row_weight(0) <= 1;
+        }
+      EXPECT_TRUE(reduced) << pauli_char(a) << pauli_char(b);
+    }
+}
+
+TEST(Simplify, AlreadySimpleGroupNeedsNoCliffords) {
+  const auto g = simplify_bsf({PauliTerm("XY", 0.3), PauliTerm("ZZ", 0.2)});
+  EXPECT_TRUE(g.cliffords.empty());
+  EXPECT_EQ(g.final_bsf.num_rows(), 2u);
+}
+
+TEST(Simplify, Fig1bGroupSimplifiesToTotalWeightTwo) {
+  const std::vector<PauliTerm> terms = {
+      {"ZYY", 0.1}, {"ZZY", 0.2}, {"XYY", 0.3}, {"XZY", 0.4}};
+  const auto g = simplify_bsf(terms);
+  EXPECT_LE(g.final_bsf.total_weight(), 2u);
+  // The paper's example achieves it with a single Clifford2Q.
+  EXPECT_EQ(g.cliffords.size(), 1u);
+}
+
+TEST(Simplify, EmittedGroupMatchesTrotterProductForCommutingTerms) {
+  // Strings of one UCCSD excitation commute pairwise, so the emitted
+  // subcircuit must reproduce the product of exponentials exactly.
+  const auto bench =
+      generate_uccsd(Molecule::lih(), true, FermionEncoding::JordanWigner);
+  const auto groups = group_by_support(bench.terms);
+  // Find a doubles block (8 strings).
+  for (const auto& grp : groups) {
+    if (grp.terms.size() != 8) continue;
+    // Commutation sanity.
+    for (std::size_t i = 0; i < grp.terms.size(); ++i)
+      for (std::size_t j = i + 1; j < grp.terms.size(); ++j)
+        ASSERT_TRUE(
+            grp.terms[i].string.commutes_with(grp.terms[j].string));
+    // Restrict to the support to keep the matrices small.
+    const auto sup = grp.terms[0].string.support();
+    ASSERT_LE(sup.size(), 6u);
+    std::vector<PauliTerm> local;
+    for (const auto& t : grp.terms) {
+      PauliString s(sup.size());
+      for (std::size_t k = 0; k < sup.size(); ++k) s.set_op(k, t.string.op(sup[k]));
+      local.emplace_back(s, t.coeff);
+    }
+    const auto sg = simplify_bsf(local);
+    EXPECT_LE(sg.final_bsf.total_weight(), 2u);
+    const Circuit c = sg.emit(sup.size());
+    const Matrix want = trotter_product_unitary(local, sup.size());
+    EXPECT_TRUE(circuit_unitary(c).approx_equal(want, 1e-9));
+    break;
+  }
+}
+
+TEST(Simplify, EmitWithoutGlobalLocalsPlusPreludeIsComplete) {
+  const std::vector<PauliTerm> terms = {
+      {"XXY", 0.2}, {"ZIY", 0.15}, {"YII", 0.3}};  // includes a local row
+  const auto sg = simplify_bsf(terms);
+  const Circuit full = sg.emit(3, true);
+  Circuit split = sg.emit(3, false);
+  Circuit prelude(3);
+  for (const auto& r : sg.global_locals())
+    append_pauli_rotation(
+        prelude, PauliTerm(PauliString(r.x, r.z), r.sign ? -r.coeff : r.coeff));
+  prelude.append(split);
+  // Identical multiset of rotations; compare 2Q counts and Rz counts.
+  EXPECT_EQ(prelude.size(), full.size());
+  EXPECT_EQ(prelude.count(GateKind::Rz), full.count(GateKind::Rz));
+}
+
+TEST(Simplify, HandlesLargeWeightGroups) {
+  // A weight-8 group (hard case) must still reach w_tot <= 2.
+  const std::vector<PauliTerm> terms = {
+      {"XXXXXXXX", 0.1}, {"YYXXXXXX", 0.1}, {"XXYYXXXX", 0.1},
+      {"XXXXYYXX", 0.1}, {"XXXXXXYY", 0.1}};
+  const auto g = simplify_bsf(terms);
+  EXPECT_LE(g.final_bsf.total_weight(), 2u);
+  EXPECT_FALSE(g.cliffords.empty());
+}
+
+TEST(Simplify, RejectsEmptyInput) {
+  EXPECT_THROW(simplify_bsf({}), std::invalid_argument);
+}
+
+TEST(Ordering, EndianVectorsMatchDefinition) {
+  Circuit c(4);
+  c.append(Gate::cnot(0, 1));  // layer 0
+  c.append(Gate::cnot(1, 2));  // layer 1
+  c.append(Gate::cnot(0, 1));  // layer 2
+  const auto p = profile_subcircuit(c, {});
+  EXPECT_EQ(p.num_layers, 3u);
+  EXPECT_EQ(p.e_l[0], 0u);
+  EXPECT_EQ(p.e_l[1], 0u);
+  EXPECT_EQ(p.e_l[2], 1u);
+  EXPECT_EQ(p.e_l[3], 3u);  // untouched
+  EXPECT_EQ(p.e_r[0], 0u);
+  EXPECT_EQ(p.e_r[2], 1u);
+}
+
+TEST(Ordering, DepthCostFollowsPaperFormula) {
+  // prev acts on {0,1}. A successor on the same pair abuts at the seam: the
+  // endian guard fails (e_r == e_l' == 0 on shared qubits), triggering the
+  // Scenario-II interlock discount: SUM(e_r + e_l' - 1) = -2. A successor on
+  // {2,3} leaves every union qubit idle for one layer: SUM(e_r + e_l') = 4.
+  // The §IV-C.1 cost therefore prefers seam-tight stacking, which is what
+  // enables the Clifford2Q cancellation credits of §IV-C.2.
+  Circuit a(4), b(4), d(4);
+  a.append(Gate::cnot(0, 1));
+  b.append(Gate::cnot(0, 1));
+  d.append(Gate::cnot(2, 3));
+  const auto pa = profile_subcircuit(a, {});
+  const auto pb = profile_subcircuit(b, {});
+  const auto pd = profile_subcircuit(d, {});
+  EXPECT_DOUBLE_EQ(depth_cost(pa, pb), -2.0);
+  EXPECT_DOUBLE_EQ(depth_cost(pa, pd), 4.0);
+}
+
+TEST(Ordering, BoundaryCancellationCounting) {
+  const Clifford2Q c1{Pauli::Z, Pauli::X, 0, 1};
+  const Clifford2Q c2{Pauli::X, Pauli::X, 1, 2};
+  Circuit x(3);
+  x.append(Gate::cnot(0, 1));
+  const auto pa = profile_subcircuit(x, {c1, c2});
+  const auto pb = profile_subcircuit(x, {c1, c2});
+  EXPECT_EQ(boundary_cancellations(pa, pb), 2u);
+  // Symmetric generator matches with swapped qubits.
+  const Clifford2Q c2s{Pauli::X, Pauli::X, 2, 1};
+  const auto pc = profile_subcircuit(x, {c1, c2s});
+  EXPECT_EQ(boundary_cancellations(pa, pc), 2u);
+  // Asymmetric generator does not.
+  const Clifford2Q c1s{Pauli::Z, Pauli::X, 1, 0};
+  const auto pd = profile_subcircuit(x, {c1s, c2});
+  EXPECT_EQ(boundary_cancellations(pa, pd), 0u);
+}
+
+TEST(Ordering, TetrisOrderIsPermutation) {
+  std::vector<SubcircuitProfile> profiles;
+  for (std::size_t i = 0; i < 6; ++i) {
+    Circuit c(6);
+    c.append(Gate::cnot(i % 5, (i % 5) + 1));
+    profiles.push_back(profile_subcircuit(c, {}));
+  }
+  const auto order = tetris_order(profiles, {});
+  ASSERT_EQ(order.size(), 6u);
+  std::vector<bool> seen(6, false);
+  for (std::size_t i : order) {
+    ASSERT_LT(i, 6u);
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+}
+
+TEST(Compiler, QaoaCompilationIsExact) {
+  // All QAOA terms commute, so any ordering must reproduce the exact
+  // diagonal evolution.
+  Rng rng(5);
+  const Graph g = random_regular_graph(6, 3, rng);
+  const auto terms = qaoa_cost_terms(g, 0.4);
+  const auto res = phoenix_compile(terms, 6);
+  const Matrix want = trotter_product_unitary(terms, 6);
+  EXPECT_TRUE(circuit_unitary(res.circuit).approx_equal(want, 1e-8));
+}
+
+TEST(Compiler, QaoaSu4IsaCompilationIsExactAndSmaller) {
+  Rng rng(6);
+  const Graph g = random_regular_graph(6, 3, rng);
+  const auto terms = qaoa_cost_terms(g, 0.4);
+  PhoenixOptions opt;
+  opt.isa = TwoQubitIsa::Su4;
+  const auto res = phoenix_compile(terms, 6, opt);
+  const Matrix want = trotter_product_unitary(terms, 6);
+  EXPECT_TRUE(circuit_unitary(res.circuit).approx_equal(want, 1e-8));
+  EXPECT_EQ(res.circuit.count(GateKind::Su4), res.circuit.count_2q());
+  EXPECT_LE(res.circuit.count_2q(), terms.size());
+}
+
+TEST(Compiler, BeatsNaiveSynthesisOnUccsd) {
+  const auto bench =
+      generate_uccsd(Molecule::lih(), true, FermionEncoding::BravyiKitaev);
+  const Circuit naive = synthesize_naive(bench.terms, bench.num_qubits);
+  const auto res = phoenix_compile(bench.terms, bench.num_qubits);
+  EXPECT_LT(res.circuit.count(GateKind::Cnot), naive.count(GateKind::Cnot));
+  EXPECT_LT(res.circuit.depth_2q(), naive.depth_2q());
+}
+
+TEST(Compiler, HardwareAwareProducesRoutedCircuit) {
+  Rng rng(7);
+  const Graph g = random_regular_graph(8, 3, rng);
+  const auto terms = qaoa_cost_terms(g, 0.3);
+  const Graph device = topology_heavy_hex(3, 9);
+  PhoenixOptions opt;
+  opt.hardware_aware = true;
+  opt.coupling = &device;
+  const auto res = phoenix_compile(terms, 8, opt);
+  for (const auto& gate : res.circuit.gates()) {
+    if (!gate.is_two_qubit()) continue;
+    EXPECT_TRUE(device.has_edge(gate.q0, gate.q1)) << gate.to_string();
+  }
+  EXPECT_EQ(res.circuit.count(GateKind::Swap), 0u);  // swaps decomposed
+}
+
+TEST(Compiler, HardwareAwareRequiresCoupling) {
+  PhoenixOptions opt;
+  opt.hardware_aware = true;
+  EXPECT_THROW(phoenix_compile({PauliTerm("ZZ", 0.1)}, 2, opt),
+               std::invalid_argument);
+}
+
+TEST(Compiler, PeepholeLevelsMonotone) {
+  const auto bench =
+      generate_uccsd(Molecule::nh(), true, FermionEncoding::JordanWigner);
+  PhoenixOptions raw, own, o3;
+  raw.peephole = PeepholeLevel::None;
+  own.peephole = PeepholeLevel::Own;
+  o3.peephole = PeepholeLevel::O3;
+  const auto r_raw = phoenix_compile(bench.terms, bench.num_qubits, raw);
+  const auto r_own = phoenix_compile(bench.terms, bench.num_qubits, own);
+  const auto r_o3 = phoenix_compile(bench.terms, bench.num_qubits, o3);
+  EXPECT_LE(r_own.circuit.count(GateKind::Cnot),
+            r_raw.circuit.count(GateKind::Cnot));
+  EXPECT_LE(r_o3.circuit.count(GateKind::Cnot),
+            r_own.circuit.count(GateKind::Cnot));
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,118 @@
+#include "pauli/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+namespace phoenix {
+namespace {
+
+using Cx = std::complex<double>;
+
+TEST(PauliMultiply, SingleQubitTable) {
+  struct Case {
+    const char *a, *b, *want;
+    Cx phase;
+  };
+  const Case cases[] = {
+      {"X", "Y", "Z", {0, 1}},  {"Y", "X", "Z", {0, -1}},
+      {"Y", "Z", "X", {0, 1}},  {"Z", "Y", "X", {0, -1}},
+      {"Z", "X", "Y", {0, 1}},  {"X", "Z", "Y", {0, -1}},
+      {"X", "X", "I", {1, 0}},  {"I", "Y", "Y", {1, 0}},
+      {"Z", "I", "Z", {1, 0}},
+  };
+  for (const auto& c : cases) {
+    auto [phase, s] = pauli_multiply(PauliString::from_label(c.a),
+                                     PauliString::from_label(c.b));
+    EXPECT_EQ(s.to_string(), c.want) << c.a << "*" << c.b;
+    EXPECT_NEAR(std::abs(phase - c.phase), 0.0, 1e-15) << c.a << "*" << c.b;
+  }
+}
+
+TEST(PauliMultiply, MultiQubitPhasesCompose) {
+  // (XY)(YX) = (X*Y)⊗(Y*X) = (iZ)⊗(-iZ) = ZZ.
+  auto [phase, s] = pauli_multiply(PauliString::from_label("XY"),
+                                   PauliString::from_label("YX"));
+  EXPECT_EQ(s.to_string(), "ZZ");
+  EXPECT_NEAR(std::abs(phase - Cx{1, 0}), 0.0, 1e-15);
+  // (XX)(YY) = (iZ)(iZ) = -ZZ.
+  auto [phase2, s2] = pauli_multiply(PauliString::from_label("XX"),
+                                     PauliString::from_label("YY"));
+  EXPECT_EQ(s2.to_string(), "ZZ");
+  EXPECT_NEAR(std::abs(phase2 - Cx{-1, 0}), 0.0, 1e-15);
+}
+
+TEST(PauliMultiply, SelfProductIsIdentity) {
+  const PauliString p = PauliString::from_label("XYZIZY");
+  auto [phase, s] = pauli_multiply(p, p);
+  EXPECT_TRUE(s.is_identity());
+  EXPECT_NEAR(std::abs(phase - Cx{1, 0}), 0.0, 1e-15);
+}
+
+TEST(PauliPolynomial, AdditionMergesTerms) {
+  PauliPolynomial p(2);
+  p.add(PauliString::from_label("XY"), {1, 0});
+  p.add(PauliString::from_label("XY"), {0.5, 0});
+  p.add(PauliString::from_label("ZZ"), {0, 1});
+  EXPECT_EQ(p.num_terms(), 2u);
+  EXPECT_NEAR(std::abs(p.coeff(PauliString::from_label("XY")) - Cx{1.5, 0}),
+              0.0, 1e-15);
+}
+
+TEST(PauliPolynomial, ProductDistributes) {
+  // (X + Z)(X - Z) = XX - XZ + ZX - ZZ = I - (-iY) + iY... on one qubit:
+  // X*X = I, X*Z = -iY, Z*X = iY, Z*Z = I -> I·1 + Y·(2i)... careful:
+  // (X+Z)(X-Z) = I - XZ + ZX - I = -(-iY) + iY = 2iY.
+  PauliPolynomial a(1), b(1);
+  a.add(PauliString::from_label("X"), {1, 0});
+  a.add(PauliString::from_label("Z"), {1, 0});
+  b.add(PauliString::from_label("X"), {1, 0});
+  b.add(PauliString::from_label("Z"), {-1, 0});
+  PauliPolynomial c = a * b;
+  c.prune();
+  EXPECT_NEAR(std::abs(c.coeff(PauliString::from_label("Y")) - Cx{0, 2}), 0.0,
+              1e-15);
+  EXPECT_NEAR(std::abs(c.coeff(PauliString(1))), 0.0, 1e-15);
+}
+
+TEST(PauliPolynomial, PruneRemovesTinyTerms) {
+  PauliPolynomial p(1);
+  p.add(PauliString::from_label("X"), {1e-15, 0});
+  p.add(PauliString::from_label("Z"), {1, 0});
+  p.prune();
+  EXPECT_EQ(p.num_terms(), 1u);
+}
+
+TEST(PauliPolynomial, HermiticityDetection) {
+  PauliPolynomial p(1);
+  p.add(PauliString::from_label("X"), {0.5, 0});
+  EXPECT_TRUE(p.is_hermitian());
+  p.add(PauliString::from_label("Z"), {0, 0.5});
+  EXPECT_FALSE(p.is_hermitian());
+}
+
+TEST(PauliPolynomial, ToTermsDropsIdentityAndSorts) {
+  PauliPolynomial p(2);
+  p.add(PauliString(2), {3, 0});  // identity -> dropped
+  p.add(PauliString::from_label("ZZ"), {0.5, 0});
+  p.add(PauliString::from_label("XY"), {-0.25, 0});
+  const auto terms = p.to_terms();
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0].string.to_string(), "XY");
+  EXPECT_EQ(terms[1].string.to_string(), "ZZ");
+}
+
+TEST(PauliPolynomial, ToTermsRejectsNonHermitian) {
+  PauliPolynomial p(1);
+  p.add(PauliString::from_label("X"), {0, 1});
+  EXPECT_THROW(p.to_terms(), std::runtime_error);
+}
+
+TEST(PauliPolynomial, SizeMismatchRejected) {
+  PauliPolynomial a(2), b(3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a.add(PauliString(3), {1, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phoenix

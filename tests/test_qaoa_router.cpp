@@ -1,0 +1,125 @@
+#include "phoenix/qaoa_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hamlib/qaoa.hpp"
+#include "mapping/topology.hpp"
+#include "phoenix/compiler.hpp"
+#include "sim/matrix.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/rebase.hpp"
+
+namespace phoenix {
+namespace {
+
+TEST(QaoaRouter, DetectsCommutingTwoLocalSets) {
+  Rng rng(3);
+  const Graph g = random_regular_graph(8, 3, rng);
+  EXPECT_TRUE(is_commuting_two_local(qaoa_cost_terms(g)));
+  // Weight-3 term breaks 2-locality.
+  EXPECT_FALSE(is_commuting_two_local({PauliTerm("ZZZ", 0.1)}));
+  // Anticommuting 2-local pair: ZZ vs XZ on the same qubits share one
+  // anticommuting position.
+  EXPECT_FALSE(is_commuting_two_local(
+      {PauliTerm("ZZI", 0.1), PauliTerm("XZI", 0.1)}));
+  EXPECT_FALSE(is_commuting_two_local({}));
+}
+
+TEST(QaoaRouter, MixedAxisCommutingPairsSupported) {
+  // XX and ZZ on the same pair commute (two anticommuting positions); the
+  // router must handle non-ZZ axes.
+  const std::vector<PauliTerm> terms = {{"XXII", 0.2}, {"IIYY", 0.3},
+                                        {"ZZII", 0.4}};
+  ASSERT_TRUE(is_commuting_two_local(terms));
+  const Graph device = topology_line(4);
+  const auto res = route_commuting_two_local(terms, 4, device);
+  for (const auto& g : res.circuit.gates()) {
+    if (!g.is_two_qubit()) continue;
+    EXPECT_TRUE(device.has_edge(g.q0, g.q1));
+  }
+}
+
+TEST(QaoaRouter, ExactUnitaryUpToLayoutPermutation) {
+  Rng rng(11);
+  const Graph g = random_regular_graph(6, 3, rng);
+  const auto terms = qaoa_cost_terms(g, 0.3);
+  const Graph device = topology_line(6);
+  const auto res = route_commuting_two_local(terms, 6, device);
+  auto perm_matrix = [&](const std::vector<std::size_t>& layout) {
+    const std::size_t dim = std::size_t{1} << 6;
+    Matrix p(dim);
+    for (std::size_t x = 0; x < dim; ++x) {
+      std::size_t y = 0;
+      for (std::size_t q = 0; q < 6; ++q)
+        if ((x >> (5 - q)) & 1) y |= std::size_t{1} << (5 - layout[q]);
+      p.at(y, x) = 1;
+    }
+    return p;
+  };
+  const std::size_t dim = std::size_t{1} << 6;
+  Matrix u_log(dim);
+  StateVector sv(6);
+  for (std::size_t col = 0; col < dim; ++col) {
+    sv.set_basis_state(col);
+    for (const auto& t : terms) sv.apply_pauli_rotation(t);
+    for (std::size_t row = 0; row < dim; ++row) u_log.at(row, col) = sv.amplitude(row);
+  }
+  const Matrix expected = perm_matrix(res.final_layout) * u_log *
+                          perm_matrix(res.initial_layout).adjoint();
+  EXPECT_TRUE(circuit_unitary(res.circuit).approx_equal(expected, 1e-8));
+}
+
+TEST(QaoaRouter, DeterministicAcrossRuns) {
+  Rng rng(5);
+  const Graph g = random_regular_graph(8, 3, rng);
+  const auto terms = qaoa_cost_terms(g);
+  const Graph device = topology_manhattan();
+  const auto a = route_commuting_two_local(terms, 8, device);
+  const auto b = route_commuting_two_local(terms, 8, device);
+  EXPECT_EQ(a.num_swaps, b.num_swaps);
+  EXPECT_EQ(a.circuit.size(), b.circuit.size());
+}
+
+TEST(QaoaRouter, NoSwapsWhenInteractionEmbeds) {
+  // A path interaction graph on a line device needs no SWAPs.
+  std::vector<PauliTerm> terms;
+  for (std::size_t q = 0; q + 1 < 5; ++q) {
+    PauliString s(5);
+    s.set_op(q, Pauli::Z);
+    s.set_op(q + 1, Pauli::Z);
+    terms.emplace_back(s, 0.2);
+  }
+  const auto res = route_commuting_two_local(terms, 5, topology_line(5));
+  EXPECT_EQ(res.num_swaps, 0u);
+  EXPECT_EQ(res.circuit.count(GateKind::Cnot), 2 * terms.size());
+}
+
+TEST(QaoaRouter, CompilerDispatchesToRouterForQaoa) {
+  // The compiler's hardware path must produce SU(4)-rebased output when
+  // asked, and all blocks must sit on coupling edges.
+  Rng rng(21);
+  const Graph g = random_regular_graph(8, 3, rng);
+  const auto terms = qaoa_cost_terms(g);
+  const Graph device = topology_manhattan();
+  PhoenixOptions opt;
+  opt.hardware_aware = true;
+  opt.coupling = &device;
+  opt.isa = TwoQubitIsa::Su4;
+  const auto res = phoenix_compile(terms, 8, opt);
+  EXPECT_GT(res.circuit.count(GateKind::Su4), 0u);
+  EXPECT_EQ(res.circuit.count(GateKind::Cnot), 0u);
+  for (const auto& gate : res.circuit.gates()) {
+    if (!gate.is_two_qubit()) continue;
+    EXPECT_TRUE(device.has_edge(gate.q0, gate.q1));
+  }
+}
+
+TEST(QaoaRouter, RejectsTooSmallDevice) {
+  Rng rng(2);
+  const Graph g = random_regular_graph(8, 3, rng);
+  EXPECT_THROW(route_commuting_two_local(qaoa_cost_terms(g), 8, topology_line(4)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace phoenix

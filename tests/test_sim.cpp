@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "circuit/circuit.hpp"
+#include "circuit/synthesis.hpp"
+#include "common/rng.hpp"
+#include "sim/matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace phoenix {
+namespace {
+
+TEST(Matrix, IdentityAndTrace) {
+  const Matrix i4 = Matrix::identity(4);
+  EXPECT_EQ(i4.trace(), (Complex{4, 0}));
+  EXPECT_TRUE((i4 * i4).approx_equal(i4));
+}
+
+TEST(Matrix, MultiplicationAgainstHandComputation) {
+  Matrix a(2), b(2);
+  a.at(0, 0) = 1; a.at(0, 1) = Complex{0, 1};
+  a.at(1, 0) = 2; a.at(1, 1) = -1;
+  b.at(0, 0) = 3; b.at(0, 1) = 0;
+  b.at(1, 0) = 1; b.at(1, 1) = Complex{0, -1};
+  const Matrix c = a * b;
+  EXPECT_EQ(c.at(0, 0), (Complex{3, 1}));
+  EXPECT_EQ(c.at(0, 1), (Complex{1, 0}));
+  EXPECT_EQ(c.at(1, 0), (Complex{5, 0}));
+  EXPECT_EQ(c.at(1, 1), (Complex{0, 1}));
+}
+
+TEST(Matrix, AdjointConjugatesAndTransposes) {
+  Matrix a(2);
+  a.at(0, 1) = Complex{1, 2};
+  const Matrix ad = a.adjoint();
+  EXPECT_EQ(ad.at(1, 0), (Complex{1, -2}));
+  EXPECT_EQ(ad.at(0, 1), (Complex{0, 0}));
+}
+
+TEST(Matrix, ExpmOfPauliZ) {
+  // exp(-i t Z) = diag(e^{-it}, e^{it}).
+  Matrix z(2);
+  z.at(0, 0) = 1;
+  z.at(1, 1) = -1;
+  const double t = 0.37;
+  const Matrix u = expm_minus_i(z, t);
+  EXPECT_NEAR(std::abs(u.at(0, 0) - std::polar(1.0, -t)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(u.at(1, 1) - std::polar(1.0, t)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(u.at(0, 1)), 0.0, 1e-12);
+}
+
+TEST(Matrix, ExpmIsUnitaryForRandomHermitian) {
+  Rng rng(17);
+  const std::size_t dim = 8;
+  Matrix h(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    h.at(i, i) = rng.next_gaussian();
+    for (std::size_t j = i + 1; j < dim; ++j) {
+      const Complex v{rng.next_gaussian(), rng.next_gaussian()};
+      h.at(i, j) = v;
+      h.at(j, i) = std::conj(v);
+    }
+  }
+  const Matrix u = expm_minus_i(h, 2.3);
+  EXPECT_TRUE((u.adjoint() * u).approx_equal(Matrix::identity(dim), 1e-9));
+}
+
+TEST(Matrix, InfidelityZeroForEqualUnitaries) {
+  Circuit c(3);
+  c.append(Gate::h(0));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::rz(2, 0.3));
+  const Matrix u = circuit_unitary(c);
+  EXPECT_NEAR(infidelity(u, u), 0.0, 1e-12);
+}
+
+TEST(Matrix, InfidelityInvariantUnderGlobalPhase) {
+  Circuit c(2);
+  c.append(Gate::h(0));
+  c.append(Gate::cnot(0, 1));
+  Matrix u = circuit_unitary(c);
+  Matrix v = u;
+  v *= std::polar(1.0, 1.234);
+  EXPECT_NEAR(infidelity(u, v), 0.0, 1e-12);
+}
+
+TEST(StateVector, BellStateFromHCnot) {
+  StateVector sv(2);
+  sv.apply_gate(Gate::h(0));
+  sv.apply_gate(Gate::cnot(0, 1));
+  EXPECT_NEAR(std::abs(sv.amplitude(0) - 1.0 / std::sqrt(2.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(3) - 1.0 / std::sqrt(2.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(1)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(2)), 0.0, 1e-12);
+}
+
+TEST(StateVector, CnotConventionQubit0IsMsb) {
+  StateVector sv(2);
+  sv.set_basis_state(0b10);  // qubit 0 = 1, qubit 1 = 0
+  sv.apply_gate(Gate::cnot(0, 1));
+  EXPECT_NEAR(std::abs(sv.amplitude(0b11) - 1.0), 0.0, 1e-12);
+}
+
+TEST(StateVector, SwapGate) {
+  StateVector sv(2);
+  sv.set_basis_state(0b10);
+  sv.apply_gate(Gate::swap(0, 1));
+  EXPECT_NEAR(std::abs(sv.amplitude(0b01) - 1.0), 0.0, 1e-12);
+}
+
+TEST(StateVector, CzSymmetricPhase) {
+  StateVector sv(2);
+  sv.apply_gate(Gate::h(0));
+  sv.apply_gate(Gate::h(1));
+  sv.apply_gate(Gate::cz(0, 1));
+  EXPECT_NEAR(std::abs(sv.amplitude(3) + 0.5), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(sv.amplitude(0) - 0.5), 0.0, 1e-12);
+}
+
+TEST(StateVector, PauliApplicationMatchesRotationAtPiOverTwo) {
+  // exp(-i (π/2) P) = -i P; check against direct Pauli application.
+  const PauliString p = PauliString::from_label("XYZ");
+  Rng rng(5);
+  StateVector a(3), b(3);
+  // Random-ish product state via rotations.
+  for (std::size_t q = 0; q < 3; ++q) {
+    const Gate g = Gate::ry(q, rng.next_range(0, 3.0));
+    a.apply_gate(g);
+    b.apply_gate(g);
+  }
+  a.apply_pauli_rotation(PauliTerm(p, M_PI / 2));
+  b.apply_pauli(p);
+  for (std::size_t i = 0; i < a.dim(); ++i)
+    EXPECT_NEAR(std::abs(a.amplitude(i) - Complex{0, -1} * b.amplitude(i)),
+                0.0, 1e-12)
+        << i;
+}
+
+TEST(StateVector, NormPreservedByCircuits) {
+  Rng rng(9);
+  Circuit c(4);
+  c.append(Gate::h(0));
+  c.append(Gate::rx(1, 0.7));
+  c.append(Gate::cnot(0, 2));
+  c.append(Gate::ry(3, -1.1));
+  c.append(Gate::cz(1, 3));
+  c.append(Gate::rz(2, 0.4));
+  StateVector sv(4);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Synthesis, RotationCircuitMatchesAnalyticRotation) {
+  // Structural synthesis must reproduce exp(-iθP) exactly for every tree.
+  const struct {
+    const char* label;
+    double theta;
+  } cases[] = {
+      {"Z", 0.3},   {"X", -0.8}, {"Y", 1.2},    {"ZZ", 0.5},
+      {"XY", -0.4}, {"YZX", 0.9}, {"XXYZ", 0.21}, {"ZIYX", -0.67},
+  };
+  for (const auto& tc : cases) {
+    const PauliTerm term(tc.label, tc.theta);
+    const std::size_t n = term.string.num_qubits();
+    const Matrix want = pauli_rotation_matrix(term, n);
+    for (CnotTree tree : {CnotTree::Chain, CnotTree::Star, CnotTree::Balanced}) {
+      const Circuit c = pauli_rotation_circuit(term, n, tree);
+      EXPECT_TRUE(circuit_unitary(c).approx_equal(want, 1e-9))
+          << tc.label << " tree=" << static_cast<int>(tree);
+    }
+  }
+}
+
+TEST(Synthesis, RotationUsesTwoCnotsPerExtraQubit) {
+  const PauliTerm term("XYZZ", 0.3);
+  const Circuit c = pauli_rotation_circuit(term, 4, CnotTree::Chain);
+  EXPECT_EQ(c.count(GateKind::Cnot), 6u);  // 2*(w-1)
+  EXPECT_EQ(c.count(GateKind::Rz), 1u);
+}
+
+TEST(Synthesis, IdentityAndZeroAngleAreNoOps) {
+  Circuit c(3);
+  append_pauli_rotation(c, PauliTerm(PauliString(3), 0.7));
+  append_pauli_rotation(c, PauliTerm("XYZ", 0.0));
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Synthesis, Clifford2QCircuitConjugatesLikeTableau) {
+  // For every generator: circuit U must satisfy U P U† == tableau result.
+  Rng rng(23);
+  for (const auto& gen : clifford2q_generators()) {
+    Clifford2Q cl = gen;
+    cl.q0 = 1;
+    cl.q1 = 0;
+    Circuit cc(2);
+    append_clifford2q(cc, cl);
+    const Matrix u = circuit_unitary(cc);
+    const PauliTerm p("YX", 1.0);
+    Bsf tab(2);
+    tab.add_term(p);
+    tab.apply_clifford2q(cl);
+    const Matrix lhs = u * pauli_rotation_matrix(PauliTerm("YX", 0.33), 2) *
+                       u.adjoint();
+    const Matrix rhs = pauli_rotation_matrix(
+        PauliTerm(PauliString(tab.row_x(0), tab.row_z(0)),
+                  tab.row(0).sign ? -0.33 : 0.33),
+        2);
+    EXPECT_TRUE(lhs.approx_equal(rhs, 1e-9)) << cl.to_string();
+  }
+}
+
+TEST(Synthesis, Clifford2QCircuitHasOneCnot) {
+  for (const auto& gen : clifford2q_generators()) {
+    Circuit c(2);
+    append_clifford2q(c, gen);
+    EXPECT_EQ(c.count(GateKind::Cnot), 1u) << gen.to_string();
+  }
+}
+
+TEST(Synthesis, NaiveSynthesisMatchesTrotterProduct) {
+  const std::vector<PauliTerm> terms = {
+      {"XYI", 0.3}, {"IZZ", -0.2}, {"YIX", 0.15}, {"ZZZ", 0.05}};
+  const Circuit c = synthesize_naive(terms, 3);
+  StateVector a(3), b(3);
+  a.apply_gate(Gate::h(0));
+  b.apply_gate(Gate::h(0));
+  a.apply_circuit(c);
+  for (const auto& t : terms) b.apply_pauli_rotation(t);
+  EXPECT_NEAR(std::abs(a.inner_product(b)), 1.0, 1e-10);
+}
+
+TEST(Sim, HamiltonianMatrixIsHermitian) {
+  const std::vector<PauliTerm> terms = {
+      {"XY", 0.4}, {"ZZ", -0.7}, {"YI", 0.2}, {"IX", 0.1}};
+  const Matrix h = hamiltonian_matrix(terms, 2);
+  EXPECT_TRUE(h.approx_equal(h.adjoint(), 1e-12));
+}
+
+TEST(Sim, TrotterizationApproachesExactEvolution) {
+  // First-order Trotter error shrinks as the step count grows.
+  const std::vector<PauliTerm> ham = {{"XX", 0.31}, {"ZI", -0.5}, {"IZ", 0.22}};
+  const Matrix hm = hamiltonian_matrix(ham, 2);
+  const double t = 0.8;
+  const Matrix exact = expm_minus_i(hm, t);
+  double prev_err = 1.0;
+  for (int steps : {1, 4, 16}) {
+    std::vector<PauliTerm> scaled;
+    for (const auto& term : ham)
+      scaled.emplace_back(term.string, term.coeff * t / steps);
+    Circuit c(2);
+    for (int s = 0; s < steps; ++s)
+      for (const auto& term : scaled) append_pauli_rotation(c, term);
+    const double err = infidelity(exact, circuit_unitary(c));
+    EXPECT_LT(err, prev_err + 1e-12);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 2e-4);
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,153 @@
+#include "pauli/tableau.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/diagonalize.hpp"
+#include "circuit/synthesis.hpp"
+#include "common/rng.hpp"
+#include "hamlib/uccsd.hpp"
+#include "pauli/bsf.hpp"
+#include "phoenix/simplify.hpp"
+
+namespace phoenix {
+namespace {
+
+TEST(CliffordTableau, IdentityFixesEverything) {
+  CliffordTableau t(3);
+  EXPECT_TRUE(t.is_identity());
+  const PauliString p = PauliString::from_label("XYZ");
+  const PauliTerm img = t.image(p);
+  EXPECT_EQ(img.string, p);
+  EXPECT_DOUBLE_EQ(img.coeff, 1.0);
+}
+
+TEST(CliffordTableau, HadamardSwapsXZ) {
+  CliffordTableau t(1);
+  t.apply_h(0);
+  EXPECT_EQ(t.image_of_x(0).string.to_string(), "Z");
+  EXPECT_EQ(t.image_of_z(0).string.to_string(), "X");
+  // Y -> -Y under H.
+  const PauliTerm y = t.image(PauliString::from_label("Y"));
+  EXPECT_EQ(y.string.to_string(), "Y");
+  EXPECT_DOUBLE_EQ(y.coeff, -1.0);
+}
+
+TEST(CliffordTableau, PauliGatesOnlyFlipSigns) {
+  CliffordTableau t(1);
+  t.apply_x(0);
+  EXPECT_DOUBLE_EQ(t.image(PauliString::from_label("Z")).coeff, -1.0);
+  EXPECT_DOUBLE_EQ(t.image(PauliString::from_label("X")).coeff, 1.0);
+  t = CliffordTableau(1);
+  t.apply_gate(Gate::y(0));
+  EXPECT_DOUBLE_EQ(t.image(PauliString::from_label("X")).coeff, -1.0);
+  EXPECT_DOUBLE_EQ(t.image(PauliString::from_label("Z")).coeff, -1.0);
+  EXPECT_DOUBLE_EQ(t.image(PauliString::from_label("Y")).coeff, 1.0);
+}
+
+TEST(CliffordTableau, MatchesBsfOnRandomCliffordCircuits) {
+  // The tableau's image() must agree with the Bsf row conjugation for the
+  // same circuit, for arbitrary strings.
+  Rng rng(31);
+  const std::size_t n = 4;
+  for (int trial = 0; trial < 10; ++trial) {
+    Circuit c(n);
+    for (int i = 0; i < 20; ++i) {
+      switch (rng.next_below(5)) {
+        case 0: c.append(Gate::h(rng.next_below(n))); break;
+        case 1: c.append(Gate::s(rng.next_below(n))); break;
+        case 2: c.append(Gate::sdg(rng.next_below(n))); break;
+        default: {
+          const std::size_t a = rng.next_below(n);
+          std::size_t b = rng.next_below(n - 1);
+          if (b >= a) ++b;
+          c.append(Gate::cnot(a, b));
+        }
+      }
+    }
+    const CliffordTableau t = CliffordTableau::from_circuit(c);
+
+    PauliString p(n);
+    for (std::size_t q = 0; q < n; ++q)
+      p.set_op(q, static_cast<Pauli>(rng.next_below(4)));
+    if (p.is_identity()) continue;
+
+    Bsf bsf(n);
+    bsf.add_term(PauliTerm(p, 1.0));
+    for (const auto& g : c.gates()) {
+      switch (g.kind) {
+        case GateKind::H: bsf.apply_h(g.q0); break;
+        case GateKind::S: bsf.apply_s(g.q0); break;
+        case GateKind::Sdg: bsf.apply_sdg(g.q0); break;
+        case GateKind::Cnot: bsf.apply_cnot(g.q0, g.q1); break;
+        default: FAIL();
+      }
+    }
+    const PauliTerm want = bsf.term(0);
+    const PauliTerm got = t.image(p);
+    EXPECT_EQ(got.string, want.string) << trial;
+    EXPECT_DOUBLE_EQ(got.coeff, want.coeff) << trial;
+  }
+}
+
+TEST(CliffordTableau, CliffordRotationAnglesAccepted) {
+  CliffordTableau t(1);
+  t.apply_gate(Gate::rz(0, M_PI / 2));  // == S up to phase
+  CliffordTableau s(1);
+  s.apply_s(0);
+  EXPECT_EQ(t, s);
+  EXPECT_THROW(t.apply_gate(Gate::rz(0, 0.3)), std::invalid_argument);
+  EXPECT_THROW(t.apply_gate(Gate::t(0)), std::invalid_argument);
+}
+
+TEST(CliffordTableau, CircuitInverseComposesToIdentity) {
+  Circuit c(3);
+  c.append(Gate::h(0));
+  c.append(Gate::s(1));
+  c.append(Gate::cnot(0, 2));
+  c.append(Gate::cz(1, 2));
+  c.append(Gate::swap(0, 1));
+  Circuit whole = c;
+  whole.append(c.inverse());
+  EXPECT_TRUE(CliffordTableau::from_circuit(whole).is_identity());
+}
+
+TEST(CliffordTableau, DiagonalizationCliffordActsAsAdvertised) {
+  // Structural check of the TKET-style diagonalization: the recorded
+  // Clifford circuit maps every input string to its diagonal term.
+  const auto bench =
+      generate_uccsd(Molecule::lih(), true, FermionEncoding::BravyiKitaev);
+  const auto sets = partition_commuting(bench.terms);
+  const auto& set = sets.front();
+  const auto diag = diagonalize_commuting_set(set, bench.num_qubits);
+  const CliffordTableau t = CliffordTableau::from_circuit(diag.clifford);
+  ASSERT_EQ(diag.diagonal_terms.size(), set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    const PauliTerm img = t.image(set[i].string);
+    EXPECT_EQ(img.string, diag.diagonal_terms[i].string) << i;
+    EXPECT_DOUBLE_EQ(img.coeff * set[i].coeff, diag.diagonal_terms[i].coeff)
+        << i;
+  }
+}
+
+TEST(CliffordTableau, SimplifiedGroupCliffordsMatchBsfResult) {
+  // Applying the chosen Clifford2Q sequence as a tableau must send the
+  // original nonlocal rows to the final BSF rows (structural check of
+  // Algorithm 1's bookkeeping) for a group with no peeled locals.
+  const std::vector<PauliTerm> terms = {
+      {"ZYY", 0.1}, {"ZZY", 0.2}, {"XYY", 0.3}, {"XZY", 0.4}};
+  const auto sg = simplify_bsf(terms);
+  for (const auto& locals : sg.locals) ASSERT_TRUE(locals.empty());
+  Circuit conj(3);
+  for (const auto& cl : sg.cliffords) append_clifford2q(conj, cl);
+  const CliffordTableau t = CliffordTableau::from_circuit(conj);
+  ASSERT_EQ(sg.final_bsf.num_rows(), terms.size());
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    const PauliTerm img = t.image(terms[i].string);
+    const PauliTerm want = sg.final_bsf.term(i);
+    EXPECT_EQ(img.string, want.string) << i;
+    EXPECT_DOUBLE_EQ(img.coeff * terms[i].coeff, want.coeff) << i;
+  }
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "circuit/synthesis.hpp"
+#include "common/rng.hpp"
+#include "sim/matrix.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/peephole.hpp"
+#include "transpile/rebase.hpp"
+
+namespace phoenix {
+namespace {
+
+Circuit random_circuit(std::size_t n, std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  Circuit c(n);
+  for (std::size_t i = 0; i < len; ++i) {
+    switch (rng.next_below(7)) {
+      case 0: c.append(Gate::h(rng.next_below(n))); break;
+      case 1: c.append(Gate::s(rng.next_below(n))); break;
+      case 2: c.append(Gate::rz(rng.next_below(n), rng.next_range(-2, 2))); break;
+      case 3: c.append(Gate::rx(rng.next_below(n), rng.next_range(-2, 2))); break;
+      case 4: c.append(Gate::x(rng.next_below(n))); break;
+      default: {
+        const std::size_t a = rng.next_below(n);
+        std::size_t b = rng.next_below(n - 1);
+        if (b >= a) ++b;
+        c.append(rng.next_below(2) ? Gate::cnot(a, b) : Gate::cz(a, b));
+      }
+    }
+  }
+  return c;
+}
+
+TEST(Peephole, CancelsAdjacentInversePairs) {
+  Circuit c(2);
+  c.append(Gate::h(0));
+  c.append(Gate::h(0));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::s(1));
+  c.append(Gate::sdg(1));
+  EXPECT_GT(cancel_gates(c), 0u);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Peephole, CancelsThroughCommutingGates) {
+  // CNOT | Rz(control) | CNOT must cancel: Rz commutes with the control.
+  Circuit c(2);
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::rz(0, 0.7));
+  c.append(Gate::rx(1, 0.3));
+  c.append(Gate::cnot(0, 1));
+  cancel_gates(c);
+  EXPECT_EQ(c.count(GateKind::Cnot), 0u);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Peephole, DoesNotCancelThroughBlockingGates) {
+  // An H on the control does not commute with CNOT.
+  Circuit c(2);
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::h(0));
+  c.append(Gate::cnot(0, 1));
+  cancel_gates(c);
+  EXPECT_EQ(c.count(GateKind::Cnot), 2u);
+}
+
+TEST(Peephole, MergesRotations) {
+  Circuit c(1);
+  c.append(Gate::rz(0, 0.3));
+  c.append(Gate::rz(0, 0.4));
+  cancel_gates(c);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c.gate(0).param, 0.7, 1e-12);
+}
+
+TEST(Peephole, MergedOppositeRotationsVanish) {
+  Circuit c(1);
+  c.append(Gate::rx(0, 0.25));
+  c.append(Gate::rx(0, -0.25));
+  cancel_gates(c);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Peephole, CommutationRulesMatchUnitaries) {
+  // gates_commute must never claim commutation that the matrices refute.
+  const std::vector<Gate> pool = {
+      Gate::h(0),       Gate::s(0),          Gate::rz(0, 0.4), Gate::rx(1, 0.3),
+      Gate::x(1),       Gate::z(0),          Gate::cnot(0, 1), Gate::cnot(1, 0),
+      Gate::cz(0, 1),   Gate::rz(1, -0.2),   Gate::t(1),       Gate::y(0),
+  };
+  for (const Gate& a : pool)
+    for (const Gate& b : pool) {
+      if (!gates_commute(a, b)) continue;
+      Circuit ab(2), ba(2);
+      ab.append(a);
+      ab.append(b);
+      ba.append(b);
+      ba.append(a);
+      EXPECT_TRUE(circuit_unitary(ab).approx_equal(circuit_unitary(ba), 1e-9))
+          << a.to_string() << " vs " << b.to_string();
+    }
+}
+
+TEST(Peephole, CancelPreservesUnitaryOnRandomCircuits) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Circuit c = random_circuit(3, 40, seed);
+    const Matrix before = circuit_unitary(c);
+    cancel_gates(c);
+    EXPECT_TRUE(circuit_unitary(c).approx_equal(before, 1e-9)) << seed;
+  }
+}
+
+TEST(Peephole, FusionPreservesUnitaryUpToPhase) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    Circuit c = random_circuit(3, 40, seed);
+    StateVector a(3), b(3);
+    a.apply_circuit(c);
+    const Matrix before = circuit_unitary(c);
+    fuse_single_qubit_runs(c);
+    const Matrix after = circuit_unitary(c);
+    // Global phase may differ after ZYZ resynthesis.
+    EXPECT_NEAR(infidelity(before, after), 0.0, 1e-9) << seed;
+  }
+}
+
+TEST(Peephole, FusionCompressesLongRuns) {
+  Circuit c(1);
+  for (int i = 0; i < 10; ++i) {
+    c.append(Gate::h(0));
+    c.append(Gate::t(0));
+  }
+  fuse_single_qubit_runs(c);
+  EXPECT_LE(c.size(), 3u);
+}
+
+TEST(Peephole, O3PreservesUnitaryUpToPhase) {
+  for (std::uint64_t seed : {21u, 22u}) {
+    Circuit c = random_circuit(4, 60, seed);
+    const Matrix before = circuit_unitary(c);
+    optimize_o3(c);
+    EXPECT_NEAR(infidelity(before, circuit_unitary(c)), 0.0, 1e-9) << seed;
+  }
+}
+
+TEST(Peephole, O3ShrinksNaiveTrotterCircuits) {
+  // Adjacent Pauli rotations with shared ladders must lose CNOTs.
+  const std::vector<PauliTerm> terms = {
+      {"ZZZ", 0.1}, {"ZZY", 0.2}, {"ZZX", 0.3}};
+  Circuit c = synthesize_naive(terms, 3);
+  const std::size_t before = c.count(GateKind::Cnot);
+  optimize_o3(c);
+  EXPECT_LT(c.count(GateKind::Cnot), before);
+}
+
+TEST(Rebase, SingleBlockCircuitBecomesOneSu4) {
+  Circuit c(3);
+  c.append(Gate::h(0));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::rz(1, 0.3));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::h(0));
+  const Circuit r = rebase_su4(c);
+  EXPECT_EQ(r.count(GateKind::Su4), 1u);
+  EXPECT_EQ(r.count_2q(), 1u);
+}
+
+TEST(Rebase, SeparatePairsYieldSeparateBlocks) {
+  Circuit c(4);
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::cnot(2, 3));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::cnot(1, 2));  // breaks the (0,1) block
+  c.append(Gate::cnot(0, 1));
+  const Circuit r = rebase_su4(c);
+  EXPECT_EQ(r.count(GateKind::Su4), 4u);
+}
+
+TEST(Rebase, ReversedPairStaysInOneBlock) {
+  Circuit c(2);
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::cnot(1, 0));
+  EXPECT_EQ(rebase_su4(c).count(GateKind::Su4), 1u);
+}
+
+TEST(Rebase, PreservesUnitary) {
+  for (std::uint64_t seed : {31u, 32u, 33u}) {
+    const Circuit c = random_circuit(4, 50, seed);
+    const Circuit r = rebase_su4(c);
+    EXPECT_TRUE(circuit_unitary(r).approx_equal(circuit_unitary(c), 1e-9))
+        << seed;
+    EXPECT_TRUE(
+        circuit_unitary(r.flattened()).approx_equal(circuit_unitary(c), 1e-9));
+  }
+}
+
+TEST(Rebase, DecomposeSwapsPreservesUnitary) {
+  Circuit c(3);
+  c.append(Gate::h(0));
+  c.append(Gate::swap(0, 2));
+  c.append(Gate::cnot(2, 1));
+  const Circuit d = decompose_swaps(c);
+  EXPECT_EQ(d.count(GateKind::Swap), 0u);
+  EXPECT_EQ(d.count(GateKind::Cnot), 4u);
+  EXPECT_TRUE(circuit_unitary(d).approx_equal(circuit_unitary(c), 1e-9));
+}
+
+TEST(Rebase, LooseOneQubitGatesSurvive) {
+  Circuit c(3);
+  c.append(Gate::h(2));
+  c.append(Gate::cnot(0, 1));
+  const Circuit r = rebase_su4(c);
+  EXPECT_EQ(r.count(GateKind::H), 1u);
+  EXPECT_EQ(r.count(GateKind::Su4), 1u);
+}
+
+}  // namespace
+}  // namespace phoenix
