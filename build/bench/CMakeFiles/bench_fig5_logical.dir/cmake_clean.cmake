@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_logical.dir/bench_fig5_logical.cpp.o"
+  "CMakeFiles/bench_fig5_logical.dir/bench_fig5_logical.cpp.o.d"
+  "bench_fig5_logical"
+  "bench_fig5_logical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_logical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_heavyhex.dir/bench_fig6_heavyhex.cpp.o"
+  "CMakeFiles/bench_fig6_heavyhex.dir/bench_fig6_heavyhex.cpp.o.d"
+  "bench_fig6_heavyhex"
+  "bench_fig6_heavyhex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_heavyhex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

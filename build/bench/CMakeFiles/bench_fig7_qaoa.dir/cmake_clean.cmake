@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_qaoa.dir/bench_fig7_qaoa.cpp.o"
+  "CMakeFiles/bench_fig7_qaoa.dir/bench_fig7_qaoa.cpp.o.d"
+  "bench_fig7_qaoa"
+  "bench_fig7_qaoa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_qaoa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_isa.dir/bench_table3_isa.cpp.o"
+  "CMakeFiles/bench_table3_isa.dir/bench_table3_isa.cpp.o.d"
+  "bench_table3_isa"
+  "bench_table3_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

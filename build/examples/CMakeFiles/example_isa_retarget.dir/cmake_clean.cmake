@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_isa_retarget.dir/isa_retarget.cpp.o"
+  "CMakeFiles/example_isa_retarget.dir/isa_retarget.cpp.o.d"
+  "example_isa_retarget"
+  "example_isa_retarget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_isa_retarget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_qaoa_compile.dir/qaoa_compile.cpp.o"
+  "CMakeFiles/example_qaoa_compile.dir/qaoa_compile.cpp.o.d"
+  "example_qaoa_compile"
+  "example_qaoa_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_qaoa_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

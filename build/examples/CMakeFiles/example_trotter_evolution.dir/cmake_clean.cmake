@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trotter_evolution.dir/trotter_evolution.cpp.o"
+  "CMakeFiles/example_trotter_evolution.dir/trotter_evolution.cpp.o.d"
+  "example_trotter_evolution"
+  "example_trotter_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trotter_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

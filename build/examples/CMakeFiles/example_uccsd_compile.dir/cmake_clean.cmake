@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_uccsd_compile.dir/uccsd_compile.cpp.o"
+  "CMakeFiles/example_uccsd_compile.dir/uccsd_compile.cpp.o.d"
+  "example_uccsd_compile"
+  "example_uccsd_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_uccsd_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/diagonalize.cpp" "src/CMakeFiles/phoenix.dir/baselines/diagonalize.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/baselines/diagonalize.cpp.o.d"
+  "/root/repo/src/baselines/paulihedral.cpp" "src/CMakeFiles/phoenix.dir/baselines/paulihedral.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/baselines/paulihedral.cpp.o.d"
+  "/root/repo/src/baselines/tetris.cpp" "src/CMakeFiles/phoenix.dir/baselines/tetris.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/baselines/tetris.cpp.o.d"
+  "/root/repo/src/baselines/tket.cpp" "src/CMakeFiles/phoenix.dir/baselines/tket.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/baselines/tket.cpp.o.d"
+  "/root/repo/src/baselines/twoqan.cpp" "src/CMakeFiles/phoenix.dir/baselines/twoqan.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/baselines/twoqan.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/phoenix.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/CMakeFiles/phoenix.dir/circuit/gate.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/circuit/gate.cpp.o.d"
+  "/root/repo/src/circuit/qasm.cpp" "src/CMakeFiles/phoenix.dir/circuit/qasm.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/circuit/qasm.cpp.o.d"
+  "/root/repo/src/circuit/synthesis.cpp" "src/CMakeFiles/phoenix.dir/circuit/synthesis.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/circuit/synthesis.cpp.o.d"
+  "/root/repo/src/common/bitvec.cpp" "src/CMakeFiles/phoenix.dir/common/bitvec.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/common/bitvec.cpp.o.d"
+  "/root/repo/src/common/graph.cpp" "src/CMakeFiles/phoenix.dir/common/graph.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/common/graph.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/phoenix.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/common/rng.cpp.o.d"
+  "/root/repo/src/hamlib/fermion.cpp" "src/CMakeFiles/phoenix.dir/hamlib/fermion.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/hamlib/fermion.cpp.o.d"
+  "/root/repo/src/hamlib/grouping.cpp" "src/CMakeFiles/phoenix.dir/hamlib/grouping.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/hamlib/grouping.cpp.o.d"
+  "/root/repo/src/hamlib/io.cpp" "src/CMakeFiles/phoenix.dir/hamlib/io.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/hamlib/io.cpp.o.d"
+  "/root/repo/src/hamlib/qaoa.cpp" "src/CMakeFiles/phoenix.dir/hamlib/qaoa.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/hamlib/qaoa.cpp.o.d"
+  "/root/repo/src/hamlib/trotter.cpp" "src/CMakeFiles/phoenix.dir/hamlib/trotter.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/hamlib/trotter.cpp.o.d"
+  "/root/repo/src/hamlib/uccsd.cpp" "src/CMakeFiles/phoenix.dir/hamlib/uccsd.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/hamlib/uccsd.cpp.o.d"
+  "/root/repo/src/mapping/bridge.cpp" "src/CMakeFiles/phoenix.dir/mapping/bridge.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/mapping/bridge.cpp.o.d"
+  "/root/repo/src/mapping/sabre.cpp" "src/CMakeFiles/phoenix.dir/mapping/sabre.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/mapping/sabre.cpp.o.d"
+  "/root/repo/src/mapping/topology.cpp" "src/CMakeFiles/phoenix.dir/mapping/topology.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/mapping/topology.cpp.o.d"
+  "/root/repo/src/pauli/bsf.cpp" "src/CMakeFiles/phoenix.dir/pauli/bsf.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/pauli/bsf.cpp.o.d"
+  "/root/repo/src/pauli/clifford2q.cpp" "src/CMakeFiles/phoenix.dir/pauli/clifford2q.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/pauli/clifford2q.cpp.o.d"
+  "/root/repo/src/pauli/pauli.cpp" "src/CMakeFiles/phoenix.dir/pauli/pauli.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/pauli/pauli.cpp.o.d"
+  "/root/repo/src/pauli/polynomial.cpp" "src/CMakeFiles/phoenix.dir/pauli/polynomial.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/pauli/polynomial.cpp.o.d"
+  "/root/repo/src/pauli/tableau.cpp" "src/CMakeFiles/phoenix.dir/pauli/tableau.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/pauli/tableau.cpp.o.d"
+  "/root/repo/src/phoenix/compiler.cpp" "src/CMakeFiles/phoenix.dir/phoenix/compiler.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/phoenix/compiler.cpp.o.d"
+  "/root/repo/src/phoenix/ordering.cpp" "src/CMakeFiles/phoenix.dir/phoenix/ordering.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/phoenix/ordering.cpp.o.d"
+  "/root/repo/src/phoenix/qaoa_router.cpp" "src/CMakeFiles/phoenix.dir/phoenix/qaoa_router.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/phoenix/qaoa_router.cpp.o.d"
+  "/root/repo/src/phoenix/simplify.cpp" "src/CMakeFiles/phoenix.dir/phoenix/simplify.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/phoenix/simplify.cpp.o.d"
+  "/root/repo/src/sim/expectation.cpp" "src/CMakeFiles/phoenix.dir/sim/expectation.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/sim/expectation.cpp.o.d"
+  "/root/repo/src/sim/matrix.cpp" "src/CMakeFiles/phoenix.dir/sim/matrix.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/sim/matrix.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/CMakeFiles/phoenix.dir/sim/statevector.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/sim/statevector.cpp.o.d"
+  "/root/repo/src/transpile/peephole.cpp" "src/CMakeFiles/phoenix.dir/transpile/peephole.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/transpile/peephole.cpp.o.d"
+  "/root/repo/src/transpile/rebase.cpp" "src/CMakeFiles/phoenix.dir/transpile/rebase.cpp.o" "gcc" "src/CMakeFiles/phoenix.dir/transpile/rebase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

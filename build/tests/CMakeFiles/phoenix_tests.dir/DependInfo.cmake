@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bitvec.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_bitvec.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_bitvec.cpp.o.d"
+  "/root/repo/tests/test_bsf.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_bsf.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_bsf.cpp.o.d"
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_hamlib.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_hamlib.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_hamlib.cpp.o.d"
+  "/root/repo/tests/test_mapping.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_mapping.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_mapping.cpp.o.d"
+  "/root/repo/tests/test_pauli.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_pauli.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_pauli.cpp.o.d"
+  "/root/repo/tests/test_phoenix.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_phoenix.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_phoenix.cpp.o.d"
+  "/root/repo/tests/test_polynomial.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_polynomial.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_polynomial.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_qaoa_router.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_qaoa_router.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_qaoa_router.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_tableau.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_tableau.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_tableau.cpp.o.d"
+  "/root/repo/tests/test_transpile.cpp" "tests/CMakeFiles/phoenix_tests.dir/test_transpile.cpp.o" "gcc" "tests/CMakeFiles/phoenix_tests.dir/test_transpile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/phoenix.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
