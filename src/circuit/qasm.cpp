@@ -4,15 +4,16 @@
 #include <cmath>
 #include <optional>
 #include <sstream>
-#include <stdexcept>
 #include <unordered_map>
+
+#include "common/error.hpp"
 
 namespace phoenix {
 
 namespace {
 
 [[noreturn]] void fail(std::size_t lineno, const std::string& msg) {
-  throw std::runtime_error("qasm line " + std::to_string(lineno) + ": " + msg);
+  throw Error(Stage::Parse, "qasm: " + msg, lineno);
 }
 
 std::string strip(const std::string& s) {
@@ -22,14 +23,25 @@ std::string strip(const std::string& s) {
   return s.substr(a, b - a);
 }
 
-/// Parse "q[k]" and return k.
+/// Parse "q[k]" and return k, validated against the declared register size.
 std::size_t parse_qubit(const std::string& tok, std::size_t lineno,
-                        const std::string& reg) {
+                        const std::string& reg, std::size_t reg_size) {
   const std::string t = strip(tok);
   if (t.size() < reg.size() + 3 || t.compare(0, reg.size(), reg) != 0 ||
       t[reg.size()] != '[' || t.back() != ']')
     fail(lineno, "bad qubit reference '" + t + "'");
-  return std::stoul(t.substr(reg.size() + 1, t.size() - reg.size() - 2));
+  const std::string index = t.substr(reg.size() + 1, t.size() - reg.size() - 2);
+  std::size_t k = 0, used = 0;
+  try {
+    k = std::stoul(index, &used);
+  } catch (const std::exception&) {
+    fail(lineno, "bad qubit index '" + index + "'");
+  }
+  if (used != index.size()) fail(lineno, "bad qubit index '" + index + "'");
+  if (k >= reg_size)
+    fail(lineno, "qubit index " + std::to_string(k) +
+                     " outside register of size " + std::to_string(reg_size));
+  return k;
 }
 
 /// Simple constant-expression evaluator for angles: numbers, pi, unary
@@ -125,7 +137,15 @@ Circuit circuit_from_qasm(const std::string& text) {
       if (lb == std::string::npos || rb == std::string::npos || rb < lb)
         fail(lineno, "malformed qreg");
       reg = strip(line.substr(4, lb - 4));
-      const std::size_t n = std::stoul(line.substr(lb + 1, rb - lb - 1));
+      const std::string size_text = line.substr(lb + 1, rb - lb - 1);
+      std::size_t n = 0, used = 0;
+      try {
+        n = std::stoul(size_text, &used);
+      } catch (const std::exception&) {
+        fail(lineno, "bad register size '" + size_text + "'");
+      }
+      if (used != size_text.size())
+        fail(lineno, "bad register size '" + size_text + "'");
       circuit.emplace(n);
       continue;
     }
@@ -156,11 +176,14 @@ Circuit circuit_from_qasm(const std::string& text) {
     std::string args = line.substr(args_begin);
     std::istringstream as(args);
     std::string tok;
-    while (std::getline(as, tok, ',')) qubits.push_back(parse_qubit(tok, lineno, reg));
+    while (std::getline(as, tok, ','))
+      qubits.push_back(parse_qubit(tok, lineno, reg, circuit->num_qubits()));
 
     const bool two_q = gate_is_two_qubit(kind);
     if (qubits.size() != (two_q ? 2u : 1u))
       fail(lineno, "wrong operand count for '" + head + "'");
+    if (two_q && qubits[0] == qubits[1])
+      fail(lineno, "duplicate operands for '" + head + "'");
     if (gate_has_param(kind)) {
       if (angle_text.empty()) fail(lineno, "missing angle for '" + head + "'");
       circuit->append(Gate(kind, qubits[0], parse_angle(angle_text, lineno)));
@@ -171,7 +194,7 @@ Circuit circuit_from_qasm(const std::string& text) {
       circuit->append(Gate(kind, qubits[0]));
     }
   }
-  if (!circuit) throw std::runtime_error("qasm: no qreg declaration found");
+  if (!circuit) throw Error(Stage::Parse, "qasm: no qreg declaration found");
   return *circuit;
 }
 

@@ -1,0 +1,49 @@
+#include "common/error.hpp"
+
+namespace phoenix {
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::Parse: return "parse";
+    case Stage::Io: return "io";
+    case Stage::Grouping: return "grouping";
+    case Stage::Simplify: return "simplify";
+    case Stage::Ordering: return "ordering";
+    case Stage::Emission: return "emission";
+    case Stage::Peephole: return "peephole";
+    case Stage::Routing: return "routing";
+    case Stage::Validation: return "validation";
+    case Stage::Simulation: return "simulation";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string compose_message(Stage stage, const std::string& detail,
+                            std::size_t line, std::size_t group) {
+  std::string msg = "phoenix error [stage=";
+  msg += stage_name(stage);
+  if (group != Error::kNoGroup) msg += ", group=" + std::to_string(group);
+  if (line != Error::kNoLine) msg += ", line=" + std::to_string(line);
+  msg += "]: ";
+  msg += detail;
+  return msg;
+}
+
+}  // namespace
+
+Error::Error(Stage stage, std::string detail, std::size_t line,
+             std::size_t group)
+    : std::runtime_error(detail),
+      stage_(stage),
+      detail_(std::move(detail)),
+      line_(line),
+      group_(group),
+      message_(compose_message(stage_, detail_, line_, group_)) {}
+
+Error with_group(const Error& e, std::size_t group) {
+  return Error(e.stage(), e.detail(), e.line(), group);
+}
+
+}  // namespace phoenix

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace phoenix {
+
+/// Pipeline stage an error originated from. Parse covers the text-format
+/// readers (Hamiltonian files, OpenQASM); Io covers filesystem failures.
+enum class Stage {
+  Parse,
+  Io,
+  Grouping,
+  Simplify,
+  Ordering,
+  Emission,
+  Peephole,
+  Routing,
+  Validation,
+  Simulation,
+};
+
+const char* stage_name(Stage s);
+
+/// Structured compiler error: every throw out of the PHOENIX pipeline and
+/// its parsers carries the stage it came from plus, where meaningful, the
+/// IR group index and the input line number. `what()` renders all context,
+/// so callers that only catch `std::exception` still see it; callers that
+/// catch `phoenix::Error` can dispatch on the fields.
+class Error : public std::runtime_error {
+ public:
+  static constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kNoLine = 0;  ///< line numbers are 1-based
+
+  Error(Stage stage, std::string detail, std::size_t line = kNoLine,
+        std::size_t group = kNoGroup);
+
+  Stage stage() const { return stage_; }
+  const std::string& detail() const { return detail_; }
+
+  bool has_group() const { return group_ != kNoGroup; }
+  std::size_t group() const { return group_; }
+
+  bool has_line() const { return line_ != kNoLine; }
+  std::size_t line() const { return line_; }
+
+  const char* what() const noexcept override { return message_.c_str(); }
+
+ private:
+  Stage stage_;
+  std::string detail_;
+  std::size_t line_;
+  std::size_t group_;
+  std::string message_;
+};
+
+/// Rebuild `e` with a group index attached (used by the compiler to add the
+/// IR-group context that inner stages cannot know).
+Error with_group(const Error& e, std::size_t group);
+
+}  // namespace phoenix

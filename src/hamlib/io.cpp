@@ -1,9 +1,11 @@
 #include "hamlib/io.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
+
+#include "common/error.hpp"
 
 namespace phoenix {
 
@@ -31,19 +33,30 @@ std::vector<PauliTerm> hamiltonian_from_text(const std::string& text) {
     double coeff;
     if (!(ls >> label)) continue;  // blank line
     if (!(ls >> coeff))
-      throw std::runtime_error("hamiltonian_from_text: missing coefficient on line " +
-                               std::to_string(lineno));
+      throw Error(Stage::Parse,
+                  "hamiltonian_from_text: missing or malformed coefficient",
+                  lineno);
+    if (!std::isfinite(coeff))
+      throw Error(Stage::Parse,
+                  "hamiltonian_from_text: non-finite coefficient", lineno);
     std::string trailing;
     if (ls >> trailing)
-      throw std::runtime_error("hamiltonian_from_text: trailing tokens on line " +
-                               std::to_string(lineno));
-    PauliTerm term(label, coeff);
+      throw Error(Stage::Parse, "hamiltonian_from_text: trailing tokens",
+                  lineno);
+    PauliTerm term;
+    try {
+      term = PauliTerm(label, coeff);
+    } catch (const std::exception& e) {
+      throw Error(Stage::Parse,
+                  "hamiltonian_from_text: bad Pauli label '" + label +
+                      "': " + e.what(),
+                  lineno);
+    }
     if (n == 0)
       n = term.string.num_qubits();
     else if (term.string.num_qubits() != n)
-      throw std::runtime_error(
-          "hamiltonian_from_text: inconsistent qubit count on line " +
-          std::to_string(lineno));
+      throw Error(Stage::Parse,
+                  "hamiltonian_from_text: inconsistent qubit count", lineno);
     terms.push_back(std::move(term));
   }
   return terms;
@@ -52,14 +65,14 @@ std::vector<PauliTerm> hamiltonian_from_text(const std::string& text) {
 void save_hamiltonian(const std::string& path,
                       const std::vector<PauliTerm>& terms) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_hamiltonian: cannot open " + path);
+  if (!out) throw Error(Stage::Io, "save_hamiltonian: cannot open " + path);
   out << hamiltonian_to_text(terms);
-  if (!out) throw std::runtime_error("save_hamiltonian: write failed: " + path);
+  if (!out) throw Error(Stage::Io, "save_hamiltonian: write failed: " + path);
 }
 
 std::vector<PauliTerm> load_hamiltonian(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_hamiltonian: cannot open " + path);
+  if (!in) throw Error(Stage::Io, "load_hamiltonian: cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
   return hamiltonian_from_text(buf.str());

@@ -1,8 +1,10 @@
 #include "phoenix/compiler.hpp"
 
-#include <stdexcept>
+#include <chrono>
+#include <utility>
 
 #include "circuit/synthesis.hpp"
+#include "common/error.hpp"
 #include "hamlib/grouping.hpp"
 #include "phoenix/qaoa_router.hpp"
 #include "transpile/peephole.hpp"
@@ -10,14 +12,56 @@
 
 namespace phoenix {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double millis_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
 CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
                               std::size_t num_qubits,
                               const PhoenixOptions& opt) {
-  if (opt.hardware_aware && opt.coupling == nullptr)
-    throw std::invalid_argument(
-        "phoenix_compile: hardware-aware mode needs a coupling graph");
+  if (opt.hardware_aware) {
+    if (opt.coupling == nullptr)
+      throw Error(Stage::Routing,
+                  "phoenix_compile: hardware-aware mode needs a coupling graph");
+    if (opt.coupling->num_vertices() < num_qubits)
+      throw Error(Stage::Routing,
+                  "phoenix_compile: device has " +
+                      std::to_string(opt.coupling->num_vertices()) +
+                      " qubits, program needs " + std::to_string(num_qubits));
+  }
 
   CompileResult res;
+  const bool diagnose = opt.validation.level != ValidationLevel::Off;
+  const bool paranoid = opt.validation.level == ValidationLevel::Paranoid;
+  auto record = [&](const char* name, Clock::time_point t0, bool checked,
+                    std::string note = {}) {
+    if (diagnose)
+      res.diagnostics.push_back(
+          StageRecord{name, millis_since(t0), checked, std::move(note)});
+  };
+
+  // Final-circuit validation, shared by every exit path. Cheap throws only on
+  // a definite mismatch; Paranoid also refuses to return Inconclusive.
+  auto validate_final = [&]() {
+    if (!diagnose) return;
+    const auto t0 = Clock::now();
+    const LayoutSpec layout{res.initial_layout, res.final_layout};
+    res.validation = validate_translation(res.circuit, terms, num_qubits,
+                                          layout, opt.validation);
+    std::string verdict = validation_status_name(res.validation.status);
+    if (!res.validation.message.empty())
+      verdict += ": " + res.validation.message;
+    record("validate", t0, true, verdict);
+    if (res.validation.status == ValidationStatus::Fail ||
+        (paranoid && !res.validation.passed()))
+      throw Error(Stage::Validation, "translation validation " + verdict);
+  };
 
   // Commuting 2-local programs (QAOA cost layers): the Trotter arrangement
   // is completely free, so hardware-aware compilation uses the
@@ -25,42 +69,60 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   // instead of the order-preserving SABRE path.
   if (opt.hardware_aware && terms.size() <= 4096 &&
       is_commuting_two_local(terms)) {
+    const auto t0 = Clock::now();
     QaoaRouteResult routed =
         route_commuting_two_local(terms, num_qubits, *opt.coupling);
     res.num_groups = terms.size();
     res.num_swaps = routed.num_swaps;
+    res.initial_layout = std::move(routed.initial_layout);
+    res.final_layout = std::move(routed.final_layout);
     Circuit logical(num_qubits);
     for (const auto& t : terms) append_pauli_rotation(logical, t);
     res.logical = std::move(logical);
     res.circuit = opt.isa == TwoQubitIsa::Su4 ? rebase_su4(routed.circuit)
                                               : std::move(routed.circuit);
+    if (paranoid) check_circuit_wellformed(res.circuit, opt.coupling);
+    record("route(qaoa)", t0, paranoid,
+           std::to_string(res.num_swaps) + " swaps");
+    validate_final();
     return res;
   }
 
   // 1. IR grouping by support set (§IV-A).
+  auto t_stage = Clock::now();
   const auto groups = group_by_support(terms);
   res.num_groups = groups.size();
+  record("group", t_stage, false, std::to_string(groups.size()) + " groups");
 
   // 2. Group-wise BSF simplification (Algorithm 1) and subcircuit emission.
   //    Global-frame 1Q locals float to a prelude so group boundaries stay
   //    clean for Clifford2Q cancellation.
+  t_stage = Clock::now();
   Circuit prelude(num_qubits);
   std::vector<SubcircuitProfile> profiles;
   profiles.reserve(groups.size());
-  for (const auto& g : groups) {
-    const SimplifiedGroup sg = simplify_bsf(g.terms, opt.simplify);
-    res.bsf_epochs += sg.search_epochs;
-    for (const auto& r : sg.global_locals()) {
-      append_pauli_rotation(
-          prelude,
-          PauliTerm(PauliString(r.x, r.z), r.sign ? -r.coeff : r.coeff));
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    try {
+      const SimplifiedGroup sg = simplify_bsf(groups[gi].terms, opt.simplify);
+      if (paranoid) check_simplified_group(groups[gi].terms, sg);
+      res.bsf_epochs += sg.search_epochs;
+      for (const auto& r : sg.global_locals()) {
+        append_pauli_rotation(
+            prelude,
+            PauliTerm(PauliString(r.x, r.z), r.sign ? -r.coeff : r.coeff));
+      }
+      Circuit sub = sg.emit(num_qubits, /*include_global_locals=*/false);
+      if (sub.empty()) continue;
+      profiles.push_back(profile_subcircuit(std::move(sub), sg.cliffords));
+    } catch (const Error& e) {
+      throw with_group(e, gi);
     }
-    Circuit sub = sg.emit(num_qubits, /*include_global_locals=*/false);
-    if (sub.empty()) continue;
-    profiles.push_back(profile_subcircuit(std::move(sub), sg.cliffords));
   }
+  record("simplify", t_stage, paranoid,
+         std::to_string(res.bsf_epochs) + " epochs");
 
   // 3. Tetris-like ordering (§IV-C) and assembly.
+  t_stage = Clock::now();
   OrderingOptions order_opt;
   order_opt.lookahead = opt.lookahead;
   order_opt.routing_aware = opt.hardware_aware;
@@ -69,8 +131,10 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   Circuit assembled(num_qubits);
   assembled.append(prelude);
   for (std::size_t idx : order) assembled.append(profiles[idx].circ);
+  record("order", t_stage, false);
 
   // 4. Logical-level gate cancellation.
+  t_stage = Clock::now();
   switch (opt.peephole) {
     case PeepholeLevel::None:
       break;
@@ -81,27 +145,45 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
       optimize_o3(assembled);
       break;
   }
+  record("peephole", t_stage, false);
   res.logical = assembled;
 
   // 5. ISA emission / hardware mapping.
   if (!opt.hardware_aware) {
     res.circuit = opt.isa == TwoQubitIsa::Su4 ? rebase_su4(assembled)
                                               : std::move(assembled);
+    if (paranoid) check_circuit_wellformed(res.circuit);
+    validate_final();
     return res;
   }
 
+  t_stage = Clock::now();
   SabreResult routed = sabre_route(assembled, *opt.coupling, opt.sabre);
   res.num_swaps = routed.num_swaps;
+  res.initial_layout = std::move(routed.initial_layout);
+  res.final_layout = std::move(routed.final_layout);
+  if (paranoid) {
+    // SWAP accounting must be checked on the routed circuit before the
+    // SWAPs are decomposed into CNOTs.
+    check_swap_accounting(routed.routed, routed.num_swaps);
+    check_circuit_wellformed(routed.routed, opt.coupling);
+  }
   Circuit physical = decompose_swaps(routed.routed);
+  record("route(sabre)", t_stage, paranoid,
+         std::to_string(res.num_swaps) + " swaps");
   // Post-routing cancellation: SWAP CNOTs frequently annihilate against the
   // rotation-ladder CNOTs they abut (the paper follows every hardware-aware
   // flow with a full Qiskit O3 pass).
+  t_stage = Clock::now();
   if (opt.peephole == PeepholeLevel::None)
     optimize_o2(physical);
   else
     optimize_o3(physical);
   res.circuit = opt.isa == TwoQubitIsa::Su4 ? rebase_su4(physical)
                                             : std::move(physical);
+  if (paranoid) check_circuit_wellformed(res.circuit, opt.coupling);
+  record("peephole(post-route)", t_stage, paranoid);
+  validate_final();
   return res;
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -9,6 +10,7 @@
 #include "pauli/pauli.hpp"
 #include "phoenix/ordering.hpp"
 #include "phoenix/simplify.hpp"
+#include "verify/verify.hpp"
 
 namespace phoenix {
 
@@ -31,6 +33,22 @@ struct PhoenixOptions {
   std::size_t lookahead = 20;  ///< Tetris ordering window
   SabreOptions sabre;
   SimplifyOptions simplify;
+  /// Self-checking level (src/verify/): Off compiles blind, Cheap runs the
+  /// polynomial translation validation on the final circuit, Paranoid adds
+  /// per-stage invariant checks and the exact-unitary cross-check on small
+  /// registers. Any detected miscompilation throws phoenix::Error
+  /// (Stage::Validation).
+  ValidationOptions validation{ValidationLevel::Off};
+};
+
+/// Diagnostics for one pipeline stage: wall-clock cost and, when validation
+/// is on, whether invariant checks ran there (checks that fail throw, so
+/// records in a returned CompileResult always describe passing stages).
+struct StageRecord {
+  std::string name;
+  double millis = 0.0;
+  bool checked = false;  ///< paranoid invariant / validation ran here
+  std::string note;      ///< stage-specific context (counts, verdicts)
 };
 
 struct CompileResult {
@@ -43,6 +61,15 @@ struct CompileResult {
   std::size_t num_swaps = 0;
   std::size_t num_groups = 0;
   std::size_t bsf_epochs = 0;  ///< total greedy search epochs across groups
+  /// Hardware-aware mode: logical -> physical layouts at circuit start/end
+  /// (from SABRE or the QAOA router). Empty for logical-level compilation.
+  std::vector<std::size_t> initial_layout;
+  std::vector<std::size_t> final_layout;
+  /// Per-stage timings and check outcomes (populated when validation != Off).
+  std::vector<StageRecord> diagnostics;
+  /// Translation-validation verdict for `circuit` (status Pass whenever this
+  /// result was returned with validation enabled; a Fail throws instead).
+  ValidationReport validation;
 };
 
 /// The full PHOENIX pipeline of §IV: IR grouping → group-wise BSF

@@ -4,6 +4,7 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include "common/error.hpp"
 
 #include "transpile/peephole.hpp"
 #include "transpile/rebase.hpp"
@@ -194,7 +195,7 @@ RouteOutcome route_once(const std::vector<Item>& items, const Graph& coupling,
       }
     }
     if (best.first == npos)
-      throw std::logic_error("route_commuting_two_local: no candidate swap");
+      throw Error(Stage::Routing, "route_commuting_two_local: no candidate swap");
     c.append(Gate::swap(best.first, best.second));
     ++out.swaps;
     last_swap = best;
@@ -206,7 +207,7 @@ RouteOutcome route_once(const std::vector<Item>& items, const Graph& coupling,
         p = best.first;
     }
     if (out.swaps > swap_limit)
-      throw std::runtime_error("route_commuting_two_local: swap limit");
+      throw Error(Stage::Routing, "route_commuting_two_local: swap limit");
   }
   out.final_layout = std::move(phys);
   out.circuit = decompose_swaps(c);
@@ -220,14 +221,14 @@ QaoaRouteResult route_commuting_two_local(const std::vector<PauliTerm>& terms,
                                           std::size_t num_qubits,
                                           const Graph& coupling) {
   if (coupling.num_vertices() < num_qubits)
-    throw std::invalid_argument("route_commuting_two_local: device too small");
+    throw Error(Stage::Routing, "route_commuting_two_local: device too small");
 
   std::vector<Item> items;
   Graph interaction(num_qubits);
   for (const auto& t : terms) {
     const auto sup = t.string.support();
     if (sup.size() != 2)
-      throw std::invalid_argument("route_commuting_two_local: not 2-local");
+      throw Error(Stage::Routing, "route_commuting_two_local: not 2-local");
     items.push_back({sup[0], sup[1], t.string.op(sup[0]), t.string.op(sup[1]),
                      t.coeff});
     if (!interaction.has_edge(sup[0], sup[1]))

@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <stdexcept>
+#include "common/error.hpp"
 
 namespace phoenix {
 
@@ -57,7 +58,7 @@ Clifford2Q row_reduction_move(const Bsf& bsf, std::size_t r) {
   const BitVec mask = bsf.row_x(r) | bsf.row_z(r);
   const auto sup = mask.ones();
   if (sup.size() < 2)
-    throw std::logic_error("row_reduction_move: row already local");
+    throw Error(Stage::Simplify, "row_reduction_move: row already local");
   const std::size_t a = sup[0], b = sup[1];
   const std::size_t before = (bsf.row_x(r) | bsf.row_z(r)).popcount();
   for (const auto& gen : clifford2q_generators())
@@ -70,7 +71,8 @@ Clifford2Q row_reduction_move(const Bsf& bsf, std::size_t r) {
       probe.apply_clifford2q(c);
       if ((probe.row_x(r) | probe.row_z(r)).popcount() < before) return c;
     }
-  throw std::logic_error("row_reduction_move: no reducing generator found");
+  throw Error(Stage::Simplify,
+              "row_reduction_move: no reducing generator found");
 }
 
 }  // namespace
@@ -78,7 +80,7 @@ Clifford2Q row_reduction_move(const Bsf& bsf, std::size_t r) {
 SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
                              const SimplifyOptions& opt) {
   if (terms.empty())
-    throw std::invalid_argument("simplify_bsf: empty term list");
+    throw Error(Stage::Simplify, "simplify_bsf: empty term list");
   Bsf bsf(terms);
 
   SimplifiedGroup g;
@@ -94,7 +96,7 @@ SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
       break;
     }
     if (++g.search_epochs > opt.max_epochs)
-      throw std::runtime_error("simplify_bsf: epoch limit exceeded");
+      throw Error(Stage::Simplify, "simplify_bsf: epoch limit exceeded");
 
     Clifford2Q chosen;
     bool have_choice = false;
@@ -155,7 +157,7 @@ SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
 Circuit SimplifiedGroup::emit(std::size_t total_qubits,
                               bool include_global_locals) const {
   if (total_qubits < num_qubits)
-    throw std::invalid_argument("SimplifiedGroup::emit: register too small");
+    throw Error(Stage::Emission, "SimplifiedGroup::emit: register too small");
   Circuit c(total_qubits);
   auto emit_rows = [&](const std::vector<Bsf::Row>& rows) {
     for (const auto& r : rows) {

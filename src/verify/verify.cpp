@@ -1,0 +1,582 @@
+#include "verify/verify.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <complex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "circuit/synthesis.hpp"
+#include "common/error.hpp"
+#include "pauli/bsf.hpp"
+#include "pauli/tableau.hpp"
+#include "sim/matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace phoenix {
+
+const char* validation_status_name(ValidationStatus s) {
+  switch (s) {
+    case ValidationStatus::Pass: return "pass";
+    case ValidationStatus::Fail: return "fail";
+    case ValidationStatus::Inconclusive: return "inconclusive";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr double kSnapTol = 1e-6;  ///< numeric slack when snapping to Clifford
+
+double dist_to_multiple(double x, double m) {
+  return std::abs(std::remainder(x, m));
+}
+
+// --- 2x2 complex matrix helpers (row-major {a00, a01, a10, a11}) ----------
+
+using Mat2 = std::array<Complex, 4>;
+
+Mat2 mat_mul(const Mat2& a, const Mat2& b) {
+  return {a[0] * b[0] + a[1] * b[2], a[0] * b[1] + a[1] * b[3],
+          a[2] * b[0] + a[3] * b[2], a[2] * b[1] + a[3] * b[3]};
+}
+
+Mat2 mat_adjoint(const Mat2& a) {
+  return {std::conj(a[0]), std::conj(a[2]), std::conj(a[1]), std::conj(a[3])};
+}
+
+const Mat2& pauli_matrix(Pauli p) {
+  static const Mat2 x{0, 1, 1, 0};
+  static const Mat2 y{0, Complex{0, -1}, Complex{0, 1}, 0};
+  static const Mat2 z{1, 0, 0, -1};
+  switch (p) {
+    case Pauli::X: return x;
+    case Pauli::Y: return y;
+    default: return z;
+  }
+}
+
+/// exp(-i r sigma_A) when sign is +, exp(+i r sigma_A) when sign is -.
+Mat2 axis_rotation(Pauli axis, bool negated, double r) {
+  const double c = std::cos(r);
+  const Complex ms = Complex{0, negated ? 1.0 : -1.0} * std::sin(r);
+  const Mat2& p = pauli_matrix(axis);
+  return {c + ms * p[0], ms * p[1], ms * p[2], c + ms * p[3]};
+}
+
+/// True when m is the identity up to global phase.
+bool is_phase_identity(const Mat2& m) {
+  return std::abs(m[1]) < kSnapTol && std::abs(m[2]) < kSnapTol &&
+         std::abs(m[0] - m[3]) < kSnapTol &&
+         std::abs(std::abs(m[0]) - 1.0) < kSnapTol;
+}
+
+/// Snap a 2x2 matrix to a signed Pauli; nullopt when it is not one.
+std::optional<std::pair<Pauli, bool>> snap_pauli(const Mat2& m) {
+  for (Pauli p : {Pauli::X, Pauli::Y, Pauli::Z}) {
+    const Mat2& s = pauli_matrix(p);
+    for (bool neg : {false, true}) {
+      double diff = 0;
+      for (int i = 0; i < 4; ++i)
+        diff = std::max(diff, std::abs(m[i] - (neg ? -s[i] : s[i])));
+      if (diff < kSnapTol) return std::make_pair(p, neg);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Conjugation action of a 1Q unitary, encoded as a small integer, or -1
+/// when the matrix is not Clifford (action does not map Paulis to Paulis).
+int action_key(const Mat2& u) {
+  const Mat2 ua = mat_adjoint(u);
+  const auto ix = snap_pauli(mat_mul(mat_mul(u, pauli_matrix(Pauli::X)), ua));
+  const auto iz = snap_pauli(mat_mul(mat_mul(u, pauli_matrix(Pauli::Z)), ua));
+  if (!ix || !iz) return -1;
+  const int px = static_cast<int>(ix->first) - 1, sx = ix->second ? 1 : 0;
+  const int pz = static_cast<int>(iz->first) - 1, sz = iz->second ? 1 : 0;
+  return ((px * 2 + sx) * 3 + pz) * 2 + sz;
+}
+
+/// The 24 single-qubit Cliffords as shortest H/S words (time order), keyed
+/// by conjugation action. Built once by BFS over {H, S} products.
+const std::unordered_map<int, std::string>& cliff1q_words() {
+  static const std::unordered_map<int, std::string> table = [] {
+    std::unordered_map<int, std::string> t;
+    const Mat2 h = gate_matrix_1q(Gate::h(0));
+    const Mat2 s = gate_matrix_1q(Gate::s(0));
+    std::vector<std::pair<Mat2, std::string>> queue{{Mat2{1, 0, 0, 1}, ""}};
+    t.emplace(action_key(queue.front().first), "");
+    for (std::size_t i = 0; i < queue.size() && t.size() < 24; ++i) {
+      const auto [mat, word] = queue[i];
+      for (char g : {'H', 'S'}) {
+        // Appending a gate in time order left-multiplies the matrix.
+        const Mat2 next = mat_mul(g == 'H' ? h : s, mat);
+        const int key = action_key(next);
+        if (t.emplace(key, word + g).second) queue.emplace_back(next, word + g);
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+// --- Pauli frame: source strings conjugated through the Clifford prefix ---
+
+/// Applies one Clifford gate to both the source-term frame (BSF rows) and
+/// the residual tableau. Only the gate kinds the walk feeds it (2Q gates
+/// and the H/S letters of a 1Q Clifford word) are handled.
+void frame_apply(Bsf& frame, CliffordTableau& tab, const Gate& g) {
+  switch (g.kind) {
+    case GateKind::H:
+      frame.apply_h(g.q0);
+      break;
+    case GateKind::S:
+      frame.apply_s(g.q0);
+      break;
+    case GateKind::Cnot:
+      frame.apply_cnot(g.q0, g.q1);
+      break;
+    case GateKind::Cz:
+      frame.apply_h(g.q1);
+      frame.apply_cnot(g.q0, g.q1);
+      frame.apply_h(g.q1);
+      break;
+    case GateKind::Swap:
+      frame.apply_cnot(g.q0, g.q1);
+      frame.apply_cnot(g.q1, g.q0);
+      frame.apply_cnot(g.q0, g.q1);
+      break;
+    default:
+      throw Error(Stage::Validation,
+                  std::string("frame_apply: unsupported gate ") + gate_name(g.kind));
+  }
+  tab.apply_gate(g);
+}
+
+void frame_apply_word(Bsf& frame, CliffordTableau& tab, std::size_t q,
+                      const std::string& word) {
+  for (char c : word)
+    frame_apply(frame, tab, c == 'H' ? Gate::h(q) : Gate::s(q));
+}
+
+/// One unconsumed source row whose frame image is a weight-1 Pauli on the
+/// run's qubit — a candidate to be realized by the run's rotation content.
+struct RunCandidate {
+  std::size_t row;
+  Pauli axis;    ///< image operator on the qubit
+  bool negated;  ///< image sign (true: image is -axis)
+  double angle;  ///< remaining rotation angle of the source term
+};
+
+/// The walk state shared across run flushes.
+struct FrameWalk {
+  Bsf frame;                          ///< images of the distinct source strings
+  CliffordTableau tab;                ///< residual Clifford accumulated so far
+  std::vector<PauliString> strings;   ///< distinct source strings (physical)
+  std::vector<double> remaining;      ///< unconsumed angle per string
+  std::vector<PauliTerm> realized;    ///< consumption order certificate
+  double angle_tol = 1e-7;
+
+  explicit FrameWalk(std::size_t n) : frame(n), tab(n) {}
+
+  std::vector<RunCandidate> candidates_on(std::size_t q) const {
+    std::vector<RunCandidate> out;
+    for (std::size_t i = 0; i < strings.size(); ++i) {
+      if (dist_to_multiple(remaining[i], M_PI) <= angle_tol) continue;
+      const bool x = frame.row_x(i).get(q), z = frame.row_z(i).get(q);
+      if (!x && !z) continue;
+      if ((frame.row_x(i) | frame.row_z(i)).popcount() != 1) continue;
+      const Pauli axis = x ? (z ? Pauli::Y : Pauli::X) : Pauli::Z;
+      out.push_back({i, axis, frame.row(i).sign, remaining[i]});
+      if (out.size() == 8) break;  // bound the hypothesis space
+    }
+    return out;
+  }
+
+  /// Try to consume one rotation gate that exactly equals a candidate term's
+  /// remaining rotation (up to global phase). The frame is untouched — a
+  /// rotation about a frame image commutes with the image itself.
+  bool consume_exact(std::size_t q, const Mat2& m) {
+    for (const RunCandidate& c : candidates_on(q)) {
+      const Mat2 d =
+          mat_mul(m, mat_adjoint(axis_rotation(c.axis, c.negated, c.angle)));
+      if (is_phase_identity(d)) {
+        realized.emplace_back(strings[c.row], c.angle);
+        remaining[c.row] = 0.0;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// DFS factorization of a fused lump: peel candidate rotations off the
+  /// right (earliest-in-time factor first) until the residue is a 1Q
+  /// Clifford. `order` accumulates the peel (= realization) order.
+  bool lump_dfs(std::size_t q, const Mat2& u,
+                const std::vector<RunCandidate>& cands, unsigned used,
+                std::vector<std::size_t>& order, std::size_t& budget) {
+    const int key = action_key(u);
+    if (key >= 0) {
+      frame_apply_word(frame, tab, q, cliff1q_words().at(key));
+      return true;
+    }
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (used >> i & 1u) continue;
+      if (budget == 0) return false;
+      --budget;
+      const RunCandidate& c = cands[i];
+      const Mat2 peeled =
+          mat_mul(u, mat_adjoint(axis_rotation(c.axis, c.negated, c.angle)));
+      order.push_back(i);
+      if (lump_dfs(q, peeled, cands, used | (1u << i), order, budget))
+        return true;
+      order.pop_back();
+    }
+    return false;
+  }
+
+  /// Interpret a maximal 1Q run on qubit `q`. Gates are processed greedily:
+  /// Clifford gates conjugate the frame directly and rotation gates must
+  /// exactly consume a candidate source term. The first gate that does
+  /// neither starts a fused lump (peephole ZYZ resynthesis output), which
+  /// must factor as (1Q Clifford) x (candidate rotations) via lump_dfs.
+  bool flush_run(std::size_t q, std::vector<Gate>& run) {
+    if (run.empty()) return true;
+    Mat2 pend{1, 0, 0, 1};
+    bool pending = false;
+    for (const Gate& g : run) {
+      const Mat2 m = gate_matrix_1q(g);
+      if (pending) {
+        pend = mat_mul(m, pend);
+        continue;
+      }
+      const int key = action_key(m);
+      if (key >= 0) {
+        frame_apply_word(frame, tab, q, cliff1q_words().at(key));
+        continue;
+      }
+      if (consume_exact(q, m)) continue;
+      pend = m;
+      pending = true;
+    }
+    run.clear();
+    if (!pending) return true;
+
+    const auto cands = candidates_on(q);
+    std::vector<std::size_t> order;
+    std::size_t budget = 100000;
+    if (!lump_dfs(q, pend, cands, 0u, order, budget)) return false;
+    for (std::size_t i : order) {
+      const RunCandidate& c = cands[i];
+      realized.emplace_back(strings[c.row], c.angle);
+      remaining[c.row] = 0.0;
+    }
+    return true;
+  }
+};
+
+/// Extract the wire permutation of a residual tableau: sigma[q] = q' when
+/// the tableau maps X_q -> +X_q' and Z_q -> +Z_q'. False when the residual
+/// is not a pure (sign-free) permutation.
+bool residual_permutation(const CliffordTableau& t,
+                          std::vector<std::size_t>& sigma) {
+  const std::size_t n = t.num_qubits();
+  sigma.assign(n, 0);
+  std::vector<bool> hit(n, false);
+  for (std::size_t q = 0; q < n; ++q) {
+    const PauliTerm ix = t.image_of_x(q), iz = t.image_of_z(q);
+    if (ix.coeff < 0 || iz.coeff < 0) return false;
+    const auto sx = ix.string.support(), sz = iz.string.support();
+    if (sx.size() != 1 || sz.size() != 1 || sx[0] != sz[0]) return false;
+    if (ix.string.op(sx[0]) != Pauli::X || iz.string.op(sz[0]) != Pauli::Z)
+      return false;
+    sigma[q] = sx[0];
+    if (hit[sx[0]]) return false;
+    hit[sx[0]] = true;
+  }
+  return true;
+}
+
+/// Append SWAP gates realizing the wire permutation sigma (cycle
+/// decomposition; net tableau action X_q -> X_sigma(q)).
+void append_permutation(Circuit& c, const std::vector<std::size_t>& sigma) {
+  std::vector<bool> seen(sigma.size(), false);
+  for (std::size_t start = 0; start < sigma.size(); ++start) {
+    if (seen[start] || sigma[start] == start) continue;
+    std::vector<std::size_t> cycle{start};
+    seen[start] = true;
+    for (std::size_t p = sigma[start]; p != start; p = sigma[p]) {
+      cycle.push_back(p);
+      seen[p] = true;
+    }
+    for (std::size_t j = 1; j < cycle.size(); ++j)
+      c.append(Gate::swap(cycle[0], cycle[j]));
+  }
+}
+
+/// Inline structural scan used by validate_translation (reports instead of
+/// throwing, so corrupted circuits yield a Fail verdict rather than an
+/// exception from deep inside the walk).
+bool scan_structure(const Circuit& flat, std::string& msg) {
+  const std::size_t n = flat.num_qubits();
+  for (const Gate& g : flat.gates()) {
+    if (g.q0 >= n || (g.is_two_qubit() && (g.q1 >= n || g.q0 == g.q1))) {
+      msg = "malformed gate " + g.to_string();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ValidationReport validate_translation(const Circuit& circuit,
+                                      const std::vector<PauliTerm>& terms,
+                                      std::size_t num_qubits,
+                                      const LayoutSpec& layout,
+                                      const ValidationOptions& opt) {
+  const bool mapped = !layout.initial.empty();
+  const std::size_t n_phys = circuit.num_qubits();
+  if (!mapped && n_phys != num_qubits)
+    throw Error(Stage::Validation,
+                "validate_translation: circuit register (" +
+                    std::to_string(n_phys) + ") != source register (" +
+                    std::to_string(num_qubits) + ") and no layout given");
+  if (mapped &&
+      (layout.initial.size() < num_qubits || layout.final.size() < num_qubits))
+    throw Error(Stage::Validation,
+                "validate_translation: layout smaller than source register");
+  if (mapped)
+    for (std::size_t l = 0; l < num_qubits; ++l)
+      if (layout.initial[l] >= n_phys || layout.final[l] >= n_phys)
+        throw Error(Stage::Validation,
+                    "validate_translation: layout entry out of range");
+
+  ValidationReport rep;
+
+  // Relabel the source terms onto the physical register. Every term keeps
+  // its own row (a duplicate string may be realized as one merged rotation —
+  // the lump search consumes both rows — or as two separate ones); identity
+  // strings drop (pure global phase).
+  FrameWalk walk(n_phys);
+  walk.angle_tol = opt.angle_tol;
+  for (const PauliTerm& t : terms) {
+    if (t.string.num_qubits() != num_qubits)
+      throw Error(Stage::Validation,
+                  "validate_translation: source term register mismatch");
+    PauliString s(n_phys);
+    for (std::size_t q : t.string.support())
+      s.set_op(mapped ? layout.initial[q] : q, t.string.op(q));
+    if (s.is_identity()) continue;
+    walk.strings.push_back(s);
+    walk.remaining.push_back(t.coeff);
+    walk.frame.add_term(PauliTerm(s, 0.0));
+  }
+
+  const Circuit flat = circuit.flattened();
+  std::string fail_msg;
+  bool definite_fail = false;    // phase polynomial definitely mismatches
+  bool inconclusive = false;     // walk could not interpret the circuit
+
+  if (!scan_structure(flat, fail_msg)) {
+    definite_fail = true;
+  } else {
+    std::vector<std::vector<Gate>> runs(n_phys);
+    auto flush = [&](std::size_t q) {
+      if (!walk.flush_run(q, runs[q])) {
+        inconclusive = true;
+        fail_msg = "unmatched 1Q run on qubit " + std::to_string(q);
+      }
+    };
+    for (const Gate& g : flat.gates()) {
+      if (inconclusive) break;
+      if (g.kind == GateKind::I) continue;
+      if (!g.is_two_qubit()) {
+        runs[g.q0].push_back(g);
+        continue;
+      }
+      flush(g.q0);
+      if (!inconclusive) flush(g.q1);
+      if (!inconclusive) frame_apply(walk.frame, walk.tab, g);
+    }
+    for (std::size_t q = 0; q < n_phys && !inconclusive; ++q) flush(q);
+  }
+
+  std::vector<std::size_t> sigma;
+  bool have_sigma = false;
+  if (!definite_fail && !inconclusive) {
+    // Residual Clifford must be the identity (logical) or a wire
+    // permutation consistent with the routing layouts (hardware-aware).
+    if (!residual_permutation(walk.tab, sigma)) {
+      definite_fail = true;
+      fail_msg = "residual Clifford is not a wire permutation";
+    } else {
+      have_sigma = true;
+      if (!mapped) {
+        for (std::size_t q = 0; q < n_phys; ++q)
+          if (sigma[q] != q) {
+            definite_fail = true;
+            fail_msg = "nontrivial residual permutation in logical mode";
+            break;
+          }
+      } else {
+        for (std::size_t l = 0; l < num_qubits; ++l)
+          if (sigma[layout.initial[l]] != layout.final[l]) {
+            definite_fail = true;
+            fail_msg = "residual permutation disagrees with routing layouts";
+            break;
+          }
+      }
+    }
+    for (std::size_t i = 0;
+         i < walk.remaining.size() && !definite_fail; ++i) {
+      if (dist_to_multiple(walk.remaining[i], M_PI) > opt.angle_tol) {
+        definite_fail = true;
+        fail_msg = "unrealized rotation angle " +
+                   std::to_string(walk.remaining[i]) + " on term " +
+                   walk.strings[i].to_string();
+      }
+    }
+  }
+
+  rep.frame_checked = true;
+  rep.frame_ok = !definite_fail && !inconclusive;
+  if (rep.frame_ok) {
+    rep.realized_order = walk.realized;
+    rep.status = ValidationStatus::Pass;
+  } else {
+    rep.status = definite_fail ? ValidationStatus::Fail
+                               : ValidationStatus::Inconclusive;
+    rep.message = fail_msg;
+  }
+
+  // Exact unitary cross-check: unconditional under Paranoid, fallback
+  // otherwise — feasible only on small registers.
+  const bool want_exact =
+      opt.level == ValidationLevel::Paranoid || !rep.frame_ok;
+  if (want_exact && n_phys <= opt.exact_max_qubits) {
+    // Reference order: the frame certificate when available, else the
+    // aggregated source order (exact for commuting sets; a reordering
+    // compiler may false-fail here, which the message records).
+    std::vector<PauliTerm> order = rep.frame_ok ? rep.realized_order
+                                                : std::vector<PauliTerm>{};
+    if (!rep.frame_ok)
+      for (std::size_t i = 0; i < walk.strings.size(); ++i)
+        order.emplace_back(walk.strings[i], walk.remaining[i]);
+    if (!have_sigma) {
+      sigma.resize(n_phys);
+      for (std::size_t q = 0; q < n_phys; ++q) sigma[q] = q;
+      if (mapped)
+        for (std::size_t l = 0; l < num_qubits; ++l)
+          sigma[layout.initial[l]] = layout.final[l];
+      std::vector<bool> hit(n_phys, false);
+      bool bijective = true;
+      for (std::size_t q = 0; q < n_phys; ++q) {
+        if (hit[sigma[q]]) bijective = false;
+        hit[sigma[q]] = true;
+      }
+      have_sigma = bijective;
+    }
+    if (have_sigma) {
+      Circuit ref(n_phys);
+      for (const PauliTerm& t : order) append_pauli_rotation(ref, t);
+      append_permutation(ref, sigma);
+      const double infid =
+          infidelity(circuit_unitary(circuit), circuit_unitary(ref));
+      rep.exact_checked = true;
+      rep.exact_infidelity = infid;
+      if (infid <= opt.max_infidelity) {
+        if (!rep.frame_ok)
+          rep.message += " (frame check incomplete; exact unitary check passed)";
+        rep.status = ValidationStatus::Pass;
+      } else {
+        if (rep.frame_ok)
+          rep.message = "frame certificate rejected by exact unitary check";
+        rep.status = ValidationStatus::Fail;
+      }
+    }
+  }
+  if (rep.status == ValidationStatus::Inconclusive && rep.message.empty())
+    rep.message = "frame check inconclusive and register too large for exact check";
+  return rep;
+}
+
+void check_circuit_wellformed(const Circuit& c, const Graph* coupling) {
+  const std::size_t n = c.num_qubits();
+  if (coupling != nullptr && coupling->num_vertices() < n)
+    throw Error(Stage::Validation,
+                "check_circuit_wellformed: register larger than device");
+  auto check_gate = [&](const Gate& g, auto&& self) -> void {
+    if (g.q0 >= n)
+      throw Error(Stage::Validation,
+                  "gate qubit out of range: " + g.to_string());
+    if (g.is_two_qubit()) {
+      if (g.q1 >= n)
+        throw Error(Stage::Validation,
+                    "gate qubit out of range: " + g.to_string());
+      if (g.q0 == g.q1)
+        throw Error(Stage::Validation,
+                    "2Q gate with equal operands: " + g.to_string());
+      if (coupling != nullptr && !coupling->has_edge(g.q0, g.q1))
+        throw Error(Stage::Validation,
+                    "2Q gate off the coupling graph: " + g.to_string());
+    }
+    for (const Gate& s : g.sub) self(s, self);
+  };
+  for (const Gate& g : c.gates()) check_gate(g, check_gate);
+}
+
+void check_simplified_group(const std::vector<PauliTerm>& terms,
+                            const SimplifiedGroup& g, double tol) {
+  if (g.final_bsf.total_weight() > 2)
+    throw Error(Stage::Simplify,
+                "simplified group has total weight " +
+                    std::to_string(g.final_bsf.total_weight()) + " > 2");
+  const std::size_t k = g.cliffords.size();
+  if (g.locals.size() != k + 1)
+    throw Error(Stage::Simplify,
+                "locals/cliffords misaligned: " + std::to_string(g.locals.size()) +
+                    " local epochs for " + std::to_string(k) + " cliffords");
+
+  // Conjugate every tracked row back to the global frame through the
+  // Hermitian Clifford2Q sequence; the result must be exactly the original
+  // term multiset (string, sign-folded coefficient).
+  Bsf back(g.num_qubits);
+  for (std::size_t i = 0; i < g.final_bsf.num_rows(); ++i)
+    back.add_row(g.final_bsf.row(i));
+  for (const auto& r : g.locals[k]) back.add_row(r);
+  for (std::size_t e = k; e-- > 0;) {
+    back.apply_clifford2q(g.cliffords[e]);
+    for (const auto& r : g.locals[e]) back.add_row(r);
+  }
+
+  auto key = [](const PauliTerm& t) {
+    return std::make_pair(t.string.to_string(), t.coeff);
+  };
+  std::vector<std::pair<std::string, double>> got, want;
+  for (const PauliTerm& t : back.terms()) got.push_back(key(t));
+  for (const PauliTerm& t : terms) want.push_back(key(t));
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  bool ok = got.size() == want.size();
+  for (std::size_t i = 0; ok && i < got.size(); ++i)
+    ok = got[i].first == want[i].first &&
+         std::abs(got[i].second - want[i].second) <= tol;
+  if (!ok)
+    throw Error(Stage::Simplify,
+                "Clifford2Q sign tracking does not round-trip: conjugating "
+                "the simplified rows back does not reproduce the group");
+}
+
+void check_swap_accounting(const Circuit& routed, std::size_t num_swaps) {
+  const std::size_t counted = routed.count(GateKind::Swap);
+  if (counted != num_swaps)
+    throw Error(Stage::Routing,
+                "SWAP accounting mismatch: circuit has " +
+                    std::to_string(counted) + " SWAPs, router reported " +
+                    std::to_string(num_swaps));
+}
+
+}  // namespace phoenix

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/graph.hpp"
+#include "pauli/pauli.hpp"
+#include "phoenix/simplify.hpp"
+
+namespace phoenix {
+
+/// How much checking the compiler performs on its own output.
+///
+/// * `Off`      — no checks (production default).
+/// * `Cheap`    — polynomial-cost translation validation of the final
+///                circuit: conjugate the source Pauli terms through the
+///                circuit's Clifford frame and match every non-Clifford
+///                rotation against them; verify the residual Clifford is the
+///                identity (or the routing permutation). Falls back to an
+///                exact unitary comparison only when the frame check is
+///                inconclusive and the register is small enough.
+/// * `Paranoid` — `Cheap` plus per-stage invariant checks (BSF weight bound,
+///                Clifford2Q sign round-trip, routed-edge legality, SWAP
+///                accounting) and an unconditional exact-unitary cross-check
+///                whenever the register is within `exact_max_qubits`.
+enum class ValidationLevel { Off, Cheap, Paranoid };
+
+struct ValidationOptions {
+  ValidationLevel level = ValidationLevel::Cheap;
+  /// Exact-unitary comparison bound: circuits on more qubits than this are
+  /// never simulated densely (cost 4^n).
+  std::size_t exact_max_qubits = 10;
+  /// Rotation-angle slack for the frame check (angles compared mod pi).
+  double angle_tol = 1e-7;
+  /// Acceptance threshold for the exact cross-check, 1 - |Tr(U†V)|/N.
+  double max_infidelity = 1e-9;
+};
+
+enum class ValidationStatus {
+  Pass,          ///< equivalence established (frame certificate or exact)
+  Fail,          ///< a definite mismatch was found
+  Inconclusive,  ///< frame check could not interpret the circuit and the
+                 ///< register is too large for the exact fallback
+};
+
+const char* validation_status_name(ValidationStatus s);
+
+struct ValidationReport {
+  ValidationStatus status = ValidationStatus::Inconclusive;
+  bool frame_checked = false;
+  bool frame_ok = false;
+  bool exact_checked = false;
+  double exact_infidelity = -1.0;  ///< set when exact_checked
+  /// Certificate from the frame walk: the source terms in the order the
+  /// circuit realizes them (physical register when a layout was given).
+  /// Feeds the exact cross-check; empty when the frame walk failed.
+  std::vector<PauliTerm> realized_order;
+  std::string message;  ///< human-readable failure/inconclusive context
+
+  bool passed() const { return status == ValidationStatus::Pass; }
+};
+
+/// Mapping context for hardware-aware circuits: logical -> physical layouts
+/// as produced by SABRE / the QAOA router. Empty vectors mean logical-level
+/// compilation (identity layout, identity residual).
+struct LayoutSpec {
+  std::vector<std::size_t> initial;
+  std::vector<std::size_t> final;
+};
+
+/// Translation validation: check that `circuit` implements the Trotter
+/// product of `terms` (in some realized order — term arrangement within one
+/// Trotter step is free, paper §I), up to global phase and, when `layout`
+/// is non-empty, up to the routing permutation.
+///
+/// The frame walk is polynomial (O(gates · terms · n / 64)): every Clifford
+/// gate conjugates the source strings via the BSF machinery, every
+/// non-Clifford 1Q run must consume matching source rotations, and the
+/// residual Clifford tableau must be the identity / layout permutation.
+/// A passing walk yields the realized term order as a certificate; under
+/// `Paranoid` (or when the walk is inconclusive) the certificate product is
+/// re-checked against the dense unitary when the register has at most
+/// `opt.exact_max_qubits` qubits.
+ValidationReport validate_translation(const Circuit& circuit,
+                                      const std::vector<PauliTerm>& terms,
+                                      std::size_t num_qubits,
+                                      const LayoutSpec& layout = {},
+                                      const ValidationOptions& opt = {});
+
+/// Structural well-formedness: every gate index must be inside the register
+/// and 2Q gates must have distinct operands; when `coupling` is non-null
+/// every 2Q gate must lie on one of its edges (Su4 blocks are checked via
+/// their constituents). Throws phoenix::Error (Stage::Validation) on the
+/// first violation.
+void check_circuit_wellformed(const Circuit& c,
+                              const Graph* coupling = nullptr);
+
+/// Paranoid stage invariant for Algorithm 1: the simplified group must have
+/// total weight <= 2, and conjugating every tracked row (final BSF rows and
+/// peeled locals, each in its own epoch frame) back through the Hermitian
+/// Clifford2Q sequence must reproduce exactly the original terms — the sign
+/// bookkeeping round-trips. Throws phoenix::Error on violation.
+void check_simplified_group(const std::vector<PauliTerm>& terms,
+                            const SimplifiedGroup& g,
+                            double tol = 1e-9);
+
+/// Paranoid stage invariant for routing: the routed circuit's Swap count
+/// must equal the reported number of inserted SWAPs. Throws phoenix::Error.
+void check_swap_accounting(const Circuit& routed, std::size_t num_swaps);
+
+}  // namespace phoenix

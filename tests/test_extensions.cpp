@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common/error.hpp"
 #include "hamlib/io.hpp"
 #include "hamlib/trotter.hpp"
 #include "hamlib/uccsd.hpp"
@@ -84,7 +85,7 @@ TEST(HamiltonianIo, RejectsMalformedText) {
   EXPECT_THROW(hamiltonian_from_text("XX\n"), std::runtime_error);
   EXPECT_THROW(hamiltonian_from_text("XX 0.5 junk\n"), std::runtime_error);
   EXPECT_THROW(hamiltonian_from_text("XX 0.5\nXXX 0.1\n"), std::runtime_error);
-  EXPECT_THROW(hamiltonian_from_text("XQ 0.5\n"), std::invalid_argument);
+  EXPECT_THROW(hamiltonian_from_text("XQ 0.5\n"), Error);
 }
 
 TEST(HamiltonianIo, FileRoundTrip) {

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/error.hpp"
+
 #include "circuit/synthesis.hpp"
 #include "hamlib/grouping.hpp"
 #include "hamlib/qaoa.hpp"
@@ -149,7 +151,7 @@ TEST(Simplify, HandlesLargeWeightGroups) {
 }
 
 TEST(Simplify, RejectsEmptyInput) {
-  EXPECT_THROW(simplify_bsf({}), std::invalid_argument);
+  EXPECT_THROW(simplify_bsf({}), Error);
 }
 
 TEST(Ordering, EndianVectorsMatchDefinition) {
@@ -272,8 +274,7 @@ TEST(Compiler, HardwareAwareProducesRoutedCircuit) {
 TEST(Compiler, HardwareAwareRequiresCoupling) {
   PhoenixOptions opt;
   opt.hardware_aware = true;
-  EXPECT_THROW(phoenix_compile({PauliTerm("ZZ", 0.1)}, 2, opt),
-               std::invalid_argument);
+  EXPECT_THROW(phoenix_compile({PauliTerm("ZZ", 0.1)}, 2, opt), Error);
 }
 
 TEST(Compiler, PeepholeLevelsMonotone) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
 #include "hamlib/qaoa.hpp"
 #include "mapping/topology.hpp"
 #include "phoenix/compiler.hpp"
@@ -118,7 +119,7 @@ TEST(QaoaRouter, RejectsTooSmallDevice) {
   Rng rng(2);
   const Graph g = random_regular_graph(8, 3, rng);
   EXPECT_THROW(route_commuting_two_local(qaoa_cost_terms(g), 8, topology_line(4)),
-               std::invalid_argument);
+               Error);
 }
 
 }  // namespace

@@ -1,0 +1,396 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "circuit/qasm.hpp"
+#include "circuit/synthesis.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "hamlib/io.hpp"
+#include "hamlib/qaoa.hpp"
+#include "mapping/topology.hpp"
+#include "phoenix/compiler.hpp"
+#include "verify/verify.hpp"
+
+namespace phoenix {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Hand-built translation-validation cases
+// ---------------------------------------------------------------------------
+
+TEST(Verify, AcceptsCanonicalZZRotation) {
+  const std::vector<PauliTerm> terms{PauliTerm("ZZ", 0.3)};
+  Circuit c(2);
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::rz(1, 0.6));
+  c.append(Gate::cnot(0, 1));
+  ValidationOptions opt;
+  opt.level = ValidationLevel::Paranoid;
+  const ValidationReport rep = validate_translation(c, terms, 2, {}, opt);
+  EXPECT_TRUE(rep.passed());
+  EXPECT_TRUE(rep.frame_ok);
+  ASSERT_TRUE(rep.exact_checked);
+  EXPECT_LT(rep.exact_infidelity, 1e-12);
+  ASSERT_EQ(rep.realized_order.size(), 1u);
+  EXPECT_EQ(rep.realized_order[0].string.to_string(), "ZZ");
+}
+
+TEST(Verify, RejectsWrongRotationAngle) {
+  const std::vector<PauliTerm> terms{PauliTerm("ZZ", 0.3)};
+  Circuit c(2);
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::rz(1, 0.5));  // should be 0.6
+  c.append(Gate::cnot(0, 1));
+  const ValidationReport rep = validate_translation(c, terms, 2);
+  EXPECT_EQ(rep.status, ValidationStatus::Fail);
+}
+
+TEST(Verify, RejectsLeftoverClifford) {
+  const std::vector<PauliTerm> terms{PauliTerm("ZZ", 0.3)};
+  Circuit c(2);
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::rz(1, 0.6));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::h(0));  // stray residual Clifford
+  const ValidationReport rep = validate_translation(c, terms, 2);
+  EXPECT_EQ(rep.status, ValidationStatus::Fail);
+}
+
+TEST(Verify, AcceptsBasisChangedAndFusedRuns) {
+  // exp(-i 0.4 X): the emitted H·Rz(0.8)·H is one fused 1Q run whose
+  // rotation content must be matched through the hypothesis search.
+  const std::vector<PauliTerm> terms{PauliTerm("X", 0.4)};
+  Circuit c(1);
+  c.append(Gate::h(0));
+  c.append(Gate::rz(0, 0.8));
+  c.append(Gate::h(0));
+  ValidationOptions opt;
+  opt.level = ValidationLevel::Paranoid;
+  const ValidationReport rep = validate_translation(c, terms, 1, {}, opt);
+  EXPECT_TRUE(rep.passed());
+  EXPECT_LT(rep.exact_infidelity, 1e-12);
+}
+
+TEST(Verify, AcceptsReorderedNonCommutingRealization) {
+  // Source order [Z, X]; the circuit realizes X first. A Trotter step is an
+  // arrangement-free set, so this is a valid realized order.
+  const std::vector<PauliTerm> terms{PauliTerm("Z", 0.3), PauliTerm("X", 0.5)};
+  Circuit c(1);
+  c.append(Gate::h(0));
+  c.append(Gate::rz(0, 1.0));
+  c.append(Gate::h(0));
+  c.append(Gate::rz(0, 0.6));
+  ValidationOptions opt;
+  opt.level = ValidationLevel::Paranoid;
+  const ValidationReport rep = validate_translation(c, terms, 1, {}, opt);
+  EXPECT_TRUE(rep.passed());
+  ASSERT_EQ(rep.realized_order.size(), 2u);
+  EXPECT_EQ(rep.realized_order[0].string.to_string(), "X");
+  EXPECT_EQ(rep.realized_order[1].string.to_string(), "Z");
+  EXPECT_LT(rep.exact_infidelity, 1e-12);
+}
+
+TEST(Verify, AcceptsRoutedCircuitWithLayoutPermutation) {
+  // ZZ rotation followed by a SWAP: legal iff the layouts say the logical
+  // qubits moved.
+  const std::vector<PauliTerm> terms{PauliTerm("ZZ", 0.3)};
+  Circuit c(2);
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::rz(1, 0.6));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::swap(0, 1));
+  LayoutSpec layout;
+  layout.initial = {0, 1};
+  layout.final = {1, 0};
+  ValidationOptions opt;
+  opt.level = ValidationLevel::Paranoid;
+  const ValidationReport rep = validate_translation(c, terms, 2, layout, opt);
+  EXPECT_TRUE(rep.passed());
+  EXPECT_LT(rep.exact_infidelity, 1e-12);
+
+  // The same circuit without the layout must be rejected.
+  const ValidationReport bare = validate_translation(c, terms, 2);
+  EXPECT_EQ(bare.status, ValidationStatus::Fail);
+}
+
+TEST(Verify, RejectsDroppedTerm) {
+  const std::vector<PauliTerm> terms{PauliTerm("ZZ", 0.3), PauliTerm("XI", 0.4)};
+  Circuit c(2);
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::rz(1, 0.6));
+  c.append(Gate::cnot(0, 1));  // XI rotation missing
+  const ValidationReport rep = validate_translation(c, terms, 2);
+  EXPECT_EQ(rep.status, ValidationStatus::Fail);
+}
+
+// ---------------------------------------------------------------------------
+// Invariant-check helpers
+// ---------------------------------------------------------------------------
+
+TEST(Verify, WellformednessChecksCouplingEdges) {
+  Circuit c(3);
+  c.append(Gate::cnot(0, 2));
+  const Graph line = topology_line(3);  // edges 0-1, 1-2 only
+  EXPECT_NO_THROW(check_circuit_wellformed(c));
+  try {
+    check_circuit_wellformed(c, &line);
+    FAIL() << "expected phoenix::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.stage(), Stage::Validation);
+  }
+}
+
+TEST(Verify, SwapAccounting) {
+  Circuit c(3);
+  c.append(Gate::swap(0, 1));
+  c.append(Gate::swap(1, 2));
+  EXPECT_NO_THROW(check_swap_accounting(c, 2));
+  EXPECT_THROW(check_swap_accounting(c, 1), Error);
+}
+
+TEST(Verify, SimplifiedGroupRoundTrip) {
+  const std::vector<PauliTerm> terms{
+      PauliTerm("XXYZ", 0.3), PauliTerm("YYZX", -0.2), PauliTerm("ZZXX", 0.15)};
+  const SimplifiedGroup sg = simplify_bsf(terms);
+  EXPECT_NO_THROW(check_simplified_group(terms, sg));
+
+  // A corrupted record (dropped Clifford epoch) must be detected.
+  if (!sg.cliffords.empty()) {
+    SimplifiedGroup bad = sg;
+    bad.cliffords.pop_back();
+    EXPECT_THROW(check_simplified_group(terms, bad), Error);
+  }
+  // A wrong source multiset must be detected too.
+  std::vector<PauliTerm> wrong = terms;
+  wrong[0].coeff = -wrong[0].coeff;
+  EXPECT_THROW(check_simplified_group(wrong, sg), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: Paranoid compilation of seeded random Hamiltonians
+// ---------------------------------------------------------------------------
+
+std::vector<PauliTerm> random_hamiltonian(Rng& rng, std::size_t n) {
+  const std::size_t num_terms = 4 + rng.next_below(6);
+  std::vector<PauliTerm> terms;
+  for (std::size_t t = 0; t < num_terms; ++t) {
+    PauliString s(n);
+    const std::size_t weight = 1 + rng.next_below(3);
+    for (std::size_t w = 0; w < weight; ++w) {
+      const std::size_t q = rng.next_below(n);
+      const Pauli p = static_cast<Pauli>(1 + rng.next_below(3));
+      s.set_op(q, p);  // repeats just lower the weight
+    }
+    if (s.is_identity()) s.set_op(0, Pauli::Z);
+    // Keep coefficients away from multiples of pi/4 so no rotation or
+    // residual angle is accidentally Clifford-coincident.
+    double coeff = 0.0;
+    do {
+      coeff = -1.5 + 3.0 * rng.next_double();
+    } while (std::abs(std::remainder(coeff, M_PI / 4)) < 0.05);
+    terms.emplace_back(s, coeff);
+  }
+  return terms;
+}
+
+TEST(Verify, ParanoidCompilationOfRandomHamiltonians) {
+  Rng rng(2025);
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t n = 4 + static_cast<std::size_t>(i % 5);
+    const auto terms = random_hamiltonian(rng, n);
+    PhoenixOptions opt;
+    opt.validation.level = ValidationLevel::Paranoid;
+    opt.isa = (i % 2 == 0) ? TwoQubitIsa::Cnot : TwoQubitIsa::Su4;
+    for (bool hw : {false, true}) {
+      opt.hardware_aware = hw;
+      const Graph device = topology_line(n);
+      opt.coupling = hw ? &device : nullptr;
+      CompileResult res;
+      ASSERT_NO_THROW(res = phoenix_compile(terms, n, opt))
+          << "seed case " << i << " hw=" << hw;
+      EXPECT_TRUE(res.validation.passed()) << res.validation.message;
+      ASSERT_TRUE(res.validation.exact_checked);
+      EXPECT_LT(res.validation.exact_infidelity, 1e-9)
+          << "seed case " << i << " hw=" << hw;
+      EXPECT_FALSE(res.diagnostics.empty());
+      EXPECT_EQ(res.diagnostics.back().name, "validate");
+      if (hw) {
+        EXPECT_EQ(res.initial_layout.size(), n);
+        EXPECT_EQ(res.final_layout.size(), n);
+      }
+    }
+  }
+}
+
+TEST(Verify, ParanoidQaoaRouterPathValidates) {
+  Rng rng(7);
+  const Graph interactions = random_regular_graph(8, 3, rng);
+  const auto terms = qaoa_cost_terms(interactions);
+  PhoenixOptions opt;
+  opt.hardware_aware = true;
+  const Graph device = topology_grid(2, 4);
+  opt.coupling = &device;
+  opt.validation.level = ValidationLevel::Paranoid;
+  const CompileResult res = phoenix_compile(terms, 8, opt);
+  EXPECT_TRUE(res.validation.passed()) << res.validation.message;
+  ASSERT_TRUE(res.validation.exact_checked);
+  EXPECT_LT(res.validation.exact_infidelity, 1e-9);
+}
+
+TEST(Verify, CheapLevelSkipsExactWhenFrameSucceeds) {
+  Rng rng(11);
+  const auto terms = random_hamiltonian(rng, 5);
+  PhoenixOptions opt;
+  opt.validation.level = ValidationLevel::Cheap;
+  const CompileResult res = phoenix_compile(terms, 5, opt);
+  EXPECT_TRUE(res.validation.passed());
+  EXPECT_TRUE(res.validation.frame_ok);
+  EXPECT_FALSE(res.validation.exact_checked);
+}
+
+TEST(Verify, RejectsCorruptedCircuits) {
+  Rng rng(42);
+  const std::size_t n = 5;
+  const auto terms = random_hamiltonian(rng, n);
+  PhoenixOptions opt;  // CNOT ISA so top-level gates are primitive
+  const CompileResult res = phoenix_compile(terms, n, opt);
+  const Circuit& good = res.circuit;
+  ValidationOptions vopt;
+  vopt.level = ValidationLevel::Paranoid;
+  ASSERT_TRUE(validate_translation(good, terms, n, {}, vopt).passed());
+
+  // (a) Tweak the first generic rotation angle.
+  {
+    Circuit bad(n);
+    bool done = false;
+    for (const Gate& g : good.gates()) {
+      Gate h = g;
+      if (!done && (g.kind == GateKind::Rz || g.kind == GateKind::Rx ||
+                    g.kind == GateKind::Ry) &&
+          std::abs(std::remainder(g.param, M_PI / 2)) > 0.2) {
+        h.param += 0.3;
+        done = true;
+      }
+      bad.append(h);
+    }
+    ASSERT_TRUE(done);
+    EXPECT_FALSE(validate_translation(bad, terms, n, {}, vopt).passed());
+  }
+  // (b) Reverse the operands of the first CNOT.
+  {
+    Circuit bad(n);
+    bool done = false;
+    for (const Gate& g : good.gates()) {
+      if (!done && g.kind == GateKind::Cnot) {
+        bad.append(Gate::cnot(g.q1, g.q0));
+        done = true;
+      } else {
+        bad.append(g);
+      }
+    }
+    ASSERT_TRUE(done);
+    EXPECT_FALSE(validate_translation(bad, terms, n, {}, vopt).passed());
+  }
+  // (c) Drop the last 2Q gate.
+  {
+    Circuit bad(n);
+    std::size_t last_2q = good.size();
+    for (std::size_t i = good.size(); i-- > 0;)
+      if (good.gate(i).is_two_qubit()) {
+        last_2q = i;
+        break;
+      }
+    ASSERT_LT(last_2q, good.size());
+    for (std::size_t i = 0; i < good.size(); ++i)
+      if (i != last_2q) bad.append(good.gate(i));
+    EXPECT_FALSE(validate_translation(bad, terms, n, {}, vopt).passed());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Malformed-input corpus: every entry must yield phoenix::Error with stage
+// and location context — never a crash or a bare std:: exception.
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+Error expect_error(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e;
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "expected phoenix::Error, got: " << e.what();
+    return Error(Stage::Parse, "wrong exception type");
+  }
+  ADD_FAILURE() << "expected phoenix::Error, got no exception";
+  return Error(Stage::Parse, "no exception");
+}
+
+TEST(Verify, MalformedHamiltonianCorpus) {
+  const struct {
+    const char* text;
+    std::size_t line;
+  } corpus[] = {
+      {"XX\n", 1},                     // missing coefficient
+      {"XX 0.5 junk\n", 1},            // trailing tokens
+      {"XX 0.5\nXXX 0.1\n", 2},        // inconsistent register
+      {"XQ 0.5\n", 1},                 // bad Pauli label
+      {"XX 0.5\nZZ inf\n", 2},         // non-finite coefficient
+      {"ZZ nan\n", 1},                 // non-finite coefficient
+      {"ZZ 1e999\n", 1},               // overflow to inf
+  };
+  for (const auto& c : corpus) {
+    const Error e = expect_error([&] { hamiltonian_from_text(c.text); });
+    EXPECT_EQ(e.stage(), Stage::Parse) << c.text;
+    ASSERT_TRUE(e.has_line()) << c.text;
+    EXPECT_EQ(e.line(), c.line) << c.text;
+  }
+}
+
+TEST(Verify, MalformedQasmCorpus) {
+  const struct {
+    const char* text;
+    std::size_t line;
+  } corpus[] = {
+      {"qreg q[2];\ncx q[0];\n", 2},             // wrong operand count
+      {"qreg q[2];\nh q[5];\n", 2},              // index outside register
+      {"qreg q[2];\nh q[x];\n", 2},              // non-numeric index
+      {"qreg q[99999999999999999999];\n", 1},    // register size overflow
+      {"qreg q[2];\nrz(foo) q[0];\n", 2},        // bad angle expression
+      {"qreg q[2];\nh q[0]\n", 2},               // missing semicolon
+      {"cx q[0],q[1];\n", 1},                    // gate before qreg
+      {"qreg q[2];\nfoo q[0];\n", 2},            // unknown gate
+      {"qreg q[2];\ncx q[1],q[1];\n", 2},        // duplicate operands
+      {"qreg q[2];\nrz(0.3 q[0];\n", 2},         // unbalanced '('
+  };
+  for (const auto& c : corpus) {
+    const Error e = expect_error([&] { circuit_from_qasm(c.text); });
+    EXPECT_EQ(e.stage(), Stage::Parse) << c.text;
+    ASSERT_TRUE(e.has_line()) << c.text;
+    EXPECT_EQ(e.line(), c.line) << c.text;
+  }
+}
+
+TEST(Verify, ErrorCarriesGroupContext) {
+  // Force an epoch-limit failure inside one group and check the compiler
+  // attaches the group index.
+  const std::vector<PauliTerm> terms{PauliTerm("XXYZ", 0.3),
+                                     PauliTerm("ZZXY", 0.2),
+                                     PauliTerm("YXZZ", -0.4)};
+  PhoenixOptions opt;
+  opt.simplify.max_epochs = 0;
+  try {
+    phoenix_compile(terms, 4, opt);
+    FAIL() << "expected phoenix::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.stage(), Stage::Simplify);
+    EXPECT_TRUE(e.has_group());
+    EXPECT_EQ(std::string(e.what()).find("phoenix error"), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace phoenix
