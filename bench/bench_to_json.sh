@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Run bench_compile_time and record the perf trajectory as JSON at the repo
+# root (BENCH_compile_time.json). Extra arguments are passed through to
+# google-benchmark, e.g.:
+#
+#   bench/bench_to_json.sh build --benchmark_filter='BM_PhoenixLogical'
+#   bench/bench_to_json.sh build --benchmark_context=note=post-PR2
+#
+# The CMake target `bench_to_json` invokes this with the configured build dir.
+set -euo pipefail
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+if [[ $# -gt 0 ]]; then shift; fi
+out="$repo_root/BENCH_compile_time.json"
+
+"$build_dir/bench/bench_compile_time" \
+  --benchmark_out="$out" --benchmark_out_format=json "$@"
+echo "wrote $out"

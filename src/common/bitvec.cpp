@@ -84,6 +84,25 @@ BitVec& BitVec::operator^=(const BitVec& o) {
   return *this;
 }
 
+std::size_t BitVec::or_popcount(const BitVec& a, const BitVec& b) {
+  a.check_same_size(b);
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < a.words_.size(); ++i)
+    c += static_cast<std::size_t>(std::popcount(a.words_[i] | b.words_[i]));
+  return c;
+}
+
+std::size_t BitVec::or3_popcount(const BitVec& a, const BitVec& b,
+                                 const BitVec& c) {
+  a.check_same_size(b);
+  a.check_same_size(c);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.words_.size(); ++i)
+    n += static_cast<std::size_t>(
+        std::popcount(a.words_[i] | b.words_[i] | c.words_[i]));
+  return n;
+}
+
 bool BitVec::and_parity(const BitVec& a, const BitVec& b) {
   a.check_same_size(b);
   std::uint64_t acc = 0;

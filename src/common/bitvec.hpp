@@ -69,6 +69,13 @@ class BitVec {
   /// Parity (XOR) of the AND of two vectors — the symplectic-form workhorse.
   static bool and_parity(const BitVec& a, const BitVec& b);
 
+  /// popcount(a | b) without materializing the OR — the Eq. (6) pair terms
+  /// call this for every row pair, so the temporary matters.
+  static std::size_t or_popcount(const BitVec& a, const BitVec& b);
+  /// popcount(a | b | c), fused for the same reason.
+  static std::size_t or3_popcount(const BitVec& a, const BitVec& b,
+                                  const BitVec& c);
+
   /// '0'/'1' characters, index 0 first.
   std::string to_string() const;
 

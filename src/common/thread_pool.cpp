@@ -1,0 +1,137 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace phoenix {
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  bool stopping = false;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping and drained
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      job();
+    }
+  }
+
+  void submit(std::function<void()> job) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      queue.push_back(std::move(job));
+    }
+    cv.notify_one();
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t num_workers) : num_workers_(num_workers) {
+  if (num_workers_ == 0) {
+    impl_ = nullptr;
+    return;
+  }
+  impl_ = new Impl;
+  impl_->workers.reserve(num_workers_);
+  for (std::size_t i = 0; i < num_workers_; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+namespace {
+
+/// Shared state of one parallel_for call: a dynamic index dispenser plus a
+/// countdown of helper tasks still running, so the caller can block until the
+/// whole iteration space has drained even when workers are also serving other
+/// concurrent parallel_for calls.
+struct LoopState {
+  std::atomic<std::size_t> next{0};
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t helpers_active = 0;
+  std::exception_ptr error;
+
+  void run_indices() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t helpers = std::min(num_workers_, n > 0 ? n - 1 : 0);
+  if (helpers == 0) {
+    // Serial fast path: no shared state, exceptions propagate directly.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->n = n;
+  state->fn = &fn;
+  state->helpers_active = helpers;
+  for (std::size_t h = 0; h < helpers; ++h)
+    impl_->submit([state] {
+      state->run_indices();
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        --state->helpers_active;
+      }
+      state->done_cv.notify_one();
+    });
+
+  state->run_indices();
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&] { return state->helpers_active == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t workers = hw > 1 ? static_cast<std::size_t>(hw - 1) : 0;
+    return std::min<std::size_t>(workers, 15);
+  }());
+  return pool;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace phoenix {
+
+/// Small reusable worker pool for the compiler's embarrassingly parallel
+/// loops (per-IR-group BSF simplification, batch compiles).
+///
+/// Design constraints, in order: determinism, exception safety, low setup
+/// cost. Work is handed out as index ranges through `parallel_for`, which
+/// blocks until every index has been processed and rethrows the first
+/// exception raised by any worker (first by completion, not by index —
+/// callers that need per-index error attribution catch inside `fn`).
+///
+/// The pool is safe to share between concurrent `parallel_for` calls; each
+/// call tracks its own completion state. The calling thread participates in
+/// the loop, so a pool with zero workers (single-core hosts) degrades to a
+/// plain serial loop with no thread or lock traffic.
+class ThreadPool {
+ public:
+  /// Spawn `num_workers` worker threads (0 is valid: everything then runs
+  /// inline on the calling thread).
+  explicit ThreadPool(std::size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_workers() const { return num_workers_; }
+
+  /// Run fn(0), fn(1), …, fn(n-1), partitioned dynamically over the workers
+  /// plus the calling thread. Blocks until all n calls finished. If any call
+  /// throws, the first captured exception is rethrown here after the loop
+  /// drains (remaining indices still run — fn must be safe to call for every
+  /// index regardless of other indices' failures).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool, lazily created with hardware_concurrency - 1
+  /// workers (never more than 15). Intended for callers that want parallelism
+  /// "for free" without owning pool lifetime.
+  static ThreadPool& shared();
+
+ private:
+  struct Impl;
+  Impl* impl_;  ///< non-null iff num_workers_ > 0
+  std::size_t num_workers_ = 0;
+};
+
+}  // namespace phoenix

@@ -1,5 +1,7 @@
 #include "pauli/bsf.hpp"
 
+#include <array>
+#include <cstdint>
 #include <stdexcept>
 
 namespace phoenix {
@@ -49,13 +51,24 @@ std::vector<Bsf::Row> Bsf::pop_local_rows() {
   std::vector<Row> kept;
   kept.reserve(rows_.size());
   for (auto& r : rows_) {
-    if ((r.x | r.z).popcount() <= 1)
+    if (BitVec::or_popcount(r.x, r.z) <= 1)
       locals.push_back(std::move(r));
     else
       kept.push_back(std::move(r));
   }
   rows_ = std::move(kept);
   return locals;
+}
+
+void Bsf::column_counts(std::size_t c, std::size_t& nx, std::size_t& nz,
+                        std::size_t& nu) const {
+  nx = nz = nu = 0;
+  for (const auto& r : rows_) {
+    const bool x = r.x.get(c), z = r.z.get(c);
+    nx += x;
+    nz += z;
+    nu += x || z;
+  }
 }
 
 void Bsf::apply_h(std::size_t q) {
@@ -104,8 +117,78 @@ void Bsf::apply_step(const CliffStepOp& op) {
   }
 }
 
+namespace {
+
+/// Precomputed conjugation action of one Eq. (5) generator on the two-qubit
+/// sub-configuration of a row. A Clifford2Q acts only on its own qubit pair,
+/// so P = P_rest ⊗ P_sub maps to s(P_sub) · P_rest ⊗ P_sub′: the new four
+/// bits and the sign flip are a pure function of the old four bits. The
+/// tables are derived at first use by running the gate's own H/S/CNOT
+/// expansion on all 16 sub-configurations, so the sign bookkeeping stays
+/// exactly the expansion's — this is a constant-factor fast path, not a
+/// second implementation of the algebra.
+struct Clifford2QAction {
+  std::uint8_t map[16];  ///< cfg = x0 | z0<<1 | x1<<2 | z1<<3
+  bool flip[16];
+};
+
+Clifford2QAction derive_action(const Clifford2Q& gen) {
+  Clifford2QAction act{};
+  for (unsigned cfg = 0; cfg < 16; ++cfg) {
+    Bsf probe(2);
+    Bsf::Row row;
+    row.x = BitVec(2);
+    row.z = BitVec(2);
+    row.x.set(0, cfg & 1);
+    row.z.set(0, cfg >> 1 & 1);
+    row.x.set(1, cfg >> 2 & 1);
+    row.z.set(1, cfg >> 3 & 1);
+    row.coeff = 1.0;
+    probe.add_row(row);
+    Clifford2Q local = gen;
+    local.q0 = 0;
+    local.q1 = 1;
+    for (const auto& op : local.expansion()) probe.apply_step(op);
+    act.map[cfg] = static_cast<std::uint8_t>(
+        static_cast<unsigned>(probe.row_x(0).get(0)) |
+        static_cast<unsigned>(probe.row_z(0).get(0)) << 1 |
+        static_cast<unsigned>(probe.row_x(0).get(1)) << 2 |
+        static_cast<unsigned>(probe.row_z(0).get(1)) << 3);
+    act.flip[cfg] = probe.row(0).sign;
+  }
+  return act;
+}
+
+const Clifford2QAction& action_for(Pauli sigma0, Pauli sigma1) {
+  static const std::array<Clifford2QAction, 6> table = [] {
+    std::array<Clifford2QAction, 6> t{};
+    for (std::size_t g = 0; g < 6; ++g)
+      t[g] = derive_action(clifford2q_generators()[g]);
+    return t;
+  }();
+  for (std::size_t g = 0; g < 6; ++g) {
+    const Clifford2Q& gen = clifford2q_generators()[g];
+    if (gen.sigma0 == sigma0 && gen.sigma1 == sigma1) return table[g];
+  }
+  throw std::invalid_argument("Bsf::apply_clifford2q: not an Eq. (5) generator");
+}
+
+}  // namespace
+
 void Bsf::apply_clifford2q(const Clifford2Q& c) {
-  for (const auto& op : c.expansion()) apply_step(op);
+  const Clifford2QAction& act = action_for(c.sigma0, c.sigma1);
+  for (auto& r : rows_) {
+    const unsigned cfg = static_cast<unsigned>(r.x.get(c.q0)) |
+                         static_cast<unsigned>(r.z.get(c.q0)) << 1 |
+                         static_cast<unsigned>(r.x.get(c.q1)) << 2 |
+                         static_cast<unsigned>(r.z.get(c.q1)) << 3;
+    const unsigned out = act.map[cfg];
+    r.x.set(c.q0, out & 1);
+    r.z.set(c.q0, out >> 1 & 1);
+    r.x.set(c.q1, out >> 2 & 1);
+    r.z.set(c.q1, out >> 3 & 1);
+    r.sign ^= act.flip[cfg];
+  }
 }
 
 std::string Bsf::to_string() const {

@@ -15,9 +15,12 @@ namespace phoenix {
 /// [x_i | z_i], a sign bit, and the rotation coefficient.
 ///
 /// Clifford conjugation P ← C P C† is realized by sign-correct
-/// Aaronson–Gottesman-style column updates; the six universal controlled
-/// gates of Eq. (5) are applied via their H/S/CNOT expansion so their sign
-/// bookkeeping is automatic.
+/// Aaronson–Gottesman-style column updates. The six universal controlled
+/// gates of Eq. (5) are applied through 16-entry action tables derived once
+/// from their H/S/CNOT expansion (a Clifford2Q only touches its own qubit
+/// pair, so its action on a row is a pure function of the row's four bits
+/// there) — sign bookkeeping stays the expansion's, at one row pass per
+/// gate instead of one per expansion step.
 class Bsf {
  public:
   struct Row {
@@ -50,7 +53,7 @@ class Bsf {
 
   /// Non-identity positions of row i.
   std::size_t row_weight(std::size_t i) const {
-    return (rows_[i].x | rows_[i].z).popcount();
+    return BitVec::or_popcount(rows_[i].x, rows_[i].z);
   }
   /// Local rows act on at most one qubit (1Q rotations, free to synthesize).
   bool row_is_local(std::size_t i) const { return row_weight(i) <= 1; }
@@ -66,13 +69,22 @@ class Bsf {
   /// Remove all local (weight <= 1) rows and return them in original order.
   std::vector<Row> pop_local_rows();
 
+  /// Column occupancy at qubit column `c`: number of rows with the X bit set
+  /// (nx), with the Z bit set (nz), and with either (nu). O(rows). This is
+  /// the primitive behind the incremental Eq. (6) cost: a Clifford2Q touches
+  /// exactly two columns, so retallying those two columns re-syncs the
+  /// column-count decomposition of the pairwise cost terms.
+  void column_counts(std::size_t c, std::size_t& nx, std::size_t& nz,
+                     std::size_t& nu) const;
+
   // --- Clifford conjugation updates (P ← C P C†), sign-correct -----------
   void apply_h(std::size_t q);
   void apply_s(std::size_t q);
   void apply_sdg(std::size_t q);
   void apply_cnot(std::size_t control, std::size_t target);
   void apply_step(const CliffStepOp& op);
-  /// Apply a universal controlled gate via its H/S/CNOT expansion.
+  /// Apply a universal controlled gate (one row pass via its derived action
+  /// table; equivalent to applying its expansion() step by step).
   void apply_clifford2q(const Clifford2Q& c);
 
   /// Multi-line debug form: one "±LABEL * coeff" per row.

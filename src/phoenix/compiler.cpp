@@ -1,10 +1,12 @@
 #include "phoenix/compiler.hpp"
 
 #include <chrono>
+#include <exception>
 #include <utility>
 
 #include "circuit/synthesis.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "hamlib/grouping.hpp"
 #include "phoenix/qaoa_router.hpp"
 #include "transpile/peephole.hpp"
@@ -94,29 +96,62 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   res.num_groups = groups.size();
   record("group", t_stage, false, std::to_string(groups.size()) + " groups");
 
-  // 2. Group-wise BSF simplification (Algorithm 1) and subcircuit emission.
-  //    Global-frame 1Q locals float to a prelude so group boundaries stay
-  //    clean for Clifford2Q cancellation.
+  // 2. Group-wise BSF simplification (Algorithm 1) and subcircuit emission,
+  //    parallelized over the independent groups. Each worker fills one
+  //    outcome slot; the merge below runs serially in group order, so the
+  //    result (prelude rotations, profile order, diagnostics) is identical
+  //    for any thread count. Global-frame 1Q locals float to a prelude so
+  //    group boundaries stay clean for Clifford2Q cancellation.
   t_stage = Clock::now();
+  struct GroupOutcome {
+    SimplifiedGroup sg;
+    SubcircuitProfile profile;
+    bool has_profile = false;
+    std::exception_ptr error;
+  };
+  std::vector<GroupOutcome> outcomes(groups.size());
+  auto run_group = [&](std::size_t gi) {
+    GroupOutcome& out = outcomes[gi];
+    try {
+      out.sg = simplify_bsf(groups[gi].terms, opt.simplify);
+      if (paranoid) check_simplified_group(groups[gi].terms, out.sg);
+      Circuit sub = out.sg.emit(num_qubits, /*include_global_locals=*/false);
+      if (!sub.empty()) {
+        out.profile = profile_subcircuit(std::move(sub), out.sg.cliffords);
+        out.has_profile = true;
+      }
+    } catch (...) {
+      out.error = std::current_exception();
+    }
+  };
+  if (opt.num_threads == 0) {
+    ThreadPool::shared().parallel_for(groups.size(), run_group);
+  } else {
+    ThreadPool local(opt.num_threads - 1);
+    local.parallel_for(groups.size(), run_group);
+  }
+
   Circuit prelude(num_qubits);
   std::vector<SubcircuitProfile> profiles;
   profiles.reserve(groups.size());
   for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-    try {
-      const SimplifiedGroup sg = simplify_bsf(groups[gi].terms, opt.simplify);
-      if (paranoid) check_simplified_group(groups[gi].terms, sg);
-      res.bsf_epochs += sg.search_epochs;
-      for (const auto& r : sg.global_locals()) {
-        append_pauli_rotation(
-            prelude,
-            PauliTerm(PauliString(r.x, r.z), r.sign ? -r.coeff : r.coeff));
+    GroupOutcome& out = outcomes[gi];
+    if (out.error) {
+      // Deterministic attribution: the lowest-indexed failing group wins,
+      // with its index attached, exactly as the serial loop threw.
+      try {
+        std::rethrow_exception(out.error);
+      } catch (const Error& e) {
+        throw with_group(e, gi);
       }
-      Circuit sub = sg.emit(num_qubits, /*include_global_locals=*/false);
-      if (sub.empty()) continue;
-      profiles.push_back(profile_subcircuit(std::move(sub), sg.cliffords));
-    } catch (const Error& e) {
-      throw with_group(e, gi);
     }
+    res.bsf_epochs += out.sg.search_epochs;
+    for (const auto& r : out.sg.global_locals()) {
+      append_pauli_rotation(
+          prelude,
+          PauliTerm(PauliString(r.x, r.z), r.sign ? -r.coeff : r.coeff));
+    }
+    if (out.has_profile) profiles.push_back(std::move(out.profile));
   }
   record("simplify", t_stage, paranoid,
          std::to_string(res.bsf_epochs) + " epochs");

@@ -33,6 +33,12 @@ struct PhoenixOptions {
   std::size_t lookahead = 20;  ///< Tetris ordering window
   SabreOptions sabre;
   SimplifyOptions simplify;
+  /// Threads for the per-group simplification stage (the groups are
+  /// independent and the output is deterministic regardless of this value):
+  /// 0 uses the process-wide shared pool (hardware_concurrency - 1 workers),
+  /// 1 runs fully serial, k > 1 runs on a dedicated pool of k - 1 workers
+  /// plus the calling thread.
+  std::size_t num_threads = 0;
   /// Self-checking level (src/verify/): Off compiles blind, Cheap runs the
   /// polynomial translation validation on the final circuit, Paranoid adds
   /// per-stage invariant checks and the exact-unitary cross-check on small

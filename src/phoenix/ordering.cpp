@@ -91,6 +91,8 @@ SubcircuitProfile profile_subcircuit(Circuit circ,
   p.tail_cliffs = std::move(boundary_cliffs);
   p.head_graph = slice_graph(circ, p.support, /*from_left=*/true);
   p.tail_graph = slice_graph(circ, p.support, /*from_left=*/false);
+  p.head_dist = p.head_graph.distance_matrix();
+  p.tail_dist = p.tail_graph.distance_matrix();
   p.circ = std::move(circ);
   return p;
 }
@@ -143,8 +145,8 @@ double assembling_cost(const SubcircuitProfile& prev,
 
   if (opt.routing_aware) {
     const auto qubits = support_union(prev, next);
-    const auto d_tail = prev.tail_graph.distance_matrix();
-    const auto d_head = next.head_graph.distance_matrix();
+    const auto& d_tail = prev.tail_dist;
+    const auto& d_head = next.head_dist;
     double s = 0;
     for (std::size_t q : qubits) s += row_cosine(d_tail[q], d_head[q], qubits);
     cost *= 1.0 / std::max(s, 0.5);
@@ -156,32 +158,47 @@ std::vector<std::size_t> tetris_order(
     const std::vector<SubcircuitProfile>& profiles,
     const OrderingOptions& opt) {
   // Pre-arrange in descending width; stable to keep input order among ties.
-  std::vector<std::size_t> pending(profiles.size());
-  std::iota(pending.begin(), pending.end(), std::size_t{0});
-  std::stable_sort(pending.begin(), pending.end(),
+  std::vector<std::size_t> sorted(profiles.size());
+  std::iota(sorted.begin(), sorted.end(), std::size_t{0});
+  std::stable_sort(sorted.begin(), sorted.end(),
                    [&](std::size_t a, std::size_t b) {
                      return profiles[a].support.size() >
                             profiles[b].support.size();
                    });
 
+  // The pending set is `sorted` threaded on a singly linked skip list: slot
+  // s+1 holds sorted[s], slot 0 is the head sentinel, and nxt[s] is the next
+  // live slot. The lookahead window is the first `window` live slots in
+  // sorted order — identical to the erase-based formulation — but removal is
+  // O(1) via the predecessor the window walk already has in hand, instead of
+  // an O(pending) vector erase per step.
+  std::vector<std::size_t> nxt(sorted.size() + 1);
+  for (std::size_t s = 0; s < nxt.size(); ++s) nxt[s] = s + 1;
+  std::size_t remaining = sorted.size();
+
   std::vector<std::size_t> order;
   order.reserve(profiles.size());
-  while (!pending.empty()) {
-    std::size_t pick = 0;
+  while (remaining > 0) {
+    std::size_t pick_slot = nxt[0], pick_pred = 0;
     if (!order.empty()) {
       const SubcircuitProfile& last = profiles[order.back()];
       double best = std::numeric_limits<double>::infinity();
-      const std::size_t window = std::min(opt.lookahead, pending.size());
+      const std::size_t window = std::min(opt.lookahead, remaining);
+      std::size_t pred = 0, slot = nxt[0];
       for (std::size_t w = 0; w < window; ++w) {
-        const double c = assembling_cost(last, profiles[pending[w]], opt);
+        const double c = assembling_cost(last, profiles[sorted[slot - 1]], opt);
         if (c < best) {
           best = c;
-          pick = w;
+          pick_slot = slot;
+          pick_pred = pred;
         }
+        pred = slot;
+        slot = nxt[slot];
       }
     }
-    order.push_back(pending[pick]);
-    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+    order.push_back(sorted[pick_slot - 1]);
+    nxt[pick_pred] = nxt[pick_slot];
+    --remaining;
   }
   return order;
 }

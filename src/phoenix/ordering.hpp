@@ -25,6 +25,12 @@ struct SubcircuitProfile {
   /// the respective boundary until the whole support is covered), used by the
   /// routing-awareness factor of Eq. (7).
   Graph head_graph, tail_graph;
+
+  /// All-pairs hop distances of head_graph/tail_graph, precomputed once per
+  /// profile. The routing-aware assembling cost reads these for every
+  /// (prev, next) candidate inside the lookahead window — re-running the
+  /// all-pairs BFS there dominated ordering time on wide programs.
+  std::vector<std::vector<std::size_t>> head_dist, tail_dist;
 };
 
 /// Build a profile from an emitted subcircuit. `boundary_cliffs` carries the

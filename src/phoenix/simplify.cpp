@@ -1,7 +1,9 @@
 #include "phoenix/simplify.hpp"
 
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <unordered_set>
 #include "common/error.hpp"
 
 namespace phoenix {
@@ -17,22 +19,86 @@ double bsf_cost(const Bsf& bsf) {
   for (std::size_t i = 0; i < rows; ++i) {
     const BitVec ui = bsf.row_x(i) | bsf.row_z(i);
     for (std::size_t j = i + 1; j < rows; ++j) {
-      const BitVec uj = bsf.row_x(j) | bsf.row_z(j);
-      cost += static_cast<double>((ui | uj).popcount());
-      cost += 0.5 * static_cast<double>((bsf.row_x(i) | bsf.row_x(j)).popcount());
-      cost += 0.5 * static_cast<double>((bsf.row_z(i) | bsf.row_z(j)).popcount());
+      cost += static_cast<double>(
+          BitVec::or3_popcount(ui, bsf.row_x(j), bsf.row_z(j)));
+      cost += 0.5 * static_cast<double>(
+                        BitVec::or_popcount(bsf.row_x(i), bsf.row_x(j)));
+      cost += 0.5 * static_cast<double>(
+                        BitVec::or_popcount(bsf.row_z(i), bsf.row_z(j)));
     }
   }
   return cost;
+}
+
+IncrementalBsfCost::IncrementalBsfCost(const Bsf& bsf)
+    : rows_(bsf.num_rows()),
+      nx_(bsf.num_qubits()),
+      nz_(bsf.num_qubits()),
+      nu_(bsf.num_qubits()) {
+  for (std::size_t c = 0; c < bsf.num_qubits(); ++c) {
+    bsf.column_counts(c, nx_[c], nz_[c], nu_[c]);
+    if (nu_[c] > 0) ++w_tot_;
+    pair_sum2_ += column_term2(c);
+  }
+  for (std::size_t i = 0; i < rows_; ++i)
+    if (bsf.row_weight(i) > 1) ++n_nl_;
+}
+
+void IncrementalBsfCost::refresh_columns(const Bsf& bsf, std::size_t a,
+                                         std::size_t b) {
+  const std::size_t cols[2] = {a, b};
+  const std::size_t ncols = a == b ? 1 : 2;
+  for (std::size_t k = 0; k < ncols; ++k) {
+    const std::size_t c = cols[k];
+    pair_sum2_ -= column_term2(c);
+    if (nu_[c] > 0) --w_tot_;
+    bsf.column_counts(c, nx_[c], nz_[c], nu_[c]);
+    if (nu_[c] > 0) ++w_tot_;
+    pair_sum2_ += column_term2(c);
+  }
+  n_nl_ = 0;
+  for (std::size_t i = 0; i < rows_; ++i)
+    if (bsf.row_weight(i) > 1) ++n_nl_;
+}
+
+IncrementalBsfCost::ColumnSnapshot IncrementalBsfCost::snapshot(
+    std::size_t a, std::size_t b) const {
+  ColumnSnapshot s;
+  s.a = a;
+  s.b = b;
+  s.nx_a = nx_[a];
+  s.nz_a = nz_[a];
+  s.nu_a = nu_[a];
+  s.nx_b = nx_[b];
+  s.nz_b = nz_[b];
+  s.nu_b = nu_[b];
+  s.w_tot = w_tot_;
+  s.n_nl = n_nl_;
+  s.pair_sum2 = pair_sum2_;
+  return s;
+}
+
+void IncrementalBsfCost::restore(const ColumnSnapshot& s) {
+  nx_[s.a] = s.nx_a;
+  nz_[s.a] = s.nz_a;
+  nu_[s.a] = s.nu_a;
+  nx_[s.b] = s.nx_b;
+  nz_[s.b] = s.nz_b;
+  nu_[s.b] = s.nu_b;
+  w_tot_ = s.w_tot;
+  n_nl_ = s.n_nl;
+  pair_sum2_ = s.pair_sum2;
 }
 
 namespace {
 
 /// All Clifford2Q candidates over the currently occupied columns: unordered
 /// pairs for the symmetric generators C(X,X)/C(Y,Y)/C(Z,Z), both orders for
-/// the asymmetric ones.
-std::vector<Clifford2Q> candidates(const std::vector<std::size_t>& support) {
-  std::vector<Clifford2Q> out;
+/// the asymmetric ones. Refills `out` so its capacity is reused across
+/// epochs.
+void collect_candidates(const std::vector<std::size_t>& support,
+                        std::vector<Clifford2Q>& out) {
+  out.clear();
   for (const auto& gen : clifford2q_generators()) {
     const bool symmetric = gen.sigma0 == gen.sigma1;
     for (std::size_t i = 0; i < support.size(); ++i)
@@ -47,32 +113,38 @@ std::vector<Clifford2Q> candidates(const std::vector<std::size_t>& support) {
         }
       }
   }
-  return out;
 }
 
 /// Deterministic fallback move guaranteed to lower the weight of row `r`:
 /// for the row's leading support pair (a, b) with operators (Pa, Pb), some
 /// generator C(σ0, σ1) with σ1 == Pb and σ0 anticommuting with Pa maps
 /// Pa⊗Pb to Pa⊗I (see tests/test_phoenix.cpp for the exhaustive check).
-Clifford2Q row_reduction_move(const Bsf& bsf, std::size_t r) {
-  const BitVec mask = bsf.row_x(r) | bsf.row_z(r);
-  const auto sup = mask.ones();
+/// Probes apply/undo in place (every Clifford2Q is Hermitian, hence
+/// self-inverse); the tableau is unchanged on return.
+Clifford2Q row_reduction_move(Bsf& bsf, std::size_t r) {
+  const auto sup = (bsf.row_x(r) | bsf.row_z(r)).ones();
   if (sup.size() < 2)
     throw Error(Stage::Simplify, "row_reduction_move: row already local");
   const std::size_t a = sup[0], b = sup[1];
-  const std::size_t before = (bsf.row_x(r) | bsf.row_z(r)).popcount();
+  const std::size_t before = bsf.row_weight(r);
   for (const auto& gen : clifford2q_generators())
     for (auto [q0, q1] : {std::pair<std::size_t, std::size_t>{a, b},
                           std::pair<std::size_t, std::size_t>{b, a}}) {
       Clifford2Q c = gen;
       c.q0 = q0;
       c.q1 = q1;
-      Bsf probe = bsf;
-      probe.apply_clifford2q(c);
-      if ((probe.row_x(r) | probe.row_z(r)).popcount() < before) return c;
+      bsf.apply_clifford2q(c);
+      const std::size_t after = bsf.row_weight(r);
+      bsf.apply_clifford2q(c);  // self-inverse: undo
+      if (after < before) return c;
     }
   throw Error(Stage::Simplify,
               "row_reduction_move: no reducing generator found");
+}
+
+std::uint64_t pair_key(const Clifford2Q& c) {
+  const std::uint64_t lo = std::min(c.q0, c.q1), hi = std::max(c.q0, c.q1);
+  return (lo << 32) | hi;
 }
 
 }  // namespace
@@ -86,8 +158,14 @@ SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
   SimplifiedGroup g;
   g.num_qubits = bsf.num_qubits();
 
-  double last_cost = std::numeric_limits<double>::infinity();
+  constexpr std::uint64_t kNoCost = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t last_cost2 = kNoCost;
   std::size_t stall = 0;
+  // Unordered qubit pairs already used by this group's Cliffords, maintained
+  // across epochs so the tie-break below is O(1) instead of rescanning
+  // g.cliffords per candidate.
+  std::unordered_set<std::uint64_t> used_pairs;
+  std::vector<Clifford2Q> cands;
 
   while (bsf.total_weight() > 2) {
     std::vector<Bsf::Row> peeled = bsf.pop_local_rows();
@@ -106,32 +184,44 @@ SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
       // short index spans — the cost function is frequently degenerate, and
       // locality-friendly choices shrink the interaction graph handed to
       // the router (§IV-C.3's goal).
-      double best = std::numeric_limits<double>::infinity();
+      //
+      // Each candidate is evaluated by applying it to the tableau in place,
+      // re-syncing the two touched columns of the incremental cost, and
+      // undoing via a second application (Clifford2Qs are self-inverse) —
+      // no tableau copies, O(rows) per candidate.
+      IncrementalBsfCost inc(bsf);
+      std::uint64_t best2 = kNoCost;
       auto tie_rank = [&](const Clifford2Q& c) {
         const std::size_t lo = std::min(c.q0, c.q1), hi = std::max(c.q0, c.q1);
-        bool used = false;
-        for (const auto& prev : g.cliffords)
-          used |= (std::min(prev.q0, prev.q1) == lo &&
-                   std::max(prev.q0, prev.q1) == hi);
-        return std::pair<int, std::size_t>(used ? 0 : 1, hi - lo);
+        return std::pair<int, std::size_t>(
+            used_pairs.count(pair_key(c)) != 0 ? 0 : 1, hi - lo);
       };
-      for (const auto& cand : candidates(bsf.support())) {
-        Bsf probe = bsf;
-        probe.apply_clifford2q(cand);
-        const double cost = bsf_cost(probe);
+      collect_candidates(bsf.support(), cands);
+      for (const auto& cand : cands) {
+        const auto snap = inc.snapshot(cand.q0, cand.q1);
+        bsf.apply_clifford2q(cand);
+        inc.refresh_columns(bsf, cand.q0, cand.q1);
+        const std::uint64_t cost2 = inc.cost2();
+#ifdef PHOENIX_EXPENSIVE_CHECKS
+        if (inc.cost() != bsf_cost(bsf))
+          throw Error(Stage::Simplify,
+                      "simplify_bsf: incremental Eq. (6) cost diverged from "
+                      "the reference");
+#endif
+        bsf.apply_clifford2q(cand);  // self-inverse: undo
+        inc.restore(snap);
         const bool better =
-            cost < best - 1e-9 ||
-            (cost < best + 1e-9 && have_choice &&
-             tie_rank(cand) < tie_rank(chosen));
-        if (!have_choice || better) {
-          best = std::min(best, cost);
+            !have_choice || cost2 < best2 ||
+            (cost2 == best2 && tie_rank(cand) < tie_rank(chosen));
+        if (better) {
+          best2 = std::min(best2, cost2);
           chosen = cand;
           have_choice = true;
         }
       }
-      if (best < last_cost - 1e-9) {
+      if (best2 < last_cost2) {
         stall = 0;
-        last_cost = best;
+        last_cost2 = best2;
       } else {
         ++stall;
       }
@@ -145,6 +235,7 @@ SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
 
     bsf.apply_clifford2q(chosen);
     g.cliffords.push_back(chosen);
+    used_pairs.insert(pair_key(chosen));
     g.locals.push_back(std::move(peeled));
   }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -17,6 +18,73 @@ namespace phoenix {
 /// where n_nl counts nonlocal (weight > 1) rows. Lower is closer to a
 /// directly synthesizable tableau.
 double bsf_cost(const Bsf& bsf);
+
+/// Incrementally maintained Eq. (6) cost.
+///
+/// The pairwise OR-popcount sums decompose by column: with R rows and n_c
+/// rows occupying column c (counted separately for the X block, the Z block,
+/// and their union), Σ_⟨i,j⟩ ‖a_i ∨ a_j‖ = Σ_c [C(R,2) − C(R−n_c,2)], since a
+/// column contributes to every pair except those drawn entirely from its
+/// R−n_c empty rows. A Clifford2Q conjugation touches exactly two columns,
+/// so after an in-place apply the cost is re-synced by retallying those two
+/// columns — O(rows) instead of the reference's O(rows²·qubits).
+///
+/// All Eq. (6) values are multiples of ½, so the model tracks the exact
+/// doubled cost as an integer; the greedy search compares candidates without
+/// floating-point tolerances yet selects identically to the reference
+/// (differences between distinct costs are at least ½, far above the old
+/// 1e-9 tie window).
+///
+/// The model is bound to a fixed row set: rebuild it after rows are added or
+/// removed (the search rebuilds once per epoch, after peeling local rows).
+class IncrementalBsfCost {
+ public:
+  /// Full build, O(rows·qubits).
+  explicit IncrementalBsfCost(const Bsf& bsf);
+
+  /// Exact cost ×2.
+  std::uint64_t cost2() const {
+    return 2 * static_cast<std::uint64_t>(w_tot_) *
+               static_cast<std::uint64_t>(n_nl_) *
+               static_cast<std::uint64_t>(n_nl_) +
+           pair_sum2_;
+  }
+  /// The Eq. (6) value, equal to bsf_cost() on the same tableau.
+  double cost() const { return 0.5 * static_cast<double>(cost2()); }
+
+  /// Re-sync after `bsf` was mutated in columns a and b only (a == b allowed).
+  /// O(rows).
+  void refresh_columns(const Bsf& bsf, std::size_t a, std::size_t b);
+
+  /// O(1) state capture for the apply/undo candidate search: snapshot before
+  /// mutating columns a/b, restore after the self-inverse undo instead of a
+  /// second refresh.
+  struct ColumnSnapshot {
+    std::size_t a = 0, b = 0;
+    std::size_t nx_a = 0, nz_a = 0, nu_a = 0;
+    std::size_t nx_b = 0, nz_b = 0, nu_b = 0;
+    std::size_t w_tot = 0, n_nl = 0;
+    std::uint64_t pair_sum2 = 0;
+  };
+  ColumnSnapshot snapshot(std::size_t a, std::size_t b) const;
+  void restore(const ColumnSnapshot& s);
+
+ private:
+  /// 2·[C(R,2) − C(R−n,2)] for the union term; the X/Z terms use half of it.
+  std::uint64_t pair2(std::size_t n) const {
+    const std::uint64_t r = rows_, m = r - n;
+    return r * (r - 1) - m * (m - 1);
+  }
+  std::uint64_t column_term2(std::size_t c) const {
+    return pair2(nu_[c]) + (pair2(nx_[c]) + pair2(nz_[c])) / 2;
+  }
+
+  std::size_t rows_ = 0;                 ///< R, fixed for the model lifetime
+  std::vector<std::size_t> nx_, nz_, nu_;  ///< per-column occupancy
+  std::size_t w_tot_ = 0;                ///< columns with nu > 0
+  std::size_t n_nl_ = 0;                 ///< rows with weight > 1
+  std::uint64_t pair_sum2_ = 0;          ///< Σ_c column_term2(c)
+};
 
 /// Result of Algorithm 1 on one IR group: the Clifford2Q conjugation
 /// sequence, the local rows peeled before each epoch (expressed in the frame

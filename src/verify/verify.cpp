@@ -187,7 +187,7 @@ struct FrameWalk {
       if (dist_to_multiple(remaining[i], M_PI) <= angle_tol) continue;
       const bool x = frame.row_x(i).get(q), z = frame.row_z(i).get(q);
       if (!x && !z) continue;
-      if ((frame.row_x(i) | frame.row_z(i)).popcount() != 1) continue;
+      if (BitVec::or_popcount(frame.row_x(i), frame.row_z(i)) != 1) continue;
       const Pauli axis = x ? (z ? Pauli::Y : Pauli::X) : Pauli::Z;
       out.push_back({i, axis, frame.row(i).sign, remaining[i]});
       if (out.size() == 8) break;  // bound the hypothesis space

@@ -114,5 +114,23 @@ TEST(BitVec, PopcountLargeVector) {
   EXPECT_EQ(v.popcount(), 334u);
 }
 
+TEST(BitVec, FusedOrPopcountsMatchMaterializedOr) {
+  for (std::size_t n : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                        std::size_t{65}, std::size_t{200}}) {
+    BitVec a(n), b(n), c(n);
+    for (std::size_t i = 0; i < n; i += 2) a.set(i, true);
+    for (std::size_t i = 0; i < n; i += 3) b.set(i, true);
+    for (std::size_t i = 1; i < n; i += 5) c.set(i, true);
+    EXPECT_EQ(BitVec::or_popcount(a, b), (a | b).popcount()) << n;
+    EXPECT_EQ(BitVec::or3_popcount(a, b, c), (a | b | c).popcount()) << n;
+  }
+}
+
+TEST(BitVec, FusedOrPopcountsRejectSizeMismatch) {
+  BitVec a(5), b(6);
+  EXPECT_THROW(BitVec::or_popcount(a, b), std::invalid_argument);
+  EXPECT_THROW(BitVec::or3_popcount(a, a, b), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace phoenix

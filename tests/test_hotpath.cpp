@@ -1,0 +1,374 @@
+// Hot-path optimization tests: the incremental Eq. (6) cost model against
+// the reference, the copy-free greedy search against a replica of the
+// original copy-based implementation, the thread pool, and single- vs
+// multi-threaded pipeline determinism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "hamlib/uccsd.hpp"
+#include "phoenix/compiler.hpp"
+#include "phoenix/ordering.hpp"
+#include "phoenix/simplify.hpp"
+
+namespace phoenix {
+namespace {
+
+std::vector<PauliTerm> random_terms(Rng& rng, std::size_t n,
+                                    std::size_t rows) {
+  std::vector<PauliTerm> terms;
+  terms.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    BitVec x(n), z(n);
+    bool nontrivial = false;
+    for (std::size_t q = 0; q < n; ++q) {
+      switch (rng.next_below(4)) {
+        case 1: x.set(q, true); nontrivial = true; break;
+        case 2: z.set(q, true); nontrivial = true; break;
+        case 3: x.set(q, true); z.set(q, true); nontrivial = true; break;
+        default: break;
+      }
+    }
+    if (!nontrivial) x.set(rng.next_below(n), true);
+    terms.emplace_back(PauliString(std::move(x), std::move(z)),
+                       rng.next_range(-1.0, 1.0));
+  }
+  return terms;
+}
+
+Clifford2Q random_clifford(Rng& rng, std::size_t n) {
+  Clifford2Q c = clifford2q_generators()[rng.next_below(6)];
+  c.q0 = rng.next_below(n);
+  do {
+    c.q1 = rng.next_below(n);
+  } while (c.q1 == c.q0);
+  return c;
+}
+
+TEST(Bsf, ActionTableApplyMatchesExpansionSteps) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 2 + rng.next_below(10);
+    Bsf fast(random_terms(rng, n, 1 + rng.next_below(10)));
+    Bsf slow = fast;
+    for (int step = 0; step < 25; ++step) {
+      const Clifford2Q c = random_clifford(rng, n);
+      fast.apply_clifford2q(c);
+      for (const auto& op : c.expansion()) slow.apply_step(op);
+      ASSERT_EQ(fast, slow) << "trial " << trial << " step " << step << " "
+                            << c.to_string();
+    }
+  }
+}
+
+TEST(IncrementalCost, MatchesReferenceOnRandomTableaus) {
+  Rng rng(12345);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.next_below(12);
+    const std::size_t rows = 1 + rng.next_below(20);
+    Bsf bsf(random_terms(rng, n, rows));
+    IncrementalBsfCost inc(bsf);
+    EXPECT_DOUBLE_EQ(inc.cost(), bsf_cost(bsf));
+  }
+}
+
+TEST(IncrementalCost, TracksRandomCliffordSequences) {
+  Rng rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + rng.next_below(10);
+    const std::size_t rows = 2 + rng.next_below(15);
+    Bsf bsf(random_terms(rng, n, rows));
+    IncrementalBsfCost inc(bsf);
+    for (int step = 0; step < 40; ++step) {
+      const Clifford2Q c = random_clifford(rng, n);
+      bsf.apply_clifford2q(c);
+      inc.refresh_columns(bsf, c.q0, c.q1);
+      ASSERT_DOUBLE_EQ(inc.cost(), bsf_cost(bsf))
+          << "trial " << trial << " step " << step;
+    }
+  }
+}
+
+TEST(IncrementalCost, SnapshotRestoreRoundTripsApplyUndo) {
+  Rng rng(4242);
+  const std::size_t n = 8;
+  Bsf bsf(random_terms(rng, n, 12));
+  IncrementalBsfCost inc(bsf);
+  const std::uint64_t cost_before = inc.cost2();
+  for (int step = 0; step < 100; ++step) {
+    const Clifford2Q c = random_clifford(rng, n);
+    const auto snap = inc.snapshot(c.q0, c.q1);
+    bsf.apply_clifford2q(c);
+    inc.refresh_columns(bsf, c.q0, c.q1);
+    EXPECT_DOUBLE_EQ(inc.cost(), bsf_cost(bsf));
+    bsf.apply_clifford2q(c);  // self-inverse undo
+    inc.restore(snap);
+    ASSERT_EQ(inc.cost2(), cost_before);
+  }
+  EXPECT_DOUBLE_EQ(inc.cost(), bsf_cost(bsf));
+}
+
+// ---------------------------------------------------------------------------
+// Replica of the pre-optimization Algorithm 1 search (deep-copied probes,
+// double-precision costs, O(|cliffords|) tie rescans), kept as the oracle the
+// copy-free implementation must match choice for choice.
+
+Clifford2Q reference_row_reduction(const Bsf& bsf, std::size_t r) {
+  const auto sup = (bsf.row_x(r) | bsf.row_z(r)).ones();
+  const std::size_t a = sup[0], b = sup[1];
+  const std::size_t before = (bsf.row_x(r) | bsf.row_z(r)).popcount();
+  for (const auto& gen : clifford2q_generators())
+    for (auto [q0, q1] : {std::pair<std::size_t, std::size_t>{a, b},
+                          std::pair<std::size_t, std::size_t>{b, a}}) {
+      Clifford2Q c = gen;
+      c.q0 = q0;
+      c.q1 = q1;
+      Bsf probe = bsf;
+      probe.apply_clifford2q(c);
+      if ((probe.row_x(r) | probe.row_z(r)).popcount() < before) return c;
+    }
+  throw std::logic_error("no reducing generator");
+}
+
+SimplifiedGroup reference_simplify(const std::vector<PauliTerm>& terms) {
+  Bsf bsf(terms);
+  SimplifiedGroup g;
+  g.num_qubits = bsf.num_qubits();
+  double last_cost = std::numeric_limits<double>::infinity();
+  std::size_t stall = 0;
+  while (bsf.total_weight() > 2) {
+    std::vector<Bsf::Row> peeled = bsf.pop_local_rows();
+    if (bsf.total_weight() <= 2) {
+      g.locals.push_back(std::move(peeled));
+      break;
+    }
+    ++g.search_epochs;
+    Clifford2Q chosen;
+    bool have_choice = false;
+    if (stall < 25) {
+      double best = std::numeric_limits<double>::infinity();
+      auto tie_rank = [&](const Clifford2Q& c) {
+        const std::size_t lo = std::min(c.q0, c.q1), hi = std::max(c.q0, c.q1);
+        bool used = false;
+        for (const auto& prev : g.cliffords)
+          used |= (std::min(prev.q0, prev.q1) == lo &&
+                   std::max(prev.q0, prev.q1) == hi);
+        return std::pair<int, std::size_t>(used ? 0 : 1, hi - lo);
+      };
+      const auto support = bsf.support();
+      for (const auto& gen : clifford2q_generators()) {
+        const bool symmetric = gen.sigma0 == gen.sigma1;
+        for (std::size_t i = 0; i < support.size(); ++i)
+          for (std::size_t j = i + 1; j < support.size(); ++j)
+            for (int rev = 0; rev < (symmetric ? 1 : 2); ++rev) {
+              Clifford2Q cand = gen;
+              cand.q0 = rev ? support[j] : support[i];
+              cand.q1 = rev ? support[i] : support[j];
+              Bsf probe = bsf;
+              probe.apply_clifford2q(cand);
+              const double cost = bsf_cost(probe);
+              const bool better =
+                  cost < best - 1e-9 ||
+                  (cost < best + 1e-9 && have_choice &&
+                   tie_rank(cand) < tie_rank(chosen));
+              if (!have_choice || better) {
+                best = std::min(best, cost);
+                chosen = cand;
+                have_choice = true;
+              }
+            }
+      }
+      if (best < last_cost - 1e-9) {
+        stall = 0;
+        last_cost = best;
+      } else {
+        ++stall;
+      }
+    }
+    if (!have_choice) {
+      std::size_t r = 0;
+      while (r < bsf.num_rows() && bsf.row_weight(r) <= 1) ++r;
+      chosen = reference_row_reduction(bsf, r);
+    }
+    bsf.apply_clifford2q(chosen);
+    g.cliffords.push_back(chosen);
+    g.locals.push_back(std::move(peeled));
+  }
+  while (g.locals.size() < g.cliffords.size() + 1) g.locals.emplace_back();
+  g.final_bsf = std::move(bsf);
+  return g;
+}
+
+TEST(Simplify, CopyFreeSearchMatchesReferenceImplementation) {
+  Rng rng(20250806);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t n = 3 + rng.next_below(6);
+    const std::size_t rows = 2 + rng.next_below(6);
+    const auto terms = random_terms(rng, n, rows);
+    const SimplifiedGroup ref = reference_simplify(terms);
+    const SimplifiedGroup got = simplify_bsf(terms);
+    ASSERT_EQ(got.cliffords.size(), ref.cliffords.size()) << "trial " << trial;
+    for (std::size_t e = 0; e < ref.cliffords.size(); ++e)
+      EXPECT_EQ(got.cliffords[e], ref.cliffords[e])
+          << "trial " << trial << " epoch " << e;
+    EXPECT_EQ(got.search_epochs, ref.search_epochs);
+    EXPECT_EQ(got.final_bsf, ref.final_bsf);
+    EXPECT_EQ(got.emit(n).to_qasm(), ref.emit(n).to_qasm());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tetris ordering: the linked-list pending set must pick exactly like the
+// erase-based formulation it replaced.
+
+std::vector<std::size_t> reference_tetris_order(
+    const std::vector<SubcircuitProfile>& profiles,
+    const OrderingOptions& opt) {
+  std::vector<std::size_t> pending(profiles.size());
+  std::iota(pending.begin(), pending.end(), std::size_t{0});
+  std::stable_sort(pending.begin(), pending.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return profiles[a].support.size() >
+                            profiles[b].support.size();
+                   });
+  std::vector<std::size_t> order;
+  while (!pending.empty()) {
+    std::size_t pick = 0;
+    if (!order.empty()) {
+      double best = std::numeric_limits<double>::infinity();
+      const std::size_t window = std::min(opt.lookahead, pending.size());
+      for (std::size_t w = 0; w < window; ++w) {
+        const double c =
+            assembling_cost(profiles[order.back()], profiles[pending[w]], opt);
+        if (c < best) {
+          best = c;
+          pick = w;
+        }
+      }
+    }
+    order.push_back(pending[pick]);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return order;
+}
+
+TEST(Ordering, LinkedListPendingMatchesEraseBasedReference) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 6;
+    std::vector<SubcircuitProfile> profiles;
+    const std::size_t num_groups = 3 + rng.next_below(20);
+    for (std::size_t gi = 0; gi < num_groups; ++gi) {
+      const auto sg =
+          simplify_bsf(random_terms(rng, n, 1 + rng.next_below(4)));
+      Circuit sub = sg.emit(n);
+      if (sub.empty()) continue;
+      profiles.push_back(profile_subcircuit(std::move(sub), sg.cliffords));
+    }
+    for (std::size_t lookahead : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{20}}) {
+      OrderingOptions opt;
+      opt.lookahead = lookahead;
+      EXPECT_EQ(tetris_order(profiles, opt),
+                reference_tetris_order(profiles, opt))
+          << "trial " << trial << " lookahead " << lookahead;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread pool.
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  std::size_t sum = 0;
+  pool.parallel_for(10, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum, 45u);
+}
+
+TEST(ThreadPool, ParallelForRethrowsWorkerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must remain usable after an exceptional loop.
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SharedPoolIsReusable) {
+  std::atomic<int> count{0};
+  ThreadPool::shared().parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline determinism across thread counts, on seed-suite programs.
+
+TEST(Compiler, ThreadCountDoesNotChangeOutput) {
+  const auto suite = uccsd_suite();
+  for (std::size_t idx : {std::size_t{10}, std::size_t{15}}) {
+    const auto& b = suite[idx];
+    PhoenixOptions serial;
+    serial.num_threads = 1;
+    serial.validation.level = ValidationLevel::Cheap;
+    const auto res1 = phoenix_compile(b.terms, b.num_qubits, serial);
+    EXPECT_TRUE(res1.validation.passed()) << b.name;
+
+    PhoenixOptions threaded;
+    threaded.num_threads = 4;
+    threaded.validation.level = ValidationLevel::Cheap;
+    const auto res4 = phoenix_compile(b.terms, b.num_qubits, threaded);
+
+    PhoenixOptions pooled;  // shared pool (whatever this host provides)
+    pooled.num_threads = 0;
+    const auto res0 = phoenix_compile(b.terms, b.num_qubits, pooled);
+
+    EXPECT_EQ(res1.circuit.to_qasm(), res4.circuit.to_qasm()) << b.name;
+    EXPECT_EQ(res1.circuit.to_qasm(), res0.circuit.to_qasm()) << b.name;
+    EXPECT_EQ(res1.num_groups, res4.num_groups);
+    EXPECT_EQ(res1.bsf_epochs, res4.bsf_epochs);
+  }
+}
+
+TEST(Compiler, GroupErrorKeepsIndexAttributionUnderThreads) {
+  // An impossible epoch budget makes every nonlocal group fail; the compiler
+  // must surface the lowest-indexed failing group, as the serial loop did.
+  std::vector<PauliTerm> terms = {PauliTerm("ZIII", 1.0),
+                                  PauliTerm("XXXX", 0.5),
+                                  PauliTerm("YYYY", 0.25)};
+  PhoenixOptions opt;
+  opt.num_threads = 4;
+  opt.simplify.max_epochs = 0;
+  try {
+    phoenix_compile(terms, 4, opt);
+    FAIL() << "expected phoenix::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.stage(), Stage::Simplify);
+    EXPECT_TRUE(e.has_group());
+  }
+}
+
+}  // namespace
+}  // namespace phoenix
