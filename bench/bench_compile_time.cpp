@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cctype>
+#include <map>
+#include <string>
+
 #include "baselines/paulihedral.hpp"
 #include "baselines/tket.hpp"
 #include "hamlib/qaoa.hpp"
@@ -29,6 +33,41 @@ void BM_PhoenixLogical(benchmark::State& state) {
   }
   state.SetLabel(b.name);
   state.counters["paulis"] = static_cast<double>(b.terms.size());
+}
+
+// Flatten a stage name into a benchmark counter key ("route(sabre)" ->
+// "stage_ms_route_sabre_") so stage breakdowns survive the JSON export.
+std::string stage_counter_key(const std::string& stage) {
+  std::string key = "stage_ms_";
+  for (char ch : stage)
+    key += std::isalnum(static_cast<unsigned char>(ch)) != 0 ? ch : '_';
+  return key;
+}
+
+// Same compile with tracing on: the iteration time measures the enabled-probe
+// overhead against BM_PhoenixLogical, and the depth-0 spans of the last
+// iteration land in the JSON export as per-stage counters, so
+// BENCH_compile_time.json records where the milliseconds go.
+void BM_PhoenixLogicalTraced(benchmark::State& state) {
+  const auto& b = suite_entry(static_cast<std::size_t>(state.range(0)));
+  PhoenixOptions opt;
+  opt.trace = true;
+  CompileStats last;
+  for (auto _ : state) {
+    auto res = phoenix_compile(b.terms, b.num_qubits, opt);
+    benchmark::DoNotOptimize(res.circuit.size());
+    last = std::move(res.stats);
+  }
+  state.SetLabel(b.name);
+  state.counters["paulis"] = static_cast<double>(b.terms.size());
+  std::map<std::string, double> stage_ms;
+  for (const auto& s : last.spans)
+    if (s.depth == 0) stage_ms[stage_counter_key(s.name)] += s.millis;
+  for (const auto& [key, ms] : stage_ms) state.counters[key] = ms;
+  state.counters["simplify_candidates"] =
+      static_cast<double>(last.counter("simplify.candidates"));
+  state.counters["peephole_removed"] =
+      static_cast<double>(last.counter("peephole.removed"));
 }
 
 void BM_PaulihedralLogical(benchmark::State& state) {
@@ -78,6 +117,7 @@ void BM_PhoenixQaoaHeavyHex(benchmark::State& state) {
 
 // Index 10 = LiH_frz_BK (small), 1 = CH2_cmplt_JW (largest, 1488 strings).
 BENCHMARK(BM_PhoenixLogical)->Arg(10)->Arg(14)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PhoenixLogicalTraced)->Arg(10)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PaulihedralLogical)->Arg(10)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TketLogical)->Arg(10)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PhoenixHardwareAware)->Arg(10)->Unit(benchmark::kMillisecond);

@@ -6,6 +6,11 @@
 #   bench/bench_to_json.sh build --benchmark_filter='BM_PhoenixLogical'
 #   bench/bench_to_json.sh build --benchmark_context=note=post-PR2
 #
+# BM_PhoenixLogicalTraced rows carry per-stage breakdowns as counters
+# (stage_ms_group, stage_ms_simplify, stage_ms_order, stage_ms_peephole, ...)
+# plus pipeline totals (simplify_candidates, peephole_removed), so the JSON
+# records where compile time goes, not just the end-to-end number.
+#
 # The CMake target `bench_to_json` invokes this with the configured build dir.
 set -euo pipefail
 

@@ -2,10 +2,17 @@
 // heavy-hex device and compare PHOENIX's commutativity-aware routing against
 // the 2QAN-style baseline (the paper's Fig. 7 / Table IV experiment).
 //
-//   $ ./example_qaoa_compile [n] [degree]      (defaults: 16 3)
+//   $ ./example_qaoa_compile [n] [degree] [--profile out.json]
+//
+// Defaults: n=16, degree=3. With --profile, the PHOENIX compile runs with
+// stage tracing on: the stage table prints to stdout and a chrome://tracing
+// JSON profile is written to the given path.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <vector>
 
 #include "baselines/twoqan.hpp"
 #include "hamlib/qaoa.hpp"
@@ -15,8 +22,23 @@
 int main(int argc, char** argv) {
   using namespace phoenix;
 
-  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
-  const std::size_t degree = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 3;
+  const char* profile_path = nullptr;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--profile")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--profile requires an output path\n");
+        return 1;
+      }
+      profile_path = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const std::size_t n =
+      positional.size() > 0 ? std::strtoul(positional[0], nullptr, 10) : 16;
+  const std::size_t degree =
+      positional.size() > 1 ? std::strtoul(positional[1], nullptr, 10) : 3;
 
   Rng rng(12345);
   const Graph g = random_regular_graph(n, degree, rng);
@@ -38,7 +60,20 @@ int main(int argc, char** argv) {
   PhoenixOptions opt;
   opt.hardware_aware = true;
   opt.coupling = &device;
+  opt.trace = profile_path != nullptr;
   const CompileResult p = phoenix_compile(terms, n, opt);
+  if (profile_path != nullptr) {
+    std::printf("\n%s\n", TraceExport::table(p.stats).c_str());
+    std::ofstream out(profile_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write profile to '%s'\n", profile_path);
+      return 1;
+    }
+    out << TraceExport::chrome_json(p.stats);
+    std::printf("wrote chrome-trace profile to %s "
+                "(load in chrome://tracing or ui.perfetto.dev)\n",
+                profile_path);
+  }
   std::printf("  PHOENIX : %4zu CNOT, 2Q depth %3zu, %3zu SWAPs "
               "(overhead %.2fx)\n",
               p.circuit.count(GateKind::Cnot), p.circuit.depth_2q(),

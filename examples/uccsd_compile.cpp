@@ -2,10 +2,16 @@
 // Table I suite), compile it logically and hardware-aware, and compare
 // PHOENIX against the baseline compilers.
 //
-//   $ ./example_uccsd_compile [molecule]       (CH2 | H2O | LiH | NH)
+//   $ ./example_uccsd_compile [molecule] [--profile out.json]
+//
+// Molecule is one of CH2 | H2O | LiH | NH. With --profile, the logical
+// PHOENIX compile runs with stage tracing on: the per-stage table prints to
+// stdout and a chrome://tracing / Perfetto-loadable JSON profile is written
+// to the given path.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 #include "baselines/paulihedral.hpp"
 #include "baselines/tket.hpp"
@@ -18,12 +24,22 @@ int main(int argc, char** argv) {
   using namespace phoenix;
 
   Molecule mol = Molecule::lih();
-  if (argc > 1) {
-    if (!std::strcmp(argv[1], "CH2")) mol = Molecule::ch2();
-    else if (!std::strcmp(argv[1], "H2O")) mol = Molecule::h2o();
-    else if (!std::strcmp(argv[1], "NH")) mol = Molecule::nh();
-    else if (std::strcmp(argv[1], "LiH")) {
-      std::fprintf(stderr, "unknown molecule '%s'\n", argv[1]);
+  const char* profile_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--profile")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--profile requires an output path\n");
+        return 1;
+      }
+      profile_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "CH2")) {
+      mol = Molecule::ch2();
+    } else if (!std::strcmp(argv[i], "H2O")) {
+      mol = Molecule::h2o();
+    } else if (!std::strcmp(argv[i], "NH")) {
+      mol = Molecule::nh();
+    } else if (std::strcmp(argv[i], "LiH")) {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
       return 1;
     }
   }
@@ -46,9 +62,24 @@ int main(int argc, char** argv) {
     std::printf("  TKET        : %6zu CNOT, 2Q depth %6zu\n",
                 tk.count(GateKind::Cnot), tk.depth_2q());
 
-    const CompileResult phx = phoenix_compile(b.terms, b.num_qubits);
+    PhoenixOptions logical;
+    logical.trace = profile_path != nullptr;
+    const CompileResult phx = phoenix_compile(b.terms, b.num_qubits, logical);
     std::printf("  PHOENIX     : %6zu CNOT, 2Q depth %6zu\n",
                 phx.circuit.count(GateKind::Cnot), phx.circuit.depth_2q());
+
+    if (profile_path != nullptr) {
+      std::printf("\n%s\n", TraceExport::table(phx.stats).c_str());
+      std::ofstream out(profile_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write profile to '%s'\n", profile_path);
+        return 1;
+      }
+      out << TraceExport::chrome_json(phx.stats);
+      std::printf("wrote chrome-trace profile to %s "
+                  "(load in chrome://tracing or ui.perfetto.dev)\n\n",
+                  profile_path);
+    }
 
     // Hardware-aware compilation onto the 65-qubit heavy-hex device.
     const Graph device = topology_manhattan();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "common/error.hpp"
@@ -14,6 +15,13 @@ namespace {
 
 [[noreturn]] void fail(std::size_t lineno, const std::string& msg) {
   throw Error(Stage::Parse, "qasm: " + msg, lineno);
+}
+
+/// Column-carrying variant for sub-statement diagnostics. `column` is
+/// 1-based within the statement after comment stripping/trimming.
+[[noreturn]] void fail_at(std::size_t lineno, std::size_t column,
+                          const std::string& msg) {
+  throw Error(Stage::Parse, "qasm: " + msg, lineno, Error::kNoGroup, column);
 }
 
 std::string strip(const std::string& s) {
@@ -44,22 +52,30 @@ std::size_t parse_qubit(const std::string& tok, std::size_t lineno,
   return k;
 }
 
-/// Simple constant-expression evaluator for angles: numbers, pi, unary
-/// minus, * and /. Covers everything to_qasm emits and common qelib usage.
-double parse_angle(const std::string& expr, std::size_t lineno) {
-  // Tokenless recursive evaluation over a flat */ chain with unary minus.
-  std::string s = strip(expr);
-  if (s.empty()) fail(lineno, "empty angle expression");
-  double sign = 1.0;
-  std::size_t pos = 0;
-  while (pos < s.size() && (s[pos] == '-' || s[pos] == '+')) {
-    if (s[pos] == '-') sign = -sign;
-    ++pos;
-  }
+/// Simple constant-expression evaluator for angles: literals (including
+/// scientific notation), pi, leading unary signs, * and /. Covers everything
+/// to_qasm emits and common qelib usage.
+///
+/// Every malformed operand — dangling or doubled operators (`pi*`, `3**4`),
+/// juxtaposed operands (`2 3`, and hence the unsupported `2-3`), literals
+/// std::stod rejects or overflows on — becomes a structured phoenix::Error
+/// with line and column, never a raw std::invalid_argument/std::out_of_range
+/// escaping from the standard library. `col0` is the 0-based offset of
+/// `expr` within its statement; reported columns are 1-based.
+double parse_angle(const std::string& expr, std::size_t lineno,
+                   std::size_t col0) {
+  auto bad = [&](std::size_t pos, const std::string& why) {
+    fail_at(lineno, col0 + pos + 1,
+            why + " in angle expression '" + strip(expr) + "'");
+  };
   double value = 0.0;
+  double sign = 1.0;
   bool have_value = false;
+  bool op_pending = false;
   char pending_op = '*';
-  auto apply = [&](double operand) {
+  std::size_t last_op_pos = 0;
+  auto apply = [&](std::size_t pos, double operand) {
+    if (have_value && !op_pending) bad(pos, "missing operator");
     if (!have_value) {
       value = operand;
       have_value = true;
@@ -68,34 +84,53 @@ double parse_angle(const std::string& expr, std::size_t lineno) {
     } else {
       value /= operand;
     }
+    op_pending = false;
   };
-  while (pos < s.size()) {
-    if (std::isspace(static_cast<unsigned char>(s[pos]))) {
+  std::size_t pos = 0;
+  // Leading unary signs ("-pi", "+-2"); signs after an operator are part of
+  // the literal and handled by std::stod below.
+  while (pos < expr.size() &&
+         (std::isspace(static_cast<unsigned char>(expr[pos])) ||
+          expr[pos] == '-' || expr[pos] == '+')) {
+    if (expr[pos] == '-') sign = -sign;
+    ++pos;
+  }
+  while (pos < expr.size()) {
+    const char ch = expr[pos];
+    if (std::isspace(static_cast<unsigned char>(ch))) {
       ++pos;
       continue;
     }
-    if (s[pos] == '*' || s[pos] == '/') {
-      pending_op = s[pos];
+    if (ch == '*' || ch == '/') {
+      if (!have_value || op_pending) bad(pos, "misplaced operator");
+      pending_op = ch;
+      op_pending = true;
+      last_op_pos = pos;
       ++pos;
       continue;
     }
-    if (s.compare(pos, 2, "pi") == 0) {
-      apply(M_PI);
+    if (expr.compare(pos, 2, "pi") == 0) {
+      apply(pos, M_PI);
       pos += 2;
       continue;
     }
     std::size_t used = 0;
-    double num;
+    double num = 0.0;
     try {
-      num = std::stod(s.substr(pos), &used);
-    } catch (const std::exception&) {
-      fail(lineno, "bad angle expression '" + s + "'");
+      num = std::stod(expr.substr(pos), &used);
+    } catch (const std::out_of_range&) {
+      bad(pos, "angle literal out of range");
+    } catch (const std::invalid_argument&) {
+      bad(pos, "bad operand");
     }
-    apply(num);
+    apply(pos, num);
     pos += used;
   }
-  if (!have_value) fail(lineno, "bad angle expression '" + s + "'");
-  return sign * value;
+  if (!have_value) bad(0, "missing operand");
+  if (op_pending) bad(last_op_pos, "dangling operator");
+  const double result = sign * value;
+  if (!std::isfinite(result)) bad(0, "non-finite angle");
+  return result;
 }
 
 const std::unordered_map<std::string, GateKind>& gate_table() {
@@ -186,7 +221,8 @@ Circuit circuit_from_qasm(const std::string& text) {
       fail(lineno, "duplicate operands for '" + head + "'");
     if (gate_has_param(kind)) {
       if (angle_text.empty()) fail(lineno, "missing angle for '" + head + "'");
-      circuit->append(Gate(kind, qubits[0], parse_angle(angle_text, lineno)));
+      circuit->append(
+          Gate(kind, qubits[0], parse_angle(angle_text, lineno, paren + 1)));
     } else if (two_q) {
       circuit->append(Gate(kind, qubits[0], qubits[1]));
     } else {

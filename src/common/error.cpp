@@ -21,11 +21,13 @@ const char* stage_name(Stage s) {
 namespace {
 
 std::string compose_message(Stage stage, const std::string& detail,
-                            std::size_t line, std::size_t group) {
+                            std::size_t line, std::size_t group,
+                            std::size_t column) {
   std::string msg = "phoenix error [stage=";
   msg += stage_name(stage);
   if (group != Error::kNoGroup) msg += ", group=" + std::to_string(group);
   if (line != Error::kNoLine) msg += ", line=" + std::to_string(line);
+  if (column != Error::kNoColumn) msg += ", col=" + std::to_string(column);
   msg += "]: ";
   msg += detail;
   return msg;
@@ -34,16 +36,17 @@ std::string compose_message(Stage stage, const std::string& detail,
 }  // namespace
 
 Error::Error(Stage stage, std::string detail, std::size_t line,
-             std::size_t group)
+             std::size_t group, std::size_t column)
     : std::runtime_error(detail),
       stage_(stage),
       detail_(std::move(detail)),
       line_(line),
       group_(group),
-      message_(compose_message(stage_, detail_, line_, group_)) {}
+      column_(column),
+      message_(compose_message(stage_, detail_, line_, group_, column_)) {}
 
 Error with_group(const Error& e, std::size_t group) {
-  return Error(e.stage(), e.detail(), e.line(), group);
+  return Error(e.stage(), e.detail(), e.line(), group, e.column());
 }
 
 }  // namespace phoenix

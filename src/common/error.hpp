@@ -31,10 +31,11 @@ const char* stage_name(Stage s);
 class Error : public std::runtime_error {
  public:
   static constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
-  static constexpr std::size_t kNoLine = 0;  ///< line numbers are 1-based
+  static constexpr std::size_t kNoLine = 0;    ///< line numbers are 1-based
+  static constexpr std::size_t kNoColumn = 0;  ///< columns are 1-based
 
   Error(Stage stage, std::string detail, std::size_t line = kNoLine,
-        std::size_t group = kNoGroup);
+        std::size_t group = kNoGroup, std::size_t column = kNoColumn);
 
   Stage stage() const { return stage_; }
   const std::string& detail() const { return detail_; }
@@ -45,6 +46,9 @@ class Error : public std::runtime_error {
   bool has_line() const { return line_ != kNoLine; }
   std::size_t line() const { return line_; }
 
+  bool has_column() const { return column_ != kNoColumn; }
+  std::size_t column() const { return column_; }
+
   const char* what() const noexcept override { return message_.c_str(); }
 
  private:
@@ -52,6 +56,7 @@ class Error : public std::runtime_error {
   std::string detail_;
   std::size_t line_;
   std::size_t group_;
+  std::size_t column_;
   std::string message_;
 };
 

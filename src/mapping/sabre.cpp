@@ -1,11 +1,14 @@
 #include "mapping/sabre.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 
 namespace phoenix {
 
@@ -116,7 +119,8 @@ class Router {
       }
       if (executed == logical_.size()) break;
       if (front.empty())
-        throw std::logic_error("sabre_route: deadlock without blocked gates");
+        throw Error(Stage::Routing,
+                    "sabre_route: deadlock without blocked gates");
 
       // Pick the SWAP minimizing the decayed front + lookahead distance sum.
       const auto extended = extended_set(dag, indeg, front);
@@ -138,10 +142,13 @@ class Router {
       ++res.num_swaps;
       decay[best_swap.first] += opt_.decay_delta;
       decay[best_swap.second] += opt_.decay_delta;
-      if (++decisions % opt_.decay_reset == 0)
+      // decay_reset == 0 means "never reset" — guard the modulus (a literal
+      // `x % 0` is UB and traps on most targets).
+      ++decisions;
+      if (opt_.decay_reset != 0 && decisions % opt_.decay_reset == 0)
         std::fill(decay.begin(), decay.end(), 1.0);
       if (res.num_swaps > swap_limit)
-        throw std::runtime_error("sabre_route: swap limit exceeded");
+        throw Error(Stage::Routing, "sabre_route: swap limit exceeded");
       // Unblock any front gate made adjacent by the swap.
       std::vector<std::size_t> still;
       for (std::size_t gi : front) {
@@ -234,12 +241,25 @@ class Router {
 
 }  // namespace
 
+void validate_sabre_options(const SabreOptions& opt) {
+  auto bad = [](const char* field, const char* why) {
+    throw Error(Stage::Routing,
+                std::string("sabre_route: SabreOptions::") + field + " " + why);
+  };
+  if (!std::isfinite(opt.decay_delta) || opt.decay_delta < 0.0)
+    bad("decay_delta", "must be finite and >= 0");
+  if (!std::isfinite(opt.extended_set_weight) || opt.extended_set_weight < 0.0)
+    bad("extended_set_weight", "must be finite and >= 0");
+  // decay_reset == 0 is valid ("never reset"); no constraint.
+}
+
 SabreResult sabre_route(const Circuit& logical, const Graph& coupling,
                         const SabreOptions& opt) {
+  validate_sabre_options(opt);
   if (coupling.num_vertices() < logical.num_qubits())
-    throw std::invalid_argument("sabre_route: device too small");
+    throw Error(Stage::Routing, "sabre_route: device too small");
   if (!coupling.connected())
-    throw std::invalid_argument("sabre_route: disconnected coupling graph");
+    throw Error(Stage::Routing, "sabre_route: disconnected coupling graph");
 
   const auto dist = coupling.distance_matrix();
   Router router(logical, coupling, dist, opt);
@@ -250,11 +270,18 @@ SabreResult sabre_route(const Circuit& logical, const Graph& coupling,
   std::iota(layout.begin(), layout.end(), std::size_t{0});
   const Circuit reversed = logical.inverse();
   Router rev_router(reversed, coupling, dist, opt);
-  for (std::size_t round = 0; round < opt.layout_rounds; ++round) {
-    layout = router.run(layout, /*emit_gates=*/false).final_layout;
-    layout = rev_router.run(layout, /*emit_gates=*/false).final_layout;
+  {
+    TraceSpan span("sabre.layout");
+    for (std::size_t round = 0; round < opt.layout_rounds; ++round) {
+      layout = router.run(layout, /*emit_gates=*/false).final_layout;
+      layout = rev_router.run(layout, /*emit_gates=*/false).final_layout;
+    }
+    trace_count("sabre.layout_rounds", opt.layout_rounds);
   }
-  return router.run(layout, /*emit_gates=*/true);
+  TraceSpan span("sabre.route");
+  SabreResult res = router.run(layout, /*emit_gates=*/true);
+  trace_count("sabre.swaps", res.num_swaps);
+  return res;
 }
 
 }  // namespace phoenix

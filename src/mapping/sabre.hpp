@@ -15,7 +15,7 @@ struct SabreOptions {
   double extended_set_weight = 0.5;
   /// Decay increment discouraging repeated SWAPs on the same qubits.
   double decay_delta = 0.001;
-  /// Reset the decay array every this many SWAP decisions.
+  /// Reset the decay array every this many SWAP decisions; 0 never resets.
   std::size_t decay_reset = 5;
   /// Number of forward/backward refinement rounds for the initial layout.
   std::size_t layout_rounds = 2;
@@ -30,11 +30,18 @@ struct SabreResult {
   std::size_t num_swaps = 0;
 };
 
+/// Validate a SabreOptions instance: the decay fields and the extended-set
+/// weight must be finite and non-negative. Throws phoenix::Error
+/// (Stage::Routing) describing the offending field. sabre_route calls this
+/// up front so misconfiguration fails before any routing work.
+void validate_sabre_options(const SabreOptions& opt);
+
 /// SABRE qubit mapping and SWAP routing (Li, Ding, Xie — ASPLOS'19):
 /// front-layer driven heuristic search with a lookahead window and decay,
 /// plus forward-backward traversal rounds to refine the initial layout.
 /// The coupling graph must be connected and at least as large as the
-/// circuit's register.
+/// circuit's register. Throws phoenix::Error (Stage::Routing) on invalid
+/// options, an undersized or disconnected device, or a blown swap budget.
 SabreResult sabre_route(const Circuit& logical, const Graph& coupling,
                         const SabreOptions& opt = {});
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <exception>
+#include <optional>
 #include <utility>
 
 #include "circuit/synthesis.hpp"
@@ -41,6 +42,19 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   CompileResult res;
   const bool diagnose = opt.validation.level != ValidationLevel::Off;
   const bool paranoid = opt.validation.level == ValidationLevel::Paranoid;
+
+  // Observability: one Trace per compile, installed on this thread for the
+  // duration (workers install it per task). Keeping it optional means the
+  // default path never touches a clock or a lock.
+  std::optional<Trace> trace;
+#ifndef PHOENIX_DISABLE_TRACE
+  if (opt.trace) trace.emplace();
+#endif
+  Trace* const tr = trace ? &*trace : nullptr;
+  Trace::Scope trace_scope(tr);
+  auto finish_stats = [&]() {
+    if (tr != nullptr) res.stats = tr->snapshot();
+  };
   auto record = [&](const char* name, Clock::time_point t0, bool checked,
                     std::string note = {}) {
     if (diagnose)
@@ -52,6 +66,7 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   // a definite mismatch; Paranoid also refuses to return Inconclusive.
   auto validate_final = [&]() {
     if (!diagnose) return;
+    TraceSpan span("validate");
     const auto t0 = Clock::now();
     const LayoutSpec layout{res.initial_layout, res.final_layout};
     res.validation = validate_translation(res.circuit, terms, num_qubits,
@@ -72,28 +87,36 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   if (opt.hardware_aware && terms.size() <= 4096 &&
       is_commuting_two_local(terms)) {
     const auto t0 = Clock::now();
-    QaoaRouteResult routed =
-        route_commuting_two_local(terms, num_qubits, *opt.coupling);
-    res.num_groups = terms.size();
-    res.num_swaps = routed.num_swaps;
-    res.initial_layout = std::move(routed.initial_layout);
-    res.final_layout = std::move(routed.final_layout);
-    Circuit logical(num_qubits);
-    for (const auto& t : terms) append_pauli_rotation(logical, t);
-    res.logical = std::move(logical);
-    res.circuit = opt.isa == TwoQubitIsa::Su4 ? rebase_su4(routed.circuit)
-                                              : std::move(routed.circuit);
-    if (paranoid) check_circuit_wellformed(res.circuit, opt.coupling);
+    {
+      TraceSpan span("route(qaoa)");
+      QaoaRouteResult routed =
+          route_commuting_two_local(terms, num_qubits, *opt.coupling);
+      res.num_groups = terms.size();
+      res.num_swaps = routed.num_swaps;
+      res.initial_layout = std::move(routed.initial_layout);
+      res.final_layout = std::move(routed.final_layout);
+      Circuit logical(num_qubits);
+      for (const auto& t : terms) append_pauli_rotation(logical, t);
+      res.logical = std::move(logical);
+      res.circuit = opt.isa == TwoQubitIsa::Su4 ? rebase_su4(routed.circuit)
+                                                : std::move(routed.circuit);
+      if (paranoid) check_circuit_wellformed(res.circuit, opt.coupling);
+      trace_count("qaoa.swaps", res.num_swaps);
+    }
     record("route(qaoa)", t0, paranoid,
            std::to_string(res.num_swaps) + " swaps");
     validate_final();
+    finish_stats();
     return res;
   }
 
   // 1. IR grouping by support set (§IV-A).
   auto t_stage = Clock::now();
+  std::optional<TraceSpan> stage_span;
+  stage_span.emplace("group");
   const auto groups = group_by_support(terms);
   res.num_groups = groups.size();
+  stage_span.reset();
   record("group", t_stage, false, std::to_string(groups.size()) + " groups");
 
   // 2. Group-wise BSF simplification (Algorithm 1) and subcircuit emission,
@@ -103,6 +126,7 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   //    for any thread count. Global-frame 1Q locals float to a prelude so
   //    group boundaries stay clean for Clifford2Q cancellation.
   t_stage = Clock::now();
+  stage_span.emplace("simplify");
   struct GroupOutcome {
     SimplifiedGroup sg;
     SubcircuitProfile profile;
@@ -111,6 +135,12 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   };
   std::vector<GroupOutcome> outcomes(groups.size());
   auto run_group = [&](std::size_t gi) {
+    // Workers are pool threads: install the owning compile's trace for this
+    // task so per-group probes land on the right trace with per-thread
+    // track attribution (and remain no-ops when tracing is off).
+    Trace::Scope worker_scope(tr);
+    TraceSpan group_span("simplify.group");
+    const double t_group = tr != nullptr ? tr->millis_since_epoch() : 0.0;
     GroupOutcome& out = outcomes[gi];
     try {
       out.sg = simplify_bsf(groups[gi].terms, opt.simplify);
@@ -123,6 +153,8 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
     } catch (...) {
       out.error = std::current_exception();
     }
+    if (tr != nullptr)
+      tr->observe_ms("simplify.group_ms", tr->millis_since_epoch() - t_group);
   };
   if (opt.num_threads == 0) {
     ThreadPool::shared().parallel_for(groups.size(), run_group);
@@ -153,11 +185,13 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
     }
     if (out.has_profile) profiles.push_back(std::move(out.profile));
   }
+  stage_span.reset();
   record("simplify", t_stage, paranoid,
          std::to_string(res.bsf_epochs) + " epochs");
 
   // 3. Tetris-like ordering (§IV-C) and assembly.
   t_stage = Clock::now();
+  stage_span.emplace("order");
   OrderingOptions order_opt;
   order_opt.lookahead = opt.lookahead;
   order_opt.routing_aware = opt.hardware_aware;
@@ -166,10 +200,12 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   Circuit assembled(num_qubits);
   assembled.append(prelude);
   for (std::size_t idx : order) assembled.append(profiles[idx].circ);
+  stage_span.reset();
   record("order", t_stage, false);
 
   // 4. Logical-level gate cancellation.
   t_stage = Clock::now();
+  stage_span.emplace("peephole");
   switch (opt.peephole) {
     case PeepholeLevel::None:
       break;
@@ -180,19 +216,26 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
       optimize_o3(assembled);
       break;
   }
+  stage_span.reset();
   record("peephole", t_stage, false);
   res.logical = assembled;
 
   // 5. ISA emission / hardware mapping.
   if (!opt.hardware_aware) {
-    res.circuit = opt.isa == TwoQubitIsa::Su4 ? rebase_su4(assembled)
-                                              : std::move(assembled);
+    if (opt.isa == TwoQubitIsa::Su4) {
+      TraceSpan span("rebase(su4)");
+      res.circuit = rebase_su4(assembled);
+    } else {
+      res.circuit = std::move(assembled);
+    }
     if (paranoid) check_circuit_wellformed(res.circuit);
     validate_final();
+    finish_stats();
     return res;
   }
 
   t_stage = Clock::now();
+  stage_span.emplace("route(sabre)");
   SabreResult routed = sabre_route(assembled, *opt.coupling, opt.sabre);
   res.num_swaps = routed.num_swaps;
   res.initial_layout = std::move(routed.initial_layout);
@@ -204,21 +247,29 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
     check_circuit_wellformed(routed.routed, opt.coupling);
   }
   Circuit physical = decompose_swaps(routed.routed);
+  stage_span.reset();
   record("route(sabre)", t_stage, paranoid,
          std::to_string(res.num_swaps) + " swaps");
   // Post-routing cancellation: SWAP CNOTs frequently annihilate against the
   // rotation-ladder CNOTs they abut (the paper follows every hardware-aware
   // flow with a full Qiskit O3 pass).
   t_stage = Clock::now();
+  stage_span.emplace("peephole(post-route)");
   if (opt.peephole == PeepholeLevel::None)
     optimize_o2(physical);
   else
     optimize_o3(physical);
-  res.circuit = opt.isa == TwoQubitIsa::Su4 ? rebase_su4(physical)
-                                            : std::move(physical);
+  if (opt.isa == TwoQubitIsa::Su4) {
+    TraceSpan span("rebase(su4)");
+    res.circuit = rebase_su4(physical);
+  } else {
+    res.circuit = std::move(physical);
+  }
   if (paranoid) check_circuit_wellformed(res.circuit, opt.coupling);
+  stage_span.reset();
   record("peephole(post-route)", t_stage, paranoid);
   validate_final();
+  finish_stats();
   return res;
 }
 

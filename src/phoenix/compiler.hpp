@@ -6,6 +6,7 @@
 
 #include "circuit/circuit.hpp"
 #include "common/graph.hpp"
+#include "common/trace.hpp"
 #include "mapping/sabre.hpp"
 #include "pauli/pauli.hpp"
 #include "phoenix/ordering.hpp"
@@ -39,6 +40,11 @@ struct PhoenixOptions {
   /// 1 runs fully serial, k > 1 runs on a dedicated pool of k - 1 workers
   /// plus the calling thread.
   std::size_t num_threads = 0;
+  /// Collect per-stage spans, pipeline counters, and latency histograms into
+  /// `CompileResult::stats` (src/common/trace.hpp). Off by default: every
+  /// probe is then an inlined branch with no clock reads or allocation, and
+  /// compiled circuits are bit-identical with tracing on or off.
+  bool trace = false;
   /// Self-checking level (src/verify/): Off compiles blind, Cheap runs the
   /// polynomial translation validation on the final circuit, Paranoid adds
   /// per-stage invariant checks and the exact-unitary cross-check on small
@@ -73,6 +79,9 @@ struct CompileResult {
   std::vector<std::size_t> final_layout;
   /// Per-stage timings and check outcomes (populated when validation != Off).
   std::vector<StageRecord> diagnostics;
+  /// Stage spans, counters, and histograms (populated when `opt.trace`);
+  /// export with TraceExport::table / TraceExport::chrome_json.
+  CompileStats stats;
   /// Translation-validation verdict for `circuit` (status Pass whenever this
   /// result was returned with validation enabled; a Fail throws instead).
   ValidationReport validation;

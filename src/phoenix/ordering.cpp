@@ -6,6 +6,8 @@
 #include <numeric>
 #include <set>
 
+#include "common/trace.hpp"
+
 namespace phoenix {
 
 namespace {
@@ -178,6 +180,8 @@ std::vector<std::size_t> tetris_order(
 
   std::vector<std::size_t> order;
   order.reserve(profiles.size());
+  std::size_t cost_evals = 0;
+  std::size_t lookahead_hits = 0;
   while (remaining > 0) {
     std::size_t pick_slot = nxt[0], pick_pred = 0;
     if (!order.empty()) {
@@ -195,11 +199,17 @@ std::vector<std::size_t> tetris_order(
         pred = slot;
         slot = nxt[slot];
       }
+      cost_evals += window;
+      // A "hit" is a pick the lookahead changed: some deeper-in-window group
+      // beat the width-sorted head.
+      if (pick_slot != nxt[0]) ++lookahead_hits;
     }
     order.push_back(sorted[pick_slot - 1]);
     nxt[pick_pred] = nxt[pick_slot];
     --remaining;
   }
+  trace_count("order.cost_evals", cost_evals);
+  trace_count("order.lookahead_hits", lookahead_hits);
   return order;
 }
 

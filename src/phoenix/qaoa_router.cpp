@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include "common/error.hpp"
 
+#include "common/trace.hpp"
 #include "transpile/peephole.hpp"
 #include "transpile/rebase.hpp"
 
@@ -246,8 +247,11 @@ QaoaRouteResult route_commuting_two_local(const std::vector<PauliTerm>& terms,
   const auto key = [](const RouteOutcome& r) {
     return 2 * r.circuit.count_2q() + r.circuit.depth_2q();
   };
+  std::size_t portfolio_runs = 0;
   for (std::size_t anchor = 0; anchor < 12; ++anchor)
     for (bool bonus_first : {true, false}) {
+      TraceSpan span("qaoa.route_once");
+      ++portfolio_runs;
       RouteOutcome cand =
           route_once(items, coupling, dist,
                      place(interaction, coupling, dist, anchor), bonus_first);
@@ -256,6 +260,7 @@ QaoaRouteResult route_commuting_two_local(const std::vector<PauliTerm>& terms,
         have = true;
       }
     }
+  trace_count("qaoa.portfolio_runs", portfolio_runs);
 
   QaoaRouteResult res;
   res.circuit = std::move(best.circuit);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_set>
 #include "common/error.hpp"
+#include "common/trace.hpp"
 
 namespace phoenix {
 
@@ -157,6 +158,13 @@ SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
 
   SimplifiedGroup g;
   g.num_qubits = bsf.num_qubits();
+  // Observability tallies, accumulated locally (one trace_count per group at
+  // the end — nothing extra in the candidate loop beyond a local add).
+  std::size_t weight_before = 0;
+  for (std::size_t i = 0; i < bsf.num_rows(); ++i)
+    weight_before += bsf.row_weight(i);
+  std::size_t candidates_evaluated = 0;
+  std::size_t weight_peeled = 0;
 
   constexpr std::uint64_t kNoCost = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t last_cost2 = kNoCost;
@@ -169,6 +177,8 @@ SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
 
   while (bsf.total_weight() > 2) {
     std::vector<Bsf::Row> peeled = bsf.pop_local_rows();
+    for (const auto& r : peeled)
+      weight_peeled += BitVec::or_popcount(r.x, r.z);
     if (bsf.total_weight() <= 2) {
       g.locals.push_back(std::move(peeled));
       break;
@@ -197,6 +207,7 @@ SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
             used_pairs.count(pair_key(c)) != 0 ? 0 : 1, hi - lo);
       };
       collect_candidates(bsf.support(), cands);
+      candidates_evaluated += cands.size();
       for (const auto& cand : cands) {
         const auto snap = inc.snapshot(cand.q0, cand.q1);
         bsf.apply_clifford2q(cand);
@@ -242,6 +253,15 @@ SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
   // Align: locals[e] precedes cliffords[e]; locals[k] precedes the final BSF.
   while (g.locals.size() < g.cliffords.size() + 1) g.locals.emplace_back();
   g.final_bsf = std::move(bsf);
+
+  std::size_t weight_after = weight_peeled;
+  for (std::size_t i = 0; i < g.final_bsf.num_rows(); ++i)
+    weight_after += g.final_bsf.row_weight(i);
+  trace_count("simplify.groups", 1);
+  trace_count("simplify.epochs", g.search_epochs);
+  trace_count("simplify.candidates", candidates_evaluated);
+  trace_count("simplify.weight_removed",
+              weight_before > weight_after ? weight_before - weight_after : 0);
   return g;
 }
 

@@ -4,11 +4,22 @@
 #include <complex>
 #include <vector>
 
+#include "common/trace.hpp"
 #include "sim/statevector.hpp"
 
 namespace phoenix {
 
 namespace {
+
+/// Canonicalize a rotation angle into (−π, π]. 1Q rotations are 2π-periodic
+/// up to global phase, so fused/merged angles that drift outside the
+/// principal range (e.g. Rz(2π − ε) from two near-π rotations) fold back and
+/// the near-±2π case becomes a droppable near-identity.
+double wrap_angle(double a) {
+  a = std::remainder(a, 2.0 * M_PI);  // lands in [−π, π]
+  if (a <= -M_PI) a = M_PI;
+  return a;
+}
 
 bool is_z_diagonal(const Gate& g) {
   switch (g.kind) {
@@ -105,8 +116,9 @@ std::size_t cancel_gates(Circuit& c) {
         }
         if (same_qubit_set(gates[i], gates[j]) && gates[i].kind == gates[j].kind &&
             gate_has_param(gates[i].kind) && gates[i].q0 == gates[j].q0) {
-          // Merge same-axis rotations.
-          gates[j].param += gates[i].param;
+          // Merge same-axis rotations; the wrapped sum keeps angles in
+          // (−π, π] and turns a ±2π sum into a droppable identity.
+          gates[j].param = wrap_angle(gates[j].param + gates[i].param);
           alive[i] = false;
           ++removed;
           if (std::abs(gates[j].param) < 1e-12) {
@@ -222,8 +234,18 @@ std::size_t fuse_single_qubit_runs(Circuit& c) {
       // gadgets swap an X corner for a Y corner) becomes one Rx. Both shapes
       // commute through CNOTs on the appropriate side, unblocking further
       // 2Q cancellation; the generic fallback is the ZYZ triple.
+      //
+      // All emitted angles are wrapped into (−π, π]: the raw arg arithmetic
+      // can land anywhere in (−2π, 2π), and a run fusing to a near-±2π
+      // rotation (Rz(2π − ε)) is the identity up to global phase — after
+      // wrapping it falls under the drop threshold instead of surviving as
+      // a full-turn gate.
+      auto push_if_nonzero = [&](GateKind kind, double angle) {
+        angle = wrap_angle(angle);
+        if (std::abs(angle) > 1e-12) fused.push_back(Gate(kind, q, angle));
+      };
       if (std::abs(u[1]) < 1e-12 && std::abs(u[2]) < 1e-12) {
-        fused.push_back(Gate::rz(q, std::arg(u[3]) - std::arg(u[0])));
+        push_if_nonzero(GateKind::Rz, std::arg(u[3]) - std::arg(u[0]));
       } else if (std::abs(u[0] - u[3]) < 1e-12 && std::abs(u[1] - u[2]) < 1e-12 &&
                  std::abs(std::real(u[1] * std::conj(u[0]))) < 1e-12) {
         // u ~ e^{iφ} Rx(θ): equal diagonal, equal purely-imaginary-ratio
@@ -231,12 +253,12 @@ std::size_t fuse_single_qubit_runs(Circuit& c) {
         const double theta =
             2.0 * std::atan2(std::abs(u[1]), std::abs(u[0])) *
             (std::imag(u[1] * std::conj(u[0])) < 0 ? 1.0 : -1.0);
-        fused.push_back(Gate::rx(q, theta));
+        push_if_nonzero(GateKind::Rx, theta);
       } else {
         const Zyz a = zyz_decompose(u);
-        if (std::abs(a.gamma) > 1e-12) fused.push_back(Gate::rz(q, a.gamma));
-        if (std::abs(a.beta) > 1e-12) fused.push_back(Gate::ry(q, a.beta));
-        if (std::abs(a.alpha) > 1e-12) fused.push_back(Gate::rz(q, a.alpha));
+        push_if_nonzero(GateKind::Rz, a.gamma);
+        push_if_nonzero(GateKind::Ry, a.beta);
+        push_if_nonzero(GateKind::Rz, a.alpha);
       }
     }
     if (fused.size() >= run.size()) continue;  // no improvement
@@ -259,19 +281,26 @@ std::size_t fuse_single_qubit_runs(Circuit& c) {
 }
 
 void optimize_o3(Circuit& c) {
+  std::size_t removed = 0;
   for (int iter = 0; iter < 20; ++iter) {
     const std::size_t a = fuse_single_qubit_runs(c);
     const std::size_t b = cancel_gates(c);
+    removed += a + b;
     if (a + b == 0) break;
   }
   c.drop_trivial_gates();
+  trace_count("peephole.removed", removed);
 }
 
 void optimize_o2(Circuit& c) {
+  std::size_t removed = 0;
   for (int iter = 0; iter < 20; ++iter) {
-    if (cancel_gates(c) == 0) break;
+    const std::size_t r = cancel_gates(c);
+    removed += r;
+    if (r == 0) break;
   }
   c.drop_trivial_gates();
+  trace_count("peephole.removed", removed);
 }
 
 }  // namespace phoenix

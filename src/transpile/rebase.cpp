@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/trace.hpp"
+
 namespace phoenix {
 
 namespace {
@@ -66,6 +68,7 @@ Circuit rebase_su4(const Circuit& c) {
     if (open[q] != npos) close_block(open[q]);
   for (std::size_t q = 0; q < n; ++q)
     for (Gate& lg : pending[q]) out.append(std::move(lg));
+  trace_count("rebase.su4_blocks", out.count(GateKind::Su4));
   return out;
 }
 

@@ -10,6 +10,7 @@
 
 #include "circuit/synthesis.hpp"
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "pauli/bsf.hpp"
 #include "pauli/tableau.hpp"
 #include "sim/matrix.hpp"
@@ -375,6 +376,9 @@ ValidationReport validate_translation(const Circuit& circuit,
     walk.frame.add_term(PauliTerm(s, 0.0));
   }
 
+  std::optional<TraceSpan> frame_span;
+  frame_span.emplace("verify.frame");
+  trace_count("verify.frame_walks", 1);
   const Circuit flat = circuit.flattened();
   std::string fail_msg;
   bool definite_fail = false;    // phase polynomial definitely mismatches
@@ -441,6 +445,7 @@ ValidationReport validate_translation(const Circuit& circuit,
     }
   }
 
+  frame_span.reset();
   rep.frame_checked = true;
   rep.frame_ok = !definite_fail && !inconclusive;
   if (rep.frame_ok) {
@@ -457,6 +462,8 @@ ValidationReport validate_translation(const Circuit& circuit,
   const bool want_exact =
       opt.level == ValidationLevel::Paranoid || !rep.frame_ok;
   if (want_exact && n_phys <= opt.exact_max_qubits) {
+    TraceSpan exact_span("verify.exact");
+    trace_count("verify.exact_checks", 1);
     // Reference order: the frame certificate when available, else the
     // aggregated source order (exact for commuting sets; a reordering
     // compiler may false-fail here, which the message records).

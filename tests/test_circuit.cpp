@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 #include "circuit/qasm.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "mapping/bridge.hpp"
 #include "sim/matrix.hpp"
@@ -157,6 +161,60 @@ TEST(Qasm, IgnoresCommentsAndBarriers) {
       "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\n"
       "// a comment\nbarrier q[0];\ncx q[0],q[1];\n");
   EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Qasm, ParsesScientificNotationAngles) {
+  const Circuit c = circuit_from_qasm(
+      "OPENQASM 2.0;\nqreg q[1];\nrz(1e-3) q[0];\nrx(2.5E+2) q[0];\n"
+      "ry(-1.5e2) q[0];\nrz(1.25e0*pi) q[0];\n");
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_NEAR(c.gate(0).param, 1e-3, 1e-15);
+  EXPECT_NEAR(c.gate(1).param, 250.0, 1e-12);
+  EXPECT_NEAR(c.gate(2).param, -150.0, 1e-12);
+  EXPECT_NEAR(c.gate(3).param, 1.25 * M_PI, 1e-12);
+}
+
+TEST(Qasm, RejectsMalformedAngleExpressions) {
+  // Every malformed expression must surface as a structured phoenix::Error,
+  // never a raw std::invalid_argument/std::out_of_range from std::stod.
+  const char* bad[] = {
+      "qreg q[1];\nrz(pi*) q[0];\n",      // dangling operator
+      "qreg q[1];\nrz(*3) q[0];\n",       // leading operator
+      "qreg q[1];\nrz(3**4) q[0];\n",     // doubled operator
+      "qreg q[1];\nrz(2 3) q[0];\n",      // juxtaposed operands
+      "qreg q[1];\nrz(2-3) q[0];\n",      // infix +/- unsupported
+      "qreg q[1];\nrz(1e999) q[0];\n",    // overflowing literal
+      "qreg q[1];\nrz(banana) q[0];\n",   // not a literal at all
+      "qreg q[1];\nrz( ) q[0];\n",        // empty expression
+      "qreg q[1];\nrz(1/0) q[0];\n",      // non-finite result
+      "qreg q[1];\nrz(1e) q[0];\n",       // truncated exponent
+  };
+  for (const char* text : bad) {
+    try {
+      circuit_from_qasm(text);
+      FAIL() << "expected phoenix::Error for: " << text;
+    } catch (const Error& e) {
+      EXPECT_EQ(e.stage(), Stage::Parse) << text;
+      EXPECT_EQ(e.line(), 2u) << text;
+      EXPECT_TRUE(e.has_column()) << text;
+    } catch (const std::exception& e) {
+      FAIL() << "raw exception " << e.what() << " for: " << text;
+    }
+  }
+}
+
+TEST(Qasm, AngleErrorCarriesUsefulColumn) {
+  // "rz(pi*) q[0];" — the dangling '*' sits at 1-based column 6.
+  try {
+    circuit_from_qasm("qreg q[3];\nrz(pi*) q[0];\n");
+    FAIL() << "expected phoenix::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.line(), 2u);
+    EXPECT_EQ(e.column(), 6u);
+    EXPECT_NE(std::string(e.what()).find("dangling operator"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("col=6"), std::string::npos);
+  }
 }
 
 TEST(Qasm, RejectsMalformedInput) {

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <initializer_list>
+#include <limits>
+
 #include "circuit/circuit.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "mapping/sabre.hpp"
 #include "mapping/topology.hpp"
@@ -138,10 +143,53 @@ TEST(Sabre, LayoutsArePermutations) {
 
 TEST(Sabre, RejectsBadInputs) {
   const Circuit c = random_two_qubit_circuit(5, 10, 1);
-  EXPECT_THROW(sabre_route(c, topology_line(3)), std::invalid_argument);
+  EXPECT_THROW(sabre_route(c, topology_line(3)), Error);
   Graph disconnected(5);
   disconnected.add_edge(0, 1);
-  EXPECT_THROW(sabre_route(c, disconnected), std::invalid_argument);
+  EXPECT_THROW(sabre_route(c, disconnected), Error);
+  try {
+    sabre_route(c, topology_line(3));
+    FAIL() << "expected phoenix::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.stage(), Stage::Routing);
+  }
+}
+
+TEST(Sabre, RejectsInvalidOptions) {
+  const Graph line = topology_line(4);
+  const Circuit c = random_two_qubit_circuit(4, 10, 2);
+  for (auto mutate : std::initializer_list<void (*)(SabreOptions&)>{
+           [](SabreOptions& o) { o.decay_delta = -0.1; },
+           [](SabreOptions& o) { o.decay_delta = std::nan(""); },
+           [](SabreOptions& o) { o.extended_set_weight = -1.0; },
+           [](SabreOptions& o) {
+             o.extended_set_weight = std::numeric_limits<double>::infinity();
+           }}) {
+    SabreOptions opt;
+    mutate(opt);
+    EXPECT_THROW(sabre_route(c, line, opt), Error);
+    try {
+      sabre_route(c, line, opt);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.stage(), Stage::Routing);
+    }
+  }
+}
+
+TEST(Sabre, DecayResetZeroMeansNeverReset) {
+  // decay_reset == 0 used to feed `decisions % 0` — UB that traps on most
+  // targets. It now means "never reset the decay table" and must route
+  // normally.
+  const Graph line = topology_line(6);
+  const Circuit c = random_two_qubit_circuit(6, 40, 7);
+  SabreOptions opt;
+  opt.decay_reset = 0;
+  const SabreResult r = sabre_route(c, line, opt);
+  const Matrix u_log = circuit_unitary(c);
+  const Matrix u_routed = circuit_unitary(r.routed);
+  const Matrix pi = layout_permutation(r.initial_layout, 6);
+  const Matrix pf = layout_permutation(r.final_layout, 6);
+  EXPECT_TRUE(u_routed.approx_equal(pf * u_log * pi.adjoint(), 1e-9));
 }
 
 TEST(Sabre, HeavyHexRoutingOverheadIsBounded) {

@@ -1,0 +1,398 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/graph.hpp"
+#include "common/rng.hpp"
+#include "common/trace.hpp"
+#include "hamlib/qaoa.hpp"
+#include "hamlib/uccsd.hpp"
+#include "mapping/topology.hpp"
+#include "phoenix/compiler.hpp"
+
+// --- global allocation counter ---------------------------------------------
+//
+// Counts every ::operator new in the test binary so the disabled-mode test can
+// assert that trace probes allocate nothing. Sanitizer builds replace the
+// global allocator themselves, so the counting hooks are compiled out there
+// (the behavioural part of the test still runs).
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define PHOENIX_TEST_COUNT_ALLOCS 0
+#endif
+#if !defined(PHOENIX_TEST_COUNT_ALLOCS) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define PHOENIX_TEST_COUNT_ALLOCS 0
+#endif
+#endif
+#ifndef PHOENIX_TEST_COUNT_ALLOCS
+#define PHOENIX_TEST_COUNT_ALLOCS 1
+#endif
+
+#if PHOENIX_TEST_COUNT_ALLOCS
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+// The replacement new above allocates with malloc, so free() is the right
+// counterpart; GCC cannot see through the replacement and warns.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+#endif  // PHOENIX_TEST_COUNT_ALLOCS
+
+namespace phoenix {
+namespace {
+
+// --- probes with no installed trace -----------------------------------------
+
+TEST(Trace, DisabledProbesAreNoOpsAndAllocationFree) {
+  ASSERT_EQ(Trace::current(), nullptr);
+#if PHOENIX_TEST_COUNT_ALLOCS
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+#endif
+  for (int i = 0; i < 1000; ++i) {
+    TraceSpan span("noop.stage");
+    trace_count("noop.counter", 7);
+    trace_observe_ms("noop.hist", 0.5);
+  }
+#if PHOENIX_TEST_COUNT_ALLOCS
+  EXPECT_EQ(g_alloc_count.load(std::memory_order_relaxed), before)
+      << "disabled trace probes must not allocate";
+#endif
+}
+
+// --- span collection ---------------------------------------------------------
+
+#ifndef PHOENIX_DISABLE_TRACE
+
+TEST(Trace, SpanNestingDepthsAndOrdering) {
+  Trace trace;
+  {
+    Trace::Scope scope(&trace);
+    ASSERT_EQ(Trace::current(), &trace);
+    TraceSpan outer("outer");
+    { TraceSpan inner("inner"); }
+    {
+      TraceSpan mid("mid");
+      TraceSpan leaf("leaf");
+    }
+  }
+  EXPECT_EQ(Trace::current(), nullptr);  // Scope restored
+
+  const CompileStats s = trace.snapshot();
+  ASSERT_EQ(s.spans.size(), 4u);  // completion order: inner, leaf, mid, outer
+  EXPECT_EQ(s.spans[0].name, "inner");
+  EXPECT_EQ(s.spans[0].depth, 1u);
+  EXPECT_EQ(s.spans[1].name, "leaf");
+  EXPECT_EQ(s.spans[1].depth, 2u);
+  EXPECT_EQ(s.spans[2].name, "mid");
+  EXPECT_EQ(s.spans[2].depth, 1u);
+  EXPECT_EQ(s.spans[3].name, "outer");
+  EXPECT_EQ(s.spans[3].depth, 0u);
+
+  const StageStats* outer = s.span("outer");
+  ASSERT_NE(outer, nullptr);
+  for (const auto& sp : s.spans) {
+    EXPECT_LE(outer->start_ms, sp.start_ms);
+    EXPECT_GE(outer->millis + 1e-9, sp.millis);
+    EXPECT_EQ(sp.thread, 0u);  // all on one thread -> one track
+  }
+  // span() only matches top-level spans.
+  EXPECT_EQ(s.span("inner"), nullptr);
+}
+
+TEST(Trace, CountersAndHistogramsAggregate) {
+  Trace trace;
+  {
+    Trace::Scope scope(&trace);
+    trace_count("b.counter", 2);
+    trace_count("a.counter", 1);
+    trace_count("b.counter", 3);
+    trace_count("zero", 0);  // delta 0 never materializes a counter
+    trace_observe_ms("lat", 0.005);
+    trace_observe_ms("lat", 0.5);
+    trace_observe_ms("lat", 50.0);
+    trace_observe_ms("lat", 5000.0);
+  }
+  const CompileStats s = trace.snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);  // sorted by name
+  EXPECT_EQ(s.counters[0].name, "a.counter");
+  EXPECT_EQ(s.counters[1].name, "b.counter");
+  EXPECT_EQ(s.counter("a.counter"), 1u);
+  EXPECT_EQ(s.counter("b.counter"), 5u);
+  EXPECT_EQ(s.counter("zero"), 0u);
+  EXPECT_EQ(s.counter("never"), 0u);
+
+  ASSERT_EQ(s.histograms.size(), 1u);
+  const HistogramStats& h = s.histograms[0];
+  EXPECT_EQ(h.name, "lat");
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.min, 0.005);
+  EXPECT_DOUBLE_EQ(h.max, 5000.0);
+  EXPECT_NEAR(h.sum, 5050.505, 1e-9);
+  EXPECT_EQ(h.buckets[0], 1u);                         // <= 0.01
+  EXPECT_EQ(h.buckets[2], 1u);                         // <= 1.0
+  EXPECT_EQ(h.buckets[4], 1u);                         // <= 100
+  EXPECT_EQ(h.buckets[HistogramStats::kBucketBounds.size()], 1u);  // overflow
+}
+
+TEST(Trace, ConcurrentProbesKeepPerThreadTracksAndExactSums) {
+  Trace trace;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t)
+      workers.emplace_back([&trace] {
+        Trace::Scope scope(&trace);
+        for (int i = 0; i < kPerThread; ++i) {
+          TraceSpan span("worker.task");
+          trace_count("worker.items", 1);
+          trace_observe_ms("worker.ms", 0.1);
+        }
+      });
+    for (auto& w : workers) w.join();
+  }
+  const CompileStats s = trace.snapshot();
+  EXPECT_EQ(s.counter("worker.items"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.spans.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  // Track ids are dense per trace: every id in [0, #distinct).
+  std::vector<bool> seen(kThreads, false);
+  std::size_t max_track = 0;
+  for (const auto& sp : s.spans) {
+    ASSERT_LT(sp.thread, static_cast<std::size_t>(kThreads));
+    seen[sp.thread] = true;
+    max_track = std::max(max_track, sp.thread);
+  }
+  for (std::size_t t = 0; t <= max_track; ++t)
+    EXPECT_TRUE(seen[t]) << "track ids must be dense, missing " << t;
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+#endif  // !PHOENIX_DISABLE_TRACE
+
+// --- compile integration -----------------------------------------------------
+
+std::vector<PauliTerm> fixture_terms(std::size_t* num_qubits) {
+  const auto bench =
+      generate_uccsd(Molecule::lih(), true, FermionEncoding::BravyiKitaev);
+  *num_qubits = bench.num_qubits;
+  return bench.terms;
+}
+
+void expect_identical(const Circuit& a, const Circuit& b) {
+  ASSERT_EQ(a.num_qubits(), b.num_qubits());
+  ASSERT_EQ(a.gates().size(), b.gates().size());
+  for (std::size_t i = 0; i < a.gates().size(); ++i) {
+    const Gate& x = a.gates()[i];
+    const Gate& y = b.gates()[i];
+    EXPECT_EQ(x.kind, y.kind) << "gate " << i;
+    EXPECT_EQ(x.q0, y.q0) << "gate " << i;
+    EXPECT_EQ(x.q1, y.q1) << "gate " << i;
+    // Bit-identical, not approximately equal: tracing must not perturb
+    // any numeric path.
+    EXPECT_EQ(x.param, y.param) << "gate " << i;
+  }
+}
+
+TEST(TraceCompile, TracingDoesNotChangeTheCircuit) {
+  std::size_t n = 0;
+  const auto terms = fixture_terms(&n);
+  PhoenixOptions plain;
+  PhoenixOptions traced;
+  traced.trace = true;
+  const auto r_plain = phoenix_compile(terms, n, plain);
+  const auto r_traced = phoenix_compile(terms, n, traced);
+  expect_identical(r_plain.circuit, r_traced.circuit);
+  EXPECT_FALSE(r_plain.stats.enabled);
+  EXPECT_TRUE(r_plain.stats.spans.empty());
+#ifndef PHOENIX_DISABLE_TRACE
+  EXPECT_TRUE(r_traced.stats.enabled);
+#endif
+}
+
+TEST(TraceCompile, StatsCoverPipelineStages) {
+  std::size_t n = 0;
+  const auto terms = fixture_terms(&n);
+  PhoenixOptions opt;
+  opt.trace = true;
+  const auto res = phoenix_compile(terms, n, opt);
+  const CompileStats& s = res.stats;
+  if (!s.enabled) GTEST_SKIP() << "trace compiled out";
+
+  for (const char* stage : {"group", "simplify", "order", "peephole"}) {
+    const StageStats* sp = s.span(stage);
+    EXPECT_NE(sp, nullptr) << "missing stage span " << stage;
+    if (sp != nullptr) {
+      EXPECT_GE(sp->millis, 0.0);
+    }
+  }
+  EXPECT_EQ(s.counter("simplify.groups"), res.num_groups);
+  EXPECT_EQ(s.counter("simplify.epochs"), res.bsf_epochs);
+  EXPECT_GT(s.counter("simplify.candidates"), 0u);
+  EXPECT_GT(s.counter("order.cost_evals"), 0u);
+  EXPECT_GT(s.counter("peephole.removed"), 0u);
+
+  bool found_hist = false;
+  for (const auto& h : s.histograms) {
+    if (h.name != "simplify.group_ms") continue;
+    found_hist = true;
+    EXPECT_EQ(h.count, res.num_groups);
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+TEST(TraceCompile, CountersDeterministicAcrossThreadCounts) {
+  std::size_t n = 0;
+  const auto terms = fixture_terms(&n);
+  std::vector<CompileResult> results;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    PhoenixOptions opt;
+    opt.trace = true;
+    opt.num_threads = threads;
+    results.push_back(phoenix_compile(terms, n, opt));
+  }
+  const auto& base = results.front().stats;
+  if (base.enabled) {
+    ASSERT_FALSE(base.counters.empty());
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const auto& other = results[i].stats;
+    expect_identical(results.front().circuit, results[i].circuit);
+    if (!base.enabled) continue;  // trace compiled out: circuits still match
+    ASSERT_EQ(base.counters.size(), other.counters.size());
+    for (std::size_t c = 0; c < base.counters.size(); ++c) {
+      EXPECT_EQ(base.counters[c].name, other.counters[c].name);
+      EXPECT_EQ(base.counters[c].value, other.counters[c].value)
+          << base.counters[c].name << " differs at num_threads="
+          << (i == 1 ? 2 : 4);
+    }
+  }
+}
+
+TEST(TraceCompile, HardwareAwarePathRecordsRoutingStats) {
+  Rng rng(11);
+  const Graph g = random_regular_graph(8, 3, rng);
+  const auto terms = qaoa_cost_terms(g, 0.3);
+  const Graph device = topology_heavy_hex(3, 9);
+  PhoenixOptions opt;
+  opt.hardware_aware = true;
+  opt.coupling = &device;
+  opt.trace = true;
+  const auto res = phoenix_compile(terms, 8, opt);
+  if (!res.stats.enabled) GTEST_SKIP() << "trace compiled out";
+  // The commuting-2-local fast path routes QAOA; its swap counter must agree
+  // with the result.
+  EXPECT_NE(res.stats.span("route(qaoa)"), nullptr);
+  EXPECT_EQ(res.stats.counter("qaoa.swaps"), res.num_swaps);
+  EXPECT_GT(res.stats.counter("qaoa.portfolio_runs"), 0u);
+}
+
+// --- exporters ---------------------------------------------------------------
+
+CompileStats sample_stats() {
+  CompileStats s;
+  s.enabled = true;
+  s.spans.push_back({"simplify", 0.125, 10.5, 0, 0});
+  s.spans.push_back({"simplify.group \"odd\\name\"", 0.25, 1.75, 1, 1});
+  s.spans.push_back({"order", 11.0, 2.0, 0, 0});
+  s.counters.push_back({"simplify.candidates", 123456789});
+  s.counters.push_back({"peephole.removed", 42});
+  HistogramStats h;
+  h.name = "simplify.group_ms";
+  h.observe(0.5);
+  h.observe(75.0);
+  s.histograms.push_back(h);
+  return s;
+}
+
+TEST(TraceExportTest, TableListsStagesCountersHistograms) {
+  const std::string t = TraceExport::table(sample_stats());
+  EXPECT_NE(t.find("simplify"), std::string::npos);
+  EXPECT_NE(t.find("order"), std::string::npos);
+  EXPECT_NE(t.find("simplify.candidates"), std::string::npos);
+  EXPECT_NE(t.find("123456789"), std::string::npos);
+  EXPECT_NE(t.find("simplify.group_ms"), std::string::npos);
+}
+
+TEST(TraceExportTest, ChromeJsonRoundTripsSpansAndCounters) {
+  const CompileStats s = sample_stats();
+  const std::string json = TraceExport::chrome_json(s);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+
+  const CompileStats back = TraceExport::parse_chrome_json(json);
+  EXPECT_TRUE(back.enabled);
+  ASSERT_EQ(back.spans.size(), s.spans.size());
+  for (std::size_t i = 0; i < s.spans.size(); ++i) {
+    EXPECT_EQ(back.spans[i].name, s.spans[i].name);
+    EXPECT_NEAR(back.spans[i].start_ms, s.spans[i].start_ms, 1e-9);
+    EXPECT_NEAR(back.spans[i].millis, s.spans[i].millis, 1e-9);
+    EXPECT_EQ(back.spans[i].thread, s.spans[i].thread);
+    EXPECT_EQ(back.spans[i].depth, s.spans[i].depth);
+  }
+  ASSERT_EQ(back.counters.size(), s.counters.size());
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    EXPECT_EQ(back.counters[i].name, s.counters[i].name);
+    EXPECT_EQ(back.counters[i].value, s.counters[i].value);
+  }
+  // Re-export of the parsed stats is byte-stable.
+  EXPECT_EQ(TraceExport::chrome_json(back), json);
+}
+
+TEST(TraceExportTest, ChromeJsonFromRealCompileParses) {
+  std::size_t n = 0;
+  const auto terms = fixture_terms(&n);
+  PhoenixOptions opt;
+  opt.trace = true;
+  const auto res = phoenix_compile(terms, n, opt);
+  if (!res.stats.enabled) GTEST_SKIP() << "trace compiled out";
+  const std::string json = TraceExport::chrome_json(res.stats);
+  const CompileStats back = TraceExport::parse_chrome_json(json);
+  EXPECT_EQ(back.spans.size(), res.stats.spans.size());
+  EXPECT_EQ(back.counters.size(), res.stats.counters.size());
+  EXPECT_EQ(back.counter("simplify.groups"), res.num_groups);
+}
+
+TEST(TraceExportTest, ParseRejectsMalformedJson) {
+  EXPECT_THROW(TraceExport::parse_chrome_json(""), Error);
+  EXPECT_THROW(TraceExport::parse_chrome_json("{"), Error);
+  EXPECT_THROW(TraceExport::parse_chrome_json("[]"), Error);
+  EXPECT_THROW(TraceExport::parse_chrome_json("{\"traceEvents\": 7}"), Error);
+  EXPECT_THROW(TraceExport::parse_chrome_json(
+                   "{\"traceEvents\":[{\"ph\":\"X\",\"name\":3}]}"),
+               Error);
+  try {
+    TraceExport::parse_chrome_json("nope");
+    FAIL() << "expected phoenix::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.stage(), Stage::Parse);
+  }
+}
+
+}  // namespace
+}  // namespace phoenix

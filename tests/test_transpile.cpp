@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "circuit/circuit.hpp"
 #include "circuit/synthesis.hpp"
 #include "common/rng.hpp"
@@ -83,6 +85,54 @@ TEST(Peephole, MergedOppositeRotationsVanish) {
   EXPECT_TRUE(c.empty());
 }
 
+TEST(Peephole, MergedFullTurnRotationIsDropped) {
+  // Rz(π)·Rz(π) = Rz(2π) = −I (global phase only): the merge used to keep a
+  // full-turn Rz(2π) gate in the circuit.
+  Circuit c(1);
+  c.append(Gate::rz(0, M_PI));
+  c.append(Gate::rz(0, M_PI));
+  cancel_gates(c);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Peephole, MergedAnglesAreCanonicalized) {
+  // Merged angles land in (−π, π]; the unitary is unchanged up to global
+  // phase (Rθ and Rθ∓2π differ by −1).
+  Circuit c(1);
+  c.append(Gate::rx(0, 2.0));
+  c.append(Gate::rx(0, 2.0));
+  const Matrix before = circuit_unitary(c);
+  cancel_gates(c);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_NEAR(c.gate(0).param, 4.0 - 2.0 * M_PI, 1e-12);
+  EXPECT_NEAR(infidelity(before, circuit_unitary(c)), 0.0, 1e-12);
+}
+
+TEST(Peephole, FusionDropsNearFullTurnRotation) {
+  // Regression: a run fusing to Rz(2π − 1e-13) must vanish as an identity,
+  // not survive as a full-turn rotation the 1e-12 zero test misses.
+  Circuit c(1);
+  c.append(Gate::rz(0, M_PI));
+  c.append(Gate::rz(0, M_PI - 1e-13));
+  fuse_single_qubit_runs(c);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Peephole, FusedAnglesLieInCanonicalRange) {
+  for (std::uint64_t seed : {51u, 52u, 53u, 54u}) {
+    Circuit c = random_circuit(3, 60, seed);
+    const Matrix before = circuit_unitary(c);
+    fuse_single_qubit_runs(c);
+    for (const Gate& g : c.gates())
+      if (gate_has_param(g.kind)) {
+        EXPECT_GT(g.param, -M_PI) << seed << " " << g.to_string();
+        EXPECT_LE(g.param, M_PI) << seed << " " << g.to_string();
+        EXPECT_GT(std::abs(g.param), 1e-12) << seed << " " << g.to_string();
+      }
+    EXPECT_NEAR(infidelity(before, circuit_unitary(c)), 0.0, 1e-9) << seed;
+  }
+}
+
 TEST(Peephole, CommutationRulesMatchUnitaries) {
   // gates_commute must never claim commutation that the matrices refute.
   const std::vector<Gate> pool = {
@@ -104,11 +154,13 @@ TEST(Peephole, CommutationRulesMatchUnitaries) {
 }
 
 TEST(Peephole, CancelPreservesUnitaryOnRandomCircuits) {
+  // Up to global phase: merged rotations canonicalize their angle into
+  // (−π, π], and Rθ vs Rθ∓2π differ by a factor of −1.
   for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
     Circuit c = random_circuit(3, 40, seed);
     const Matrix before = circuit_unitary(c);
     cancel_gates(c);
-    EXPECT_TRUE(circuit_unitary(c).approx_equal(before, 1e-9)) << seed;
+    EXPECT_NEAR(infidelity(before, circuit_unitary(c)), 0.0, 1e-9) << seed;
   }
 }
 
