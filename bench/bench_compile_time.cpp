@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cctype>
+#include <chrono>
 #include <map>
 #include <string>
 
@@ -15,6 +16,7 @@
 #include "hamlib/uccsd.hpp"
 #include "mapping/topology.hpp"
 #include "phoenix/compiler.hpp"
+#include "service/service.hpp"
 
 namespace {
 
@@ -115,6 +117,36 @@ void BM_PhoenixQaoaHeavyHex(benchmark::State& state) {
   state.SetLabel(b.name);
 }
 
+// Warm-vs-cold latency through the CompileService: the iteration time is the
+// content-addressed cache-hit path (fingerprint + sharded-LRU lookup), and the
+// cold compile for the same program is measured once up front and exported as
+// the cold_ms counter, so BENCH_compile_time.json records both sides of the
+// cache. warm_speedup = cold_ms / warm-hit time (the issue's acceptance bar is
+// >= 10x on the largest suite entry, CH2_cmplt_JW).
+void BM_ServiceWarmVsCold(benchmark::State& state) {
+  const auto& b = suite_entry(static_cast<std::size_t>(state.range(0)));
+  ServiceOptions sopt;
+  sopt.num_threads = 1;  // latency benchmark; the pool is idle anyway
+  CompileService service(sopt);
+  const auto cold_start = std::chrono::steady_clock::now();
+  auto first = service.compile(b.terms, b.num_qubits);
+  const double cold_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - cold_start)
+                             .count();
+  benchmark::DoNotOptimize(first);
+  for (auto _ : state) {
+    auto res = service.compile(b.terms, b.num_qubits);
+    benchmark::DoNotOptimize(res->circuit.size());
+  }
+  state.SetLabel(b.name);
+  state.counters["paulis"] = static_cast<double>(b.terms.size());
+  state.counters["cold_ms"] = cold_ms;
+  // kIsIterationInvariantRate reports value*iterations/elapsed = cold time
+  // over mean warm-hit time, i.e. the warm speedup factor.
+  state.counters["warm_speedup"] = benchmark::Counter(
+      cold_ms / 1e3, benchmark::Counter::kIsIterationInvariantRate);
+}
+
 // Index 10 = LiH_frz_BK (small), 1 = CH2_cmplt_JW (largest, 1488 strings).
 BENCHMARK(BM_PhoenixLogical)->Arg(10)->Arg(14)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PhoenixLogicalTraced)->Arg(10)->Arg(1)->Unit(benchmark::kMillisecond);
@@ -122,6 +154,7 @@ BENCHMARK(BM_PaulihedralLogical)->Arg(10)->Arg(1)->Unit(benchmark::kMillisecond)
 BENCHMARK(BM_TketLogical)->Arg(10)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PhoenixHardwareAware)->Arg(10)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PhoenixQaoaHeavyHex)->Arg(0)->Arg(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServiceWarmVsCold)->Arg(10)->Arg(14)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -11,6 +11,10 @@
 # plus pipeline totals (simplify_candidates, peephole_removed), so the JSON
 # records where compile time goes, not just the end-to-end number.
 #
+# BM_ServiceWarmVsCold rows record both sides of the compile cache: the
+# iteration time is the warm cache-hit latency, the cold_ms counter is the
+# one-off cold compile for the same program, and warm_speedup = cold/warm.
+#
 # The CMake target `bench_to_json` invokes this with the configured build dir.
 set -euo pipefail
 

@@ -1,0 +1,118 @@
+// Batch serving driver: run the whole UCCSD suite through a CompileService —
+// the shape of a long-lived compile server ahead of an RPC front-end. Each
+// round submits every benchmark as one batch (small programs at higher
+// priority so they return first); round 1 is cold, later rounds are served
+// from the content-addressed cache.
+//
+//   $ ./example_phoenix_serve [--jobs N] [--repeat N] [--cache-dir DIR]
+//                             [--max-qubits N]
+//
+// Defaults: jobs = hardware, repeat = 2, in-memory cache only, full suite.
+// With --cache-dir the cache persists: a second run of this binary starts
+// warm (round 1 shows disk hits instead of compiles).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hamlib/uccsd.hpp"
+#include "service/service.hpp"
+
+int main(int argc, char** argv) {
+  using namespace phoenix;
+  using clock = std::chrono::steady_clock;
+
+  std::size_t jobs = 0;
+  int repeat = 2;
+  const char* cache_dir = nullptr;
+  std::size_t max_qubits = 64;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--jobs"))
+      jobs = std::strtoul(value("--jobs"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--repeat"))
+      repeat = std::atoi(value("--repeat"));
+    else if (!std::strcmp(argv[i], "--cache-dir"))
+      cache_dir = value("--cache-dir");
+    else if (!std::strcmp(argv[i], "--max-qubits"))
+      max_qubits = std::strtoul(value("--max-qubits"), nullptr, 10);
+    else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+  if (repeat < 1) repeat = 1;
+
+  const std::vector<UccsdBenchmark> suite = uccsd_suite_small(max_qubits);
+  std::printf("phoenix_serve: %zu UCCSD programs, %d round(s), %s cache\n\n",
+              suite.size(), repeat,
+              cache_dir != nullptr ? cache_dir : "in-memory");
+
+  ServiceOptions opt;
+  opt.num_threads = jobs;
+  if (cache_dir != nullptr) opt.cache.disk_dir = cache_dir;
+  CompileService service(opt);
+
+  for (int round = 1; round <= repeat; ++round) {
+    const ServiceStats before = service.stats();
+    std::vector<CompileService::Ticket> tickets;
+    tickets.reserve(suite.size());
+    const auto t0 = clock::now();
+    for (const auto& b : suite) {
+      CompileRequest req;
+      req.terms = b.terms;
+      req.num_qubits = b.num_qubits;
+      // Shortest-job-first: small programs return while big ones compile.
+      const int priority = -static_cast<int>(b.terms.size());
+      tickets.push_back(service.submit(std::move(req), priority));
+    }
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      const auto res = tickets[i].get();
+      if (res == nullptr) {
+        std::fprintf(stderr, "BUG: null result for %s\n",
+                     suite[i].name.c_str());
+        return 1;
+      }
+      if (round == 1)
+        std::printf("  %-16s %5zu paulis -> %5zu CNOT, 2Q depth %4zu\n",
+                    suite[i].name.c_str(), suite[i].terms.size(),
+                    res->circuit.count(GateKind::Cnot),
+                    res->circuit.depth_2q());
+    }
+    const double ms = std::chrono::duration<double, std::milli>(
+                          clock::now() - t0)
+                          .count();
+    const ServiceStats s = service.stats();
+    std::printf(
+        "round %d: %8.1f ms  (compiles %llu, memory hits %llu, disk hits "
+        "%llu, in-flight joins %llu)\n",
+        round, ms,
+        static_cast<unsigned long long>(s.misses - before.misses),
+        static_cast<unsigned long long>(s.hits - before.hits),
+        static_cast<unsigned long long>(s.disk_hits - before.disk_hits),
+        static_cast<unsigned long long>(s.inflight_joins -
+                                        before.inflight_joins));
+  }
+
+  const ServiceStats s = service.stats();
+  std::printf(
+      "\ntotals: requests %llu, compiles %llu, hits %llu (disk %llu), "
+      "evictions %llu, cache %llu entries / %.1f MiB\n",
+      static_cast<unsigned long long>(s.requests),
+      static_cast<unsigned long long>(s.misses),
+      static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.disk_hits),
+      static_cast<unsigned long long>(s.evictions),
+      static_cast<unsigned long long>(s.cache_entries),
+      static_cast<double>(s.cache_bytes) / (1024.0 * 1024.0));
+  return 0;
+}

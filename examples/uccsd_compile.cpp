@@ -3,13 +3,22 @@
 // PHOENIX against the baseline compilers.
 //
 //   $ ./example_uccsd_compile [molecule] [--profile out.json]
+//                             [--repeat N] [--jobs N] [--cache-dir DIR]
 //
 // Molecule is one of CH2 | H2O | LiH | NH. With --profile, the logical
 // PHOENIX compile runs with stage tracing on: the per-stage table prints to
 // stdout and a chrome://tracing / Perfetto-loadable JSON profile is written
 // to the given path.
+//
+// With --repeat N (and optionally --cache-dir for a persistent cache and
+// --jobs for the service pool size) the logical compile is driven through a
+// CompileService N times, printing per-pass latency — pass 1 is the cold
+// compile (or a disk hit on a warm --cache-dir), later passes are
+// content-addressed cache hits.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -19,19 +28,32 @@
 #include "hamlib/uccsd.hpp"
 #include "mapping/topology.hpp"
 #include "phoenix/compiler.hpp"
+#include "service/service.hpp"
 
 int main(int argc, char** argv) {
   using namespace phoenix;
 
   Molecule mol = Molecule::lih();
   const char* profile_path = nullptr;
+  const char* cache_dir = nullptr;
+  int repeat = 0;
+  std::size_t jobs = 0;
+  auto flag_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag);
+      std::exit(1);
+    }
+    return argv[++i];
+  };
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--profile")) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--profile requires an output path\n");
-        return 1;
-      }
-      profile_path = argv[++i];
+      profile_path = flag_value(i, "--profile");
+    } else if (!std::strcmp(argv[i], "--repeat")) {
+      repeat = std::atoi(flag_value(i, "--repeat"));
+    } else if (!std::strcmp(argv[i], "--jobs")) {
+      jobs = std::strtoul(flag_value(i, "--jobs"), nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--cache-dir")) {
+      cache_dir = flag_value(i, "--cache-dir");
     } else if (!std::strcmp(argv[i], "CH2")) {
       mol = Molecule::ch2();
     } else if (!std::strcmp(argv[i], "H2O")) {
@@ -90,6 +112,32 @@ int main(int argc, char** argv) {
     std::printf("  PHOENIX @heavy-hex: %6zu CNOT, 2Q depth %6zu, %zu SWAPs\n\n",
                 routed.circuit.count(GateKind::Cnot), routed.circuit.depth_2q(),
                 routed.num_swaps);
+
+    if (repeat > 0) {
+      using clock = std::chrono::steady_clock;
+      ServiceOptions sopt;
+      sopt.num_threads = jobs;
+      if (cache_dir != nullptr) sopt.cache.disk_dir = cache_dir;
+      CompileService service(sopt);
+      std::printf("  service, %d pass(es)%s%s:\n", repeat,
+                  cache_dir != nullptr ? ", cache-dir " : "",
+                  cache_dir != nullptr ? cache_dir : "");
+      for (int pass = 1; pass <= repeat; ++pass) {
+        const ServiceStats before = service.stats();
+        const auto t0 = clock::now();
+        const auto res = service.compile(b.terms, b.num_qubits, logical);
+        const double ms =
+            std::chrono::duration<double, std::milli>(clock::now() - t0)
+                .count();
+        const ServiceStats after = service.stats();
+        const char* how = after.misses > before.misses      ? "cold compile"
+                          : after.disk_hits > before.disk_hits ? "disk hit"
+                                                               : "cache hit";
+        std::printf("    pass %d: %9.3f ms  (%s, %zu CNOT)\n", pass, ms, how,
+                    res->circuit.count(GateKind::Cnot));
+      }
+      std::printf("\n");
+    }
   }
   return 0;
 }

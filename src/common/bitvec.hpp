@@ -82,6 +82,11 @@ class BitVec {
   /// Stable hash for use as an unordered-map key.
   std::size_t hash() const;
 
+  /// Backing 64-bit words, bit i at words()[i/64] bit i%64; bits past size()
+  /// are always zero (mask_tail), so equal vectors have equal words. Used by
+  /// content fingerprinting to absorb rows without per-bit traffic.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
  private:
   void check_same_size(const BitVec& o) const;
   void mask_tail();

@@ -14,6 +14,7 @@ const char* stage_name(Stage s) {
     case Stage::Routing: return "routing";
     case Stage::Validation: return "validation";
     case Stage::Simulation: return "simulation";
+    case Stage::Service: return "service";
   }
   return "unknown";
 }

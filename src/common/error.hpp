@@ -19,6 +19,7 @@ enum class Stage {
   Routing,
   Validation,
   Simulation,
+  Service,  ///< compile service: cache, scheduling, thread-pool misuse
 };
 
 const char* stage_name(Stage s);

@@ -3,18 +3,35 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <exception>
+#include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
+
+#include "common/error.hpp"
 
 namespace phoenix {
+
+namespace {
+
+/// parallel_for helper tasks run at the highest priority so that a loop
+/// already in progress (whose caller is blocked until it drains) always
+/// preempts queued standalone jobs — nested loops unwind from the inside out.
+constexpr int kHelperPriority = std::numeric_limits<int>::max();
+
+}  // namespace
 
 struct ThreadPool::Impl {
   std::mutex mutex;
   std::condition_variable cv;
-  std::deque<std::function<void()>> queue;
+  /// Priority queue with stable FIFO order inside one priority: keyed by
+  /// (-priority, submission sequence), so begin() is always the next job.
+  std::map<std::pair<std::int64_t, std::uint64_t>, std::function<void()>> queue;
+  std::uint64_t next_seq = 0;
   std::vector<std::thread> workers;
   bool stopping = false;
 
@@ -25,19 +42,44 @@ struct ThreadPool::Impl {
         std::unique_lock<std::mutex> lock(mutex);
         cv.wait(lock, [&] { return stopping || !queue.empty(); });
         if (queue.empty()) return;  // stopping and drained
-        job = std::move(queue.front());
-        queue.pop_front();
+        job = take_first_locked();
       }
       job();
     }
   }
 
-  void submit(std::function<void()> job) {
+  std::function<void()> take_first_locked() {
+    auto node = queue.extract(queue.begin());
+    return std::move(node.mapped());
+  }
+
+  /// `allow_when_stopping` lets parallel_for keep functioning while the
+  /// destructor drains (its helpers are part of already-running work, not
+  /// new intake).
+  void submit(std::function<void()> job, int priority,
+              bool allow_when_stopping) {
     {
       std::lock_guard<std::mutex> lock(mutex);
-      queue.push_back(std::move(job));
+      if (stopping && !allow_when_stopping)
+        throw Error(Stage::Service,
+                    "ThreadPool::submit: pool is shutting down");
+      queue.emplace(std::pair{-static_cast<std::int64_t>(priority), next_seq++},
+                    std::move(job));
     }
     cv.notify_one();
+  }
+
+  /// Pop and run one queued job on the calling thread; false if the queue
+  /// was empty. This is how blocked parallel_for callers guarantee progress.
+  bool try_run_one() {
+    std::function<void()> job;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (queue.empty()) return false;
+      job = take_first_locked();
+    }
+    job();
+    return true;
   }
 };
 
@@ -61,6 +103,20 @@ ThreadPool::~ThreadPool() {
   impl_->cv.notify_all();
   for (auto& w : impl_->workers) w.join();
   delete impl_;
+}
+
+void ThreadPool::submit(std::function<void()> job, int priority) {
+  if (impl_ == nullptr) {
+    job();  // zero-worker pool: run inline, matching parallel_for's fallback
+    return;
+  }
+  impl_->submit(std::move(job), priority, /*allow_when_stopping=*/false);
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  if (impl_ == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->queue.size();
 }
 
 namespace {
@@ -110,18 +166,35 @@ void ThreadPool::parallel_for(std::size_t n,
   state->fn = &fn;
   state->helpers_active = helpers;
   for (std::size_t h = 0; h < helpers; ++h)
-    impl_->submit([state] {
-      state->run_indices();
-      {
-        std::lock_guard<std::mutex> lock(state->mutex);
-        --state->helpers_active;
-      }
-      state->done_cv.notify_one();
-    });
+    impl_->submit(
+        [state] {
+          state->run_indices();
+          {
+            std::lock_guard<std::mutex> lock(state->mutex);
+            --state->helpers_active;
+          }
+          state->done_cv.notify_one();
+        },
+        kHelperPriority, /*allow_when_stopping=*/true);
 
   state->run_indices();
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done_cv.wait(lock, [&] { return state->helpers_active == 0; });
+  // Help drain the pool while our helpers are queued or running: a caller
+  // that is itself a pool worker (nested parallel_for, service batch jobs)
+  // would otherwise wait on helpers stuck behind the very queue it is
+  // blocking. Once the queue is momentarily empty every remaining helper is
+  // running on a real worker, so waiting on done_cv is race-free (each
+  // helper notifies after decrementing under the lock).
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (state->helpers_active == 0) break;
+    }
+    if (!impl_->try_run_one()) {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      state->done_cv.wait(lock, [&] { return state->helpers_active == 0; });
+      break;
+    }
+  }
   if (state->error) std::rethrow_exception(state->error);
 }
 

@@ -7,18 +7,27 @@
 namespace phoenix {
 
 /// Small reusable worker pool for the compiler's embarrassingly parallel
-/// loops (per-IR-group BSF simplification, batch compiles).
+/// loops (per-IR-group BSF simplification) and the compile service's
+/// standalone jobs (batch compiles with priorities).
 ///
 /// Design constraints, in order: determinism, exception safety, low setup
-/// cost. Work is handed out as index ranges through `parallel_for`, which
-/// blocks until every index has been processed and rethrows the first
-/// exception raised by any worker (first by completion, not by index —
-/// callers that need per-index error attribution catch inside `fn`).
+/// cost. Work is handed out either as index ranges through `parallel_for`
+/// (blocks until every index has been processed, rethrows the first
+/// exception raised by any worker) or as standalone jobs through `submit`
+/// (priority-ordered, FIFO within a priority).
 ///
-/// The pool is safe to share between concurrent `parallel_for` calls; each
-/// call tracks its own completion state. The calling thread participates in
-/// the loop, so a pool with zero workers (single-core hosts) degrades to a
-/// plain serial loop with no thread or lock traffic.
+/// Reentrancy: both entry points are safe to call from inside pool tasks.
+/// A `parallel_for` caller that still has helper tasks queued behind other
+/// work drains the pool's queue itself while waiting, so nested loops and
+/// worker-submitted jobs cannot deadlock the pool (regression covered by
+/// tests/test_service.cpp). The calling thread always participates in its
+/// own loop, so a pool with zero workers degrades to a plain serial loop —
+/// and `submit` on such a pool runs the job inline.
+///
+/// Shutdown: the destructor stops intake (further `submit` calls throw
+/// phoenix::Error, Stage::Service), then runs every already-queued job to
+/// completion before joining the workers — a queued job's effects are
+/// never silently dropped.
 class ThreadPool {
  public:
   /// Spawn `num_workers` worker threads (0 is valid: everything then runs
@@ -37,6 +46,16 @@ class ThreadPool {
   /// drains (remaining indices still run — fn must be safe to call for every
   /// index regardless of other indices' failures).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Enqueue one standalone job. Higher `priority` runs first; jobs of equal
+  /// priority run in submission order. Safe to call from worker threads. On
+  /// a zero-worker pool the job runs inline before `submit` returns. Throws
+  /// phoenix::Error (Stage::Service) once destruction has begun.
+  void submit(std::function<void()> job, int priority = 0);
+
+  /// Jobs accepted by `submit`/`parallel_for` but not yet started (current
+  /// queue length; helper tasks of in-flight parallel_for calls included).
+  std::size_t queue_depth() const;
 
   /// Process-wide shared pool, lazily created with hardware_concurrency - 1
   /// workers (never more than 15). Intended for callers that want parallelism

@@ -4,10 +4,30 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/error.hpp"
 
 namespace phoenix {
+
+std::size_t canonicalize_terms(std::vector<PauliTerm>& terms) {
+  const std::size_t before = terms.size();
+  std::unordered_map<PauliString, std::size_t, PauliStringHash> first_at;
+  first_at.reserve(terms.size());
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    const auto [it, inserted] = first_at.try_emplace(terms[i].string, out);
+    if (inserted) {
+      if (out != i) terms[out] = std::move(terms[i]);
+      ++out;
+    } else {
+      terms[it->second].coeff += terms[i].coeff;
+    }
+  }
+  terms.resize(out);
+  std::erase_if(terms, [](const PauliTerm& t) { return t.coeff == 0.0; });
+  return before - terms.size();
+}
 
 std::string hamiltonian_to_text(const std::vector<PauliTerm>& terms) {
   std::ostringstream out;
@@ -59,6 +79,7 @@ std::vector<PauliTerm> hamiltonian_from_text(const std::string& text) {
                   "hamiltonian_from_text: inconsistent qubit count", lineno);
     terms.push_back(std::move(term));
   }
+  canonicalize_terms(terms);
   return terms;
 }
 

@@ -20,6 +20,16 @@ namespace phoenix {
 std::string hamiltonian_to_text(const std::vector<PauliTerm>& terms);
 std::vector<PauliTerm> hamiltonian_from_text(const std::string& text);
 
+/// Canonicalize a term list in place: merge duplicate Pauli strings by
+/// summing their coefficients (first occurrence keeps its position), then
+/// drop terms whose coefficient is exactly 0.0 — including merges that
+/// cancel exactly. The surviving order is otherwise preserved, so files
+/// round-trip in author order; full canonical *sorting* is applied only
+/// where content identity matters (service request fingerprints).
+/// Returns the number of terms removed. `hamiltonian_from_text` applies
+/// this, so semantically equal inputs construct equal term lists.
+std::size_t canonicalize_terms(std::vector<PauliTerm>& terms);
+
 void save_hamiltonian(const std::string& path,
                       const std::vector<PauliTerm>& terms);
 std::vector<PauliTerm> load_hamiltonian(const std::string& path);

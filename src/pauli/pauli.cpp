@@ -70,4 +70,22 @@ std::string PauliString::to_string() const {
   return s;
 }
 
+void PauliString::hash_into(Hash128& h) const {
+  h.write_size(num_qubits());
+  for (const std::uint64_t w : x_.words()) h.write_u64(w);
+  for (const std::uint64_t w : z_.words()) h.write_u64(w);
+}
+
+bool pauli_string_less(const PauliString& a, const PauliString& b) {
+  if (a.num_qubits() != b.num_qubits())
+    return a.num_qubits() < b.num_qubits();
+  const auto &az = a.z().words(), &bz = b.z().words();
+  for (std::size_t i = 0; i < az.size(); ++i)
+    if (az[i] != bz[i]) return az[i] < bz[i];
+  const auto &ax = a.x().words(), &bx = b.x().words();
+  for (std::size_t i = 0; i < ax.size(); ++i)
+    if (ax[i] != bx[i]) return ax[i] < bx[i];
+  return false;
+}
+
 }  // namespace phoenix

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/bitvec.hpp"
+#include "common/hash.hpp"
 
 namespace phoenix {
 
@@ -61,9 +62,21 @@ class PauliString {
 
   std::size_t hash() const { return x_.hash() * 1000003 ^ z_.hash(); }
 
+  /// Absorb the full symplectic content (qubit count + X/Z words) into a
+  /// 128-bit hasher — the string's contribution to a compile-request
+  /// fingerprint. Equal strings absorb identical word streams on every
+  /// platform (BitVec keeps tail bits masked).
+  void hash_into(Hash128& h) const;
+
  private:
   BitVec x_, z_;
 };
+
+/// Canonical content order on equal-width Pauli strings: lexicographic on
+/// the Z words, then the X words. Cheaper than comparing labels and stable
+/// across platforms; fingerprinting sorts normalized term lists with it so
+/// permutations of the same term set hash identically.
+bool pauli_string_less(const PauliString& a, const PauliString& b);
 
 struct PauliStringHash {
   std::size_t operator()(const PauliString& s) const { return s.hash(); }

@@ -1,0 +1,285 @@
+#include "phoenix/serialize.hpp"
+
+#include <bit>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace phoenix {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& detail) {
+  throw Error(Stage::Parse, "compile_result_from_bytes: " + detail);
+}
+
+// --- token-level encoding ---------------------------------------------------
+
+std::string u64_hex(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string double_bits(double d) { return u64_hex(std::bit_cast<std::uint64_t>(d)); }
+
+/// Strings (stage names, notes, validation messages) as single whitespace-free
+/// tokens: '%'-escape '%', whitespace, and control bytes; the empty string is
+/// the token "%e".
+std::string escape(const std::string& s) {
+  if (s.empty()) return "%e";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (const unsigned char c : s) {
+    if (c == '%' || c <= ' ' || c == 0x7f) {
+      out += '%';
+      out += digits[c >> 4];
+      out += digits[c & 0xf];
+    } else {
+      out += static_cast<char>(c);
+    }
+  }
+  return out;
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::string unescape(const std::string& s) {
+  if (s == "%e") return {};
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) fail("truncated escape in string token");
+    const int hi = hex_nibble(s[i + 1]), lo = hex_nibble(s[i + 2]);
+    if (hi < 0 || lo < 0) fail("bad escape in string token");
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return out;
+}
+
+// --- reader -----------------------------------------------------------------
+
+struct Reader {
+  std::istringstream in;
+
+  explicit Reader(const std::string& bytes) : in(bytes) {}
+
+  std::string token(const char* what) {
+    std::string t;
+    if (!(in >> t)) fail(std::string("unexpected end of input, wanted ") + what);
+    return t;
+  }
+  void expect(const char* literal) {
+    const std::string t = token(literal);
+    if (t != literal) fail("expected '" + std::string(literal) + "', got '" + t + "'");
+  }
+  std::uint64_t u64(const char* what) {
+    const std::string t = token(what);
+    std::uint64_t v = 0;
+    for (const char c : t) {
+      if (!std::isdigit(static_cast<unsigned char>(c)))
+        fail("malformed integer for " + std::string(what) + ": '" + t + "'");
+      v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return v;
+  }
+  std::uint64_t bits64(const char* what) {
+    const std::string t = token(what);
+    if (t.size() != 16) fail("malformed u64 hex for " + std::string(what));
+    std::uint64_t v = 0;
+    for (const char c : t) {
+      const int n = hex_nibble(c);
+      if (n < 0) fail("malformed u64 hex for " + std::string(what));
+      v = (v << 4) | static_cast<std::uint64_t>(n);
+    }
+    return v;
+  }
+  double dbl(const char* what) { return std::bit_cast<double>(bits64(what)); }
+  bool boolean(const char* what) {
+    const std::uint64_t v = u64(what);
+    if (v > 1) fail("malformed bool for " + std::string(what));
+    return v == 1;
+  }
+};
+
+// --- gates ------------------------------------------------------------------
+
+void write_gate(std::ostream& out, const Gate& g) {
+  out << "g " << static_cast<unsigned>(g.kind) << ' ' << g.q0 << ' ' << g.q1
+      << ' ' << double_bits(g.param) << ' ' << g.sub.size() << '\n';
+  for (const Gate& s : g.sub) write_gate(out, s);
+}
+
+Gate read_gate(Reader& r, std::size_t num_qubits, std::size_t depth) {
+  if (depth > 4) fail("gate nesting too deep");
+  r.expect("g");
+  Gate g;
+  const std::uint64_t kind = r.u64("gate kind");
+  if (kind > static_cast<std::uint64_t>(GateKind::Su4)) fail("unknown gate kind");
+  g.kind = static_cast<GateKind>(kind);
+  g.q0 = static_cast<std::size_t>(r.u64("gate q0"));
+  g.q1 = static_cast<std::size_t>(r.u64("gate q1"));
+  if (g.q0 >= num_qubits || (g.is_two_qubit() && g.q1 >= num_qubits))
+    fail("gate qubit out of range");
+  g.param = r.dbl("gate param");
+  const std::uint64_t nsub = r.u64("gate sub count");
+  if (nsub != 0 && g.kind != GateKind::Su4) fail("sub-gates on non-Su4 gate");
+  g.sub.reserve(static_cast<std::size_t>(nsub));
+  for (std::uint64_t i = 0; i < nsub; ++i)
+    g.sub.push_back(read_gate(r, num_qubits, depth + 1));
+  return g;
+}
+
+void write_circuit(std::ostream& out, const char* tag, const Circuit& c) {
+  out << tag << ' ' << c.num_qubits() << ' ' << c.size() << '\n';
+  for (const Gate& g : c.gates()) write_gate(out, g);
+}
+
+Circuit read_circuit(Reader& r, const char* tag) {
+  r.expect(tag);
+  const std::size_t nq = static_cast<std::size_t>(r.u64("circuit qubits"));
+  const std::uint64_t ngates = r.u64("circuit gate count");
+  Circuit c(nq);
+  for (std::uint64_t i = 0; i < ngates; ++i)
+    c.append(read_gate(r, nq, 0));
+  return c;
+}
+
+void write_layout(std::ostream& out, const char* tag,
+                  const std::vector<std::size_t>& layout) {
+  out << "layout " << tag << ' ' << layout.size();
+  for (const std::size_t v : layout) out << ' ' << v;
+  out << '\n';
+}
+
+std::vector<std::size_t> read_layout(Reader& r, const char* tag) {
+  r.expect("layout");
+  r.expect(tag);
+  const std::uint64_t k = r.u64("layout size");
+  std::vector<std::size_t> layout;
+  layout.reserve(static_cast<std::size_t>(k));
+  for (std::uint64_t i = 0; i < k; ++i)
+    layout.push_back(static_cast<std::size_t>(r.u64("layout entry")));
+  return layout;
+}
+
+std::size_t gate_bytes(const Gate& g) {
+  std::size_t b = sizeof(Gate);
+  for (const Gate& s : g.sub) b += gate_bytes(s);
+  return b;
+}
+
+}  // namespace
+
+std::string compile_result_to_bytes(const CompileResult& r) {
+  std::ostringstream out;
+  out << "phoenix-compile-result v" << kCompileResultSchemaVersion << '\n';
+  write_circuit(out, "circuit", r.circuit);
+  write_circuit(out, "logical", r.logical);
+  out << "counts " << r.num_swaps << ' ' << r.num_groups << ' ' << r.bsf_epochs
+      << '\n';
+  write_layout(out, "initial", r.initial_layout);
+  write_layout(out, "final", r.final_layout);
+  out << "diagnostics " << r.diagnostics.size() << '\n';
+  for (const StageRecord& d : r.diagnostics)
+    out << "d " << escape(d.name) << ' ' << double_bits(d.millis) << ' '
+        << (d.checked ? 1 : 0) << ' ' << escape(d.note) << '\n';
+  const ValidationReport& v = r.validation;
+  out << "validation " << static_cast<unsigned>(v.status) << ' '
+      << (v.frame_checked ? 1 : 0) << ' ' << (v.frame_ok ? 1 : 0) << ' '
+      << (v.exact_checked ? 1 : 0) << ' ' << double_bits(v.exact_infidelity)
+      << ' ' << escape(v.message) << ' ' << v.realized_order.size() << '\n';
+  for (const PauliTerm& t : v.realized_order)
+    out << "t " << escape(t.string.to_string()) << ' ' << double_bits(t.coeff)
+        << '\n';
+  out << "end\n";
+  return out.str();
+}
+
+CompileResult compile_result_from_bytes(const std::string& bytes) {
+  Reader r(bytes);
+  r.expect("phoenix-compile-result");
+  const std::string version = r.token("schema version");
+  const std::string want = "v" + std::to_string(kCompileResultSchemaVersion);
+  if (version != want)
+    fail("stale or unknown schema tag '" + version + "' (this build reads " +
+         want + ")");
+
+  CompileResult res;
+  res.circuit = read_circuit(r, "circuit");
+  res.logical = read_circuit(r, "logical");
+  r.expect("counts");
+  res.num_swaps = static_cast<std::size_t>(r.u64("num_swaps"));
+  res.num_groups = static_cast<std::size_t>(r.u64("num_groups"));
+  res.bsf_epochs = static_cast<std::size_t>(r.u64("bsf_epochs"));
+  res.initial_layout = read_layout(r, "initial");
+  res.final_layout = read_layout(r, "final");
+
+  r.expect("diagnostics");
+  const std::uint64_t ndiag = r.u64("diagnostics count");
+  res.diagnostics.reserve(static_cast<std::size_t>(ndiag));
+  for (std::uint64_t i = 0; i < ndiag; ++i) {
+    r.expect("d");
+    StageRecord rec;
+    rec.name = unescape(r.token("diagnostic name"));
+    rec.millis = r.dbl("diagnostic millis");
+    rec.checked = r.boolean("diagnostic checked");
+    rec.note = unescape(r.token("diagnostic note"));
+    res.diagnostics.push_back(std::move(rec));
+  }
+
+  r.expect("validation");
+  const std::uint64_t status = r.u64("validation status");
+  if (status > static_cast<std::uint64_t>(ValidationStatus::Inconclusive))
+    fail("unknown validation status");
+  res.validation.status = static_cast<ValidationStatus>(status);
+  res.validation.frame_checked = r.boolean("frame_checked");
+  res.validation.frame_ok = r.boolean("frame_ok");
+  res.validation.exact_checked = r.boolean("exact_checked");
+  res.validation.exact_infidelity = r.dbl("exact_infidelity");
+  res.validation.message = unescape(r.token("validation message"));
+  const std::uint64_t nterms = r.u64("realized order count");
+  res.validation.realized_order.reserve(static_cast<std::size_t>(nterms));
+  for (std::uint64_t i = 0; i < nterms; ++i) {
+    r.expect("t");
+    const std::string label = unescape(r.token("term label"));
+    const double coeff = r.dbl("term coeff");
+    try {
+      res.validation.realized_order.emplace_back(label, coeff);
+    } catch (const std::exception& e) {
+      fail(std::string("bad Pauli label in realized order: ") + e.what());
+    }
+  }
+  r.expect("end");
+  return res;
+}
+
+std::size_t compile_result_approx_bytes(const CompileResult& r) {
+  std::size_t b = sizeof(CompileResult);
+  for (const Gate& g : r.circuit.gates()) b += gate_bytes(g);
+  for (const Gate& g : r.logical.gates()) b += gate_bytes(g);
+  b += (r.initial_layout.size() + r.final_layout.size()) * sizeof(std::size_t);
+  for (const StageRecord& d : r.diagnostics)
+    b += sizeof(StageRecord) + d.name.size() + d.note.size();
+  b += r.validation.message.size();
+  for (const PauliTerm& t : r.validation.realized_order)
+    b += sizeof(PauliTerm) + 2 * ((t.string.num_qubits() + 63) / 8);
+  return b;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "phoenix/compiler.hpp"
+
+namespace phoenix {
+
+/// Versioned, platform-independent serialization of a CompileResult — the
+/// payload of the compile cache's on-disk entries.
+///
+/// Format: a line-oriented text document starting with the schema tag
+/// `phoenix-compile-result v<N>`. Loaders reject any other version, so a
+/// format change invalidates every persisted entry instead of misreading it
+/// (the request fingerprint carries its own schema version for the same
+/// reason — see src/service/fingerprint.hpp).
+///
+/// All doubles (rotation angles, stage timings, infidelities) are encoded as
+/// the hex of their IEEE-754 bit pattern, so a round-trip is bit-identical —
+/// a cache hit served from disk must reproduce the cold compile's circuit
+/// exactly, not merely to printf precision.
+///
+/// Scope: the semantic artifacts (both circuits, SWAP/group/epoch counts,
+/// layouts, stage diagnostics, validation verdict + realized order). The
+/// trace `stats` member is deliberately NOT serialized: it describes one
+/// concrete run's timings and thread interleavings, not the compile
+/// artifact; deserialized results carry an empty (disabled) CompileStats.
+inline constexpr int kCompileResultSchemaVersion = 1;
+
+/// Serialize `r` (minus `stats`, see above).
+std::string compile_result_to_bytes(const CompileResult& r);
+
+/// Parse a `compile_result_to_bytes` document. Throws phoenix::Error
+/// (Stage::Parse) on a stale or foreign schema tag, truncation, or any
+/// malformed field.
+CompileResult compile_result_from_bytes(const std::string& bytes);
+
+/// Estimated resident size of a result in bytes (gates, sub-gates, layouts,
+/// diagnostic strings). Used by the compile cache's byte budget; an estimate
+/// on the high side of shallow sizeof, deliberately cheap rather than exact.
+std::size_t compile_result_approx_bytes(const CompileResult& r);
+
+}  // namespace phoenix

@@ -1,0 +1,201 @@
+#include "service/cache.hpp"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <list>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/trace.hpp"
+#include "phoenix/serialize.hpp"
+
+namespace phoenix {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Entry {
+  Digest128 key;
+  CompileCache::ResultPtr value;
+  std::size_t bytes = 0;
+};
+
+}  // namespace
+
+struct CompileCache::Impl {
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<Digest128, std::list<Entry>::iterator, Digest128Hash>
+        index;
+    std::size_t bytes = 0;
+  };
+
+  CacheOptions opt;
+  std::vector<Shard> shards;
+  std::size_t shard_budget = 0;
+
+  std::atomic<std::uint64_t> hits{0}, misses{0}, disk_hits{0}, disk_rejects{0},
+      evictions{0}, bytes{0}, entries{0};
+
+  explicit Impl(CacheOptions o) : opt(std::move(o)) {
+    if (opt.shards == 0) opt.shards = 1;
+    shards = std::vector<Shard>(opt.shards);
+    shard_budget = opt.max_bytes / opt.shards;
+    if (!opt.disk_dir.empty()) {
+      std::error_code ec;
+      fs::create_directories(opt.disk_dir, ec);
+      if (ec)
+        throw Error(Stage::Service, "CompileCache: cannot create disk dir '" +
+                                        opt.disk_dir + "': " + ec.message());
+    }
+  }
+
+  Shard& shard_for(const Digest128& key) {
+    return shards[static_cast<std::size_t>(key.lo) % shards.size()];
+  }
+
+  std::string disk_path(const Digest128& key) const {
+    return opt.disk_dir + "/" + key.hex() + ".phxc";
+  }
+
+  /// Insert into the shard (caller does NOT hold the shard lock) and trim to
+  /// the byte budget. Refreshing an existing key replaces its value.
+  void insert(const Digest128& key, ResultPtr value) {
+    const std::size_t sz = compile_result_approx_bytes(*value);
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (const auto it = s.index.find(key); it != s.index.end()) {
+      s.bytes -= it->second->bytes;
+      bytes.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+      s.lru.erase(it->second);
+      s.index.erase(it);
+      entries.fetch_sub(1, std::memory_order_relaxed);
+    }
+    s.lru.push_front(Entry{key, std::move(value), sz});
+    s.index[key] = s.lru.begin();
+    s.bytes += sz;
+    bytes.fetch_add(sz, std::memory_order_relaxed);
+    entries.fetch_add(1, std::memory_order_relaxed);
+    // Evict from the cold end until back under budget — but never the entry
+    // just inserted, so an oversized result is admitted alone.
+    while (s.bytes > shard_budget && s.lru.size() > 1) {
+      const Entry& victim = s.lru.back();
+      s.bytes -= victim.bytes;
+      bytes.fetch_sub(victim.bytes, std::memory_order_relaxed);
+      s.index.erase(victim.key);
+      s.lru.pop_back();
+      entries.fetch_sub(1, std::memory_order_relaxed);
+      evictions.fetch_add(1, std::memory_order_relaxed);
+      trace_count("service.cache.evictions", 1);
+    }
+  }
+
+  ResultPtr lookup_memory(const Digest128& key) {
+    Shard& s = shard_for(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.index.find(key);
+    if (it == s.index.end()) return nullptr;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);  // touch
+    return it->second->value;
+  }
+
+  ResultPtr lookup_disk(const Digest128& key) {
+    if (opt.disk_dir.empty()) return nullptr;
+    std::ifstream in(disk_path(key), std::ios::binary);
+    if (!in) return nullptr;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+      auto parsed =
+          std::make_shared<const CompileResult>(compile_result_from_bytes(buf.str()));
+      return parsed;
+    } catch (const Error&) {
+      // Stale schema or corruption: treat as a miss; the entry will be
+      // rewritten (same path) the next time this key is put.
+      disk_rejects.fetch_add(1, std::memory_order_relaxed);
+      trace_count("service.cache.disk_rejects", 1);
+      return nullptr;
+    }
+  }
+
+  void write_disk(const Digest128& key, const CompileResult& value) {
+    if (opt.disk_dir.empty()) return;
+    const std::string path = disk_path(key);
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return;  // persistence is best-effort; memory entry stands
+      out << compile_result_to_bytes(value);
+      if (!out) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return;
+      }
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);  // atomic publish on POSIX
+    if (ec) fs::remove(tmp, ec);
+  }
+};
+
+CompileCache::CompileCache(CacheOptions opt)
+    : impl_(std::make_unique<Impl>(std::move(opt))) {}
+
+CompileCache::~CompileCache() = default;
+
+CompileCache::ResultPtr CompileCache::get(const Digest128& key) {
+  if (ResultPtr hit = impl_->lookup_memory(key)) {
+    impl_->hits.fetch_add(1, std::memory_order_relaxed);
+    trace_count("service.cache.hits", 1);
+    return hit;
+  }
+  if (ResultPtr disk = impl_->lookup_disk(key)) {
+    impl_->disk_hits.fetch_add(1, std::memory_order_relaxed);
+    trace_count("service.cache.disk_hits", 1);
+    impl_->insert(key, disk);
+    return disk;
+  }
+  impl_->misses.fetch_add(1, std::memory_order_relaxed);
+  trace_count("service.cache.misses", 1);
+  return nullptr;
+}
+
+void CompileCache::put(const Digest128& key, ResultPtr value) {
+  if (value == nullptr) return;
+  impl_->write_disk(key, *value);
+  impl_->insert(key, std::move(value));
+}
+
+void CompileCache::clear() {
+  for (auto& s : impl_->shards) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const Entry& e : s.lru) {
+      impl_->bytes.fetch_sub(e.bytes, std::memory_order_relaxed);
+      impl_->entries.fetch_sub(1, std::memory_order_relaxed);
+    }
+    s.lru.clear();
+    s.index.clear();
+    s.bytes = 0;
+  }
+}
+
+CompileCache::Counters CompileCache::counters() const {
+  Counters c;
+  c.hits = impl_->hits.load(std::memory_order_relaxed);
+  c.misses = impl_->misses.load(std::memory_order_relaxed);
+  c.disk_hits = impl_->disk_hits.load(std::memory_order_relaxed);
+  c.disk_rejects = impl_->disk_rejects.load(std::memory_order_relaxed);
+  c.evictions = impl_->evictions.load(std::memory_order_relaxed);
+  c.bytes = impl_->bytes.load(std::memory_order_relaxed);
+  c.entries = impl_->entries.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace phoenix

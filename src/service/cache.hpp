@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/hash.hpp"
+#include "phoenix/compiler.hpp"
+
+namespace phoenix {
+
+struct CacheOptions {
+  /// Total in-memory byte budget across all shards
+  /// (compile_result_approx_bytes accounting). Inserting into a full shard
+  /// evicts least-recently-used entries until the shard is back under its
+  /// slice of the budget. A single result larger than a whole shard slice is
+  /// still admitted alone (the budget is a high-water target, not a hard
+  /// invariant for one oversized entry).
+  std::size_t max_bytes = 256ull << 20;
+  /// Lock shards (fingerprints are spread by their low digest bits). More
+  /// shards = less contention, coarser per-shard budget slices.
+  std::size_t shards = 8;
+  /// When non-empty: persist entries as `<disk_dir>/<fingerprint-hex>.phxc`
+  /// (versioned compile_result_to_bytes documents, written via temp-file +
+  /// rename). Misses consult the directory and promote parses into memory;
+  /// stale schema tags or corrupt files count as `disk_rejects` and fall
+  /// through to a normal miss. The directory is created on first use.
+  std::string disk_dir;
+};
+
+/// Content-addressed, sharded, byte-budgeted LRU cache of compile results.
+/// Thread-safe; values are shared immutable snapshots, so a hit costs one
+/// shard lock plus a shared_ptr copy and never blocks on other shards.
+class CompileCache {
+ public:
+  using ResultPtr = std::shared_ptr<const CompileResult>;
+
+  explicit CompileCache(CacheOptions opt = {});
+  ~CompileCache();
+
+  CompileCache(const CompileCache&) = delete;
+  CompileCache& operator=(const CompileCache&) = delete;
+
+  /// Memory first, then disk (when configured). Returns nullptr on miss.
+  ResultPtr get(const Digest128& key);
+
+  /// Insert (or refresh) an entry; evicts LRU entries past the byte budget
+  /// and, when disk persistence is on, writes the entry through.
+  void put(const Digest128& key, ResultPtr value);
+
+  /// Drop every in-memory entry (disk files are left alone).
+  void clear();
+
+  struct Counters {
+    std::uint64_t hits = 0;        ///< in-memory hits
+    std::uint64_t misses = 0;      ///< full misses (memory and disk)
+    std::uint64_t disk_hits = 0;   ///< served by parsing a persisted entry
+    std::uint64_t disk_rejects = 0;  ///< stale-schema / corrupt disk entries
+    std::uint64_t evictions = 0;   ///< entries dropped by the byte budget
+    std::uint64_t bytes = 0;       ///< current resident byte estimate
+    std::uint64_t entries = 0;     ///< current resident entry count
+  };
+  Counters counters() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace phoenix

@@ -1,0 +1,68 @@
+#include "service/fingerprint.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "hamlib/io.hpp"
+
+namespace phoenix {
+
+Digest128 fingerprint_request(const std::vector<PauliTerm>& terms,
+                              std::size_t num_qubits,
+                              const PhoenixOptions& opt,
+                              const Graph* coupling) {
+  Hash128 h(kFingerprintSchemaVersion);
+  h.write_size(num_qubits);
+
+  // Normalize: merge duplicates / drop exact zeros (canonicalize_terms),
+  // then sort by symplectic content so the hash is permutation-invariant.
+  std::vector<PauliTerm> canon = terms;
+  canonicalize_terms(canon);
+  std::sort(canon.begin(), canon.end(),
+            [](const PauliTerm& a, const PauliTerm& b) {
+              return pauli_string_less(a.string, b.string);
+            });
+  h.write_size(canon.size());
+  for (const PauliTerm& t : canon) {
+    t.string.hash_into(h);
+    h.write_double(t.coeff);
+  }
+
+  // Options — every field that can change the compiled artifact.
+  h.write_u64(static_cast<std::uint64_t>(opt.isa));
+  h.write_u64(static_cast<std::uint64_t>(opt.peephole));
+  h.write_bool(opt.hardware_aware);
+  h.write_size(opt.lookahead);
+  h.write_size(opt.sabre.extended_set_size);
+  h.write_double(opt.sabre.extended_set_weight);
+  h.write_double(opt.sabre.decay_delta);
+  h.write_size(opt.sabre.decay_reset);
+  h.write_size(opt.sabre.layout_rounds);
+  h.write_u64(opt.sabre.seed);
+  h.write_size(opt.simplify.max_epochs);
+  h.write_u64(static_cast<std::uint64_t>(opt.validation.level));
+  h.write_size(opt.validation.exact_max_qubits);
+  h.write_double(opt.validation.angle_tol);
+  h.write_double(opt.validation.max_infidelity);
+
+  if (opt.hardware_aware) {
+    if (coupling == nullptr)
+      throw Error(Stage::Service,
+                  "fingerprint_request: hardware-aware request without a "
+                  "coupling graph");
+    h.write_size(coupling->num_vertices());
+    std::vector<std::pair<std::size_t, std::size_t>> edges = coupling->edges();
+    for (auto& [a, b] : edges)
+      if (a > b) std::swap(a, b);
+    std::sort(edges.begin(), edges.end());
+    h.write_size(edges.size());
+    for (const auto& [a, b] : edges) {
+      h.write_size(a);
+      h.write_size(b);
+    }
+  }
+  return h.digest();
+}
+
+}  // namespace phoenix

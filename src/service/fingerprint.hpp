@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "pauli/pauli.hpp"
+#include "phoenix/compiler.hpp"
+
+namespace phoenix {
+
+/// Canonical 128-bit content address of a compile request, the key of the
+/// compile cache and the single-flight table.
+///
+/// Two requests get the same fingerprint iff phoenix_compile is guaranteed
+/// to produce the same CompileResult for both (the pipeline is fully
+/// deterministic). Concretely the hash covers:
+///
+///  * a fingerprint schema version (bump kFingerprintSchemaVersion whenever
+///    the hashed fields or the normalization below change, so stale disk
+///    caches miss instead of colliding);
+///  * the register size and the NORMALIZED term list: duplicate Pauli
+///    strings merged, exactly-zero coefficients dropped, then sorted by
+///    symplectic content (pauli_string_less) — so permutations, duplicate
+///    splits, and zero padding of the same Hamiltonian all address one cache
+///    entry;
+///  * every semantically relevant PhoenixOptions field: ISA, peephole level,
+///    hardware-awareness, Tetris lookahead, all SabreOptions fields
+///    (including the seed), SimplifyOptions, and all ValidationOptions
+///    fields (validation populates the result's diagnostics/report);
+///  * in hardware-aware mode, the coupling graph's vertex count and sorted
+///    edge set (graphs with equal edge sets fingerprint identically however
+///    their edges were inserted).
+///
+/// Deliberately EXCLUDED, because the compiler guarantees bit-identical
+/// output regardless: `num_threads` (per-group simplify is deterministic for
+/// any thread count) and `trace` (probes never change the compiled circuit;
+/// the trace `stats` member is not part of the cached artifact either, see
+/// src/phoenix/serialize.hpp).
+inline constexpr std::uint64_t kFingerprintSchemaVersion = 1;
+
+/// Fingerprint a request against `coupling` (pass nullptr for logical-level
+/// compilation; `opt.coupling` is ignored in favor of the argument so
+/// callers owning the graph through a shared_ptr can fingerprint without
+/// patching options).
+Digest128 fingerprint_request(const std::vector<PauliTerm>& terms,
+                              std::size_t num_qubits,
+                              const PhoenixOptions& opt,
+                              const Graph* coupling);
+
+/// Convenience overload using `opt.coupling` when hardware-aware.
+inline Digest128 fingerprint_request(const std::vector<PauliTerm>& terms,
+                                     std::size_t num_qubits,
+                                     const PhoenixOptions& opt) {
+  return fingerprint_request(terms, num_qubits, opt, opt.coupling);
+}
+
+}  // namespace phoenix

@@ -1,0 +1,309 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+#include "service/fingerprint.hpp"
+
+namespace phoenix {
+
+namespace {
+
+std::size_t default_pool_workers(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t workers = hw > 1 ? static_cast<std::size_t>(hw - 1) : 0;
+  return std::min<std::size_t>(workers, 15);
+}
+
+}  // namespace
+
+/// One in-flight compile, shared by every request with its fingerprint. The
+/// future resolves to the shared result, to nullptr when the flight was
+/// abandoned (every submission cancelled before it started — decided under
+/// the flight-table lock, so only cancelled tickets can ever observe the
+/// nullptr), or to the compile's exception.
+struct Flight {
+  explicit Flight(const Digest128& key) : fp(key) {
+    future = promise.get_future().share();
+  }
+  Digest128 fp;
+  std::promise<CompileService::ResultPtr> promise;
+  std::shared_future<CompileService::ResultPtr> future;
+  /// Live (non-cancelled) submissions waiting on this flight.
+  std::atomic<std::size_t> interest{0};
+  std::atomic<bool> started{false};
+};
+
+struct CompileService::Ticket::State {
+  Digest128 fp;
+  std::shared_ptr<Flight> flight;  ///< null when served straight from cache
+  ResultPtr ready;                 ///< the cache hit, when flight is null
+  std::atomic<bool> cancelled{false};
+  std::atomic<std::uint64_t>* cancelled_counter = nullptr;
+};
+
+struct CompileService::Impl {
+  CompileFn compile_fn;
+  CompileCache cache;
+
+  std::mutex flights_mu;
+  std::unordered_map<Digest128, std::shared_ptr<Flight>, Digest128Hash>
+      flights;
+
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> compiles{0};  ///< ServiceStats::misses
+  std::atomic<std::uint64_t> inflight_joins{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> queue_depth{0};
+
+  /// Destroyed first (declared last): its destructor runs every queued job
+  /// to completion while the cache and flight table above are still alive.
+  ThreadPool pool;
+
+  Impl(ServiceOptions opt, CompileFn fn)
+      : compile_fn(std::move(fn)),
+        cache(std::move(opt.cache)),
+        pool(default_pool_workers(opt.num_threads)) {}
+
+  /// Join the fingerprint's flight or create one. Interest is taken under
+  /// the table lock, so a flight with a live joiner is never abandoned.
+  struct JoinResult {
+    std::shared_ptr<Flight> flight;
+    bool created = false;
+  };
+  JoinResult join_or_create(const Digest128& fp) {
+    std::lock_guard<std::mutex> lock(flights_mu);
+    if (const auto it = flights.find(fp); it != flights.end()) {
+      it->second->interest.fetch_add(1, std::memory_order_relaxed);
+      return {it->second, false};
+    }
+    auto flight = std::make_shared<Flight>(fp);
+    flight->interest.store(1, std::memory_order_relaxed);
+    flights[fp] = flight;
+    return {flight, true};
+  }
+
+  /// Run the compile this flight owns and publish the result: cache first,
+  /// then retire the flight from the table, then resolve the future (no
+  /// window where a new request finds neither cache entry nor flight).
+  ResultPtr run_flight(const std::shared_ptr<Flight>& flight,
+                       const CompileRequest& req) {
+    compiles.fetch_add(1, std::memory_order_relaxed);
+    trace_count("service.compiles", 1);
+    ResultPtr result;
+    try {
+      result = std::make_shared<const CompileResult>(compile_fn(req));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(flights_mu);
+        flights.erase(flight->fp);
+      }
+      flight->promise.set_exception(std::current_exception());
+      throw;
+    }
+    cache.put(flight->fp, result);
+    {
+      std::lock_guard<std::mutex> lock(flights_mu);
+      flights.erase(flight->fp);
+    }
+    flight->promise.set_value(result);
+    return result;
+  }
+
+  /// The queued form of run_flight: checks for abandonment (every submission
+  /// cancelled while queued) under the table lock, swallows compile errors
+  /// into the flight's future (tickets rethrow from get()).
+  void run_flight_job(const std::shared_ptr<Flight>& flight,
+                      const CompileRequest& req) {
+    queue_depth.fetch_sub(1, std::memory_order_relaxed);
+    bool abandoned = false;
+    {
+      std::lock_guard<std::mutex> lock(flights_mu);
+      flight->started.store(true, std::memory_order_relaxed);
+      if (flight->interest.load(std::memory_order_relaxed) == 0) {
+        flights.erase(flight->fp);
+        abandoned = true;
+      }
+    }
+    if (abandoned) {
+      flight->promise.set_value(nullptr);
+      return;
+    }
+    try {
+      run_flight(flight, req);
+    } catch (...) {
+      // Already stored in the future; every waiter sees it.
+    }
+  }
+
+  ResultPtr compile_sync(const CompileRequest& req) {
+    requests.fetch_add(1, std::memory_order_relaxed);
+    trace_count("service.requests", 1);
+    const Digest128 fp = fingerprint_request(req.terms, req.num_qubits,
+                                             req.options, req.coupling_graph());
+    for (;;) {
+      if (ResultPtr hit = cache.get(fp)) return hit;
+      const JoinResult j = join_or_create(fp);
+      if (j.created) {
+        j.flight->started.store(true, std::memory_order_relaxed);
+        return run_flight(j.flight, req);
+      }
+      inflight_joins.fetch_add(1, std::memory_order_relaxed);
+      trace_count("service.inflight_joins", 1);
+      ResultPtr shared = j.flight->future.get();  // rethrows compile errors
+      if (shared != nullptr) return shared;
+      // Unreachable in practice: our interest blocks abandonment. Retry
+      // defensively rather than hand a sync caller a null result.
+    }
+  }
+};
+
+CompileService::CompileService(ServiceOptions opt)
+    : CompileService(std::move(opt), [](const CompileRequest& req) {
+        PhoenixOptions o = req.options;
+        if (req.coupling != nullptr) o.coupling = req.coupling.get();
+        return phoenix_compile(req.terms, req.num_qubits, o);
+      }) {}
+
+CompileService::CompileService(ServiceOptions opt, CompileFn compile_fn)
+    : impl_(std::make_unique<Impl>(std::move(opt), std::move(compile_fn))) {}
+
+CompileService::~CompileService() = default;
+
+CompileService::ResultPtr CompileService::compile(const CompileRequest& req) {
+  return impl_->compile_sync(req);
+}
+
+CompileService::ResultPtr CompileService::compile(
+    const std::vector<PauliTerm>& terms, std::size_t num_qubits,
+    const PhoenixOptions& opt) {
+  CompileRequest req;
+  req.terms = terms;
+  req.num_qubits = num_qubits;
+  req.options = opt;
+  return impl_->compile_sync(req);
+}
+
+CompileService::ResultPtr CompileService::Ticket::get() {
+  if (state_ == nullptr)
+    throw Error(Stage::Service, "Ticket::get: empty ticket");
+  if (state_->cancelled.load(std::memory_order_relaxed)) return nullptr;
+  if (state_->flight == nullptr) return state_->ready;
+  return state_->flight->future.get();  // rethrows compile errors
+}
+
+bool CompileService::Ticket::ready() const {
+  if (state_ == nullptr) return false;
+  if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+  if (state_->flight == nullptr) return true;
+  return state_->flight->future.wait_for(std::chrono::seconds(0)) ==
+         std::future_status::ready;
+}
+
+bool CompileService::Ticket::cancel() {
+  if (state_ == nullptr || state_->flight == nullptr) return false;
+  if (state_->cancelled.exchange(true)) return false;
+  if (state_->cancelled_counter != nullptr)
+    state_->cancelled_counter->fetch_add(1, std::memory_order_relaxed);
+  trace_count("service.cancelled", 1);
+  Flight& f = *state_->flight;
+  const std::size_t remaining =
+      f.interest.fetch_sub(1, std::memory_order_relaxed) - 1;
+  // Best effort: the compile is skipped when nobody else wants the flight
+  // and the worker has not picked it up yet (the worker re-checks interest
+  // under the flight-table lock before compiling).
+  return remaining == 0 && !f.started.load(std::memory_order_relaxed);
+}
+
+const Digest128& CompileService::Ticket::fingerprint() const {
+  static const Digest128 kEmpty{};
+  return state_ == nullptr ? kEmpty : state_->fp;
+}
+
+CompileService::Ticket CompileService::submit(CompileRequest req,
+                                              int priority) {
+  impl_->requests.fetch_add(1, std::memory_order_relaxed);
+  trace_count("service.requests", 1);
+  const Digest128 fp = fingerprint_request(
+      req.terms, req.num_qubits, req.options, req.coupling_graph());
+
+  Ticket ticket;
+  ticket.state_ = std::make_shared<Ticket::State>();
+  ticket.state_->fp = fp;
+  ticket.state_->cancelled_counter = &impl_->cancelled;
+
+  if (ResultPtr hit = impl_->cache.get(fp)) {
+    ticket.state_->ready = std::move(hit);
+    return ticket;
+  }
+
+  const Impl::JoinResult j = impl_->join_or_create(fp);
+  ticket.state_->flight = j.flight;
+  if (!j.created) {
+    impl_->inflight_joins.fetch_add(1, std::memory_order_relaxed);
+    trace_count("service.inflight_joins", 1);
+    return ticket;
+  }
+
+  impl_->queue_depth.fetch_add(1, std::memory_order_relaxed);
+  Impl* impl = impl_.get();
+  auto shared_req = std::make_shared<CompileRequest>(std::move(req));
+  impl_->pool.submit(
+      [impl, flight = j.flight, shared_req] {
+        impl->run_flight_job(flight, *shared_req);
+      },
+      priority);
+  return ticket;
+}
+
+std::vector<CompileService::ResultPtr> CompileService::compile_batch(
+    const std::vector<CompileRequest>& reqs, int priority) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(reqs.size());
+  for (const CompileRequest& req : reqs)
+    tickets.push_back(submit(req, priority));
+
+  std::vector<ResultPtr> results;
+  results.reserve(reqs.size());
+  std::exception_ptr first_error;
+  for (Ticket& t : tickets) {
+    try {
+      results.push_back(t.get());
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+      results.push_back(nullptr);
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+ServiceStats CompileService::stats() const {
+  const CompileCache::Counters c = impl_->cache.counters();
+  ServiceStats s;
+  s.requests = impl_->requests.load(std::memory_order_relaxed);
+  s.hits = c.hits;
+  s.disk_hits = c.disk_hits;
+  s.disk_rejects = c.disk_rejects;
+  s.misses = impl_->compiles.load(std::memory_order_relaxed);
+  s.inflight_joins = impl_->inflight_joins.load(std::memory_order_relaxed);
+  s.evictions = c.evictions;
+  s.cancelled = impl_->cancelled.load(std::memory_order_relaxed);
+  s.queue_depth = impl_->queue_depth.load(std::memory_order_relaxed);
+  s.cache_entries = c.entries;
+  s.cache_bytes = c.bytes;
+  return s;
+}
+
+}  // namespace phoenix

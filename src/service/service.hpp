@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/graph.hpp"
+#include "common/hash.hpp"
+#include "pauli/pauli.hpp"
+#include "phoenix/compiler.hpp"
+#include "service/cache.hpp"
+
+namespace phoenix {
+
+/// One compile request as the service schedules it. `options.coupling` must
+/// stay valid for the request's lifetime; async callers that cannot
+/// guarantee that should own the graph through `coupling`, which takes
+/// precedence over (and keeps alive past) the raw pointer.
+struct CompileRequest {
+  std::vector<PauliTerm> terms;
+  std::size_t num_qubits = 0;
+  PhoenixOptions options;
+  std::shared_ptr<const Graph> coupling;  ///< optional owning alternative
+
+  const Graph* coupling_graph() const {
+    return coupling != nullptr ? coupling.get() : options.coupling;
+  }
+};
+
+struct ServiceOptions {
+  CacheOptions cache;
+  /// Worker threads for `submit`/`compile_batch` (the service owns a
+  /// dedicated ThreadPool; per-compile simplify parallelism still follows
+  /// PhoenixOptions::num_threads). 0 = hardware_concurrency - 1, capped at
+  /// 15; on a single-core host (or explicit 0-worker degenerate case)
+  /// submitted jobs run inline at submission time.
+  std::size_t num_threads = 0;
+};
+
+/// Point-in-time service counters (all monotonic except queue_depth and the
+/// cache occupancy pair). Also mirrored into the PR 3 trace layer as
+/// `service.*` counters on whatever Trace is installed on the calling
+/// thread, so traced drivers see cache behavior inline with stage spans.
+struct ServiceStats {
+  std::uint64_t requests = 0;        ///< compile/submit/batch entries
+  std::uint64_t hits = 0;            ///< served from memory cache
+  std::uint64_t disk_hits = 0;       ///< served from the disk cache
+  std::uint64_t disk_rejects = 0;    ///< stale/corrupt disk entries skipped
+  std::uint64_t misses = 0;          ///< required an actual compile
+  std::uint64_t inflight_joins = 0;  ///< deduped onto a running compile
+  std::uint64_t evictions = 0;       ///< cache entries evicted by byte budget
+  std::uint64_t cancelled = 0;       ///< submissions cancelled before start
+  std::uint64_t queue_depth = 0;     ///< jobs accepted but not yet started
+  std::uint64_t cache_entries = 0;   ///< resident cache entries
+  std::uint64_t cache_bytes = 0;     ///< resident cache byte estimate
+};
+
+/// Thread-safe serving layer in front of phoenix_compile:
+///
+///  * content-addressed result cache (fingerprint_request keys a sharded
+///    byte-budgeted LRU, optionally persisted to disk — see cache.hpp);
+///  * single-flight deduplication: N concurrent requests for one fingerprint
+///    run ONE compile and share the immutable result;
+///  * async submission with per-request priority and best-effort
+///    cancellation, plus a batch front-end scheduling across the service's
+///    thread pool.
+///
+/// Results are shared immutable snapshots (`shared_ptr<const CompileResult>`)
+/// — a hit hands back the exact object the cold compile produced.
+class CompileService {
+ public:
+  using ResultPtr = std::shared_ptr<const CompileResult>;
+  /// Test seam / extension point: the function that actually compiles a
+  /// request. Defaults to phoenix_compile with the request's coupling graph
+  /// patched into the options.
+  using CompileFn = std::function<CompileResult(const CompileRequest&)>;
+
+  explicit CompileService(ServiceOptions opt = {});
+  CompileService(ServiceOptions opt, CompileFn compile_fn);
+  ~CompileService();
+
+  CompileService(const CompileService&) = delete;
+  CompileService& operator=(const CompileService&) = delete;
+
+  /// Synchronous cached compile: cache hit, join of an in-flight compile, or
+  /// a cold compile on the calling thread. Compile errors propagate.
+  ResultPtr compile(const CompileRequest& req);
+  ResultPtr compile(const std::vector<PauliTerm>& terms,
+                    std::size_t num_qubits, const PhoenixOptions& opt = {});
+
+  /// Handle to one async submission. get() blocks for the shared result and
+  /// rethrows the compile's error; after a successful cancel() it returns
+  /// nullptr instead.
+  class Ticket {
+   public:
+    Ticket() = default;
+
+    /// The shared result (nullptr iff this submission was cancelled).
+    ResultPtr get();
+    /// True once the shared compile finished (ready, failed, or cancelled).
+    bool ready() const;
+    /// Best-effort cancellation: marks this submission abandoned (its get()
+    /// returns nullptr immediately) and, when no other submission shares the
+    /// fingerprint and the compile has not started, prevents the compile
+    /// entirely. Returns true when the underlying compile was (or will be)
+    /// skipped on this submission's behalf.
+    bool cancel();
+
+    const Digest128& fingerprint() const;
+
+   private:
+    friend class CompileService;
+    struct State;
+    std::shared_ptr<State> state_;
+  };
+
+  /// Enqueue one request on the service pool. Higher priority runs first
+  /// (FIFO within a priority). Cache hits return an already-ready ticket
+  /// without touching the queue; duplicate fingerprints join the in-flight
+  /// or queued compile instead of enqueueing another.
+  Ticket submit(CompileRequest req, int priority = 0);
+
+  /// Schedule the whole batch (shared priority), then wait for every entry.
+  /// Results come back in request order; duplicates within the batch are
+  /// deduplicated by single-flight. If any compile failed, the first error
+  /// (in request order) is rethrown after the batch drains.
+  std::vector<ResultPtr> compile_batch(const std::vector<CompileRequest>& reqs,
+                                       int priority = 0);
+
+  ServiceStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace phoenix

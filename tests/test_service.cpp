@@ -1,0 +1,800 @@
+// Compile-service tests: request fingerprinting (canonicalization,
+// permutation invariance, option sensitivity), the CompileResult
+// serialization round-trip, the sharded LRU cache (byte budget, disk
+// persistence, schema rejection), single-flight deduplication under
+// concurrency, priority/cancellation scheduling, and the thread-pool
+// reentrancy edges the service exposed.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "hamlib/io.hpp"
+#include "hamlib/uccsd.hpp"
+#include "mapping/topology.hpp"
+#include "phoenix/serialize.hpp"
+#include "service/cache.hpp"
+#include "service/fingerprint.hpp"
+#include "service/service.hpp"
+
+namespace phoenix {
+namespace {
+
+std::vector<PauliTerm> small_terms() {
+  return {{"XXII", 0.5}, {"IYYI", -0.25}, {"IIZZ", 0.125}, {"ZIIZ", 1.0}};
+}
+
+const UccsdBenchmark& lih_bk() {
+  static const UccsdBenchmark b =
+      generate_uccsd(Molecule::lih(), true, FermionEncoding::BravyiKitaev);
+  return b;
+}
+
+/// Gate-by-gate exact comparison (angles compared by bit pattern, Su4
+/// constituents recursed) — "bit-identical" in the acceptance sense.
+void expect_gates_identical(const Gate& a, const Gate& b) {
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.q0, b.q0);
+  EXPECT_EQ(a.q1, b.q1);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.param),
+            std::bit_cast<std::uint64_t>(b.param));
+  ASSERT_EQ(a.sub.size(), b.sub.size());
+  for (std::size_t i = 0; i < a.sub.size(); ++i)
+    expect_gates_identical(a.sub[i], b.sub[i]);
+}
+
+void expect_circuits_identical(const Circuit& a, const Circuit& b) {
+  EXPECT_EQ(a.num_qubits(), b.num_qubits());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    expect_gates_identical(a.gate(i), b.gate(i));
+}
+
+/// A scratch directory under the system temp dir, removed on destruction.
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const char* tag) {
+    path = std::filesystem::temp_directory_path() /
+           (std::string("phoenix_") + tag + "_" +
+            std::to_string(::getpid()) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+// --- canonicalization -------------------------------------------------------
+
+TEST(Canonicalize, MergesDuplicatesPreservingFirstPosition) {
+  std::vector<PauliTerm> terms = {
+      {"XX", 0.5}, {"ZZ", 1.0}, {"XX", 0.25}, {"YY", -1.0}, {"ZZ", -0.5}};
+  const std::size_t removed = canonicalize_terms(terms);
+  EXPECT_EQ(removed, 2u);
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0].string.to_string(), "XX");
+  EXPECT_DOUBLE_EQ(terms[0].coeff, 0.75);
+  EXPECT_EQ(terms[1].string.to_string(), "ZZ");
+  EXPECT_DOUBLE_EQ(terms[1].coeff, 0.5);
+  EXPECT_EQ(terms[2].string.to_string(), "YY");
+}
+
+TEST(Canonicalize, DropsExactZerosIncludingCancellingMerges) {
+  std::vector<PauliTerm> terms = {
+      {"XX", 0.5}, {"YY", 0.0}, {"XX", -0.5}, {"ZZ", 2.0}};
+  const std::size_t removed = canonicalize_terms(terms);
+  EXPECT_EQ(removed, 3u);
+  ASSERT_EQ(terms.size(), 1u);
+  EXPECT_EQ(terms[0].string.to_string(), "ZZ");
+}
+
+TEST(Canonicalize, KeepsTinyNonzeroCoefficients) {
+  std::vector<PauliTerm> terms = {{"XX", 1e-300}};
+  EXPECT_EQ(canonicalize_terms(terms), 0u);
+  EXPECT_EQ(terms.size(), 1u);
+}
+
+TEST(Canonicalize, AppliedByHamiltonianFromText) {
+  const auto terms =
+      hamiltonian_from_text("XX 0.5\nZZ 0\nXX 0.25\nYY 1.0\n");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_EQ(terms[0].string.to_string(), "XX");
+  EXPECT_DOUBLE_EQ(terms[0].coeff, 0.75);
+  EXPECT_EQ(terms[1].string.to_string(), "YY");
+}
+
+// --- fingerprinting ---------------------------------------------------------
+
+TEST(Fingerprint, StableAndSensitiveToContent) {
+  const auto terms = small_terms();
+  const PhoenixOptions opt;
+  const Digest128 base = fingerprint_request(terms, 4, opt);
+  EXPECT_EQ(base, fingerprint_request(terms, 4, opt));
+
+  auto scaled = terms;
+  scaled[1].coeff += 1e-9;
+  EXPECT_NE(base, fingerprint_request(scaled, 4, opt));
+
+  EXPECT_NE(base, fingerprint_request(terms, 5, opt));
+}
+
+TEST(Fingerprint, PermutationAndSplitInvariant) {
+  const auto terms = small_terms();
+  const PhoenixOptions opt;
+  const Digest128 base = fingerprint_request(terms, 4, opt);
+
+  auto permuted = terms;
+  std::swap(permuted[0], permuted[3]);
+  std::swap(permuted[1], permuted[2]);
+  EXPECT_EQ(base, fingerprint_request(permuted, 4, opt));
+
+  // Split one coefficient across duplicate strings and pad with an exact
+  // zero: still the same canonical Hamiltonian.
+  std::vector<PauliTerm> split = {{"XXII", 0.25}, {"IYYI", -0.25},
+                                  {"IIZZ", 0.125}, {"XXII", 0.25},
+                                  {"ZIIZ", 1.0},  {"YYYY", 0.0}};
+  EXPECT_EQ(base, fingerprint_request(split, 4, opt));
+}
+
+TEST(Fingerprint, SemanticOptionsChangeDigest) {
+  const auto terms = small_terms();
+  PhoenixOptions opt;
+  const Digest128 base = fingerprint_request(terms, 4, opt);
+
+  PhoenixOptions isa = opt;
+  isa.isa = TwoQubitIsa::Su4;
+  EXPECT_NE(base, fingerprint_request(terms, 4, isa));
+
+  PhoenixOptions peep = opt;
+  peep.peephole = PeepholeLevel::O3;
+  EXPECT_NE(base, fingerprint_request(terms, 4, peep));
+
+  PhoenixOptions look = opt;
+  look.lookahead = 7;
+  EXPECT_NE(base, fingerprint_request(terms, 4, look));
+
+  PhoenixOptions val = opt;
+  val.validation.level = ValidationLevel::Cheap;
+  EXPECT_NE(base, fingerprint_request(terms, 4, val));
+}
+
+TEST(Fingerprint, OutputInvariantOptionsDoNotChangeDigest) {
+  const auto terms = small_terms();
+  PhoenixOptions opt;
+  const Digest128 base = fingerprint_request(terms, 4, opt);
+
+  PhoenixOptions threads = opt;
+  threads.num_threads = 4;
+  EXPECT_EQ(base, fingerprint_request(terms, 4, threads));
+
+  PhoenixOptions traced = opt;
+  traced.trace = true;
+  EXPECT_EQ(base, fingerprint_request(terms, 4, traced));
+}
+
+TEST(Fingerprint, CouplingEdgeSetMatters) {
+  const auto terms = small_terms();
+  PhoenixOptions opt;
+  opt.hardware_aware = true;
+
+  Graph line(4);
+  line.add_edge(0, 1);
+  line.add_edge(1, 2);
+  line.add_edge(2, 3);
+  const Digest128 base = fingerprint_request(terms, 4, opt, &line);
+
+  // Same edge set, different insertion order and endpoint order.
+  Graph shuffled(4);
+  shuffled.add_edge(3, 2);
+  shuffled.add_edge(1, 0);
+  shuffled.add_edge(2, 1);
+  EXPECT_EQ(base, fingerprint_request(terms, 4, opt, &shuffled));
+
+  Graph ring = line;
+  ring.add_edge(3, 0);
+  EXPECT_NE(base, fingerprint_request(terms, 4, opt, &ring));
+
+  EXPECT_THROW(fingerprint_request(terms, 4, opt, nullptr), Error);
+}
+
+// --- serialization ----------------------------------------------------------
+
+TEST(SerializeResult, RoundTripIsBitIdentical) {
+  const auto& b = lih_bk();
+  PhoenixOptions opt;
+  opt.validation.level = ValidationLevel::Cheap;
+  const CompileResult cold = phoenix_compile(b.terms, b.num_qubits, opt);
+
+  const std::string bytes = compile_result_to_bytes(cold);
+  const CompileResult back = compile_result_from_bytes(bytes);
+
+  expect_circuits_identical(cold.circuit, back.circuit);
+  expect_circuits_identical(cold.logical, back.logical);
+  EXPECT_EQ(cold.num_swaps, back.num_swaps);
+  EXPECT_EQ(cold.num_groups, back.num_groups);
+  EXPECT_EQ(cold.bsf_epochs, back.bsf_epochs);
+  EXPECT_EQ(cold.initial_layout, back.initial_layout);
+  EXPECT_EQ(cold.final_layout, back.final_layout);
+  ASSERT_EQ(cold.diagnostics.size(), back.diagnostics.size());
+  for (std::size_t i = 0; i < cold.diagnostics.size(); ++i) {
+    EXPECT_EQ(cold.diagnostics[i].name, back.diagnostics[i].name);
+    EXPECT_EQ(cold.diagnostics[i].note, back.diagnostics[i].note);
+    EXPECT_EQ(cold.diagnostics[i].checked, back.diagnostics[i].checked);
+  }
+  EXPECT_EQ(cold.validation.status, back.validation.status);
+  EXPECT_EQ(cold.validation.realized_order.size(),
+            back.validation.realized_order.size());
+
+  // A second encode of the decode is byte-identical: the format is a fixed
+  // point, not merely tolerant.
+  EXPECT_EQ(bytes, compile_result_to_bytes(back));
+}
+
+TEST(SerializeResult, HardwareAwareRoundTripKeepsLayouts) {
+  const Graph device = topology_manhattan();
+  PhoenixOptions opt;
+  opt.hardware_aware = true;
+  opt.coupling = &device;
+  const CompileResult cold =
+      phoenix_compile(small_terms(), 4, opt);
+  ASSERT_FALSE(cold.initial_layout.empty());
+
+  const CompileResult back =
+      compile_result_from_bytes(compile_result_to_bytes(cold));
+  expect_circuits_identical(cold.circuit, back.circuit);
+  EXPECT_EQ(cold.initial_layout, back.initial_layout);
+  EXPECT_EQ(cold.final_layout, back.final_layout);
+  EXPECT_EQ(cold.num_swaps, back.num_swaps);
+}
+
+TEST(SerializeResult, RejectsStaleOrForeignSchema) {
+  const CompileResult cold = phoenix_compile(small_terms(), 4);
+  std::string bytes = compile_result_to_bytes(cold);
+
+  std::string stale = bytes;
+  const std::size_t at = stale.find("v1");
+  ASSERT_NE(at, std::string::npos);
+  stale.replace(at, 2, "v0");
+  EXPECT_THROW(
+      {
+        try {
+          compile_result_from_bytes(stale);
+        } catch (const Error& e) {
+          EXPECT_EQ(e.stage(), Stage::Parse);
+          throw;
+        }
+      },
+      Error);
+
+  EXPECT_THROW(compile_result_from_bytes("not a cache entry"), Error);
+  EXPECT_THROW(compile_result_from_bytes(bytes.substr(0, bytes.size() / 2)),
+               Error);
+}
+
+// --- cache ------------------------------------------------------------------
+
+/// A synthetic result with a payload of roughly `gates` gates, for byte-
+/// budget tests without paying for real compiles.
+CompileResult synthetic_result(std::size_t gates) {
+  CompileResult r;
+  r.circuit = Circuit(4);
+  for (std::size_t i = 0; i < gates; ++i)
+    r.circuit.append(Gate::rz(i % 4, 0.25 * static_cast<double>(i + 1)));
+  r.logical = r.circuit;
+  r.num_groups = gates;
+  return r;
+}
+
+Digest128 key_of(std::uint64_t i) {
+  Hash128 h(i);
+  h.write_u64(i);
+  return h.digest();
+}
+
+TEST(CompileCache, HitReturnsTheSharedObject) {
+  CompileCache cache;
+  const Digest128 k = key_of(1);
+  EXPECT_EQ(cache.get(k), nullptr);
+  auto value = std::make_shared<const CompileResult>(synthetic_result(10));
+  cache.put(k, value);
+  EXPECT_EQ(cache.get(k).get(), value.get());
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+}
+
+TEST(CompileCache, EvictionRespectsByteBudget) {
+  const std::size_t entry_bytes =
+      compile_result_approx_bytes(synthetic_result(64));
+  CacheOptions opt;
+  opt.shards = 1;  // one budget slice, deterministic accounting
+  opt.max_bytes = 4 * entry_bytes + entry_bytes / 2;
+  CompileCache cache(opt);
+
+  for (std::uint64_t i = 0; i < 32; ++i)
+    cache.put(key_of(i),
+              std::make_shared<const CompileResult>(synthetic_result(64)));
+
+  const auto c = cache.counters();
+  EXPECT_GT(c.evictions, 0u);
+  EXPECT_LE(c.bytes, opt.max_bytes);
+  EXPECT_LE(c.entries, 4u);
+  // Most-recently inserted survives; the oldest were evicted.
+  EXPECT_NE(cache.get(key_of(31)), nullptr);
+  EXPECT_EQ(cache.get(key_of(0)), nullptr);
+}
+
+TEST(CompileCache, LruOrderRespectsTouches) {
+  const std::size_t entry_bytes =
+      compile_result_approx_bytes(synthetic_result(64));
+  CacheOptions opt;
+  opt.shards = 1;
+  opt.max_bytes = 2 * entry_bytes + entry_bytes / 2;
+  CompileCache cache(opt);
+  cache.put(key_of(1), std::make_shared<const CompileResult>(synthetic_result(64)));
+  cache.put(key_of(2), std::make_shared<const CompileResult>(synthetic_result(64)));
+  ASSERT_NE(cache.get(key_of(1)), nullptr);  // touch 1 → 2 is now LRU
+  cache.put(key_of(3), std::make_shared<const CompileResult>(synthetic_result(64)));
+  EXPECT_NE(cache.get(key_of(1)), nullptr);
+  EXPECT_EQ(cache.get(key_of(2)), nullptr);
+}
+
+TEST(CompileCache, OversizedEntryIsAdmittedAlone) {
+  CacheOptions opt;
+  opt.shards = 1;
+  opt.max_bytes = 16;  // far below any real entry
+  CompileCache cache(opt);
+  cache.put(key_of(7),
+            std::make_shared<const CompileResult>(synthetic_result(64)));
+  EXPECT_NE(cache.get(key_of(7)), nullptr);
+  EXPECT_EQ(cache.counters().entries, 1u);
+}
+
+TEST(CompileCache, DiskPersistenceSurvivesProcessBoundary) {
+  const TempDir dir("diskcache");
+  const Digest128 k = key_of(42);
+  const CompileResult original = phoenix_compile(small_terms(), 4);
+  {
+    CacheOptions opt;
+    opt.disk_dir = dir.str();
+    CompileCache writer(opt);
+    writer.put(k, std::make_shared<const CompileResult>(original));
+  }
+  // A fresh cache (fresh "process") with the same directory serves the entry.
+  CacheOptions opt;
+  opt.disk_dir = dir.str();
+  CompileCache reader(opt);
+  const auto loaded = reader.get(k);
+  ASSERT_NE(loaded, nullptr);
+  expect_circuits_identical(original.circuit, loaded->circuit);
+  EXPECT_EQ(reader.counters().disk_hits, 1u);
+  // Second get is served from memory (promoted).
+  EXPECT_NE(reader.get(k), nullptr);
+  EXPECT_EQ(reader.counters().hits, 1u);
+}
+
+TEST(CompileCache, DiskRejectsStaleSchemaTag) {
+  const TempDir dir("staledisk");
+  const Digest128 k = key_of(43);
+  {
+    CacheOptions opt;
+    opt.disk_dir = dir.str();
+    CompileCache writer(opt);
+    writer.put(k, std::make_shared<const CompileResult>(
+                      phoenix_compile(small_terms(), 4)));
+  }
+  // Corrupt the schema tag in place.
+  const std::string path = dir.str() + "/" + k.hex() + ".phxc";
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    contents = buf.str();
+  }
+  const std::size_t at = contents.find("v1");
+  ASSERT_NE(at, std::string::npos);
+  contents.replace(at, 2, "v0");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << contents;
+  }
+
+  CacheOptions opt;
+  opt.disk_dir = dir.str();
+  CompileCache reader(opt);
+  EXPECT_EQ(reader.get(k), nullptr);
+  const auto c = reader.counters();
+  EXPECT_EQ(c.disk_rejects, 1u);
+  EXPECT_EQ(c.misses, 1u);
+}
+
+// --- service ----------------------------------------------------------------
+
+TEST(Service, WarmHitIsBitIdenticalToColdCompile) {
+  const auto& b = lih_bk();
+  CompileService svc;
+  const auto cold = svc.compile(b.terms, b.num_qubits);
+  const auto uncached = phoenix_compile(b.terms, b.num_qubits);
+  expect_circuits_identical(cold->circuit, uncached.circuit);
+
+  const auto warm = svc.compile(b.terms, b.num_qubits);
+  EXPECT_EQ(warm.get(), cold.get());  // the very same shared snapshot
+  const auto s = svc.stats();
+  EXPECT_EQ(s.requests, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+}
+
+TEST(Service, PermutedRequestHitsTheSameEntry) {
+  const auto terms = small_terms();
+  auto permuted = terms;
+  std::swap(permuted[0], permuted[2]);
+  CompileService svc;
+  const auto a = svc.compile(terms, 4);
+  const auto b = svc.compile(permuted, 4);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(svc.stats().misses, 1u);
+}
+
+TEST(Service, CompileErrorsPropagateAndAreNotCached) {
+  ServiceOptions opt;
+  std::atomic<int> calls{0};
+  CompileService svc(opt, [&](const CompileRequest&) -> CompileResult {
+    ++calls;
+    throw Error(Stage::Simplify, "injected failure");
+  });
+  EXPECT_THROW(svc.compile(small_terms(), 4), Error);
+  EXPECT_THROW(svc.compile(small_terms(), 4), Error);
+  EXPECT_EQ(calls.load(), 2);  // failures are retried, not cached
+}
+
+TEST(Service, SingleFlightStressOneCompilePerFingerprint) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kUnique = 5;
+  constexpr std::size_t kRounds = 6;
+
+  std::atomic<std::size_t> compiles{0};
+  ServiceOptions opt;
+  CompileService svc(opt, [&](const CompileRequest& req) {
+    compiles.fetch_add(1);
+    // Hold the flight open long enough that every thread piles onto it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    CompileResult r;
+    r.circuit = Circuit(req.num_qubits);
+    r.num_groups = req.terms.size();
+    return r;
+  });
+
+  // kUnique distinct Hamiltonians; every thread requests all of them,
+  // kRounds times, concurrently.
+  std::vector<std::vector<PauliTerm>> inputs;
+  for (std::size_t u = 0; u < kUnique; ++u)
+    inputs.push_back({PauliTerm("XX", 1.0 + static_cast<double>(u))});
+
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (std::size_t round = 0; round < kRounds; ++round)
+        for (std::size_t u = 0; u < kUnique; ++u) {
+          const auto r = svc.compile(inputs[u], 2);
+          if (r == nullptr || r->num_groups != 1) failed = true;
+        }
+    });
+  for (auto& t : threads) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(compiles.load(), kUnique);  // exactly one compile per fingerprint
+  const auto s = svc.stats();
+  EXPECT_EQ(s.misses, kUnique);
+  EXPECT_EQ(s.requests, kThreads * kRounds * kUnique);
+  EXPECT_EQ(s.hits + s.inflight_joins + s.misses, s.requests);
+  EXPECT_GT(s.inflight_joins, 0u);
+}
+
+TEST(Service, SubmitSchedulesByPriority) {
+  // One worker; the first job blocks the queue while the rest are enqueued
+  // with distinct priorities, so completion order must follow priority.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<double> order;
+
+  ServiceOptions opt;
+  opt.num_threads = 1;
+  CompileService svc(opt, [&](const CompileRequest& req) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+      order.push_back(req.terms[0].coeff);
+    }
+    CompileResult r;
+    r.circuit = Circuit(req.num_qubits);
+    return r;
+  });
+
+  auto request = [](double tag) {
+    CompileRequest req;
+    req.terms = {PauliTerm("XX", tag)};
+    req.num_qubits = 2;
+    return req;
+  };
+
+  auto gate = svc.submit(request(0.0), 0);  // occupies the single worker
+  // Wait until the gate job is actually running (queue drained to 0).
+  while (svc.stats().queue_depth != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto low = svc.submit(request(1.0), 1);
+  auto mid = svc.submit(request(2.0), 5);
+  auto high = svc.submit(request(3.0), 9);
+  EXPECT_EQ(svc.stats().queue_depth, 3u);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  gate.get();
+  low.get();
+  mid.get();
+  high.get();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0.0);
+  EXPECT_EQ(order[1], 3.0);  // high priority first
+  EXPECT_EQ(order[2], 2.0);
+  EXPECT_EQ(order[3], 1.0);
+}
+
+TEST(Service, CancelSkipsQueuedCompile) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> compiles{0};
+
+  ServiceOptions opt;
+  opt.num_threads = 1;
+  CompileService svc(opt, [&](const CompileRequest& req) {
+    compiles.fetch_add(1);
+    if (req.terms[0].coeff == 0.0) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    }
+    CompileResult r;
+    r.circuit = Circuit(req.num_qubits);
+    return r;
+  });
+
+  CompileRequest blocker;
+  blocker.terms = {PauliTerm("XX", 0.0)};
+  blocker.num_qubits = 2;
+  CompileRequest victim;
+  victim.terms = {PauliTerm("YY", 1.0)};
+  victim.num_qubits = 2;
+
+  auto gate = svc.submit(blocker, 0);
+  while (svc.stats().queue_depth != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto doomed = svc.submit(victim, 0);
+  EXPECT_TRUE(doomed.cancel());
+  EXPECT_FALSE(doomed.cancel());  // idempotent: second call reports nothing new
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_NE(gate.get(), nullptr);
+  EXPECT_EQ(doomed.get(), nullptr);
+  // Drain: submit + wait for an unrelated compile so the cancelled job has
+  // definitely been dequeued before asserting.
+  CompileRequest tail;
+  tail.terms = {PauliTerm("ZZ", 2.0)};
+  tail.num_qubits = 2;
+  EXPECT_NE(svc.submit(tail, 0).get(), nullptr);
+  EXPECT_EQ(compiles.load(), 2);  // blocker + tail; the victim never compiled
+  EXPECT_EQ(svc.stats().cancelled, 1u);
+}
+
+TEST(Service, BatchDeduplicatesAndPreservesOrder) {
+  std::atomic<int> compiles{0};
+  ServiceOptions opt;
+  opt.num_threads = 4;
+  CompileService svc(opt, [&](const CompileRequest& req) {
+    compiles.fetch_add(1);
+    CompileResult r;
+    r.circuit = Circuit(req.num_qubits);
+    r.num_groups = static_cast<std::size_t>(req.terms[0].coeff);
+    return r;
+  });
+
+  std::vector<CompileRequest> batch;
+  for (const double tag : {1.0, 2.0, 1.0, 3.0, 2.0, 1.0}) {
+    CompileRequest req;
+    req.terms = {PauliTerm("XX", tag)};
+    req.num_qubits = 2;
+    batch.push_back(std::move(req));
+  }
+  const auto results = svc.compile_batch(batch);
+  ASSERT_EQ(results.size(), 6u);
+  const std::size_t expected[] = {1, 2, 1, 3, 2, 1};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_NE(results[i], nullptr);
+    EXPECT_EQ(results[i]->num_groups, expected[i]);
+  }
+  EXPECT_EQ(compiles.load(), 3);  // one per unique fingerprint
+  EXPECT_EQ(results[0].get(), results[2].get());
+  EXPECT_EQ(results[2].get(), results[5].get());
+}
+
+TEST(Service, BatchWithRealCompilesMatchesDirectPipeline) {
+  const auto& b = lih_bk();
+  ServiceOptions opt;
+  CompileService svc(opt);
+  std::vector<CompileRequest> batch(3);
+  for (auto& req : batch) {
+    req.terms = b.terms;
+    req.num_qubits = b.num_qubits;
+  }
+  const auto results = svc.compile_batch(batch);
+  const CompileResult direct = phoenix_compile(b.terms, b.num_qubits);
+  for (const auto& r : results) {
+    ASSERT_NE(r, nullptr);
+    expect_circuits_identical(direct.circuit, r->circuit);
+  }
+  EXPECT_EQ(svc.stats().misses, 1u);
+}
+
+TEST(Service, DiskCacheWarmStartAcrossServiceInstances) {
+  const TempDir dir("servicedisk");
+  const auto terms = small_terms();
+  ServiceOptions opt;
+  opt.cache.disk_dir = dir.str();
+
+  CompileResult direct = phoenix_compile(terms, 4);
+  {
+    CompileService first(opt);
+    first.compile(terms, 4);
+    EXPECT_EQ(first.stats().misses, 1u);
+  }
+  CompileService second(opt);
+  const auto warm = second.compile(terms, 4);
+  ASSERT_NE(warm, nullptr);
+  expect_circuits_identical(direct.circuit, warm->circuit);
+  const auto s = second.stats();
+  EXPECT_EQ(s.misses, 0u);  // no compile ran in the second service
+  EXPECT_EQ(s.disk_hits, 1u);
+}
+
+// --- thread-pool edges exposed by concurrent service use --------------------
+
+TEST(ThreadPool, SubmitRunsByPriorityWithFifoTies) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::vector<int> order;
+
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  while (pool.queue_depth() != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto record = [&](int tag) {
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(tag);
+  };
+  pool.submit([&, t = 10] { record(t); }, 0);
+  pool.submit([&, t = 20] { record(t); }, 5);
+  pool.submit([&, t = 11] { record(t); }, 0);
+  pool.submit([&, t = 21] { record(t); }, 5);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  while (pool.queue_depth() != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // Let the final job finish (queue empty != job done).
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  pool.submit([&] {
+    std::lock_guard<std::mutex> lock(done_mu);
+    done = true;
+    done_cv.notify_one();
+  }, -1);
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done; });
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 20);
+  EXPECT_EQ(order[1], 21);
+  EXPECT_EQ(order[2], 10);
+  EXPECT_EQ(order[3], 11);
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkersDoesNotDeadlock) {
+  // Saturate a small pool with jobs that each run a parallel_for on the same
+  // pool — before the help-while-waiting fix the callers could all block on
+  // helper tasks stuck behind one another.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(16, [&](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 8u * 16u);
+}
+
+TEST(ThreadPool, SubmitFromWorkerThreadCompletes) {
+  ThreadPool pool(1);
+  std::atomic<bool> inner_ran{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool outer_done = false;
+  pool.submit([&] {
+    pool.submit([&] { inner_ran = true; });  // enqueued from the worker itself
+    std::lock_guard<std::mutex> lock(mu);
+    outer_done = true;
+    cv.notify_one();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return outer_done; });
+  }
+  // Inner job must still run (same single worker, after the outer returns).
+  while (!inner_ran.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedJobs) {
+  std::atomic<std::size_t> ran{0};
+  {
+    ThreadPool pool(1);
+    std::mutex mu;
+    std::condition_variable cv;
+    bool release = false;
+    pool.submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    });
+    for (int i = 0; i < 16; ++i)
+      pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+    // Destructor: stop intake, drain the 16 queued jobs, join.
+  }
+  EXPECT_EQ(ran.load(), 16u);
+}
+
+TEST(ThreadPool, ZeroWorkerSubmitRunsInline) {
+  ThreadPool pool(0);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace phoenix
