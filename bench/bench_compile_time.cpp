@@ -117,6 +117,38 @@ void BM_PhoenixQaoaHeavyHex(benchmark::State& state) {
   state.SetLabel(b.name);
 }
 
+// Head-to-head of the two peephole engines on the same un-peepholed logical
+// circuit: range(0) picks the suite entry, range(1) the engine (0 = Dag,
+// 1 = Legacy). The iteration measures one optimize_o2 pass over a fresh copy
+// of the base circuit (copy cost is identical across engines, so the delta
+// is pure engine cost). The `identical` counter is 1 when the two engines'
+// outputs match gate-for-gate with exact parameters — the bit-identity
+// contract CI's benchmark-smoke job asserts.
+void BM_PeepholeDagVsLegacy(benchmark::State& state) {
+  const auto& b = suite_entry(static_cast<std::size_t>(state.range(0)));
+  const PeepholeEngine engine =
+      state.range(1) == 0 ? PeepholeEngine::Dag : PeepholeEngine::Legacy;
+  PhoenixOptions opt;
+  opt.peephole = PeepholeLevel::None;
+  const Circuit base = phoenix_compile(b.terms, b.num_qubits, opt).logical;
+  for (auto _ : state) {
+    Circuit c = base;
+    optimize_o2(c, engine);
+    benchmark::DoNotOptimize(c.size());
+  }
+  Circuit dag = base;
+  Circuit legacy = base;
+  optimize_o2(dag, PeepholeEngine::Dag);
+  optimize_o2(legacy, PeepholeEngine::Legacy);
+  bool identical = dag.size() == legacy.size();
+  for (std::size_t i = 0; identical && i < dag.size(); ++i)
+    identical = dag.gates()[i].same_as(legacy.gates()[i], /*tol=*/0.0);
+  state.SetLabel(b.name +
+                 (engine == PeepholeEngine::Dag ? " [dag]" : " [legacy]"));
+  state.counters["base_gates"] = static_cast<double>(base.size());
+  state.counters["identical"] = identical ? 1.0 : 0.0;
+}
+
 // Warm-vs-cold latency through the CompileService: the iteration time is the
 // content-addressed cache-hit path (fingerprint + sharded-LRU lookup), and the
 // cold compile for the same program is measured once up front and exported as
@@ -153,6 +185,12 @@ BENCHMARK(BM_PhoenixLogicalTraced)->Arg(10)->Arg(1)->Unit(benchmark::kMillisecon
 BENCHMARK(BM_PaulihedralLogical)->Arg(10)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TketLogical)->Arg(10)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PhoenixHardwareAware)->Arg(10)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PeepholeDagVsLegacy)
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PhoenixQaoaHeavyHex)->Arg(0)->Arg(5)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ServiceWarmVsCold)->Arg(10)->Arg(14)->Arg(1)->Unit(benchmark::kMillisecond);
 

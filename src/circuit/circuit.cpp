@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/angles.hpp"
+
 namespace phoenix {
 
 void Circuit::append(Gate g) {
@@ -132,7 +134,8 @@ std::string Circuit::to_qasm() const {
   const Circuit flat = flattened();
   for (const auto& g : flat.gates_) {
     out += gate_name(g.kind);
-    if (gate_has_param(g.kind)) out += "(" + std::to_string(g.param) + ")";
+    if (gate_has_param(g.kind))
+      out += "(" + std::to_string(wrap_angle(g.param)) + ")";
     out += " q[" + std::to_string(g.q0) + "]";
     if (g.is_two_qubit()) out += ",q[" + std::to_string(g.q1) + "]";
     out += ";\n";

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/angles.hpp"
+
 namespace phoenix {
 
 namespace {
@@ -81,7 +83,9 @@ void append_pauli_rotation(Circuit& c, const PauliTerm& term, CnotTree tree,
 
   for (const Gate& g : pre) c.append(g);
   for (const Gate& g : ladder) c.append(g);
-  c.append(Gate::rz(root, 2.0 * term.coeff));
+  // 2θ can leave the principal range for large coefficients; Rz is
+  // 2π-periodic up to global phase, so emit the canonical representative.
+  c.append(Gate::rz(root, wrap_angle(2.0 * term.coeff)));
   for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) c.append(*it);
   for (auto it = pre.rbegin(); it != pre.rend(); ++it) c.append(it->inverse());
 }
@@ -108,7 +112,7 @@ void append_pauli_rotation_chain(Circuit& c, const PauliTerm& term,
 
   for (const Gate& g : pre) c.append(g);
   for (const Gate& g : ladder) c.append(g);
-  c.append(Gate::rz(chain.back(), 2.0 * term.coeff));
+  c.append(Gate::rz(chain.back(), wrap_angle(2.0 * term.coeff)));
   for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) c.append(*it);
   for (auto it = pre.rbegin(); it != pre.rend(); ++it) c.append(it->inverse());
 }

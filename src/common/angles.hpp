@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cmath>
+
+namespace phoenix {
+
+/// Canonicalize a rotation angle into (−π, π]. 1Q rotations are 2π-periodic
+/// up to global phase, so angles that drift outside the principal range
+/// (e.g. Rz(2π − ε) from two near-π rotations) fold back and the near-±2π
+/// case becomes a droppable near-identity. Shared by every angle-emitting
+/// site (peephole merges/fusion, Pauli-rotation synthesis, QASM export) so
+/// emitted angles are canonicalized consistently everywhere.
+inline double wrap_angle(double a) {
+  a = std::remainder(a, 2.0 * M_PI);  // lands in [−π, π]
+  if (a <= -M_PI) a = M_PI;
+  return a;
+}
+
+}  // namespace phoenix

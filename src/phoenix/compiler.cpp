@@ -210,10 +210,10 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
     case PeepholeLevel::None:
       break;
     case PeepholeLevel::Own:
-      optimize_o2(assembled);
+      optimize_o2(assembled, opt.peephole_engine);
       break;
     case PeepholeLevel::O3:
-      optimize_o3(assembled);
+      optimize_o3(assembled, opt.peephole_engine);
       break;
   }
   stage_span.reset();
@@ -256,9 +256,9 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   t_stage = Clock::now();
   stage_span.emplace("peephole(post-route)");
   if (opt.peephole == PeepholeLevel::None)
-    optimize_o2(physical);
+    optimize_o2(physical, opt.peephole_engine);
   else
-    optimize_o3(physical);
+    optimize_o3(physical, opt.peephole_engine);
   if (opt.isa == TwoQubitIsa::Su4) {
     TraceSpan span("rebase(su4)");
     res.circuit = rebase_su4(physical);

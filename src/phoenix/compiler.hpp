@@ -11,6 +11,7 @@
 #include "pauli/pauli.hpp"
 #include "phoenix/ordering.hpp"
 #include "phoenix/simplify.hpp"
+#include "transpile/peephole.hpp"
 #include "verify/verify.hpp"
 
 namespace phoenix {
@@ -27,6 +28,10 @@ enum class PeepholeLevel { None, Own, O3 };
 struct PhoenixOptions {
   TwoQubitIsa isa = TwoQubitIsa::Cnot;
   PeepholeLevel peephole = PeepholeLevel::Own;
+  /// Which implementation runs the peephole passes: the wire-DAG worklist
+  /// engine (default) or the legacy quadratic scan (differential baseline).
+  /// Both produce equivalent circuits; see transpile/peephole.hpp.
+  PeepholeEngine peephole_engine = PeepholeEngine::Dag;
   /// Hardware-aware mode: routing-aware Tetris ordering plus SABRE mapping
   /// onto `coupling` (must be non-null and connected).
   bool hardware_aware = false;

@@ -69,6 +69,25 @@ class IncrementalBsfCost {
   ColumnSnapshot snapshot(std::size_t a, std::size_t b) const;
   void restore(const ColumnSnapshot& s);
 
+  /// Rows whose Pauli in column c anticommutes with `sigma`, from the
+  /// maintained occupancy counts — O(1), no tableau scan. A Pauli
+  /// anticommutes with X iff its Z bit is set (Z or Y), with Z iff its X bit
+  /// is set (X or Y), and with Y iff exactly one bit is set; the exactly-one
+  /// count is nx + nz − 2·(both) with both = nx + nz − nu. Lets the greedy
+  /// search detect inert candidates (conjugations that fix every row:
+  /// zero anticommuting rows at both operand columns) without touching the
+  /// tableau.
+  std::size_t anticommuting_rows(Pauli sigma, std::size_t c) const {
+    switch (sigma) {
+      case Pauli::X:
+        return nz_[c];
+      case Pauli::Z:
+        return nx_[c];
+      default:  // Y (I is not a valid conjugation axis)
+        return 2 * nu_[c] - nx_[c] - nz_[c];
+    }
+  }
+
  private:
   /// 2·[C(R,2) − C(R−n,2)] for the union term; the X/Z terms use half of it.
   std::uint64_t pair2(std::size_t n) const {

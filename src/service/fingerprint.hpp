@@ -38,7 +38,7 @@ namespace phoenix {
 /// any thread count) and `trace` (probes never change the compiled circuit;
 /// the trace `stats` member is not part of the cached artifact either, see
 /// src/phoenix/serialize.hpp).
-inline constexpr std::uint64_t kFingerprintSchemaVersion = 1;
+inline constexpr std::uint64_t kFingerprintSchemaVersion = 2;
 
 /// Fingerprint a request against `coupling` (pass nullptr for logical-level
 /// compilation; `opt.coupling` is ignored in favor of the argument so

@@ -1,0 +1,412 @@
+#include "transpile/dag.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
+
+#include "common/angles.hpp"
+#include "common/trace.hpp"
+#include "transpile/peephole.hpp"
+
+namespace phoenix {
+
+CircuitDag::CircuitDag(const Circuit& c)
+    : wires_head_(c.num_qubits(), kNull), wires_tail_(c.num_qubits(), kNull) {
+  nodes_.reserve(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Gate& g = c.gate(i);
+    Node n;
+    n.gate = g;
+    n.key = static_cast<std::uint64_t>(i) << 32;
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(std::move(n));
+    ++alive_count_;
+    const std::size_t nq = g.is_two_qubit() ? 2 : 1;
+    for (std::size_t s = 0; s < nq; ++s) {
+      const std::size_t q = s == 0 ? g.q0 : g.q1;
+      Node& node = nodes_[id];
+      node.prev[s] = wires_tail_[q];
+      if (wires_tail_[q] != kNull) {
+        Node& t = nodes_[wires_tail_[q]];
+        t.next[t.gate.q0 == q ? 0 : 1] = id;
+      } else {
+        wires_head_[q] = id;
+      }
+      wires_tail_[q] = id;
+    }
+  }
+}
+
+void CircuitDag::erase(NodeId id) {
+  Node& n = nodes_[id];
+  const std::size_t nq = n.gate.is_two_qubit() ? 2 : 1;
+  for (std::size_t s = 0; s < nq; ++s) {
+    const std::size_t q = s == 0 ? n.gate.q0 : n.gate.q1;
+    const NodeId p = n.prev[s], x = n.next[s];
+    if (p != kNull)
+      nodes_[p].next[slot(p, q)] = x;
+    else
+      wires_head_[q] = x;
+    if (x != kNull)
+      nodes_[x].prev[slot(x, q)] = p;
+    else
+      wires_tail_[q] = p;
+  }
+  n.alive = false;
+  --alive_count_;
+}
+
+CircuitDag::NodeId CircuitDag::insert_1q_before(const Gate& g, std::size_t q,
+                                                NodeId before, OrderKey k) {
+  Node n;
+  n.gate = g;
+  n.key = (k.first << 32) | (k.second & 0xffffffffu);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  const NodeId prev = before != kNull ? nodes_[before].prev[slot(before, q)]
+                                      : wires_tail_[q];
+  n.prev[0] = prev;
+  n.next[0] = before;
+  nodes_.push_back(std::move(n));
+  ++alive_count_;
+  if (prev != kNull)
+    nodes_[prev].next[slot(prev, q)] = id;
+  else
+    wires_head_[q] = id;
+  if (before != kNull)
+    nodes_[before].prev[slot(before, q)] = id;
+  else
+    wires_tail_[q] = id;
+  return id;
+}
+
+Circuit CircuitDag::to_circuit() const {
+  std::vector<NodeId> order;
+  order.reserve(alive_count_);
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    if (nodes_[id].alive) order.push_back(id);
+  // Without fusion inserts the creation order is already the key order
+  // (primary = original index); only re-sort when insertions disturbed it.
+  const auto by_key = [&](NodeId a, NodeId b) { return key64(a) < key64(b); };
+  if (!std::is_sorted(order.begin(), order.end(), by_key))
+    std::sort(order.begin(), order.end(), by_key);
+  Circuit out(num_qubits());
+  for (NodeId id : order) out.append(nodes_[id].gate);
+  return out;
+}
+
+// --- worklist peephole engine ----------------------------------------------
+
+namespace {
+
+bool shares_qubit(const Gate& a, const Gate& b) {
+  if (b.acts_on(a.q0)) return true;
+  return a.is_two_qubit() && b.acts_on(a.q1);
+}
+
+/// Kinds no gate can commute past on a shared wire under gates_commute: H
+/// and Y are neither Z-diagonal nor X-like and carry no mergeable rotation
+/// axis, and Swap/Su4 match no 2Q commutation rule. A backward seer walk
+/// that passes one of these can stop scanning that wire — every candidate
+/// behind it would have to commute with it, and none can.
+bool blocks_every_seer(GateKind k) {
+  return k == GateKind::H || k == GateKind::Y || k == GateKind::Swap ||
+         k == GateKind::Su4;
+}
+
+}  // namespace
+
+/// The rewrite engine. The worklist is a min-heap over (round, order key):
+/// one round corresponds to one full pass of the legacy fixpoint, and within
+/// a round nodes pop in ascending key order — the legacy left-to-right scan.
+/// Rewrites re-enqueue exactly the nodes whose scan outcome may have changed
+/// ("seers" of the rewritten slots), scheduled into the current round when
+/// they lie ahead of the pop cursor (legacy finds them later in the same
+/// pass) and into the next round otherwise (legacy finds them on the next
+/// pass). This keeps the engine's pairing decisions — which gate cancels
+/// with which — bit-identical to the legacy engine while never rescanning
+/// quiescent regions.
+class DagPeephole {
+ public:
+  explicit DagPeephole(CircuitDag& dag)
+      : dag_(dag), in_queue_(dag.nodes_.size(), false) {}
+
+  DagOptStats stats;
+
+  /// Drain cancellation/merge rewrites to a fixpoint. Every alive node is
+  /// seeded once on the first drain; later drains start from the nodes the
+  /// fusion sweep touched (each fusion round begins a fresh legacy pass), so
+  /// regions already at fixpoint are never rescanned.
+  void cancel_to_fixpoint() {
+    if (!seeded_) {
+      seeded_ = true;
+      // Round 0 is one legacy pass over every alive node in key order. A
+      // linear sweep does that without paying 2N heap operations: nodes
+      // behind the sweep cursor re-enqueue into round 1 (the heap), nodes
+      // ahead are left for the sweep itself to reach. Anything queued before
+      // seeding (an O3 fusion sweep precedes the first drain) is covered by
+      // the sweep too — resetting the flags turns those stale heap entries
+      // into pop-time no-ops.
+      std::vector<CircuitDag::NodeId> order;
+      order.reserve(dag_.size());
+      for (CircuitDag::NodeId id = 0; id < dag_.nodes_.size(); ++id)
+        if (dag_.nodes_[id].alive) order.push_back(id);
+      const auto by_key = [this](CircuitDag::NodeId a, CircuitDag::NodeId b) {
+        return dag_.key64(a) < dag_.key64(b);
+      };
+      if (!std::is_sorted(order.begin(), order.end(), by_key))
+        std::sort(order.begin(), order.end(), by_key);
+      std::fill(in_queue_.begin(), in_queue_.end(), false);
+      sweeping_ = true;
+      in_pop_ = true;
+      round_ = 0;
+      for (CircuitDag::NodeId id : order) {
+        if (!dag_.alive(id)) continue;
+        cursor_ = dag_.key64(id);
+        walk_forward(id);
+      }
+      sweeping_ = false;
+      round_ = 1;
+    }
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.top();
+      heap_.pop();
+      const CircuitDag::NodeId u = top.second;
+      if (u >= in_queue_.size() || !in_queue_[u]) continue;
+      in_queue_[u] = false;
+      if (!dag_.alive(u)) continue;
+      round_ = top.first.first;
+      cursor_ = dag_.key64(u);
+      in_pop_ = true;
+      // A rewrite always erases u (cancellation kills both sides, a merge
+      // folds the earlier gate into the later one), so the first hit ends
+      // this node's turn.
+      walk_forward(u);
+    }
+    in_pop_ = false;
+    ++round_;  // the next drain (after fusion) is a fresh legacy pass
+  }
+
+  /// One 1Q-run fusion sweep over all wires (every maximal run of >= 2
+  /// single-qubit gates is offered to fuse_1q_run). Affected nodes are
+  /// enqueued for the next cancellation drain. Returns gates removed.
+  std::size_t fuse_runs() {
+    std::size_t removed = 0;
+    std::vector<CircuitDag::NodeId> run;
+    for (std::size_t q = 0; q < dag_.num_qubits(); ++q) {
+      run.clear();
+      CircuitDag::NodeId id = dag_.wire_head(q);
+      while (true) {
+        const bool is_1q = id != CircuitDag::kNull && !dag_.gate(id).is_two_qubit();
+        if (is_1q) {
+          run.push_back(id);
+          id = dag_.next_on(id, q);
+          continue;
+        }
+        if (run.size() >= 2) removed += fuse_run(q, run);
+        run.clear();
+        if (id == CircuitDag::kNull) break;
+        id = dag_.next_on(id, q);
+      }
+    }
+    return removed;
+  }
+
+ private:
+  /// ((round, packed order key), node) — lexicographic min-heap pop order.
+  using HeapEntry =
+      std::pair<std::pair<std::uint64_t, std::uint64_t>, CircuitDag::NodeId>;
+
+  void enqueue(CircuitDag::NodeId id) {
+    if (id == CircuitDag::kNull) return;
+    if (id >= in_queue_.size()) in_queue_.resize(id + 1, false);
+    if (in_queue_[id] || !dag_.alive(id)) return;
+    const std::uint64_t k = dag_.key64(id);
+    // During the seeding sweep every node ahead of the cursor will be
+    // visited by the sweep itself — queueing it would process it twice.
+    if (sweeping_ && k > cursor_) return;
+    in_queue_[id] = true;
+    std::uint64_t r = round_;
+    if (in_pop_ && k <= cursor_) ++r;  // legacy sees it next pass
+    heap_.push({{r, k}, id});
+    stats.worklist_max = std::max(stats.worklist_max, heap_.size());
+  }
+
+  /// Re-enqueue every earlier node whose forward scan could reach the slot
+  /// of `x` (called while x is still linked): walking backward over x's
+  /// wires, a node w "sees" the slot iff it commutes with every gate passed
+  /// between w and x that shares a qubit with w — exactly the gates the
+  /// legacy scan from w would have to look through. Over-enqueueing is
+  /// harmless (a re-examined node repeats its blocked/no-partner outcome);
+  /// missing a seer would desynchronize the engines, so the check mirrors
+  /// the walk's commutation rule verbatim.
+  void enqueue_seers(CircuitDag::NodeId x) {
+    const Gate& gx = dag_.gate(x);
+    const std::size_t qa = gx.q0;
+    const std::size_t qb = gx.is_two_qubit() ? gx.q1 : gx.q0;
+    CircuitDag::NodeId wa = dag_.prev_on(x, qa);
+    CircuitDag::NodeId wb =
+        gx.is_two_qubit() ? dag_.prev_on(x, qb) : CircuitDag::kNull;
+    seg_.clear();
+    for (std::size_t n = 0; n < kCommutationWindow; ++n) {
+      CircuitDag::NodeId w;
+      if (wa != CircuitDag::kNull &&
+          (wb == CircuitDag::kNull || dag_.key64(wb) < dag_.key64(wa))) {
+        w = wa;
+      } else {
+        w = wb;
+      }
+      if (w == CircuitDag::kNull) return;
+      const Gate& gw = dag_.gate(w);
+      bool sees = true;
+      for (CircuitDag::NodeId s : seg_) {
+        if (shares_qubit(gw, dag_.gate(s)) &&
+            !gates_commute(gw, dag_.gate(s))) {
+          sees = false;
+          break;
+        }
+      }
+      if (sees) enqueue(w);
+      seg_.push_back(w);
+      const bool wall = blocks_every_seer(gw.kind);
+      if (w == wa) wa = wall ? CircuitDag::kNull : dag_.prev_on(w, qa);
+      if (w == wb) wb = wall ? CircuitDag::kNull : dag_.prev_on(w, qb);
+    }
+  }
+
+  /// Same-qubit-set test matching the legacy engine's.
+  static bool same_qubit_set(const Gate& a, const Gate& b) {
+    if (a.is_two_qubit() != b.is_two_qubit()) return false;
+    if (!a.is_two_qubit()) return a.q0 == b.q0;
+    return (a.q0 == b.q0 && a.q1 == b.q1) || (a.q0 == b.q1 && a.q1 == b.q0);
+  }
+
+  /// Attempt the legacy rewrite between wire-ordered partners (`early`
+  /// precedes `late`). Returns true when a rewrite fired (both inputs may be
+  /// dead afterwards).
+  bool try_rewrite(CircuitDag::NodeId early, CircuitDag::NodeId late) {
+    Gate& ge = dag_.gate(early);
+    Gate& gl = dag_.gate(late);
+    if (!same_qubit_set(ge, gl)) return false;
+    if (ge.is_inverse_of(gl)) {
+      enqueue_seers(early);
+      dag_.erase(early);
+      enqueue_seers(late);  // after erase(early): early no longer blocks
+      dag_.erase(late);
+      stats.removed += 2;
+      ++stats.rewrites;
+      return true;
+    }
+    if (ge.kind == gl.kind && gate_has_param(ge.kind) && ge.q0 == gl.q0) {
+      // Merge same-axis rotations into the later gate (legacy keeps the
+      // later position); the wrapped sum keeps angles in (−π, π] and turns
+      // a ±2π sum into a droppable identity.
+      gl.param = wrap_angle(gl.param + ge.param);
+      enqueue_seers(early);
+      dag_.erase(early);
+      ++stats.removed;
+      enqueue_seers(late);  // the survivor's param changed under its seers
+      if (std::abs(gl.param) < 1e-12) {
+        dag_.erase(late);
+        ++stats.removed;
+      } else {
+        enqueue(late);
+      }
+      ++stats.rewrites;
+      return true;
+    }
+    return false;
+  }
+
+  /// Walk forward from `u` along its wires, looking past commuting gates
+  /// (window-bounded) for a cancellation/merge partner. Exactly the legacy
+  /// scan from index i: only gates sharing a qubit with u are inspected, the
+  /// walk continues through gates that commute with u, and stops at the
+  /// first blocker. Returns true when a rewrite fired.
+  bool walk_forward(CircuitDag::NodeId u) {
+    const Gate& gu = dag_.gate(u);
+    const std::size_t qa = gu.q0;
+    const std::size_t qb = gu.is_two_qubit() ? gu.q1 : gu.q0;
+    CircuitDag::NodeId wa = dag_.next_on(u, qa);
+    CircuitDag::NodeId wb =
+        gu.is_two_qubit() ? dag_.next_on(u, qb) : CircuitDag::kNull;
+    for (std::size_t n = 0; n < kCommutationWindow; ++n) {
+      CircuitDag::NodeId w;
+      if (wa != CircuitDag::kNull &&
+          (wb == CircuitDag::kNull || dag_.key64(wa) < dag_.key64(wb))) {
+        w = wa;
+      } else {
+        w = wb;
+      }
+      if (w == CircuitDag::kNull) return false;
+      if (try_rewrite(u, w)) return true;
+      if (!gates_commute(gu, dag_.gate(w))) return false;
+      if (w == wa) wa = dag_.next_on(w, qa);
+      if (w == wb) wb = dag_.next_on(w, qb);
+    }
+    return false;
+  }
+
+  /// Replace one maximal 1Q run on wire q (>= 2 nodes). Returns gates
+  /// removed.
+  std::size_t fuse_run(std::size_t q,
+                       const std::vector<CircuitDag::NodeId>& run) {
+    run_gates_.clear();
+    for (CircuitDag::NodeId id : run) run_gates_.push_back(dag_.gate(id));
+    if (!fuse_1q_run(run_gates_, fused_)) return 0;
+    // Seers of the run-head slot are computed against the pre-fusion wire
+    // (their path to the slot is unchanged by the replacement itself), then
+    // replacement nodes take the head's position: primary key inherited,
+    // strictly increasing secondaries keep them ordered among themselves and
+    // ahead of everything the head preceded.
+    const CircuitDag::NodeId anchor = run.front();
+    enqueue_seers(anchor);
+    const std::uint64_t primary = dag_.key(anchor).first;
+    for (const Gate& g : fused_) {
+      const CircuitDag::NodeId id =
+          dag_.insert_1q_before(g, q, anchor, {primary, ++fuse_seq_});
+      enqueue(id);
+    }
+    for (CircuitDag::NodeId id : run) dag_.erase(id);
+    ++stats.rewrites;
+    stats.removed += run.size() - fused_.size();
+    return run.size() - fused_.size();
+  }
+
+  CircuitDag& dag_;
+  bool seeded_ = false;
+  bool in_pop_ = false;
+  bool sweeping_ = false;
+  std::uint64_t round_ = 0;
+  std::uint64_t cursor_ = 0;
+  std::vector<bool> in_queue_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  std::uint64_t fuse_seq_ = 0;
+  std::vector<CircuitDag::NodeId> seg_;
+  std::vector<Gate> run_gates_, fused_;
+};
+
+DagOptStats dag_optimize(Circuit& c, bool with_fusion) {
+  DagOptStats total;
+  if (c.size() < 2) return total;
+  CircuitDag dag(c);
+  DagPeephole engine(dag);
+  // Same alternation as the legacy pipelines (fusion can expose new
+  // cancellations and vice versa), but with no flat-vector rebuilds between
+  // rounds: the DAG carries rewrite state across the whole fixpoint.
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t before = engine.stats.removed;
+    if (with_fusion) engine.fuse_runs();
+    engine.cancel_to_fixpoint();
+    if (engine.stats.removed == before) break;
+  }
+  total = engine.stats;
+  if (total.removed > 0) c = dag.to_circuit();
+  trace_count("peephole.dag.rewrites", total.rewrites);
+  trace_count("peephole.dag.worklist_max", total.worklist_max);
+  return total;
+}
+
+}  // namespace phoenix

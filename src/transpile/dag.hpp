@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace phoenix {
+
+/// Circuit dependency DAG with one doubly-linked wire per qubit.
+///
+/// Every node holds one gate plus prev/next links for each operand qubit, so
+/// the structure is simultaneously a dependency DAG (a gate depends on the
+/// wire-predecessors of each of its qubits) and n_q parallel doubly-linked
+/// lists. This is the substrate of the worklist peephole engine
+/// (dag_optimize): a rewrite only ever inspects wire-adjacent neighbors, and
+/// erase/splice are O(1) per operand — no flat-vector rescans or per-pass
+/// Circuit rebuilds.
+///
+/// Determinism. Each node carries an order key (primary, secondary):
+/// original nodes get (circuit index, 0); replacement nodes minted by 1Q-run
+/// fusion inherit the primary of the node they replace and draw strictly
+/// increasing secondaries. Keys strictly increase along every wire (rewrites
+/// preserve this), so sorting the alive nodes by key is a topological order
+/// — and exactly the order the legacy flat-vector passes would have left the
+/// gates in, which keeps the two engines bit-identical on circuits where
+/// their rewrite decisions coincide.
+class CircuitDag {
+ public:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kNull = static_cast<NodeId>(-1);
+
+  /// (primary, secondary) emission key; lexicographic order.
+  using OrderKey = std::pair<std::uint64_t, std::uint64_t>;
+
+  explicit CircuitDag(const Circuit& c);
+
+  std::size_t num_qubits() const { return wires_head_.size(); }
+  /// Nodes currently alive (== gates of to_circuit()).
+  std::size_t size() const { return alive_count_; }
+
+  const Gate& gate(NodeId id) const { return nodes_[id].gate; }
+  Gate& gate(NodeId id) { return nodes_[id].gate; }
+  bool alive(NodeId id) const { return nodes_[id].alive; }
+  OrderKey key(NodeId id) const {
+    return {nodes_[id].key >> 32, nodes_[id].key & 0xffffffffu};
+  }
+  /// Packed (primary << 32 | secondary) form of key(): same lexicographic
+  /// order in a single compare. Both components stay below 2^32 (primary is
+  /// a circuit index, secondary a fusion sequence number).
+  std::uint64_t key64(NodeId id) const { return nodes_[id].key; }
+
+  NodeId wire_head(std::size_t q) const { return wires_head_[q]; }
+  NodeId wire_tail(std::size_t q) const { return wires_tail_[q]; }
+  /// Wire-successor / -predecessor of `id` on qubit `q` (must be an operand
+  /// of the node's gate). kNull at the wire boundary.
+  NodeId next_on(NodeId id, std::size_t q) const {
+    return nodes_[id].next[slot(id, q)];
+  }
+  NodeId prev_on(NodeId id, std::size_t q) const {
+    return nodes_[id].prev[slot(id, q)];
+  }
+
+  /// Unlink `id` from every wire it sits on and mark it dead. O(1) per
+  /// operand. The node's storage stays (ids are stable); it is simply
+  /// skipped at emission.
+  void erase(NodeId id);
+
+  /// Insert a new node carrying `g` (a 1Q gate on qubit q) into wire q
+  /// immediately before `before` (kNull appends at the tail), with the given
+  /// order key. Returns the new node's id.
+  NodeId insert_1q_before(const Gate& g, std::size_t q, NodeId before,
+                          OrderKey k);
+
+  /// Emission: alive nodes sorted by order key — a deterministic topological
+  /// order (keys strictly increase along every wire).
+  Circuit to_circuit() const;
+
+ private:
+  struct Node {
+    Gate gate;
+    std::uint64_t key = 0;  ///< packed order key, see key64()
+    NodeId prev[2] = {kNull, kNull};
+    NodeId next[2] = {kNull, kNull};
+    bool alive = true;
+  };
+
+  /// Operand slot of qubit q in node `id` (0 for q0, 1 for q1).
+  std::size_t slot(NodeId id, std::size_t q) const {
+    return nodes_[id].gate.q0 == q ? 0 : 1;
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> wires_head_, wires_tail_;
+  std::size_t alive_count_ = 0;
+
+  friend class DagPeephole;
+};
+
+/// Statistics of one dag_optimize run (mirrored into the trace counters
+/// peephole.dag.rewrites / peephole.dag.worklist_max when tracing is on).
+struct DagOptStats {
+  std::size_t removed = 0;       ///< gates removed (legacy counting parity)
+  std::size_t rewrites = 0;      ///< erase/merge/fuse rewrite events
+  std::size_t worklist_max = 0;  ///< peak worklist size
+};
+
+/// Worklist-driven peephole over the wire DAG: cancellation of inverse pairs
+/// and same-axis rotation merges that look through commuting gates (bounded
+/// by kCommutationWindow wire steps), plus — when `with_fusion` — 1Q-run
+/// fusion, alternated to a fixpoint. Semantically equivalent to the legacy
+/// optimize_o2/optimize_o3 flat-vector passes, near-linear per fixpoint
+/// instead of O(n²·passes). Replaces `c` with the optimized circuit.
+DagOptStats dag_optimize(Circuit& c, bool with_fusion);
+
+/// How many wire steps a cancellation walk may look past commuting gates.
+/// The legacy engine scans unbounded; anything beyond this window is
+/// vanishingly rare in practice and bounding it caps the worst case.
+inline constexpr std::size_t kCommutationWindow = 128;
+
+}  // namespace phoenix

@@ -4,22 +4,14 @@
 #include <complex>
 #include <vector>
 
+#include "common/angles.hpp"
 #include "common/trace.hpp"
 #include "sim/statevector.hpp"
+#include "transpile/dag.hpp"
 
 namespace phoenix {
 
 namespace {
-
-/// Canonicalize a rotation angle into (−π, π]. 1Q rotations are 2π-periodic
-/// up to global phase, so fused/merged angles that drift outside the
-/// principal range (e.g. Rz(2π − ε) from two near-π rotations) fold back and
-/// the near-±2π case becomes a droppable near-identity.
-double wrap_angle(double a) {
-  a = std::remainder(a, 2.0 * M_PI);  // lands in [−π, π]
-  if (a <= -M_PI) a = M_PI;
-  return a;
-}
 
 bool is_z_diagonal(const Gate& g) {
   switch (g.kind) {
@@ -43,9 +35,10 @@ bool is_x_like(const Gate& g) {
 }
 
 bool shares_qubit(const Gate& a, const Gate& b) {
-  for (std::size_t q : a.qubits())
-    if (b.acts_on(q)) return true;
-  return false;
+  // Hot path for both peephole engines — must not allocate (Gate::qubits()
+  // returns a vector).
+  if (b.acts_on(a.q0)) return true;
+  return a.is_two_qubit() && b.acts_on(a.q1);
 }
 
 bool same_qubit_set(const Gate& a, const Gate& b) {
@@ -95,9 +88,13 @@ bool gates_commute(const Gate& a, const Gate& b) {
   return false;
 }
 
-std::size_t cancel_gates(Circuit& c) {
-  std::vector<Gate> gates = c.gates();
-  std::vector<bool> alive(gates.size(), true);
+namespace {
+
+/// Legacy cancellation fixpoint over a flat gate vector with liveness flags.
+/// Mutates `gates`/`alive` in place; the caller owns the single copy-in and
+/// the (conditional) rebuild, so repeated rounds never re-copy the vector.
+std::size_t cancel_fixpoint(std::vector<Gate>& gates,
+                            std::vector<bool>& alive) {
   std::size_t removed = 0;
   bool changed = true;
   while (changed) {
@@ -133,10 +130,25 @@ std::size_t cancel_gates(Circuit& c) {
       }
     }
   }
-  Circuit out(c.num_qubits());
+  return removed;
+}
+
+Circuit compact(std::size_t num_qubits, const std::vector<Gate>& gates,
+                const std::vector<bool>& alive) {
+  Circuit out(num_qubits);
   for (std::size_t i = 0; i < gates.size(); ++i)
     if (alive[i]) out.append(gates[i]);
-  c = std::move(out);
+  return out;
+}
+
+}  // namespace
+
+std::size_t cancel_gates(Circuit& c) {
+  std::vector<Gate> gates = c.gates();
+  std::vector<bool> alive(gates.size(), true);
+  const std::size_t removed = cancel_fixpoint(gates, alive);
+  if (removed == 0) return 0;  // nothing changed: skip the rebuild
+  c = compact(c.num_qubits(), gates, alive);
   return removed;
 }
 
@@ -193,12 +205,50 @@ bool is_identity_up_to_phase(const std::array<Complex, 4>& u) {
 
 }  // namespace
 
+bool fuse_1q_run(const std::vector<Gate>& run, std::vector<Gate>& out) {
+  out.clear();
+  std::array<Complex, 4> u = {1, 0, 0, 1};
+  for (const Gate& g : run) u = mat_mul2(gate_matrix_1q(g), u);
+  const std::size_t q = run.front().q0;
+  if (!is_identity_up_to_phase(u)) {
+    // Prefer single-axis forms: a diagonal run becomes one Rz and an
+    // X-basis-diagonal run (e.g. the H·S†·H left over when adjacent Pauli
+    // gadgets swap an X corner for a Y corner) becomes one Rx. Both shapes
+    // commute through CNOTs on the appropriate side, unblocking further
+    // 2Q cancellation; the generic fallback is the ZYZ triple.
+    //
+    // All emitted angles are wrapped into (−π, π]: the raw arg arithmetic
+    // can land anywhere in (−2π, 2π), and a run fusing to a near-±2π
+    // rotation (Rz(2π − ε)) is the identity up to global phase — after
+    // wrapping it falls under the drop threshold instead of surviving as
+    // a full-turn gate.
+    auto push_if_nonzero = [&](GateKind kind, double angle) {
+      angle = wrap_angle(angle);
+      if (std::abs(angle) > 1e-12) out.push_back(Gate(kind, q, angle));
+    };
+    if (std::abs(u[1]) < 1e-12 && std::abs(u[2]) < 1e-12) {
+      push_if_nonzero(GateKind::Rz, std::arg(u[3]) - std::arg(u[0]));
+    } else if (std::abs(u[0] - u[3]) < 1e-12 && std::abs(u[1] - u[2]) < 1e-12 &&
+               std::abs(std::real(u[1] * std::conj(u[0]))) < 1e-12) {
+      // u ~ e^{iφ} Rx(θ): equal diagonal, equal purely-imaginary-ratio
+      // off-diagonal. θ from |entries|, sign from Im(u01/u00).
+      const double theta =
+          2.0 * std::atan2(std::abs(u[1]), std::abs(u[0])) *
+          (std::imag(u[1] * std::conj(u[0])) < 0 ? 1.0 : -1.0);
+      push_if_nonzero(GateKind::Rx, theta);
+    } else {
+      const Zyz a = zyz_decompose(u);
+      push_if_nonzero(GateKind::Rz, a.gamma);
+      push_if_nonzero(GateKind::Ry, a.beta);
+      push_if_nonzero(GateKind::Rz, a.alpha);
+    }
+  }
+  return out.size() < run.size();
+}
+
 std::size_t fuse_single_qubit_runs(Circuit& c) {
   const auto& gates = c.gates();
   const std::size_t n = c.num_qubits();
-  // run_head[q]: index of first gate of the current 1Q run on q, or npos.
-  constexpr std::size_t npos = static_cast<std::size_t>(-1);
-  std::vector<std::size_t> run_head(n, npos);
   std::vector<std::vector<std::size_t>> runs;  // gate indices per closed run
   std::vector<std::vector<std::size_t>> open(n);
 
@@ -223,48 +273,14 @@ std::size_t fuse_single_qubit_runs(Circuit& c) {
   std::vector<bool> drop(gates.size(), false);
   std::vector<std::vector<Gate>> replace(gates.size());
   std::size_t removed = 0;
+  std::vector<Gate> run_gates, fused;
   for (const auto& run : runs) {
-    std::array<Complex, 4> u = {1, 0, 0, 1};
-    for (std::size_t gi : run) u = mat_mul2(gate_matrix_1q(gates[gi]), u);
-    const std::size_t q = gates[run.front()].q0;
-    std::vector<Gate> fused;
-    if (!is_identity_up_to_phase(u)) {
-      // Prefer single-axis forms: a diagonal run becomes one Rz and an
-      // X-basis-diagonal run (e.g. the H·S†·H left over when adjacent Pauli
-      // gadgets swap an X corner for a Y corner) becomes one Rx. Both shapes
-      // commute through CNOTs on the appropriate side, unblocking further
-      // 2Q cancellation; the generic fallback is the ZYZ triple.
-      //
-      // All emitted angles are wrapped into (−π, π]: the raw arg arithmetic
-      // can land anywhere in (−2π, 2π), and a run fusing to a near-±2π
-      // rotation (Rz(2π − ε)) is the identity up to global phase — after
-      // wrapping it falls under the drop threshold instead of surviving as
-      // a full-turn gate.
-      auto push_if_nonzero = [&](GateKind kind, double angle) {
-        angle = wrap_angle(angle);
-        if (std::abs(angle) > 1e-12) fused.push_back(Gate(kind, q, angle));
-      };
-      if (std::abs(u[1]) < 1e-12 && std::abs(u[2]) < 1e-12) {
-        push_if_nonzero(GateKind::Rz, std::arg(u[3]) - std::arg(u[0]));
-      } else if (std::abs(u[0] - u[3]) < 1e-12 && std::abs(u[1] - u[2]) < 1e-12 &&
-                 std::abs(std::real(u[1] * std::conj(u[0]))) < 1e-12) {
-        // u ~ e^{iφ} Rx(θ): equal diagonal, equal purely-imaginary-ratio
-        // off-diagonal. θ from |entries|, sign from Im(u01/u00).
-        const double theta =
-            2.0 * std::atan2(std::abs(u[1]), std::abs(u[0])) *
-            (std::imag(u[1] * std::conj(u[0])) < 0 ? 1.0 : -1.0);
-        push_if_nonzero(GateKind::Rx, theta);
-      } else {
-        const Zyz a = zyz_decompose(u);
-        push_if_nonzero(GateKind::Rz, a.gamma);
-        push_if_nonzero(GateKind::Ry, a.beta);
-        push_if_nonzero(GateKind::Rz, a.alpha);
-      }
-    }
-    if (fused.size() >= run.size()) continue;  // no improvement
+    run_gates.clear();
+    for (std::size_t gi : run) run_gates.push_back(gates[gi]);
+    if (!fuse_1q_run(run_gates, fused)) continue;  // no improvement
     removed += run.size() - fused.size();
     for (std::size_t gi : run) drop[gi] = true;
-    replace[run.front()] = std::move(fused);
+    replace[run.front()] = fused;
   }
   if (removed == 0) return 0;
 
@@ -280,27 +296,48 @@ std::size_t fuse_single_qubit_runs(Circuit& c) {
   return removed;
 }
 
-void optimize_o3(Circuit& c) {
+namespace {
+
+/// Legacy O2/O3 driver. The gate-vector copy is hoisted out of the
+/// cancellation fixpoint entirely for O2 (one copy in, one conditional
+/// rebuild out); the O3 alternation still materializes a Circuit between
+/// fusion rounds, but every pass skips its rebuild when it removed nothing.
+std::size_t legacy_optimize(Circuit& c, bool with_fusion) {
   std::size_t removed = 0;
+  if (!with_fusion) {
+    std::vector<Gate> gates = c.gates();
+    std::vector<bool> alive(gates.size(), true);
+    removed = cancel_fixpoint(gates, alive);
+    if (removed > 0) c = compact(c.num_qubits(), gates, alive);
+    return removed;
+  }
   for (int iter = 0; iter < 20; ++iter) {
     const std::size_t a = fuse_single_qubit_runs(c);
     const std::size_t b = cancel_gates(c);
     removed += a + b;
     if (a + b == 0) break;
   }
+  return removed;
+}
+
+void run_peephole(Circuit& c, PeepholeEngine engine, bool with_fusion) {
+  std::size_t removed = 0;
+  if (engine == PeepholeEngine::Legacy)
+    removed = legacy_optimize(c, with_fusion);
+  else
+    removed = dag_optimize(c, with_fusion).removed;
   c.drop_trivial_gates();
   trace_count("peephole.removed", removed);
 }
 
-void optimize_o2(Circuit& c) {
-  std::size_t removed = 0;
-  for (int iter = 0; iter < 20; ++iter) {
-    const std::size_t r = cancel_gates(c);
-    removed += r;
-    if (r == 0) break;
-  }
-  c.drop_trivial_gates();
-  trace_count("peephole.removed", removed);
+}  // namespace
+
+void optimize_o3(Circuit& c, PeepholeEngine engine) {
+  run_peephole(c, engine, /*with_fusion=*/true);
+}
+
+void optimize_o2(Circuit& c, PeepholeEngine engine) {
+  run_peephole(c, engine, /*with_fusion=*/false);
 }
 
 }  // namespace phoenix

@@ -1,19 +1,32 @@
 #pragma once
 
+#include <vector>
+
 #include "circuit/circuit.hpp"
 
 namespace phoenix {
 
+/// Which peephole implementation optimize_o2/optimize_o3 run.
+///
+/// `Dag` (default) is the wire-DAG worklist engine (src/transpile/dag.hpp):
+/// near-linear per fixpoint, no flat-vector rescans or per-pass Circuit
+/// rebuilds. `Legacy` is the original quadratic scan, kept for differential
+/// testing and as the benchmark baseline (BM_PeepholeDagVsLegacy); the two
+/// engines produce bit-identical circuits across the seed example suite
+/// (asserted in CI) and equivalent circuits everywhere else.
+enum class PeepholeEngine { Dag, Legacy };
+
 /// True when the two gates commute under a conservative, syntactic rule set
 /// (disjoint supports, both Z-diagonal, diagonal-on-control / X-like-on-
 /// target versus CNOT, CNOTs sharing only a control or only a target).
-/// Used by the commutation-aware cancellation pass; false negatives only
-/// cost optimization opportunities, never correctness.
+/// Used by the commutation-aware cancellation passes of both engines; false
+/// negatives only cost optimization opportunities, never correctness.
 bool gates_commute(const Gate& a, const Gate& b);
 
 /// Cancel adjacent inverse pairs and merge adjacent same-axis rotations,
-/// looking through commuting gates. Iterates to a fixpoint. Returns the
-/// number of gates removed.
+/// looking through commuting gates. Iterates to a fixpoint (legacy scan).
+/// Returns the number of gates removed; the circuit is only rebuilt when
+/// something was removed.
 std::size_t cancel_gates(Circuit& c);
 
 /// Fuse maximal runs of single-qubit gates into at most three rotations
@@ -22,12 +35,21 @@ std::size_t cancel_gates(Circuit& c);
 /// negative-free: never increases the count).
 std::size_t fuse_single_qubit_runs(Circuit& c);
 
+/// Fuse one ordered run of >= 2 single-qubit gates (all on the same qubit)
+/// into at most three rotations: single-axis Rz / Rx forms preferred, the
+/// generic ZYZ triple as fallback, identity-equivalent runs fuse to nothing.
+/// Emitted angles are wrapped into (−π, π]. Returns true and fills `out`
+/// when the replacement is strictly shorter than the run; false otherwise
+/// (`out` is unspecified then). Shared by the legacy and DAG engines so
+/// their fusion decisions are identical by construction.
+bool fuse_1q_run(const std::vector<Gate>& run, std::vector<Gate>& out);
+
 /// The "O3-like" logical optimization pipeline standing in for Qiskit O3:
 /// alternate 1Q fusion and commutation-aware cancellation to a fixpoint.
 /// This is what the paper appends to Paulihedral/Tetris/PHOENIX outputs.
-void optimize_o3(Circuit& c);
+void optimize_o3(Circuit& c, PeepholeEngine engine = PeepholeEngine::Dag);
 
 /// Lighter "O2-like" pipeline: cancellation only (no resynthesis).
-void optimize_o2(Circuit& c);
+void optimize_o2(Circuit& c, PeepholeEngine engine = PeepholeEngine::Dag);
 
 }  // namespace phoenix

@@ -1,0 +1,295 @@
+// Tests for the wire-DAG peephole engine (src/transpile/dag.hpp): structural
+// round-trips, worklist rewrite edge cases, differential equivalence against
+// the legacy engine on random circuits, and bit-identity across the seed
+// example suite (the contract CI's benchmark-smoke job re-asserts).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "circuit/circuit.hpp"
+#include "common/angles.hpp"
+#include "common/rng.hpp"
+#include "hamlib/uccsd.hpp"
+#include "phoenix/compiler.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/dag.hpp"
+#include "transpile/peephole.hpp"
+
+namespace phoenix {
+namespace {
+
+Circuit random_circuit(std::size_t n, std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  Circuit c(n);
+  for (std::size_t i = 0; i < len; ++i) {
+    switch (rng.next_below(7)) {
+      case 0: c.append(Gate::h(rng.next_below(n))); break;
+      case 1: c.append(Gate::s(rng.next_below(n))); break;
+      case 2: c.append(Gate::rz(rng.next_below(n), rng.next_range(-2, 2))); break;
+      case 3: c.append(Gate::rx(rng.next_below(n), rng.next_range(-2, 2))); break;
+      case 4: c.append(Gate::x(rng.next_below(n))); break;
+      default: {
+        const std::size_t a = rng.next_below(n);
+        std::size_t b = rng.next_below(n - 1);
+        if (b >= a) ++b;
+        c.append(rng.next_below(2) ? Gate::cnot(a, b) : Gate::cz(a, b));
+      }
+    }
+  }
+  return c;
+}
+
+bool circuits_bit_identical(const Circuit& a, const Circuit& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!a.gates()[i].same_as(b.gates()[i], /*tol=*/0.0)) return false;
+  return true;
+}
+
+// |<a|b>| over a generic product state: prepare with per-qubit rotations so
+// no amplitude is zero, run both circuits, compare up to global phase.
+void expect_state_equivalent(const Circuit& a, const Circuit& b,
+                             std::uint64_t seed) {
+  ASSERT_EQ(a.num_qubits(), b.num_qubits());
+  Rng rng(seed);
+  Circuit prep(a.num_qubits());
+  for (std::size_t q = 0; q < a.num_qubits(); ++q) {
+    prep.append(Gate::rx(q, rng.next_range(-3, 3)));
+    prep.append(Gate::rz(q, rng.next_range(-3, 3)));
+  }
+  StateVector va(a.num_qubits()), vb(b.num_qubits());
+  va.apply_circuit(prep);
+  vb.apply_circuit(prep);
+  va.apply_circuit(a);
+  vb.apply_circuit(b);
+  EXPECT_NEAR(std::abs(va.inner_product(vb)), 1.0, 1e-9) << "seed " << seed;
+}
+
+TEST(PeepholeDag, RoundTripIsIdentityAndDeterministic) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Circuit c = random_circuit(6, 80, seed);
+    const CircuitDag dag(c);
+    EXPECT_EQ(dag.size(), c.size());
+    const Circuit once = dag.to_circuit();
+    const Circuit twice = dag.to_circuit();
+    EXPECT_TRUE(circuits_bit_identical(once, c)) << "seed " << seed;
+    EXPECT_TRUE(circuits_bit_identical(once, twice)) << "seed " << seed;
+  }
+}
+
+TEST(PeepholeDag, WireLinksAreConsistent) {
+  const Circuit c = random_circuit(5, 60, 7);
+  const CircuitDag dag(c);
+  for (std::size_t q = 0; q < dag.num_qubits(); ++q) {
+    std::size_t walked = 0;
+    CircuitDag::NodeId prev = CircuitDag::kNull;
+    for (CircuitDag::NodeId id = dag.wire_head(q); id != CircuitDag::kNull;
+         id = dag.next_on(id, q)) {
+      EXPECT_TRUE(dag.gate(id).acts_on(q));
+      EXPECT_EQ(dag.prev_on(id, q), prev);
+      if (prev != CircuitDag::kNull) {
+        EXPECT_LT(dag.key(prev), dag.key(id)) << "keys must grow along wires";
+      }
+      prev = id;
+      ++walked;
+    }
+    EXPECT_EQ(prev, dag.wire_tail(q));
+    std::size_t expected = 0;
+    for (const Gate& g : c.gates())
+      if (g.acts_on(q)) ++expected;
+    EXPECT_EQ(walked, expected) << "wire " << q;
+  }
+}
+
+TEST(PeepholeDag, EraseUnlinksInConstantTimeSemantics) {
+  Circuit c(2);
+  c.append(Gate::h(0));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::h(1));
+  CircuitDag dag(c);
+  dag.erase(dag.next_on(dag.wire_head(0), 0));  // drop the CNOT
+  const Circuit out = dag.to_circuit();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.gates()[0].kind, GateKind::H);
+  EXPECT_EQ(out.gates()[0].q0, 0u);
+  EXPECT_EQ(out.gates()[1].kind, GateKind::H);
+  EXPECT_EQ(out.gates()[1].q0, 1u);
+  EXPECT_EQ(dag.wire_head(0), dag.wire_tail(0));
+  EXPECT_EQ(dag.wire_head(1), dag.wire_tail(1));
+}
+
+TEST(PeepholeDag, DegenerateCircuits) {
+  Circuit empty(3);
+  EXPECT_EQ(dag_optimize(empty, true).removed, 0u);
+  EXPECT_TRUE(empty.empty());
+
+  Circuit one(2);
+  one.append(Gate::cnot(0, 1));
+  EXPECT_EQ(dag_optimize(one, true).removed, 0u);
+  EXPECT_EQ(one.size(), 1u);
+
+  // All-commuting trio with nothing to cancel: Rz, CZ, Rz on distinct
+  // supports stay exactly as they are.
+  Circuit trio(3);
+  trio.append(Gate::rz(0, 0.3));
+  trio.append(Gate::cz(0, 1));
+  trio.append(Gate::rz(1, 0.4));
+  const Circuit before = trio;
+  EXPECT_EQ(dag_optimize(trio, false).removed, 0u);
+  EXPECT_TRUE(circuits_bit_identical(trio, before));
+}
+
+TEST(PeepholeDag, CancelsThroughCommutingWindow) {
+  // CNOT | Rz(control) | Rx(target) | CNOT: both rotations commute with the
+  // CNOTs, which must annihilate across them.
+  Circuit c(2);
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::rz(0, 0.7));
+  c.append(Gate::rx(1, 0.3));
+  c.append(Gate::cnot(0, 1));
+  dag_optimize(c, false);
+  EXPECT_EQ(c.count(GateKind::Cnot), 0u);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(PeepholeDag, MergesRotationsAcrossCzChain) {
+  // Rz merges through a chain of diagonal gates; the merged angle wraps.
+  Circuit c(3);
+  c.append(Gate::rz(0, 1.0));
+  c.append(Gate::cz(0, 1));
+  c.append(Gate::cz(0, 2));
+  c.append(Gate::rz(0, 2.5));
+  dag_optimize(c, false);
+  ASSERT_EQ(c.count(GateKind::Rz), 1u);
+  double angle = 0.0;
+  for (const Gate& g : c.gates())
+    if (g.kind == GateKind::Rz) angle = g.param;
+  EXPECT_NEAR(angle, wrap_angle(3.5), 1e-12);
+}
+
+TEST(PeepholeDag, BlockedByNonCommutingGate) {
+  // H on the control stops the walk: nothing may cancel.
+  Circuit c(2);
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::h(0));
+  c.append(Gate::cnot(0, 1));
+  const Circuit before = c;
+  dag_optimize(c, false);
+  EXPECT_TRUE(circuits_bit_identical(c, before));
+}
+
+TEST(PeepholeDag, SeerReenqueueFindsUnblockedPartner) {
+  // Rz | CZ | H | H | Rz on one qubit: the H pair cancels first, and the
+  // first Rz is not wire-adjacent to either H — only the seer re-enqueue
+  // (it commutes past the CZ toward the erased slot) lets its forward walk
+  // reach the last Rz through the now-diagonal-only gap.
+  Circuit c(2);
+  c.append(Gate::rz(0, 0.4));
+  c.append(Gate::cz(0, 1));
+  c.append(Gate::h(0));
+  c.append(Gate::h(0));
+  c.append(Gate::rz(0, 0.5));
+  dag_optimize(c, false);
+  EXPECT_EQ(c.count(GateKind::H), 0u);
+  ASSERT_EQ(c.count(GateKind::Rz), 1u);
+  for (const Gate& g : c.gates()) {
+    if (g.kind == GateKind::Rz) {
+      EXPECT_NEAR(g.param, 0.9, 1e-12);
+    }
+  }
+}
+
+TEST(PeepholeDag, FullTurnMergeDropsBothRotations) {
+  Circuit c(1);
+  c.append(Gate::rz(0, M_PI));
+  c.append(Gate::rz(0, M_PI));
+  dag_optimize(c, false);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(PeepholeDag, FusionCollapsesSingleQubitRuns) {
+  // H·S·H·Sdg-style runs fuse to at most three rotations, and fusion output
+  // feeding new adjacencies lets cancellation continue (o3 alternation).
+  Circuit c(2);
+  c.append(Gate::h(0));
+  c.append(Gate::s(0));
+  c.append(Gate::h(0));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::cnot(0, 1));
+  c.append(Gate::h(0));
+  c.append(Gate::sdg(0));
+  c.append(Gate::h(0));
+  const Circuit before = c;
+  dag_optimize(c, true);
+  EXPECT_EQ(c.count(GateKind::Cnot), 0u);
+  EXPECT_LE(c.size(), 2u);  // the two 1Q runs are mutually inverse Rx forms
+  Circuit legacy = before;
+  optimize_o3(legacy, PeepholeEngine::Legacy);
+  expect_state_equivalent(c, legacy, 11);
+}
+
+TEST(PeepholeDag, MatchesLegacyOnRandomCircuits) {
+  // Differential: both engines' o3 pipelines agree gate-for-gate (the round
+  // scheduler replays the legacy pass order exactly) and preserve the state
+  // on a generic product input, across >= 50 random circuits up to 10
+  // qubits.
+  std::uint64_t seed = 0;
+  for (std::size_t n = 2; n <= 10; ++n) {
+    for (std::size_t rep = 0; rep < 7; ++rep) {
+      ++seed;
+      const Circuit base = random_circuit(n, 30 + 10 * n, seed);
+      Circuit dag = base;
+      Circuit legacy = base;
+      optimize_o3(dag, PeepholeEngine::Dag);
+      optimize_o3(legacy, PeepholeEngine::Legacy);
+      EXPECT_LE(dag.size(), base.size());
+      EXPECT_TRUE(circuits_bit_identical(dag, legacy)) << "seed " << seed;
+      expect_state_equivalent(dag, base, seed);
+    }
+  }
+}
+
+TEST(PeepholeDag, MatchesLegacyCancelOnlyOnRandomCircuits) {
+  for (std::uint64_t seed = 100; seed < 150; ++seed) {
+    const Circuit base = random_circuit(6, 120, seed);
+    Circuit dag = base;
+    Circuit legacy = base;
+    optimize_o2(dag, PeepholeEngine::Dag);
+    optimize_o2(legacy, PeepholeEngine::Legacy);
+    EXPECT_TRUE(circuits_bit_identical(dag, legacy)) << "seed " << seed;
+    expect_state_equivalent(dag, base, seed);
+  }
+}
+
+TEST(PeepholeDag, BitIdenticalToLegacyOnSeedSuite) {
+  // The two engines must agree gate-for-gate on the seed example suite —
+  // the same contract BM_PeepholeDagVsLegacy exports as `identical` and CI
+  // fails on. Entries 10 (LiH_frz_BK) and 14 (NH_frz_BK) keep runtime small.
+  static const auto suite = uccsd_suite();
+  for (std::size_t entry : {std::size_t{10}, std::size_t{14}}) {
+    const auto& b = suite[entry];
+    for (const PeepholeLevel level : {PeepholeLevel::Own, PeepholeLevel::O3}) {
+      PhoenixOptions opt;
+      opt.peephole = level;
+      opt.peephole_engine = PeepholeEngine::Dag;
+      const auto dag = phoenix_compile(b.terms, b.num_qubits, opt);
+      opt.peephole_engine = PeepholeEngine::Legacy;
+      const auto legacy = phoenix_compile(b.terms, b.num_qubits, opt);
+      EXPECT_TRUE(circuits_bit_identical(dag.circuit, legacy.circuit))
+          << b.name << " level " << static_cast<int>(level);
+    }
+  }
+}
+
+TEST(PeepholeDag, WorklistStatsAreReported) {
+  Circuit c = random_circuit(6, 200, 42);
+  const DagOptStats stats = dag_optimize(c, true);
+  EXPECT_GT(stats.rewrites, 0u);
+  EXPECT_GT(stats.worklist_max, 0u);
+  EXPECT_GE(stats.rewrites, 1u);
+}
+
+}  // namespace
+}  // namespace phoenix
