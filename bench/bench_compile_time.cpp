@@ -37,6 +37,32 @@ void BM_PhoenixLogical(benchmark::State& state) {
   state.counters["paulis"] = static_cast<double>(b.terms.size());
 }
 
+// Same compile with an armed (far-future deadline) cancellation token: the
+// iteration time measures the cost of the poll/check sites threaded through
+// every stage loop against BM_PhoenixLogical, and the `identical` counter is
+// 1 when the armed-token compile's circuit matches the token-free compile
+// gate-for-gate with exact parameters. CI's benchmark-smoke job asserts both:
+// cancellation support must be free when unused and must never perturb the
+// output.
+void BM_PhoenixLogicalArmedToken(benchmark::State& state) {
+  const auto& b = suite_entry(static_cast<std::size_t>(state.range(0)));
+  CancelSource source(/*deadline_ms=*/3'600'000.0);  // one hour: never trips
+  PhoenixOptions opt;
+  opt.cancel = source.token();
+  for (auto _ : state) {
+    auto res = phoenix_compile(b.terms, b.num_qubits, opt);
+    benchmark::DoNotOptimize(res.circuit.size());
+  }
+  const Circuit armed = phoenix_compile(b.terms, b.num_qubits, opt).circuit;
+  const Circuit plain = phoenix_compile(b.terms, b.num_qubits).circuit;
+  bool identical = armed.size() == plain.size();
+  for (std::size_t i = 0; identical && i < armed.size(); ++i)
+    identical = armed.gates()[i].same_as(plain.gates()[i], /*tol=*/0.0);
+  state.SetLabel(b.name);
+  state.counters["paulis"] = static_cast<double>(b.terms.size());
+  state.counters["identical"] = identical ? 1.0 : 0.0;
+}
+
 // Flatten a stage name into a benchmark counter key ("route(sabre)" ->
 // "stage_ms_route_sabre_") so stage breakdowns survive the JSON export.
 std::string stage_counter_key(const std::string& stage) {
@@ -181,6 +207,11 @@ void BM_ServiceWarmVsCold(benchmark::State& state) {
 
 // Index 10 = LiH_frz_BK (small), 1 = CH2_cmplt_JW (largest, 1488 strings).
 BENCHMARK(BM_PhoenixLogical)->Arg(10)->Arg(14)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PhoenixLogicalArmedToken)
+    ->Arg(10)
+    ->Arg(14)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PhoenixLogicalTraced)->Arg(10)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PaulihedralLogical)->Arg(10)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TketLogical)->Arg(10)->Arg(1)->Unit(benchmark::kMillisecond);

@@ -5,11 +5,17 @@
 // from the content-addressed cache.
 //
 //   $ ./example_phoenix_serve [--jobs N] [--repeat N] [--cache-dir DIR]
-//                             [--max-qubits N]
+//                             [--max-qubits N] [--deadline-ms MS]
+//                             [--max-queue N]
 //
-// Defaults: jobs = hardware, repeat = 2, in-memory cache only, full suite.
-// With --cache-dir the cache persists: a second run of this binary starts
-// warm (round 1 shows disk hits instead of compiles).
+// Defaults: jobs = hardware, repeat = 2, in-memory cache only, full suite,
+// no deadlines, unbounded queue. With --cache-dir the cache persists: a
+// second run of this binary starts warm (round 1 shows disk hits instead of
+// compiles). --deadline-ms puts a per-request deadline on every submission
+// (expired waits report `deadline` instead of a result and abort the compile
+// when nobody else wants it); --max-queue bounds the accepted-but-unstarted
+// queue, so an overfull round sheds its lowest-priority compiles with
+// `overloaded` instead of queueing without bound.
 
 #include <chrono>
 #include <cstdio>
@@ -18,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "hamlib/uccsd.hpp"
 #include "service/service.hpp"
 
@@ -29,6 +36,8 @@ int main(int argc, char** argv) {
   int repeat = 2;
   const char* cache_dir = nullptr;
   std::size_t max_qubits = 64;
+  double deadline_ms = 0;
+  std::size_t max_queue = 0;
   for (int i = 1; i < argc; ++i) {
     auto value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -45,6 +54,10 @@ int main(int argc, char** argv) {
       cache_dir = value("--cache-dir");
     else if (!std::strcmp(argv[i], "--max-qubits"))
       max_qubits = std::strtoul(value("--max-qubits"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--deadline-ms"))
+      deadline_ms = std::strtod(value("--deadline-ms"), nullptr);
+    else if (!std::strcmp(argv[i], "--max-queue"))
+      max_queue = std::strtoul(value("--max-queue"), nullptr, 10);
     else {
       std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
       return 1;
@@ -59,34 +72,64 @@ int main(int argc, char** argv) {
 
   ServiceOptions opt;
   opt.num_threads = jobs;
+  opt.max_queue = max_queue;
   if (cache_dir != nullptr) opt.cache.disk_dir = cache_dir;
   CompileService service(opt);
 
   for (int round = 1; round <= repeat; ++round) {
     const ServiceStats before = service.stats();
     std::vector<CompileService::Ticket> tickets;
+    std::vector<char> admitted;
     tickets.reserve(suite.size());
+    admitted.reserve(suite.size());
     const auto t0 = clock::now();
     for (const auto& b : suite) {
       CompileRequest req;
       req.terms = b.terms;
       req.num_qubits = b.num_qubits;
+      req.deadline_ms = deadline_ms;
       // Shortest-job-first: small programs return while big ones compile.
       const int priority = -static_cast<int>(b.terms.size());
-      tickets.push_back(service.submit(std::move(req), priority));
-    }
-    for (std::size_t i = 0; i < tickets.size(); ++i) {
-      const auto res = tickets[i].get();
-      if (res == nullptr) {
-        std::fprintf(stderr, "BUG: null result for %s\n",
-                     suite[i].name.c_str());
-        return 1;
+      try {
+        tickets.push_back(service.submit(std::move(req), priority));
+        admitted.push_back(1);
+      } catch (const Error& e) {
+        if (e.kind() != Error::Kind::Overloaded) throw;
+        tickets.emplace_back();  // queue full: submission itself was rejected
+        admitted.push_back(0);
       }
-      if (round == 1)
-        std::printf("  %-16s %5zu paulis -> %5zu CNOT, 2Q depth %4zu\n",
-                    suite[i].name.c_str(), suite[i].terms.size(),
-                    res->circuit.count(GateKind::Cnot),
-                    res->circuit.depth_2q());
+    }
+    std::size_t dropped = 0;
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      if (admitted[i] == 0) {
+        ++dropped;
+        if (round == 1)
+          std::printf("  %-16s %5zu paulis -> rejected (overloaded)\n",
+                      suite[i].name.c_str(), suite[i].terms.size());
+        continue;
+      }
+      try {
+        const auto res = tickets[i].get();
+        if (res == nullptr) {
+          std::fprintf(stderr, "BUG: null result for %s\n",
+                       suite[i].name.c_str());
+          return 1;
+        }
+        if (round == 1)
+          std::printf("  %-16s %5zu paulis -> %5zu CNOT, 2Q depth %4zu\n",
+                      suite[i].name.c_str(), suite[i].terms.size(),
+                      res->circuit.count(GateKind::Cnot),
+                      res->circuit.depth_2q());
+      } catch (const Error& e) {
+        // Deadline expired while waiting, or this flight was shed to admit a
+        // higher-priority round-mate: a real server returns the structured
+        // error to that one caller and keeps serving.
+        ++dropped;
+        if (round == 1)
+          std::printf("  %-16s %5zu paulis -> dropped (%s)\n",
+                      suite[i].name.c_str(), suite[i].terms.size(),
+                      kind_name(e.kind()));
+      }
     }
     const double ms = std::chrono::duration<double, std::milli>(
                           clock::now() - t0)
@@ -94,13 +137,19 @@ int main(int argc, char** argv) {
     const ServiceStats s = service.stats();
     std::printf(
         "round %d: %8.1f ms  (compiles %llu, memory hits %llu, disk hits "
-        "%llu, in-flight joins %llu)\n",
+        "%llu, in-flight joins %llu",
         round, ms,
         static_cast<unsigned long long>(s.misses - before.misses),
         static_cast<unsigned long long>(s.hits - before.hits),
         static_cast<unsigned long long>(s.disk_hits - before.disk_hits),
         static_cast<unsigned long long>(s.inflight_joins -
                                         before.inflight_joins));
+    if (deadline_ms > 0 || max_queue > 0)
+      std::printf(", dropped %zu [timeouts %llu, shed %llu]", dropped,
+                  static_cast<unsigned long long>(s.timeouts - before.timeouts),
+                  static_cast<unsigned long long>(s.rejected -
+                                                  before.rejected));
+    std::printf(")\n");
   }
 
   const ServiceStats s = service.stats();

@@ -19,13 +19,27 @@ const char* stage_name(Stage s) {
   return "unknown";
 }
 
+const char* kind_name(Error::Kind k) {
+  switch (k) {
+    case Error::Kind::Failed: return "failed";
+    case Error::Kind::Cancelled: return "cancelled";
+    case Error::Kind::DeadlineExceeded: return "deadline-exceeded";
+    case Error::Kind::Overloaded: return "overloaded";
+  }
+  return "unknown";
+}
+
 namespace {
 
-std::string compose_message(Stage stage, const std::string& detail,
-                            std::size_t line, std::size_t group,
-                            std::size_t column) {
+std::string compose_message(Stage stage, Error::Kind kind,
+                            const std::string& detail, std::size_t line,
+                            std::size_t group, std::size_t column) {
   std::string msg = "phoenix error [stage=";
   msg += stage_name(stage);
+  if (kind != Error::Kind::Failed) {
+    msg += ", kind=";
+    msg += kind_name(kind);
+  }
   if (group != Error::kNoGroup) msg += ", group=" + std::to_string(group);
   if (line != Error::kNoLine) msg += ", line=" + std::to_string(line);
   if (column != Error::kNoColumn) msg += ", col=" + std::to_string(column);
@@ -38,16 +52,22 @@ std::string compose_message(Stage stage, const std::string& detail,
 
 Error::Error(Stage stage, std::string detail, std::size_t line,
              std::size_t group, std::size_t column)
+    : Error(Kind::Failed, stage, std::move(detail), line, group, column) {}
+
+Error::Error(Kind kind, Stage stage, std::string detail, std::size_t line,
+             std::size_t group, std::size_t column)
     : std::runtime_error(detail),
       stage_(stage),
+      kind_(kind),
       detail_(std::move(detail)),
       line_(line),
       group_(group),
       column_(column),
-      message_(compose_message(stage_, detail_, line_, group_, column_)) {}
+      message_(
+          compose_message(stage_, kind_, detail_, line_, group_, column_)) {}
 
 Error with_group(const Error& e, std::size_t group) {
-  return Error(e.stage(), e.detail(), e.line(), group, e.column());
+  return Error(e.kind(), e.stage(), e.detail(), e.line(), group, e.column());
 }
 
 }  // namespace phoenix

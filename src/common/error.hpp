@@ -31,14 +31,28 @@ const char* stage_name(Stage s);
 /// catch `phoenix::Error` can dispatch on the fields.
 class Error : public std::runtime_error {
  public:
+  /// Failure class, orthogonal to the stage: a serving layer dispatches on
+  /// it (retry Overloaded elsewhere, drop Cancelled silently, surface
+  /// DeadlineExceeded to the caller) without string matching. `Failed` is
+  /// every ordinary compile/parse/validation error.
+  enum class Kind {
+    Failed,            ///< ordinary error: bad input, miscompile, IO, ...
+    Cancelled,         ///< the request's CancelToken was cancelled
+    DeadlineExceeded,  ///< the request's deadline passed
+    Overloaded,        ///< admission control shed the request (queue full)
+  };
+
   static constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
   static constexpr std::size_t kNoLine = 0;    ///< line numbers are 1-based
   static constexpr std::size_t kNoColumn = 0;  ///< columns are 1-based
 
   Error(Stage stage, std::string detail, std::size_t line = kNoLine,
         std::size_t group = kNoGroup, std::size_t column = kNoColumn);
+  Error(Kind kind, Stage stage, std::string detail, std::size_t line = kNoLine,
+        std::size_t group = kNoGroup, std::size_t column = kNoColumn);
 
   Stage stage() const { return stage_; }
+  Kind kind() const { return kind_; }
   const std::string& detail() const { return detail_; }
 
   bool has_group() const { return group_ != kNoGroup; }
@@ -54,6 +68,7 @@ class Error : public std::runtime_error {
 
  private:
   Stage stage_;
+  Kind kind_;
   std::string detail_;
   std::size_t line_;
   std::size_t group_;
@@ -61,8 +76,10 @@ class Error : public std::runtime_error {
   std::string message_;
 };
 
+const char* kind_name(Error::Kind k);
+
 /// Rebuild `e` with a group index attached (used by the compiler to add the
-/// IR-group context that inner stages cannot know).
+/// IR-group context that inner stages cannot know). Preserves the kind.
 Error with_group(const Error& e, std::size_t group);
 
 }  // namespace phoenix

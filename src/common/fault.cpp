@@ -1,0 +1,117 @@
+#include "common/fault.hpp"
+
+#ifdef PHOENIX_FAULT_INJECT
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace phoenix::fault {
+
+namespace {
+
+/// SplitMix64 step — the same mixer the content hasher uses, giving each
+/// failpoint a private deterministic uniform stream.
+std::uint64_t splitmix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct Point {
+  Spec spec;
+  std::uint64_t hit_count = 0;
+  std::uint64_t fired_count = 0;
+  std::uint64_t rng = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Point> points;
+  std::atomic<std::uint64_t> total_fired{0};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Evaluate under the registry lock; returns the armed sleep_ms when fired
+/// (0 likewise means "no sleep", which is fine for sleep sites).
+bool evaluate(const char* name, double* sleep_ms_out) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(name);
+  if (it == r.points.end()) return false;
+  Point& p = it->second;
+  const std::uint64_t hit = p.hit_count++;
+  if (hit < p.spec.skip) return false;
+  if (hit - p.spec.skip >= p.spec.times) return false;
+  if (p.spec.probability < 1.0) {
+    const double u =
+        static_cast<double>(splitmix64(p.rng) >> 11) * 0x1.0p-53;
+    if (u >= p.spec.probability) return false;
+  }
+  ++p.fired_count;
+  r.total_fired.fetch_add(1, std::memory_order_relaxed);
+  if (sleep_ms_out != nullptr) *sleep_ms_out = p.spec.sleep_ms;
+  return true;
+}
+
+}  // namespace
+
+void enable(const std::string& name, Spec spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Point p;
+  p.spec = spec;
+  p.rng = spec.seed;
+  r.points[name] = p;
+}
+
+void disable(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.erase(name);
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+}
+
+bool triggered(const char* name) { return evaluate(name, nullptr); }
+
+bool maybe_sleep(const char* name) {
+  double ms = 0.0;
+  if (!evaluate(name, &ms)) return false;
+  if (ms > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  return true;
+}
+
+std::uint64_t hits(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.hit_count;
+}
+
+std::uint64_t fired(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.fired_count;
+}
+
+std::uint64_t total_fired() {
+  return registry().total_fired.load(std::memory_order_relaxed);
+}
+
+}  // namespace phoenix::fault
+
+#endif  // PHOENIX_FAULT_INJECT

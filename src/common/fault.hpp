@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace phoenix::fault {
+
+/// Deterministic, seedable fault injection for the robustness/chaos tests.
+///
+/// Code under test declares *failpoints* — named sites that ask
+/// `triggered("disk.write")` whether they should fail this time — and the
+/// test script arms them with a `Spec`. Firing is deterministic: a
+/// hit-counted window (`skip` passes, then `times` fires) optionally thinned
+/// by a probability drawn from a per-failpoint SplitMix64 stream seeded by
+/// `seed`, so a given (spec, hit sequence) always fires the same hits.
+///
+/// The whole layer is compiled out unless the build defines
+/// `PHOENIX_FAULT_INJECT` (CMake -DPHOENIX_FAULT_INJECT=ON): without it
+/// `triggered()` is a constant `false` and every failpoint dead-codes away,
+/// so release binaries carry zero overhead and zero attack surface. Tests
+/// that need faults call `available()` and skip when the layer is absent.
+///
+/// Failpoint catalog (see DESIGN.md §10):
+///   disk.write    cache persist: the write attempt fails (retryable)
+///   disk.torn     cache persist: only half the payload reaches the file,
+///                 yet the write "succeeds" — a torn entry lands on disk
+///   disk.read     cache lookup: the read attempt fails (retryable)
+///   compile.throw service: the compile throws mid-flight
+///   compile.slow  service: the compile sleeps `sleep_ms` before starting
+struct Spec {
+  /// Hits that pass through before the failpoint starts firing.
+  std::uint64_t skip = 0;
+  /// Fires after `skip` (default: every subsequent hit).
+  std::uint64_t times = UINT64_MAX;
+  /// Per-eligible-hit fire probability (1.0 = scripted/always).
+  double probability = 1.0;
+  /// Seed of the failpoint's private probability stream.
+  std::uint64_t seed = 0;
+  /// For sleep-style sites (`compile.slow`): how long to stall.
+  double sleep_ms = 0.0;
+};
+
+#ifdef PHOENIX_FAULT_INJECT
+
+constexpr bool available() { return true; }
+
+/// Arm `name` with `spec` (resets its hit/fire counters).
+void enable(const std::string& name, Spec spec);
+/// Disarm one failpoint / every failpoint.
+void disable(const std::string& name);
+void reset();
+
+/// Evaluate the failpoint: counts the hit, returns true when it fires
+/// (bumping the fired counters). Thread-safe.
+bool triggered(const char* name);
+
+/// `triggered` for sleep-style sites: when the failpoint fires, sleeps the
+/// armed `sleep_ms` and returns true.
+bool maybe_sleep(const char* name);
+
+/// Diagnostics for tests and ServiceStats.
+std::uint64_t hits(const std::string& name);
+std::uint64_t fired(const std::string& name);
+std::uint64_t total_fired();
+
+#else  // !PHOENIX_FAULT_INJECT — every site folds to a constant
+
+constexpr bool available() { return false; }
+
+inline void enable(const std::string&, Spec) {}
+inline void disable(const std::string&) {}
+inline void reset() {}
+inline bool triggered(const char*) { return false; }
+inline bool maybe_sleep(const char*) { return false; }
+inline std::uint64_t hits(const std::string&) { return 0; }
+inline std::uint64_t fired(const std::string&) { return 0; }
+inline std::uint64_t total_fired() { return 0; }
+
+#endif
+
+}  // namespace phoenix::fault

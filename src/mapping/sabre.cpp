@@ -75,7 +75,9 @@ class Router {
         if (--indeg[s] == 0) ready.push_back(s);
     };
 
+    std::uint32_t cancel_tick = 0;
     while (executed < logical_.size()) {
+      opt_.cancel.poll(cancel_tick, Stage::Routing);
       // Drain the ready queue: 1Q gates always execute; 2Q gates execute when
       // their physical qubits are adjacent, otherwise join the front layer.
       bool progress = false;
@@ -273,6 +275,7 @@ SabreResult sabre_route(const Circuit& logical, const Graph& coupling,
   {
     TraceSpan span("sabre.layout");
     for (std::size_t round = 0; round < opt.layout_rounds; ++round) {
+      opt.cancel.check(Stage::Routing);
       layout = router.run(layout, /*emit_gates=*/false).final_layout;
       layout = rev_router.run(layout, /*emit_gates=*/false).final_layout;
     }

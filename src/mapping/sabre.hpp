@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "common/cancel.hpp"
 #include "common/graph.hpp"
 
 namespace phoenix {
@@ -21,6 +22,10 @@ struct SabreOptions {
   std::size_t layout_rounds = 2;
   /// Seed for the initial random layout.
   std::uint64_t seed = 11;
+  /// Cooperative cancellation, polled once per routing-loop iteration (the
+  /// layout-refinement rounds poll too, so a deadline trips mid-refinement).
+  /// Excluded from the request fingerprint — it never changes the output.
+  CancelToken cancel;
 };
 
 struct SabreResult {

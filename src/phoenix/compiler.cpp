@@ -39,6 +39,10 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
                       " qubits, program needs " + std::to_string(num_qubits));
   }
 
+  // Fail fast when the caller's deadline already passed (or the request was
+  // cancelled before we started) instead of paying for the first stage.
+  opt.cancel.check(Stage::Grouping);
+
   CompileResult res;
   const bool diagnose = opt.validation.level != ValidationLevel::Off;
   const bool paranoid = opt.validation.level == ValidationLevel::Paranoid;
@@ -89,6 +93,7 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
     const auto t0 = Clock::now();
     {
       TraceSpan span("route(qaoa)");
+      opt.cancel.check(Stage::Routing);
       QaoaRouteResult routed =
           route_commuting_two_local(terms, num_qubits, *opt.coupling);
       res.num_groups = terms.size();
@@ -127,6 +132,11 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   //    group boundaries stay clean for Clifford2Q cancellation.
   t_stage = Clock::now();
   stage_span.emplace("simplify");
+  // Stage options inherit the pipeline token unless the caller armed a
+  // stage-specific one (the tighter of the two would need a derived source;
+  // per-stage tokens are an expert escape hatch, so last-one-wins is fine).
+  SimplifyOptions simplify_opt = opt.simplify;
+  if (!simplify_opt.cancel.valid()) simplify_opt.cancel = opt.cancel;
   struct GroupOutcome {
     SimplifiedGroup sg;
     SubcircuitProfile profile;
@@ -143,7 +153,7 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
     const double t_group = tr != nullptr ? tr->millis_since_epoch() : 0.0;
     GroupOutcome& out = outcomes[gi];
     try {
-      out.sg = simplify_bsf(groups[gi].terms, opt.simplify);
+      out.sg = simplify_bsf(groups[gi].terms, simplify_opt);
       if (paranoid) check_simplified_group(groups[gi].terms, out.sg);
       Circuit sub = out.sg.emit(num_qubits, /*include_global_locals=*/false);
       if (!sub.empty()) {
@@ -195,6 +205,7 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   OrderingOptions order_opt;
   order_opt.lookahead = opt.lookahead;
   order_opt.routing_aware = opt.hardware_aware;
+  order_opt.cancel = opt.cancel;
   const auto order = tetris_order(profiles, order_opt);
 
   Circuit assembled(num_qubits);
@@ -210,10 +221,10 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
     case PeepholeLevel::None:
       break;
     case PeepholeLevel::Own:
-      optimize_o2(assembled, opt.peephole_engine);
+      optimize_o2(assembled, opt.peephole_engine, opt.cancel);
       break;
     case PeepholeLevel::O3:
-      optimize_o3(assembled, opt.peephole_engine);
+      optimize_o3(assembled, opt.peephole_engine, opt.cancel);
       break;
   }
   stage_span.reset();
@@ -236,7 +247,9 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
 
   t_stage = Clock::now();
   stage_span.emplace("route(sabre)");
-  SabreResult routed = sabre_route(assembled, *opt.coupling, opt.sabre);
+  SabreOptions sabre_opt = opt.sabre;
+  if (!sabre_opt.cancel.valid()) sabre_opt.cancel = opt.cancel;
+  SabreResult routed = sabre_route(assembled, *opt.coupling, sabre_opt);
   res.num_swaps = routed.num_swaps;
   res.initial_layout = std::move(routed.initial_layout);
   res.final_layout = std::move(routed.final_layout);
@@ -256,9 +269,9 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   t_stage = Clock::now();
   stage_span.emplace("peephole(post-route)");
   if (opt.peephole == PeepholeLevel::None)
-    optimize_o2(physical, opt.peephole_engine);
+    optimize_o2(physical, opt.peephole_engine, opt.cancel);
   else
-    optimize_o3(physical, opt.peephole_engine);
+    optimize_o3(physical, opt.peephole_engine, opt.cancel);
   if (opt.isa == TwoQubitIsa::Su4) {
     TraceSpan span("rebase(su4)");
     res.circuit = rebase_su4(physical);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "common/cancel.hpp"
 #include "common/graph.hpp"
 #include "common/trace.hpp"
 #include "mapping/sabre.hpp"
@@ -50,6 +51,15 @@ struct PhoenixOptions {
   /// probe is then an inlined branch with no clock reads or allocation, and
   /// compiled circuits are bit-identical with tracing on or off.
   bool trace = false;
+  /// Cooperative cancellation/deadline token, polled inside every
+  /// long-running stage loop (simplify descent, ordering, routing, peephole
+  /// worklists). A tripped token makes the compile throw phoenix::Error with
+  /// kind Cancelled or DeadlineExceeded within milliseconds; the default
+  /// (empty) token is a single null-pointer test per poll. Copied into
+  /// SimplifyOptions / SabreOptions when those don't carry their own token.
+  /// Like `num_threads` and `trace`, excluded from cache fingerprints:
+  /// tokens never change the compiled circuit, only whether it completes.
+  CancelToken cancel;
   /// Self-checking level (src/verify/): Off compiles blind, Cheap runs the
   /// polynomial translation validation on the final circuit, Paranoid adds
   /// per-stage invariant checks and the exact-unitary cross-check on small

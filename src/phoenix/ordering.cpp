@@ -182,6 +182,7 @@ std::vector<std::size_t> tetris_order(
   order.reserve(profiles.size());
   std::size_t cost_evals = 0;
   std::size_t lookahead_hits = 0;
+  std::uint32_t cancel_tick = 0;
   while (remaining > 0) {
     std::size_t pick_slot = nxt[0], pick_pred = 0;
     if (!order.empty()) {
@@ -190,6 +191,7 @@ std::vector<std::size_t> tetris_order(
       const std::size_t window = std::min(opt.lookahead, remaining);
       std::size_t pred = 0, slot = nxt[0];
       for (std::size_t w = 0; w < window; ++w) {
+        opt.cancel.poll(cancel_tick, Stage::Ordering);
         const double c = assembling_cost(last, profiles[sorted[slot - 1]], opt);
         if (c < best) {
           best = c;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "common/cancel.hpp"
 #include "common/graph.hpp"
 #include "pauli/clifford2q.hpp"
 
@@ -42,6 +43,8 @@ SubcircuitProfile profile_subcircuit(Circuit circ,
 struct OrderingOptions {
   std::size_t lookahead = 20;  ///< candidate window per assembly step
   bool routing_aware = false;  ///< enable the Eq. (7) similarity factor
+  /// Cooperative cancellation, polled per assembling-cost evaluation.
+  CancelToken cancel;
 };
 
 /// The §IV-C.1 depth overhead of abutting `prev` (via e_r) and `next`

@@ -176,8 +176,10 @@ SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
   // g.cliffords per candidate.
   std::unordered_set<std::uint64_t> used_pairs;
   std::vector<Clifford2Q> cands;
+  std::uint32_t cancel_tick = 0;
 
   while (bsf.total_weight() > 2) {
+    opt.cancel.check(Stage::Simplify);
     std::vector<Bsf::Row> peeled = bsf.pop_local_rows();
     for (const auto& r : peeled)
       weight_peeled += BitVec::or_popcount(r.x, r.z);
@@ -211,6 +213,7 @@ SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
       collect_candidates(bsf.support(), cands);
       candidates_evaluated += cands.size();
       for (const auto& cand : cands) {
+        opt.cancel.poll(cancel_tick, Stage::Simplify);
         std::uint64_t cost2;
         if (inc.anticommuting_rows(cand.sigma0, cand.q0) == 0 &&
             inc.anticommuting_rows(cand.sigma1, cand.q1) == 0) {

@@ -6,6 +6,7 @@
 
 #include "circuit/circuit.hpp"
 #include "circuit/synthesis.hpp"
+#include "common/cancel.hpp"
 #include "pauli/bsf.hpp"
 #include "pauli/clifford2q.hpp"
 #include "pauli/pauli.hpp"
@@ -142,6 +143,11 @@ struct SimplifyOptions {
   /// Abort knob for pathological inputs; the greedy search normally
   /// terminates in O(total weight) epochs.
   std::size_t max_epochs = 10000;
+  /// Cooperative cancellation: checked once per epoch and polled (amortized,
+  /// see CancelToken::poll) inside the candidate loop, so a cancelled or
+  /// deadline-expired compile leaves the greedy descent within a few hundred
+  /// candidate evaluations. Empty by default — one pointer test per probe.
+  CancelToken cancel;
 };
 
 /// Algorithm 1: greedy simultaneous BSF simplification. `terms` must share a

@@ -1,16 +1,24 @@
 #include "service/cache.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <list>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/trace.hpp"
 #include "phoenix/serialize.hpp"
 
@@ -25,6 +33,77 @@ struct Entry {
   CompileCache::ResultPtr value;
   std::size_t bytes = 0;
 };
+
+/// Trailing integrity line appended after the serialized payload:
+/// `checksum <32-hex Hash128 of payload> <payload length>\n`. A reader that
+/// cannot reproduce the digest over exactly that prefix is looking at a torn
+/// write, bit rot, or a pre-footer legacy file — all treated as corrupt.
+std::string checksum_footer(const std::string& payload) {
+  Hash128 h;
+  h.write_bytes(payload.data(), payload.size());
+  return "checksum " + h.digest().hex() + " " +
+         std::to_string(payload.size()) + "\n";
+}
+
+/// Validate `blob` (payload + footer) in place: on success truncates it to
+/// the bare payload and returns true.
+bool verify_and_strip_footer(std::string& blob) {
+  if (blob.empty() || blob.back() != '\n') return false;
+  const std::size_t line_start = blob.rfind('\n', blob.size() - 2);
+  const std::size_t footer = line_start == std::string::npos ? 0
+                                                             : line_start + 1;
+  std::istringstream line(blob.substr(footer, blob.size() - footer - 1));
+  std::string tag, hex;
+  std::uint64_t len = 0;
+  if (!(line >> tag >> hex >> len) || tag != "checksum") return false;
+  const auto digest = Digest128::from_hex(hex);
+  if (!digest.has_value() || len != footer) return false;
+  Hash128 h;
+  h.write_bytes(blob.data(), footer);
+  if (h.digest() != *digest) return false;
+  blob.resize(footer);
+  return true;
+}
+
+/// Write `data` to `path` with an fsync before returning success, via raw
+/// POSIX I/O so a short write or failed flush is visible (ofstream swallows
+/// both until close). Under fault injection `disk.torn` the write silently
+/// truncates to half the payload and still reports success — the torn-write
+/// crash the checksum footer exists to catch.
+bool write_file_durable(const std::string& path, const std::string& data) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t left = data.size();
+  if (fault::triggered("disk.torn")) left /= 2;
+  const char* p = data.data();
+  bool ok = true;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  return ok;
+}
+
+/// Flush the directory entry so the rename itself survives a crash.
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+void backoff_sleep(double ms) {
+  if (ms > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
 
 }  // namespace
 
@@ -42,7 +121,8 @@ struct CompileCache::Impl {
   std::size_t shard_budget = 0;
 
   std::atomic<std::uint64_t> hits{0}, misses{0}, disk_hits{0}, disk_rejects{0},
-      evictions{0}, bytes{0}, entries{0};
+      disk_retries{0}, disk_write_failures{0}, evictions{0}, bytes{0},
+      entries{0};
 
   explicit Impl(CacheOptions o) : opt(std::move(o)) {
     if (opt.shards == 0) opt.shards = 1;
@@ -54,6 +134,11 @@ struct CompileCache::Impl {
       if (ec)
         throw Error(Stage::Service, "CompileCache: cannot create disk dir '" +
                                         opt.disk_dir + "': " + ec.message());
+      // Sweep `*.tmp` litter left by writers that crashed between open and
+      // rename. Published `.phxc` entries are never touched here.
+      for (const auto& e : fs::directory_iterator(opt.disk_dir, ec)) {
+        if (e.path().extension() == ".tmp") fs::remove(e.path(), ec);
+      }
     }
   }
 
@@ -106,21 +191,49 @@ struct CompileCache::Impl {
     return it->second->value;
   }
 
+  /// Move a damaged entry out of the lookup path (overwriting any previous
+  /// quarantine of the same key) so it is inspected at most once and the
+  /// next put() republishes a clean file under the original name.
+  void quarantine(const std::string& path) {
+    std::error_code ec;
+    fs::rename(path, path + ".quarantine", ec);
+    if (ec) fs::remove(path, ec);  // worst case: just get it out of the way
+    disk_rejects.fetch_add(1, std::memory_order_relaxed);
+    trace_count("service.cache.disk_rejects", 1);
+  }
+
   ResultPtr lookup_disk(const Digest128& key) {
     if (opt.disk_dir.empty()) return nullptr;
-    std::ifstream in(disk_path(key), std::ios::binary);
-    if (!in) return nullptr;
-    std::ostringstream buf;
-    buf << in.rdbuf();
+    const std::string path = disk_path(key);
+    std::string blob;
+    bool read_ok = false;
+    for (std::size_t attempt = 0; attempt <= opt.disk_retry_limit; ++attempt) {
+      if (attempt > 0) {
+        disk_retries.fetch_add(1, std::memory_order_relaxed);
+        trace_count("service.cache.disk_retries", 1);
+        backoff_sleep(opt.disk_retry_backoff_ms);
+      }
+      if (fault::triggered("disk.read")) continue;  // injected transient error
+      std::ifstream in(path, std::ios::binary);
+      if (!in) return nullptr;  // no entry: a plain miss, nothing to retry
+      blob.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+      if (in.bad()) continue;  // transient I/O failure mid-read
+      read_ok = true;
+      break;
+    }
+    if (!read_ok) return nullptr;
+    // Beyond this point a failure is durable damage, not a transient error:
+    // quarantine the file so the key recompiles instead of rereading it.
+    if (!verify_and_strip_footer(blob)) {
+      quarantine(path);
+      return nullptr;
+    }
     try {
-      auto parsed =
-          std::make_shared<const CompileResult>(compile_result_from_bytes(buf.str()));
-      return parsed;
+      return std::make_shared<const CompileResult>(
+          compile_result_from_bytes(blob));
     } catch (const Error&) {
-      // Stale schema or corruption: treat as a miss; the entry will be
-      // rewritten (same path) the next time this key is put.
-      disk_rejects.fetch_add(1, std::memory_order_relaxed);
-      trace_count("service.cache.disk_rejects", 1);
+      quarantine(path);  // checksum ok but stale/unparseable schema
       return nullptr;
     }
   }
@@ -129,19 +242,31 @@ struct CompileCache::Impl {
     if (opt.disk_dir.empty()) return;
     const std::string path = disk_path(key);
     const std::string tmp = path + ".tmp";
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      if (!out) return;  // persistence is best-effort; memory entry stands
-      out << compile_result_to_bytes(value);
-      if (!out) {
-        std::error_code ec;
-        fs::remove(tmp, ec);
-        return;
+    std::string doc = compile_result_to_bytes(value);
+    doc += checksum_footer(doc);
+    for (std::size_t attempt = 0; attempt <= opt.disk_retry_limit; ++attempt) {
+      if (attempt > 0) {
+        disk_retries.fetch_add(1, std::memory_order_relaxed);
+        trace_count("service.cache.disk_retries", 1);
+        backoff_sleep(opt.disk_retry_backoff_ms);
       }
+      std::error_code ec;
+      if (fault::triggered("disk.write") || !write_file_durable(tmp, doc)) {
+        fs::remove(tmp, ec);  // never leave a half-written tmp behind
+        continue;
+      }
+      fs::rename(tmp, path, ec);  // atomic publish on POSIX
+      if (ec) {
+        fs::remove(tmp, ec);
+        continue;
+      }
+      fsync_dir(opt.disk_dir);
+      return;
     }
-    std::error_code ec;
-    fs::rename(tmp, path, ec);  // atomic publish on POSIX
-    if (ec) fs::remove(tmp, ec);
+    // Persistence is best-effort: the in-memory entry stands, but make the
+    // abandonment observable instead of silently dropping it.
+    disk_write_failures.fetch_add(1, std::memory_order_relaxed);
+    trace_count("service.cache.disk_write_failures", 1);
   }
 };
 
@@ -192,6 +317,9 @@ CompileCache::Counters CompileCache::counters() const {
   c.misses = impl_->misses.load(std::memory_order_relaxed);
   c.disk_hits = impl_->disk_hits.load(std::memory_order_relaxed);
   c.disk_rejects = impl_->disk_rejects.load(std::memory_order_relaxed);
+  c.disk_retries = impl_->disk_retries.load(std::memory_order_relaxed);
+  c.disk_write_failures =
+      impl_->disk_write_failures.load(std::memory_order_relaxed);
   c.evictions = impl_->evictions.load(std::memory_order_relaxed);
   c.bytes = impl_->bytes.load(std::memory_order_relaxed);
   c.entries = impl_->entries.load(std::memory_order_relaxed);

@@ -22,11 +22,22 @@ struct CacheOptions {
   /// shards = less contention, coarser per-shard budget slices.
   std::size_t shards = 8;
   /// When non-empty: persist entries as `<disk_dir>/<fingerprint-hex>.phxc`
-  /// (versioned compile_result_to_bytes documents, written via temp-file +
-  /// rename). Misses consult the directory and promote parses into memory;
-  /// stale schema tags or corrupt files count as `disk_rejects` and fall
-  /// through to a normal miss. The directory is created on first use.
+  /// (versioned compile_result_to_bytes documents followed by a checksum
+  /// footer, written via temp-file + fsync + rename + directory fsync so a
+  /// crash never publishes a partial entry). Misses consult the directory
+  /// and promote parses into memory; stale schema tags, torn writes, and
+  /// checksum mismatches count as `disk_rejects`, move the damaged file to
+  /// `<name>.quarantine`, and fall through to a normal miss (the entry is
+  /// recompiled and rewritten). Stale `*.tmp` litter from crashed writers is
+  /// swept at construction. The directory is created on first use.
   std::string disk_dir;
+  /// Transient disk I/O (a failed write attempt, a short read) is retried up
+  /// to this many extra times with `disk_retry_backoff_ms` sleeps between
+  /// attempts; `disk_retries` counts the retries. Exhausting write attempts
+  /// abandons persistence for that entry (`disk_write_failures`) — the
+  /// in-memory entry still stands.
+  std::size_t disk_retry_limit = 2;
+  double disk_retry_backoff_ms = 1.0;
 };
 
 /// Content-addressed, sharded, byte-budgeted LRU cache of compile results.
@@ -56,7 +67,9 @@ class CompileCache {
     std::uint64_t hits = 0;        ///< in-memory hits
     std::uint64_t misses = 0;      ///< full misses (memory and disk)
     std::uint64_t disk_hits = 0;   ///< served by parsing a persisted entry
-    std::uint64_t disk_rejects = 0;  ///< stale-schema / corrupt disk entries
+    std::uint64_t disk_rejects = 0;  ///< corrupt/torn/stale entries quarantined
+    std::uint64_t disk_retries = 0;  ///< transient I/O attempts retried
+    std::uint64_t disk_write_failures = 0;  ///< persists abandoned after retry
     std::uint64_t evictions = 0;   ///< entries dropped by the byte budget
     std::uint64_t bytes = 0;       ///< current resident byte estimate
     std::uint64_t entries = 0;     ///< current resident entry count

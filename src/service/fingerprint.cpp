@@ -29,7 +29,11 @@ Digest128 fingerprint_request(const std::vector<PauliTerm>& terms,
     h.write_double(t.coeff);
   }
 
-  // Options — every field that can change the compiled artifact.
+  // Options — every field that can change the compiled artifact. Fields
+  // that only affect execution (num_threads, trace, cancel tokens, request
+  // deadlines) are deliberately absent: a deadline changes whether a compile
+  // finishes, never what it produces, and hashing a token would split the
+  // cache for identical programs.
   h.write_u64(static_cast<std::uint64_t>(opt.isa));
   h.write_u64(static_cast<std::uint64_t>(opt.peephole));
   h.write_u64(static_cast<std::uint64_t>(opt.peephole_engine));

@@ -10,7 +10,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "service/fingerprint.hpp"
@@ -19,11 +21,21 @@ namespace phoenix {
 
 namespace {
 
+using ServiceClock = std::chrono::steady_clock;
+
 std::size_t default_pool_workers(std::size_t requested) {
   if (requested != 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   const std::size_t workers = hw > 1 ? static_cast<std::size_t>(hw - 1) : 0;
   return std::min<std::size_t>(workers, 15);
+}
+
+/// Absolute wait deadline of a request (`max()` when it carries none).
+ServiceClock::time_point request_deadline(double deadline_ms) {
+  if (deadline_ms == 0) return ServiceClock::time_point::max();
+  return ServiceClock::now() +
+         std::chrono::duration_cast<ServiceClock::duration>(
+             std::chrono::duration<double, std::milli>(deadline_ms));
 }
 
 }  // namespace
@@ -34,37 +46,61 @@ std::size_t default_pool_workers(std::size_t requested) {
 /// the flight-table lock, so only cancelled tickets can ever observe the
 /// nullptr), or to the compile's exception.
 struct Flight {
-  explicit Flight(const Digest128& key) : fp(key) {
+  Flight(const Digest128& key, double deadline_ms, CancelToken parent)
+      : fp(key),
+        source(deadline_ms != 0 ? CancelSource(deadline_ms, std::move(parent))
+                                : CancelSource(std::move(parent))) {
     future = promise.get_future().share();
   }
   Digest128 fp;
   std::promise<CompileService::ResultPtr> promise;
   std::shared_future<CompileService::ResultPtr> future;
-  /// Live (non-cancelled) submissions waiting on this flight.
+  /// The compile's cancellation scope: deadline = the loosest joiner's
+  /// (extend_deadline as joiners arrive), tripped by Ticket::cancel of the
+  /// last interested submission or by load shedding.
+  CancelSource source;
+  /// Live (non-cancelled, non-timed-out) submissions waiting on this flight.
   std::atomic<std::size_t> interest{0};
   std::atomic<bool> started{false};
+  /// Set (under the flight-table lock) when admission control evicted this
+  /// queued flight; the pool job then returns without touching the promise.
+  std::atomic<bool> shed{false};
 };
 
 struct CompileService::Ticket::State {
   Digest128 fp;
   std::shared_ptr<Flight> flight;  ///< null when served straight from cache
   ResultPtr ready;                 ///< the cache hit, when flight is null
+  /// This submission's own wait deadline (max() = none).
+  ServiceClock::time_point deadline = ServiceClock::time_point::max();
   std::atomic<bool> cancelled{false};
+  std::atomic<bool> timed_out{false};
   std::atomic<std::uint64_t>* cancelled_counter = nullptr;
+  std::atomic<std::uint64_t>* midflight_counter = nullptr;
+  std::atomic<std::uint64_t>* timeouts_counter = nullptr;
 };
 
 struct CompileService::Impl {
   CompileFn compile_fn;
   CompileCache cache;
+  std::size_t max_queue = 0;
 
   std::mutex flights_mu;
   std::unordered_map<Digest128, std::shared_ptr<Flight>, Digest128Hash>
       flights;
+  /// Accepted-but-not-started async flights and their priorities — the
+  /// admission-control queue view (guarded by flights_mu, like `flights`).
+  std::unordered_map<Digest128, std::pair<std::shared_ptr<Flight>, int>,
+                     Digest128Hash>
+      queued;
 
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> compiles{0};  ///< ServiceStats::misses
   std::atomic<std::uint64_t> inflight_joins{0};
   std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> cancelled_midflight{0};
+  std::atomic<std::uint64_t> timeouts{0};
+  std::atomic<std::uint64_t> rejected{0};
   std::atomic<std::uint64_t> queue_depth{0};
 
   /// Destroyed first (declared last): its destructor runs every queued job
@@ -74,23 +110,80 @@ struct CompileService::Impl {
   Impl(ServiceOptions opt, CompileFn fn)
       : compile_fn(std::move(fn)),
         cache(std::move(opt.cache)),
+        max_queue(opt.max_queue),
         pool(default_pool_workers(opt.num_threads)) {}
 
   /// Join the fingerprint's flight or create one. Interest is taken under
   /// the table lock, so a flight with a live joiner is never abandoned.
+  /// Joining relaxes the flight's deadline to cover the new joiner (a
+  /// no-deadline joiner removes it: the compile must outlive its most
+  /// patient waiter).
   struct JoinResult {
     std::shared_ptr<Flight> flight;
     bool created = false;
   };
-  JoinResult join_or_create(const Digest128& fp) {
+  static void relax_deadline(Flight& flight, double deadline_ms) {
+    flight.source.extend_deadline(deadline_ms != 0
+                                      ? request_deadline(deadline_ms)
+                                      : ServiceClock::time_point::max());
+  }
+  JoinResult join_or_create(const CompileRequest& req, const Digest128& fp) {
     std::lock_guard<std::mutex> lock(flights_mu);
     if (const auto it = flights.find(fp); it != flights.end()) {
       it->second->interest.fetch_add(1, std::memory_order_relaxed);
+      relax_deadline(*it->second, req.deadline_ms);
       return {it->second, false};
     }
-    auto flight = std::make_shared<Flight>(fp);
+    auto flight = std::make_shared<Flight>(fp, req.deadline_ms, req.cancel);
     flight->interest.store(1, std::memory_order_relaxed);
     flights[fp] = flight;
+    return {flight, true};
+  }
+
+  /// join_or_create plus admission control for the async path: creating a
+  /// flight claims a queue slot; when the queue is full, either a strictly
+  /// lower-priority queued flight is shed to make room (returned via
+  /// `shed_victim`; the caller fails its promise outside the lock) or the
+  /// submission is rejected with Error kind Overloaded. One lock
+  /// acquisition, so a rejected submission never leaves a joinable flight
+  /// behind.
+  JoinResult admit_or_join(const CompileRequest& req, const Digest128& fp,
+                           int priority,
+                           std::shared_ptr<Flight>& shed_victim) {
+    std::lock_guard<std::mutex> lock(flights_mu);
+    if (const auto it = flights.find(fp); it != flights.end()) {
+      it->second->interest.fetch_add(1, std::memory_order_relaxed);
+      relax_deadline(*it->second, req.deadline_ms);
+      return {it->second, false};
+    }
+    if (max_queue > 0 && queued.size() >= max_queue) {
+      auto victim = queued.end();
+      for (auto it = queued.begin(); it != queued.end(); ++it)
+        if (victim == queued.end() || it->second.second < victim->second.second)
+          victim = it;
+      if (victim == queued.end() || victim->second.second >= priority) {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+        trace_count("service.rejected", 1);
+        throw Error(Error::Kind::Overloaded, Stage::Service,
+                    "CompileService::submit: queue full (" +
+                        std::to_string(queued.size()) + "/" +
+                        std::to_string(max_queue) +
+                        ") and no lower-priority compile to shed");
+      }
+      shed_victim = victim->second.first;
+      shed_victim->shed.store(true, std::memory_order_release);
+      shed_victim->source.request_cancel();
+      flights.erase(shed_victim->fp);
+      queued.erase(victim);
+      queue_depth.fetch_sub(1, std::memory_order_relaxed);
+      rejected.fetch_add(1, std::memory_order_relaxed);
+      trace_count("service.rejected", 1);
+    }
+    auto flight = std::make_shared<Flight>(fp, req.deadline_ms, req.cancel);
+    flight->interest.store(1, std::memory_order_relaxed);
+    flights[fp] = flight;
+    queued[fp] = {flight, priority};
+    queue_depth.fetch_add(1, std::memory_order_relaxed);
     return {flight, true};
   }
 
@@ -103,6 +196,9 @@ struct CompileService::Impl {
     trace_count("service.compiles", 1);
     ResultPtr result;
     try {
+      fault::maybe_sleep("compile.slow");
+      if (fault::triggered("compile.throw"))
+        throw Error(Stage::Service, "fault injected: compile.throw");
       result = std::make_shared<const CompileResult>(compile_fn(req));
     } catch (...) {
       {
@@ -125,11 +221,15 @@ struct CompileService::Impl {
   /// cancelled while queued) under the table lock, swallows compile errors
   /// into the flight's future (tickets rethrow from get()).
   void run_flight_job(const std::shared_ptr<Flight>& flight,
-                      const CompileRequest& req) {
-    queue_depth.fetch_sub(1, std::memory_order_relaxed);
+                      CompileRequest& req) {
     bool abandoned = false;
     {
       std::lock_guard<std::mutex> lock(flights_mu);
+      // A shed flight was already retired by admission control (promise
+      // failed, queue slot released); this job is a husk.
+      if (flight->shed.load(std::memory_order_acquire)) return;
+      queued.erase(flight->fp);
+      queue_depth.fetch_sub(1, std::memory_order_relaxed);
       flight->started.store(true, std::memory_order_relaxed);
       if (flight->interest.load(std::memory_order_relaxed) == 0) {
         flights.erase(flight->fp);
@@ -140,10 +240,26 @@ struct CompileService::Impl {
       flight->promise.set_value(nullptr);
       return;
     }
+    req.cancel = flight->source.token();
     try {
       run_flight(flight, req);
     } catch (...) {
       // Already stored in the future; every waiter sees it.
+    }
+  }
+
+  /// Drop one joined submission's interest at its deadline: the last
+  /// interested waiter of a started flight cancels the compile through the
+  /// flight token. Shared by Ticket::get and the sync join path.
+  void abandon_at_deadline(Flight& flight) {
+    timeouts.fetch_add(1, std::memory_order_relaxed);
+    trace_count("service.timeouts", 1);
+    const std::size_t remaining =
+        flight.interest.fetch_sub(1, std::memory_order_acq_rel) - 1;
+    if (remaining == 0 && flight.started.load(std::memory_order_relaxed)) {
+      flight.source.request_cancel();
+      cancelled_midflight.fetch_add(1, std::memory_order_relaxed);
+      trace_count("service.cancelled_midflight", 1);
     }
   }
 
@@ -152,15 +268,26 @@ struct CompileService::Impl {
     trace_count("service.requests", 1);
     const Digest128 fp = fingerprint_request(req.terms, req.num_qubits,
                                              req.options, req.coupling_graph());
+    const auto deadline = request_deadline(req.deadline_ms);
     for (;;) {
       if (ResultPtr hit = cache.get(fp)) return hit;
-      const JoinResult j = join_or_create(fp);
+      const JoinResult j = join_or_create(req, fp);
       if (j.created) {
         j.flight->started.store(true, std::memory_order_relaxed);
-        return run_flight(j.flight, req);
+        CompileRequest effective = req;
+        effective.cancel = j.flight->source.token();
+        return run_flight(j.flight, effective);
       }
       inflight_joins.fetch_add(1, std::memory_order_relaxed);
       trace_count("service.inflight_joins", 1);
+      if (deadline != ServiceClock::time_point::max() &&
+          j.flight->future.wait_until(deadline) ==
+              std::future_status::timeout) {
+        abandon_at_deadline(*j.flight);
+        throw Error(Error::Kind::DeadlineExceeded, Stage::Service,
+                    "compile: deadline exceeded while joined to an in-flight "
+                    "compile");
+      }
       ResultPtr shared = j.flight->future.get();  // rethrows compile errors
       if (shared != nullptr) return shared;
       // Unreachable in practice: our interest blocks abandonment. Retry
@@ -173,6 +300,11 @@ CompileService::CompileService(ServiceOptions opt)
     : CompileService(std::move(opt), [](const CompileRequest& req) {
         PhoenixOptions o = req.options;
         if (req.coupling != nullptr) o.coupling = req.coupling.get();
+        // The service populates req.cancel with the flight's token (deadline
+        // = loosest joiner, tripped by last-cancel / shedding, chained to
+        // the caller's own token); custom CompileFn seams should do the
+        // same to stay cancellable.
+        if (req.cancel.valid()) o.cancel = req.cancel;
         return phoenix_compile(req.terms, req.num_qubits, o);
       }) {}
 
@@ -199,13 +331,39 @@ CompileService::ResultPtr CompileService::Ticket::get() {
   if (state_ == nullptr)
     throw Error(Stage::Service, "Ticket::get: empty ticket");
   if (state_->cancelled.load(std::memory_order_relaxed)) return nullptr;
+  if (state_->timed_out.load(std::memory_order_relaxed))
+    throw Error(Error::Kind::DeadlineExceeded, Stage::Service,
+                "Ticket::get: deadline exceeded (submission abandoned)");
   if (state_->flight == nullptr) return state_->ready;
+  if (state_->deadline != ServiceClock::time_point::max() &&
+      state_->flight->future.wait_until(state_->deadline) ==
+          std::future_status::timeout) {
+    // Single transition: later get() calls keep throwing without touching
+    // the flight's interest again (cancel() also checks this flag).
+    if (!state_->timed_out.exchange(true)) {
+      if (state_->timeouts_counter != nullptr)
+        state_->timeouts_counter->fetch_add(1, std::memory_order_relaxed);
+      trace_count("service.timeouts", 1);
+      Flight& f = *state_->flight;
+      const std::size_t remaining =
+          f.interest.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      if (remaining == 0 && f.started.load(std::memory_order_relaxed)) {
+        f.source.request_cancel();
+        if (state_->midflight_counter != nullptr)
+          state_->midflight_counter->fetch_add(1, std::memory_order_relaxed);
+        trace_count("service.cancelled_midflight", 1);
+      }
+    }
+    throw Error(Error::Kind::DeadlineExceeded, Stage::Service,
+                "Ticket::get: deadline exceeded waiting for compile");
+  }
   return state_->flight->future.get();  // rethrows compile errors
 }
 
 bool CompileService::Ticket::ready() const {
   if (state_ == nullptr) return false;
   if (state_->cancelled.load(std::memory_order_relaxed)) return true;
+  if (state_->timed_out.load(std::memory_order_relaxed)) return true;
   if (state_->flight == nullptr) return true;
   return state_->flight->future.wait_for(std::chrono::seconds(0)) ==
          std::future_status::ready;
@@ -213,17 +371,31 @@ bool CompileService::Ticket::ready() const {
 
 bool CompileService::Ticket::cancel() {
   if (state_ == nullptr || state_->flight == nullptr) return false;
+  // A timed-out submission already dropped its interest at the deadline;
+  // cancelling it again must not double-release.
+  if (state_->timed_out.load(std::memory_order_relaxed)) return false;
   if (state_->cancelled.exchange(true)) return false;
   if (state_->cancelled_counter != nullptr)
     state_->cancelled_counter->fetch_add(1, std::memory_order_relaxed);
   trace_count("service.cancelled", 1);
   Flight& f = *state_->flight;
   const std::size_t remaining =
-      f.interest.fetch_sub(1, std::memory_order_relaxed) - 1;
-  // Best effort: the compile is skipped when nobody else wants the flight
-  // and the worker has not picked it up yet (the worker re-checks interest
-  // under the flight-table lock before compiling).
-  return remaining == 0 && !f.started.load(std::memory_order_relaxed);
+      f.interest.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  if (remaining != 0) return false;  // others still want the flight
+  // Not started yet: the worker re-checks interest under the flight-table
+  // lock before compiling and abandons the flight — the compile never runs.
+  if (!f.started.load(std::memory_order_relaxed)) return true;
+  // Already running and finished: nothing left to skip.
+  if (f.future.wait_for(std::chrono::seconds(0)) == std::future_status::ready)
+    return false;
+  // Last interested submission of a running compile: abort it mid-stage
+  // through the flight token. The compile throws Error kind Cancelled into
+  // the future (only cancelled/timed-out waiters can observe it).
+  f.source.request_cancel();
+  if (state_->midflight_counter != nullptr)
+    state_->midflight_counter->fetch_add(1, std::memory_order_relaxed);
+  trace_count("service.cancelled_midflight", 1);
+  return true;
 }
 
 const Digest128& CompileService::Ticket::fingerprint() const {
@@ -241,14 +413,27 @@ CompileService::Ticket CompileService::submit(CompileRequest req,
   Ticket ticket;
   ticket.state_ = std::make_shared<Ticket::State>();
   ticket.state_->fp = fp;
+  ticket.state_->deadline = request_deadline(req.deadline_ms);
   ticket.state_->cancelled_counter = &impl_->cancelled;
+  ticket.state_->midflight_counter = &impl_->cancelled_midflight;
+  ticket.state_->timeouts_counter = &impl_->timeouts;
 
   if (ResultPtr hit = impl_->cache.get(fp)) {
     ticket.state_->ready = std::move(hit);
     return ticket;
   }
 
-  const Impl::JoinResult j = impl_->join_or_create(fp);
+  std::shared_ptr<Flight> shed_victim;
+  const Impl::JoinResult j =
+      impl_->admit_or_join(req, fp, priority, shed_victim);
+  if (shed_victim != nullptr) {
+    // Outside the flight-table lock: waking the victim's waiters can run
+    // arbitrary continuation code.
+    shed_victim->promise.set_exception(std::make_exception_ptr(
+        Error(Error::Kind::Overloaded, Stage::Service,
+              "CompileService: compile shed by a higher-priority "
+              "submission")));
+  }
   ticket.state_->flight = j.flight;
   if (!j.created) {
     impl_->inflight_joins.fetch_add(1, std::memory_order_relaxed);
@@ -256,7 +441,6 @@ CompileService::Ticket CompileService::submit(CompileRequest req,
     return ticket;
   }
 
-  impl_->queue_depth.fetch_add(1, std::memory_order_relaxed);
   Impl* impl = impl_.get();
   auto shared_req = std::make_shared<CompileRequest>(std::move(req));
   impl_->pool.submit(
@@ -300,6 +484,12 @@ ServiceStats CompileService::stats() const {
   s.inflight_joins = impl_->inflight_joins.load(std::memory_order_relaxed);
   s.evictions = c.evictions;
   s.cancelled = impl_->cancelled.load(std::memory_order_relaxed);
+  s.cancelled_midflight =
+      impl_->cancelled_midflight.load(std::memory_order_relaxed);
+  s.timeouts = impl_->timeouts.load(std::memory_order_relaxed);
+  s.rejected = impl_->rejected.load(std::memory_order_relaxed);
+  s.disk_retries = c.disk_retries;
+  s.faults_injected = fault::total_fired();
   s.queue_depth = impl_->queue_depth.load(std::memory_order_relaxed);
   s.cache_entries = c.entries;
   s.cache_bytes = c.bytes;

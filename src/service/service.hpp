@@ -23,6 +23,19 @@ struct CompileRequest {
   std::size_t num_qubits = 0;
   PhoenixOptions options;
   std::shared_ptr<const Graph> coupling;  ///< optional owning alternative
+  /// Per-request deadline, milliseconds from submission (0 = none, negative
+  /// = already expired). Enforced twice: the waiting side (`Ticket::get` /
+  /// sync `compile`) stops waiting and throws Error with kind
+  /// DeadlineExceeded, and the compile itself carries a deadline token so an
+  /// abandoned compile aborts mid-stage instead of burning a worker. A
+  /// deduped flight runs until its most patient joiner's deadline.
+  double deadline_ms = 0;
+  /// Optional caller-held cancellation token, honored inside the compile's
+  /// stage loops. The service re-parents it under the flight's own token, so
+  /// beware: cancelling it aborts the shared flight for every joiner (use
+  /// `Ticket::cancel` for per-submission cancellation). Like
+  /// `options.cancel`, excluded from the request fingerprint.
+  CancelToken cancel;
 
   const Graph* coupling_graph() const {
     return coupling != nullptr ? coupling.get() : options.coupling;
@@ -37,6 +50,14 @@ struct ServiceOptions {
   /// 15; on a single-core host (or explicit 0-worker degenerate case)
   /// submitted jobs run inline at submission time.
   std::size_t num_threads = 0;
+  /// Admission control for async submissions: maximum compiles accepted but
+  /// not yet started (0 = unbounded). When the queue is full, a new compile
+  /// is admitted only by shedding a strictly lower-priority queued flight
+  /// (its waiters see Error with kind Overloaded); otherwise the submission
+  /// itself is rejected with Overloaded. Cache hits and joins of in-flight
+  /// compiles never consume queue slots, and synchronous `compile` calls run
+  /// inline and are exempt.
+  std::size_t max_queue = 0;
 };
 
 /// Point-in-time service counters (all monotonic except queue_depth and the
@@ -52,6 +73,11 @@ struct ServiceStats {
   std::uint64_t inflight_joins = 0;  ///< deduped onto a running compile
   std::uint64_t evictions = 0;       ///< cache entries evicted by byte budget
   std::uint64_t cancelled = 0;       ///< submissions cancelled before start
+  std::uint64_t cancelled_midflight = 0;  ///< running compiles token-aborted
+  std::uint64_t timeouts = 0;        ///< waits abandoned at their deadline
+  std::uint64_t rejected = 0;        ///< submissions shed by admission control
+  std::uint64_t disk_retries = 0;    ///< transient disk I/O attempts retried
+  std::uint64_t faults_injected = 0;  ///< fault::total_fired() (process-wide)
   std::uint64_t queue_depth = 0;     ///< jobs accepted but not yet started
   std::uint64_t cache_entries = 0;   ///< resident cache entries
   std::uint64_t cache_bytes = 0;     ///< resident cache byte estimate
@@ -90,22 +116,29 @@ class CompileService {
   ResultPtr compile(const std::vector<PauliTerm>& terms,
                     std::size_t num_qubits, const PhoenixOptions& opt = {});
 
-  /// Handle to one async submission. get() blocks for the shared result and
-  /// rethrows the compile's error; after a successful cancel() it returns
-  /// nullptr instead.
+  /// Handle to one async submission. get() blocks for the shared result
+  /// (bounded by the request's deadline_ms, when set) and rethrows the
+  /// compile's error; after a successful cancel() it returns nullptr
+  /// instead. All methods are safe on a default-constructed (empty) ticket:
+  /// get() throws a structured Error, the others report inert defaults.
   class Ticket {
    public:
     Ticket() = default;
 
-    /// The shared result (nullptr iff this submission was cancelled).
+    /// The shared result (nullptr iff this submission was cancelled). When
+    /// the request carried a deadline and it passes while waiting, the wait
+    /// is abandoned (throwing Error with kind DeadlineExceeded, now and on
+    /// every later call) and, if this was the last interested submission of
+    /// a running flight, the compile itself is cancelled mid-stage.
     ResultPtr get();
     /// True once the shared compile finished (ready, failed, or cancelled).
     bool ready() const;
-    /// Best-effort cancellation: marks this submission abandoned (its get()
-    /// returns nullptr immediately) and, when no other submission shares the
-    /// fingerprint and the compile has not started, prevents the compile
-    /// entirely. Returns true when the underlying compile was (or will be)
-    /// skipped on this submission's behalf.
+    /// Cancellation: marks this submission abandoned (its get() returns
+    /// nullptr immediately). When no other submission shares the
+    /// fingerprint, the compile is prevented entirely (not yet started) or
+    /// cancelled mid-flight through its token (already running). Returns
+    /// true when the underlying compile was (or will be) skipped or aborted
+    /// on this submission's behalf.
     bool cancel();
 
     const Digest128& fingerprint() const;
@@ -119,7 +152,10 @@ class CompileService {
   /// Enqueue one request on the service pool. Higher priority runs first
   /// (FIFO within a priority). Cache hits return an already-ready ticket
   /// without touching the queue; duplicate fingerprints join the in-flight
-  /// or queued compile instead of enqueueing another.
+  /// or queued compile instead of enqueueing another. With
+  /// ServiceOptions::max_queue set, a full queue either sheds a lower-
+  /// priority queued compile or rejects this submission by throwing Error
+  /// with kind Overloaded (see max_queue).
   Ticket submit(CompileRequest req, int priority = 0);
 
   /// Schedule the whole batch (shared priority), then wait for every entry.

@@ -128,8 +128,8 @@ bool blocks_every_seer(GateKind k) {
 /// quiescent regions.
 class DagPeephole {
  public:
-  explicit DagPeephole(CircuitDag& dag)
-      : dag_(dag), in_queue_(dag.nodes_.size(), false) {}
+  explicit DagPeephole(CircuitDag& dag, const CancelToken& cancel = {})
+      : dag_(dag), cancel_(cancel), in_queue_(dag.nodes_.size(), false) {}
 
   DagOptStats stats;
 
@@ -161,6 +161,7 @@ class DagPeephole {
       in_pop_ = true;
       round_ = 0;
       for (CircuitDag::NodeId id : order) {
+        cancel_.poll(cancel_tick_, Stage::Peephole);
         if (!dag_.alive(id)) continue;
         cursor_ = dag_.key64(id);
         walk_forward(id);
@@ -169,6 +170,7 @@ class DagPeephole {
       round_ = 1;
     }
     while (!heap_.empty()) {
+      cancel_.poll(cancel_tick_, Stage::Peephole);
       const HeapEntry top = heap_.top();
       heap_.pop();
       const CircuitDag::NodeId u = top.second;
@@ -197,6 +199,7 @@ class DagPeephole {
       run.clear();
       CircuitDag::NodeId id = dag_.wire_head(q);
       while (true) {
+        cancel_.poll(cancel_tick_, Stage::Peephole);
         const bool is_1q = id != CircuitDag::kNull && !dag_.gate(id).is_two_qubit();
         if (is_1q) {
           run.push_back(id);
@@ -374,6 +377,8 @@ class DagPeephole {
   }
 
   CircuitDag& dag_;
+  CancelToken cancel_;
+  std::uint32_t cancel_tick_ = 0;
   bool seeded_ = false;
   bool in_pop_ = false;
   bool sweeping_ = false;
@@ -388,15 +393,17 @@ class DagPeephole {
   std::vector<Gate> run_gates_, fused_;
 };
 
-DagOptStats dag_optimize(Circuit& c, bool with_fusion) {
+DagOptStats dag_optimize(Circuit& c, bool with_fusion,
+                         const CancelToken& cancel) {
   DagOptStats total;
   if (c.size() < 2) return total;
   CircuitDag dag(c);
-  DagPeephole engine(dag);
+  DagPeephole engine(dag, cancel);
   // Same alternation as the legacy pipelines (fusion can expose new
   // cancellations and vice versa), but with no flat-vector rebuilds between
   // rounds: the DAG carries rewrite state across the whole fixpoint.
   for (int iter = 0; iter < 20; ++iter) {
+    cancel.check(Stage::Peephole);
     const std::size_t before = engine.stats.removed;
     if (with_fusion) engine.fuse_runs();
     engine.cancel_to_fixpoint();

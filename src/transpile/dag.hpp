@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "common/cancel.hpp"
 
 namespace phoenix {
 
@@ -113,7 +114,10 @@ struct DagOptStats {
 /// fusion, alternated to a fixpoint. Semantically equivalent to the legacy
 /// optimize_o2/optimize_o3 flat-vector passes, near-linear per fixpoint
 /// instead of O(n²·passes). Replaces `c` with the optimized circuit.
-DagOptStats dag_optimize(Circuit& c, bool with_fusion);
+/// `cancel` is polled per worklist pop (amortized); a tripped token throws
+/// Error (Stage::Peephole) and leaves `c` untouched.
+DagOptStats dag_optimize(Circuit& c, bool with_fusion,
+                         const CancelToken& cancel = {});
 
 /// How many wire steps a cancellation walk may look past commuting gates.
 /// The legacy engine scans unbounded; anything beyond this window is

@@ -93,13 +93,16 @@ namespace {
 /// Legacy cancellation fixpoint over a flat gate vector with liveness flags.
 /// Mutates `gates`/`alive` in place; the caller owns the single copy-in and
 /// the (conditional) rebuild, so repeated rounds never re-copy the vector.
-std::size_t cancel_fixpoint(std::vector<Gate>& gates,
-                            std::vector<bool>& alive) {
+/// `cancel` is polled per scan start, so even a pathological fixpoint
+/// aborts within one forward scan of a tripped token.
+std::size_t cancel_fixpoint(std::vector<Gate>& gates, std::vector<bool>& alive,
+                            const CancelToken& cancel, std::uint32_t& tick) {
   std::size_t removed = 0;
   bool changed = true;
   while (changed) {
     changed = false;
     for (std::size_t i = 0; i < gates.size(); ++i) {
+      cancel.poll(tick, Stage::Peephole);
       if (!alive[i]) continue;
       for (std::size_t j = i + 1; j < gates.size(); ++j) {
         if (!alive[j]) continue;
@@ -146,7 +149,8 @@ Circuit compact(std::size_t num_qubits, const std::vector<Gate>& gates,
 std::size_t cancel_gates(Circuit& c) {
   std::vector<Gate> gates = c.gates();
   std::vector<bool> alive(gates.size(), true);
-  const std::size_t removed = cancel_fixpoint(gates, alive);
+  std::uint32_t tick = 0;
+  const std::size_t removed = cancel_fixpoint(gates, alive, {}, tick);
   if (removed == 0) return 0;  // nothing changed: skip the rebuild
   c = compact(c.num_qubits(), gates, alive);
   return removed;
@@ -302,42 +306,49 @@ namespace {
 /// cancellation fixpoint entirely for O2 (one copy in, one conditional
 /// rebuild out); the O3 alternation still materializes a Circuit between
 /// fusion rounds, but every pass skips its rebuild when it removed nothing.
-std::size_t legacy_optimize(Circuit& c, bool with_fusion) {
+std::size_t legacy_optimize(Circuit& c, bool with_fusion,
+                            const CancelToken& cancel) {
   std::size_t removed = 0;
+  std::uint32_t tick = 0;
   if (!with_fusion) {
     std::vector<Gate> gates = c.gates();
     std::vector<bool> alive(gates.size(), true);
-    removed = cancel_fixpoint(gates, alive);
+    removed = cancel_fixpoint(gates, alive, cancel, tick);
     if (removed > 0) c = compact(c.num_qubits(), gates, alive);
     return removed;
   }
   for (int iter = 0; iter < 20; ++iter) {
+    cancel.check(Stage::Peephole);
     const std::size_t a = fuse_single_qubit_runs(c);
-    const std::size_t b = cancel_gates(c);
+    std::vector<Gate> gates = c.gates();
+    std::vector<bool> alive(gates.size(), true);
+    const std::size_t b = cancel_fixpoint(gates, alive, cancel, tick);
+    if (b > 0) c = compact(c.num_qubits(), gates, alive);
     removed += a + b;
     if (a + b == 0) break;
   }
   return removed;
 }
 
-void run_peephole(Circuit& c, PeepholeEngine engine, bool with_fusion) {
+void run_peephole(Circuit& c, PeepholeEngine engine, bool with_fusion,
+                  const CancelToken& cancel) {
   std::size_t removed = 0;
   if (engine == PeepholeEngine::Legacy)
-    removed = legacy_optimize(c, with_fusion);
+    removed = legacy_optimize(c, with_fusion, cancel);
   else
-    removed = dag_optimize(c, with_fusion).removed;
+    removed = dag_optimize(c, with_fusion, cancel).removed;
   c.drop_trivial_gates();
   trace_count("peephole.removed", removed);
 }
 
 }  // namespace
 
-void optimize_o3(Circuit& c, PeepholeEngine engine) {
-  run_peephole(c, engine, /*with_fusion=*/true);
+void optimize_o3(Circuit& c, PeepholeEngine engine, const CancelToken& cancel) {
+  run_peephole(c, engine, /*with_fusion=*/true, cancel);
 }
 
-void optimize_o2(Circuit& c, PeepholeEngine engine) {
-  run_peephole(c, engine, /*with_fusion=*/false);
+void optimize_o2(Circuit& c, PeepholeEngine engine, const CancelToken& cancel) {
+  run_peephole(c, engine, /*with_fusion=*/false, cancel);
 }
 
 }  // namespace phoenix

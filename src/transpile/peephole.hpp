@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "circuit/circuit.hpp"
+#include "common/cancel.hpp"
 
 namespace phoenix {
 
@@ -47,9 +48,13 @@ bool fuse_1q_run(const std::vector<Gate>& run, std::vector<Gate>& out);
 /// The "O3-like" logical optimization pipeline standing in for Qiskit O3:
 /// alternate 1Q fusion and commutation-aware cancellation to a fixpoint.
 /// This is what the paper appends to Paulihedral/Tetris/PHOENIX outputs.
-void optimize_o3(Circuit& c, PeepholeEngine engine = PeepholeEngine::Dag);
+/// `cancel` is polled inside both engines' rewrite loops; a tripped token
+/// throws Error (Stage::Peephole) and leaves `c` unspecified but valid.
+void optimize_o3(Circuit& c, PeepholeEngine engine = PeepholeEngine::Dag,
+                 const CancelToken& cancel = {});
 
 /// Lighter "O2-like" pipeline: cancellation only (no resynthesis).
-void optimize_o2(Circuit& c, PeepholeEngine engine = PeepholeEngine::Dag);
+void optimize_o2(Circuit& c, PeepholeEngine engine = PeepholeEngine::Dag,
+                 const CancelToken& cancel = {});
 
 }  // namespace phoenix
