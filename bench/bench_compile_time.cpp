@@ -94,6 +94,12 @@ void BM_PhoenixLogicalTraced(benchmark::State& state) {
   for (const auto& [key, ms] : stage_ms) state.counters[key] = ms;
   state.counters["simplify_candidates"] =
       static_cast<double>(last.counter("simplify.candidates"));
+  state.counters["frontier_hits"] =
+      static_cast<double>(last.counter("simplify.frontier_hits"));
+  state.counters["frontier_invalidated"] =
+      static_cast<double>(last.counter("simplify.frontier_invalidated"));
+  state.counters["starts_won"] =
+      static_cast<double>(last.counter("simplify.starts_won"));
   state.counters["peephole_removed"] =
       static_cast<double>(last.counter("peephole.removed"));
 }
@@ -175,6 +181,67 @@ void BM_PeepholeDagVsLegacy(benchmark::State& state) {
   state.counters["identical"] = identical ? 1.0 : 0.0;
 }
 
+// Candidate-evaluation strategies and the multi-start race head-to-head:
+// range(0) picks the suite entry, range(1) the mode (0 = Frontier, the
+// default; 1 = Rescan, the pre-frontier reference path; 2 = Frontier with a
+// 4-way multi-start race). The `identical` counter is 1 when Frontier and
+// Rescan compile bit-identical circuits at default options — the frontier's
+// core contract; `multistart_ok` is 1 when the 4-start race never worsens
+// the pre-peephole 2Q cost the race minimizes (simplify.two_qubit_gates,
+// summed over groups — the final circuit's count is not monotone in it
+// because peephole cancels across group boundaries) AND its output passes
+// Cheap translation validation (a validation Fail throws). CI's
+// benchmark-smoke job asserts both.
+void BM_SimplifySearchModes(benchmark::State& state) {
+  const auto& b = suite_entry(static_cast<std::size_t>(state.range(0)));
+  PhoenixOptions opt;
+  const char* label = " [frontier]";
+  switch (state.range(1)) {
+    case 1:
+      opt.simplify.search = SimplifySearch::Rescan;
+      label = " [rescan]";
+      break;
+    case 2:
+      opt.simplify.num_starts = 4;
+      label = " [starts=4]";
+      break;
+    default:
+      break;
+  }
+  for (auto _ : state) {
+    auto res = phoenix_compile(b.terms, b.num_qubits, opt);
+    benchmark::DoNotOptimize(res.circuit.size());
+  }
+  const Circuit frontier = phoenix_compile(b.terms, b.num_qubits).circuit;
+  PhoenixOptions rescan_opt;
+  rescan_opt.simplify.search = SimplifySearch::Rescan;
+  const Circuit rescan =
+      phoenix_compile(b.terms, b.num_qubits, rescan_opt).circuit;
+  bool identical = frontier.size() == rescan.size();
+  for (std::size_t i = 0; identical && i < frontier.size(); ++i)
+    identical = frontier.gates()[i].same_as(rescan.gates()[i], /*tol=*/0.0);
+  PhoenixOptions single_traced;
+  single_traced.trace = true;
+  const auto base =
+      phoenix_compile(b.terms, b.num_qubits, single_traced).stats.counter(
+          "simplify.two_qubit_gates");
+  PhoenixOptions multi;
+  multi.simplify.num_starts = 4;
+  multi.validation.level = ValidationLevel::Cheap;
+  multi.trace = true;
+  bool multistart_ok = false;
+  try {
+    const auto raced = phoenix_compile(b.terms, b.num_qubits, multi);
+    multistart_ok = raced.stats.counter("simplify.two_qubit_gates") <= base;
+  } catch (const std::exception&) {
+    multistart_ok = false;  // validation Fail throws
+  }
+  state.SetLabel(b.name + label);
+  state.counters["paulis"] = static_cast<double>(b.terms.size());
+  state.counters["identical"] = identical ? 1.0 : 0.0;
+  state.counters["multistart_ok"] = multistart_ok ? 1.0 : 0.0;
+}
+
 // Warm-vs-cold latency through the CompileService: the iteration time is the
 // content-addressed cache-hit path (fingerprint + sharded-LRU lookup), and the
 // cold compile for the same program is measured once up front and exported as
@@ -223,6 +290,14 @@ BENCHMARK(BM_PeepholeDagVsLegacy)
     ->Args({1, 1})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PhoenixQaoaHeavyHex)->Arg(0)->Arg(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimplifySearchModes)
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->Args({10, 2})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({1, 2})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ServiceWarmVsCold)->Arg(10)->Arg(14)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -16,6 +16,13 @@
 # one-off cold compile for the same program, and warm_speedup = cold/warm.
 #
 # The CMake target `bench_to_json` invokes this with the configured build dir.
+#
+# The checked-in JSON is a perf trajectory, so numbers from unoptimized
+# builds would silently poison it: the script reads CMAKE_BUILD_TYPE out of
+# the build dir's CMakeCache.txt and refuses anything but Release. Set
+# PHOENIX_BENCH_ALLOW_NON_RELEASE=1 to override for local experiments; the
+# build type is stamped into the JSON context either way so a poisoned run
+# is at least self-identifying.
 set -euo pipefail
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -23,6 +30,21 @@ build_dir=${1:-"$repo_root/build"}
 if [[ $# -gt 0 ]]; then shift; fi
 out="$repo_root/BENCH_compile_time.json"
 
+build_type="unknown"
+cache="$build_dir/CMakeCache.txt"
+if [[ -f "$cache" ]]; then
+  build_type=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$cache")
+  build_type=${build_type:-unset}
+fi
+if [[ "$build_type" != "Release" &&
+      "${PHOENIX_BENCH_ALLOW_NON_RELEASE:-0}" != "1" ]]; then
+  echo "error: $build_dir is a '$build_type' build; benchmark JSON must come" >&2
+  echo "from a Release build (set PHOENIX_BENCH_ALLOW_NON_RELEASE=1 to" >&2
+  echo "override for local experiments)" >&2
+  exit 1
+fi
+
 "$build_dir/bench/bench_compile_time" \
-  --benchmark_out="$out" --benchmark_out_format=json "$@"
-echo "wrote $out"
+  --benchmark_out="$out" --benchmark_out_format=json \
+  --benchmark_context=phoenix_build_type="$build_type" "$@"
+echo "wrote $out (build type: $build_type)"

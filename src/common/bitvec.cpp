@@ -3,6 +3,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+
 namespace phoenix {
 
 BitVec BitVec::from_string(const std::string& bits) {
@@ -17,9 +19,7 @@ BitVec BitVec::from_string(const std::string& bits) {
 }
 
 std::size_t BitVec::popcount() const {
-  std::size_t c = 0;
-  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
-  return c;
+  return simd::popcount_words(words_.data(), words_.size());
 }
 
 bool BitVec::any() const {
@@ -86,29 +86,22 @@ BitVec& BitVec::operator^=(const BitVec& o) {
 
 std::size_t BitVec::or_popcount(const BitVec& a, const BitVec& b) {
   a.check_same_size(b);
-  std::size_t c = 0;
-  for (std::size_t i = 0; i < a.words_.size(); ++i)
-    c += static_cast<std::size_t>(std::popcount(a.words_[i] | b.words_[i]));
-  return c;
+  return simd::or_popcount_words(a.words_.data(), b.words_.data(),
+                                 a.words_.size());
 }
 
 std::size_t BitVec::or3_popcount(const BitVec& a, const BitVec& b,
                                  const BitVec& c) {
   a.check_same_size(b);
   a.check_same_size(c);
-  std::size_t n = 0;
-  for (std::size_t i = 0; i < a.words_.size(); ++i)
-    n += static_cast<std::size_t>(
-        std::popcount(a.words_[i] | b.words_[i] | c.words_[i]));
-  return n;
+  return simd::or3_popcount_words(a.words_.data(), b.words_.data(),
+                                  c.words_.data(), a.words_.size());
 }
 
 bool BitVec::and_parity(const BitVec& a, const BitVec& b) {
   a.check_same_size(b);
-  std::uint64_t acc = 0;
-  for (std::size_t i = 0; i < a.words_.size(); ++i)
-    acc ^= a.words_[i] & b.words_[i];
-  return std::popcount(acc) & 1;
+  return simd::and_parity_words(a.words_.data(), b.words_.data(),
+                                a.words_.size());
 }
 
 std::string BitVec::to_string() const {

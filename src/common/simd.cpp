@@ -1,0 +1,186 @@
+#include "common/simd.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(PHOENIX_DISABLE_SIMD)
+#define PHOENIX_SIMD_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace phoenix::simd {
+namespace detail {
+
+namespace {
+
+// --- Portable fallback ----------------------------------------------------
+
+std::size_t popcount_scalar(const std::uint64_t* a, std::size_t n) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    c += static_cast<std::size_t>(std::popcount(a[i]));
+  return c;
+}
+
+std::size_t or_popcount_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                               std::size_t n) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    c += static_cast<std::size_t>(std::popcount(a[i] | b[i]));
+  return c;
+}
+
+std::size_t or3_popcount_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                                const std::uint64_t* c, std::size_t n) {
+  std::size_t s = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    s += static_cast<std::size_t>(std::popcount(a[i] | b[i] | c[i]));
+  return s;
+}
+
+bool and_parity_scalar(const std::uint64_t* a, const std::uint64_t* b,
+                       std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc ^= a[i] & b[i];
+  return std::popcount(acc) & 1;
+}
+
+#ifdef PHOENIX_SIMD_AVX2
+
+// --- AVX2 -----------------------------------------------------------------
+//
+// Popcount of a 256-bit lane via the classic vpshufb nibble lookup: each byte
+// is split into two nibbles, each nibble indexes a 16-entry bit-count table,
+// and vpsadbw horizontally sums the per-byte counts into four 64-bit lanes.
+// The drivers consume one cache line (two ymm loads, 8 words) per iteration
+// and fold the lane sums once at the end.
+
+__attribute__((target("avx2"))) inline __m256i popcnt_epu64(__m256i v) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1,
+                       2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) inline std::size_t hsum_epu64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<std::size_t>(
+      static_cast<std::uint64_t>(_mm_extract_epi64(s, 0)) +
+      static_cast<std::uint64_t>(_mm_extract_epi64(s, 1)));
+}
+
+__attribute__((target("avx2"))) std::size_t popcount_avx2(
+    const std::uint64_t* a, std::size_t n) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4));
+    acc0 = _mm256_add_epi64(acc0, popcnt_epu64(v0));
+    acc1 = _mm256_add_epi64(acc1, popcnt_epu64(v1));
+  }
+  std::size_t c = hsum_epu64(_mm256_add_epi64(acc0, acc1));
+  for (; i < n; ++i) c += static_cast<std::size_t>(std::popcount(a[i]));
+  return c;
+}
+
+__attribute__((target("avx2"))) std::size_t or_popcount_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v0 = _mm256_or_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    const __m256i v1 = _mm256_or_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 4)));
+    acc0 = _mm256_add_epi64(acc0, popcnt_epu64(v0));
+    acc1 = _mm256_add_epi64(acc1, popcnt_epu64(v1));
+  }
+  std::size_t c = hsum_epu64(_mm256_add_epi64(acc0, acc1));
+  for (; i < n; ++i)
+    c += static_cast<std::size_t>(std::popcount(a[i] | b[i]));
+  return c;
+}
+
+__attribute__((target("avx2"))) std::size_t or3_popcount_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, const std::uint64_t* c,
+    std::size_t n) {
+  __m256i acc0 = _mm256_setzero_si256();
+  __m256i acc1 = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v0 = _mm256_or_si256(
+        _mm256_or_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i)));
+    const __m256i v1 = _mm256_or_si256(
+        _mm256_or_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 4))),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + i + 4)));
+    acc0 = _mm256_add_epi64(acc0, popcnt_epu64(v0));
+    acc1 = _mm256_add_epi64(acc1, popcnt_epu64(v1));
+  }
+  std::size_t s = hsum_epu64(_mm256_add_epi64(acc0, acc1));
+  for (; i < n; ++i)
+    s += static_cast<std::size_t>(std::popcount(a[i] | b[i] | c[i]));
+  return s;
+}
+
+__attribute__((target("avx2"))) bool and_parity_avx2(const std::uint64_t* a,
+                                                     const std::uint64_t* b,
+                                                     std::size_t n) {
+  // Parity is preserved by XOR-folding, so accumulate a[i] & b[i] into one
+  // ymm with vpxor and take the popcount parity of the folded lanes.
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_xor_si256(
+        acc, _mm256_and_si256(
+                 _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+                 _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))));
+  }
+  const __m128i fold = _mm_xor_si128(_mm256_castsi256_si128(acc),
+                                     _mm256_extracti128_si256(acc, 1));
+  std::uint64_t w =
+      static_cast<std::uint64_t>(_mm_extract_epi64(fold, 0)) ^
+      static_cast<std::uint64_t>(_mm_extract_epi64(fold, 1));
+  for (; i < n; ++i) w ^= a[i] & b[i];
+  return std::popcount(w) & 1;
+}
+
+#endif  // PHOENIX_SIMD_AVX2
+
+Kernels resolve() {
+#ifdef PHOENIX_SIMD_AVX2
+  if (__builtin_cpu_supports("avx2"))
+    return Kernels{popcount_avx2, or_popcount_avx2, or3_popcount_avx2,
+                   and_parity_avx2, "avx2"};
+#endif
+  return Kernels{popcount_scalar, or_popcount_scalar, or3_popcount_scalar,
+                 and_parity_scalar, "scalar"};
+}
+
+}  // namespace
+
+const Kernels& kernels() {
+  // Magic static: resolved once, thread-safe, valid from first use even
+  // during other translation units' static initialization.
+  static const Kernels k = resolve();
+  return k;
+}
+
+}  // namespace detail
+}  // namespace phoenix::simd

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+/// Runtime-dispatched word/SIMD-parallel kernels over packed 64-bit words —
+/// the primitives behind BitVec's popcount family and the BSF column-delta
+/// evaluation (DESIGN.md §11).
+///
+/// Dispatch strategy:
+///  * Every kernel has a portable std::uint64_t implementation (std::popcount
+///    per word). This is the only implementation on non-x86 targets and when
+///    the build forces it with -DPHOENIX_DISABLE_SIMD.
+///  * On x86-64 an AVX2 implementation (vpshufb nibble-LUT popcount +
+///    vpsadbw, cache-line-sized blocks) is compiled behind
+///    __attribute__((target("avx2"))) and selected once at first use via
+///    __builtin_cpu_supports — no -mavx2 requirement on the build, one
+///    binary runs everywhere.
+///  * Inputs shorter than kVectorThreshold words take an inlined scalar loop
+///    unconditionally: below ~one cache line the dispatch indirection and
+///    vector setup cost more than they save, and BSF rows/columns of small
+///    registers live entirely in this regime.
+///
+/// All kernels treat length-n word arrays with no alignment requirement
+/// (AVX2 paths use unaligned loads) and no tail masking: callers pass whole
+/// words, with any partial-word semantics (BitVec's zeroed tail bits) already
+/// applied.
+namespace phoenix::simd {
+
+/// Word counts below this take the inline scalar loop; at or above it the
+/// dispatched kernel runs. 8 words = 512 bits = one cache line of operand.
+inline constexpr std::size_t kVectorThreshold = 8;
+
+namespace detail {
+
+using Reduce1Fn = std::size_t (*)(const std::uint64_t*, std::size_t);
+using Reduce2Fn = std::size_t (*)(const std::uint64_t*, const std::uint64_t*,
+                                  std::size_t);
+using Reduce3Fn = std::size_t (*)(const std::uint64_t*, const std::uint64_t*,
+                                  const std::uint64_t*, std::size_t);
+using Parity2Fn = bool (*)(const std::uint64_t*, const std::uint64_t*,
+                           std::size_t);
+
+/// Resolved once (thread-safe magic static inside); members never null.
+struct Kernels {
+  Reduce1Fn popcount;
+  Reduce2Fn or_popcount;
+  Reduce3Fn or3_popcount;
+  Parity2Fn and_parity;
+  const char* level;  ///< "avx2" or "scalar"
+};
+const Kernels& kernels();
+
+}  // namespace detail
+
+/// Name of the instruction set the large-input kernels dispatched to:
+/// "avx2" or "scalar". Diagnostic only — results are identical either way
+/// (property-tested in tests/test_bitvec.cpp).
+inline const char* active_level() { return detail::kernels().level; }
+
+/// Σ popcount(a[i]).
+inline std::size_t popcount_words(const std::uint64_t* a, std::size_t n) {
+  if (n < kVectorThreshold) {
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      c += static_cast<std::size_t>(std::popcount(a[i]));
+    return c;
+  }
+  return detail::kernels().popcount(a, n);
+}
+
+/// Σ popcount(a[i] | b[i]) without materializing the OR.
+inline std::size_t or_popcount_words(const std::uint64_t* a,
+                                     const std::uint64_t* b, std::size_t n) {
+  if (n < kVectorThreshold) {
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      c += static_cast<std::size_t>(std::popcount(a[i] | b[i]));
+    return c;
+  }
+  return detail::kernels().or_popcount(a, b, n);
+}
+
+/// Σ popcount(a[i] | b[i] | c[i]).
+inline std::size_t or3_popcount_words(const std::uint64_t* a,
+                                      const std::uint64_t* b,
+                                      const std::uint64_t* c, std::size_t n) {
+  if (n < kVectorThreshold) {
+    std::size_t s = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      s += static_cast<std::size_t>(std::popcount(a[i] | b[i] | c[i]));
+    return s;
+  }
+  return detail::kernels().or3_popcount(a, b, c, n);
+}
+
+/// Parity of popcount(a & b) — the symplectic form.
+inline bool and_parity_words(const std::uint64_t* a, const std::uint64_t* b,
+                             std::size_t n) {
+  if (n < kVectorThreshold) {
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) acc ^= a[i] & b[i];
+    return std::popcount(acc) & 1;
+  }
+  return detail::kernels().and_parity(a, b, n);
+}
+
+}  // namespace phoenix::simd

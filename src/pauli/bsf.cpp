@@ -1,6 +1,7 @@
 #include "pauli/bsf.hpp"
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <stdexcept>
 
@@ -47,6 +48,15 @@ BitVec Bsf::support_mask() const {
 }
 
 std::vector<Bsf::Row> Bsf::pop_local_rows() {
+  // Most greedy epochs peel nothing; skip the partition (and its two vector
+  // allocations) unless some row is actually local.
+  bool any_local = false;
+  for (const auto& r : rows_)
+    if (BitVec::or_popcount(r.x, r.z) <= 1) {
+      any_local = true;
+      break;
+    }
+  if (!any_local) return {};
   std::vector<Row> locals;
   std::vector<Row> kept;
   kept.reserve(rows_.size());
@@ -174,6 +184,211 @@ const Clifford2QAction& action_for(Pauli sigma0, Pauli sigma1) {
 }
 
 }  // namespace
+
+const Clifford2QBitAction& clifford2q_bit_action(Pauli sigma0, Pauli sigma1) {
+  static const std::array<Clifford2QBitAction, 6> table = [] {
+    std::array<Clifford2QBitAction, 6> t{};
+    for (std::size_t g = 0; g < 6; ++g) {
+      const Clifford2Q& gen = clifford2q_generators()[g];
+      const Clifford2QAction& act = action_for(gen.sigma0, gen.sigma1);
+      // The action is GF(2)-linear on the bits (H/S/CNOT are), so column i
+      // of the matrix is the image of the i-th unit configuration. Verify
+      // linearity of the full table rather than assume it: any future
+      // non-Clifford "generator" would silently corrupt the frontier here.
+      for (unsigned a = 0; a < 16; ++a)
+        for (unsigned b = 0; b < 16; ++b)
+          if ((act.map[a] ^ act.map[b]) != act.map[a ^ b] || act.map[0] != 0)
+            throw std::logic_error(
+                "clifford2q_bit_action: action table is not GF(2)-linear");
+      for (unsigned k = 0; k < 4; ++k) {
+        std::uint8_t mask = 0;
+        for (unsigned i = 0; i < 4; ++i)
+          mask |= static_cast<std::uint8_t>((act.map[1u << i] >> k & 1) << i);
+        t[g].out_mask[k] = mask;
+      }
+    }
+    return t;
+  }();
+  for (std::size_t g = 0; g < 6; ++g) {
+    const Clifford2Q& gen = clifford2q_generators()[g];
+    if (gen.sigma0 == sigma0 && gen.sigma1 == sigma1) return table[g];
+  }
+  throw std::invalid_argument(
+      "clifford2q_bit_action: not an Eq. (5) generator");
+}
+
+void BsfColumnView::rebuild(const Bsf& bsf) {
+  nrows_ = bsf.num_rows();
+  ncols_ = bsf.num_qubits();
+  nwords_ = (nrows_ + 63) / 64;
+  colx_.assign(ncols_ * nwords_, 0);
+  colz_.assign(ncols_ * nwords_, 0);
+  weight_.assign(nrows_, 0);
+  for (auto& m : wcls_) m.assign(nwords_, 0);
+  for (std::size_t r = 0; r < nrows_; ++r) {
+    const std::uint64_t bit = std::uint64_t{1} << (r & 63);
+    const std::size_t w = r >> 6;
+    const auto& xw = bsf.row_x(r).words();
+    const auto& zw = bsf.row_z(r).words();
+    for (std::size_t c = 0; c < ncols_; ++c) {
+      if (xw[c >> 6] >> (c & 63) & 1) colx_[c * nwords_ + w] |= bit;
+      if (zw[c >> 6] >> (c & 63) & 1) colz_[c * nwords_ + w] |= bit;
+    }
+    const std::uint32_t wt = static_cast<std::uint32_t>(bsf.row_weight(r));
+    weight_[r] = wt;
+    if (wt < 4) wcls_[wt][w] |= bit;
+  }
+}
+
+namespace {
+
+/// XOR of the input column words selected by a bit-action row mask.
+inline std::uint64_t combine(std::uint8_t mask, std::uint64_t x0,
+                             std::uint64_t z0, std::uint64_t x1,
+                             std::uint64_t z1) {
+  std::uint64_t v = 0;
+  if (mask & 1) v ^= x0;
+  if (mask & 2) v ^= z0;
+  if (mask & 4) v ^= x1;
+  if (mask & 8) v ^= z1;
+  return v;
+}
+
+}  // namespace
+
+void BsfColumnView::probe(const Clifford2Q& c, Probe& out) const {
+  std::uint64_t stack_masks[4 * 8];
+  std::vector<std::uint64_t> heap_masks;
+  std::uint64_t* masks = stack_masks;
+  if (4 * nwords_ > std::size(stack_masks)) {
+    heap_masks.resize(4 * nwords_);
+    masks = heap_masks.data();
+  }
+  out = Probe{};
+  probe_counts(c, out, masks);
+  census(masks, out.newly_local, out.newly_nonlocal);
+}
+
+void BsfColumnView::probe_counts(const Clifford2Q& c, Probe& out,
+                                 std::uint64_t* masks) const {
+  const Clifford2QBitAction& act = clifford2q_bit_action(c.sigma0, c.sigma1);
+  const std::uint64_t* x0 = colx(c.q0);
+  const std::uint64_t* z0 = colz(c.q0);
+  const std::uint64_t* x1 = colx(c.q1);
+  const std::uint64_t* z1 = colz(c.q1);
+  out.nx0 = out.nz0 = out.nu0 = out.nx1 = out.nz1 = out.nu1 = 0;
+  for (std::size_t w = 0; w < nwords_; ++w) {
+    const std::uint64_t nx0 = combine(act.out_mask[0], x0[w], z0[w], x1[w], z1[w]);
+    const std::uint64_t nz0 = combine(act.out_mask[1], x0[w], z0[w], x1[w], z1[w]);
+    const std::uint64_t nx1 = combine(act.out_mask[2], x0[w], z0[w], x1[w], z1[w]);
+    const std::uint64_t nz1 = combine(act.out_mask[3], x0[w], z0[w], x1[w], z1[w]);
+    out.nx0 += static_cast<std::size_t>(std::popcount(nx0));
+    out.nz0 += static_cast<std::size_t>(std::popcount(nz0));
+    out.nu0 += static_cast<std::size_t>(std::popcount(nx0 | nz0));
+    out.nx1 += static_cast<std::size_t>(std::popcount(nx1));
+    out.nz1 += static_cast<std::size_t>(std::popcount(nz1));
+    out.nu1 += static_cast<std::size_t>(std::popcount(nx1 | nz1));
+    // Occupancy gained/lost per column (disjoint by construction), hence the
+    // per-row weight delta in {-2 … +2}. dw = -1 is one loss and no gain, or
+    // two losses and one gain; dw = -2 is two losses, no gain (+1/+2 mirror
+    // with gains and losses swapped). Only the candidate's two columns enter
+    // these masks — row weights and class membership do not.
+    const std::uint64_t up = x0[w] | z0[w], uq = x1[w] | z1[w];
+    const std::uint64_t upn = nx0 | nz0, uqn = nx1 | nz1;
+    const std::uint64_t gp = upn & ~up, lp = up & ~upn;
+    const std::uint64_t gq = uqn & ~uq, lq = uq & ~uqn;
+    const std::uint64_t m1 = ((lp ^ lq) & ~(gp | gq)) | ((lp & lq) & (gp ^ gq));
+    const std::uint64_t m2 = lp & lq & ~(gp | gq);
+    const std::uint64_t p1 = ((gp ^ gq) & ~(lp | lq)) | ((gp & gq) & (lp ^ lq));
+    const std::uint64_t p2 = gp & gq & ~(lp | lq);
+    masks[4 * w + 0] = m1 | m2;
+    masks[4 * w + 1] = m2;
+    masks[4 * w + 2] = p1 | p2;
+    masks[4 * w + 3] = p2;
+  }
+}
+
+void BsfColumnView::census(const std::uint64_t* masks,
+                           std::size_t& newly_local,
+                           std::size_t& newly_nonlocal) const {
+  std::size_t nl = 0, nnl = 0;
+  for (std::size_t w = 0; w < nwords_; ++w) {
+    // A weight-2 row drops to local on any loss, weight-3 only on dw = -2;
+    // the nonlocal direction mirrors from weights 1 and 0.
+    nl += static_cast<std::size_t>(
+        std::popcount((wcls_[2][w] & masks[4 * w + 0]) |
+                      (wcls_[3][w] & masks[4 * w + 1])));
+    nnl += static_cast<std::size_t>(
+        std::popcount((wcls_[1][w] & masks[4 * w + 2]) |
+                      (wcls_[0][w] & masks[4 * w + 3])));
+  }
+  newly_local = nl;
+  newly_nonlocal = nnl;
+}
+
+void BsfColumnView::apply(const Clifford2Q& c) {
+  const Clifford2QBitAction& act = clifford2q_bit_action(c.sigma0, c.sigma1);
+  std::uint64_t* x0 = colx_.data() + c.q0 * nwords_;
+  std::uint64_t* z0 = colz_.data() + c.q0 * nwords_;
+  std::uint64_t* x1 = colx_.data() + c.q1 * nwords_;
+  std::uint64_t* z1 = colz_.data() + c.q1 * nwords_;
+  for (std::size_t w = 0; w < nwords_; ++w) {
+    const std::uint64_t ox0 = x0[w], oz0 = z0[w], ox1 = x1[w], oz1 = z1[w];
+    const std::uint64_t nx0 = combine(act.out_mask[0], ox0, oz0, ox1, oz1);
+    const std::uint64_t nz0 = combine(act.out_mask[1], ox0, oz0, ox1, oz1);
+    const std::uint64_t nx1 = combine(act.out_mask[2], ox0, oz0, ox1, oz1);
+    const std::uint64_t nz1 = combine(act.out_mask[3], ox0, oz0, ox1, oz1);
+    x0[w] = nx0;
+    z0[w] = nz0;
+    x1[w] = nx1;
+    z1[w] = nz1;
+    const std::uint64_t up = ox0 | oz0, uq = ox1 | oz1;
+    const std::uint64_t upn = nx0 | nz0, uqn = nx1 | nz1;
+    std::uint64_t changed = (up ^ upn) | (uq ^ uqn);
+    while (changed) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(changed));
+      changed &= changed - 1;
+      const std::uint64_t bit = std::uint64_t{1} << b;
+      const std::size_t r = (w << 6) + b;
+      const int dw = static_cast<int>((upn >> b & 1) + (uqn >> b & 1)) -
+                     static_cast<int>((up >> b & 1) + (uq >> b & 1));
+      const std::uint32_t old_wt = weight_[r];
+      const std::uint32_t new_wt =
+          static_cast<std::uint32_t>(static_cast<int>(old_wt) + dw);
+      weight_[r] = new_wt;
+      if (old_wt < 4) wcls_[old_wt][w] &= ~bit;
+      if (new_wt < 4) wcls_[new_wt][w] |= bit;
+    }
+  }
+}
+
+std::size_t BsfColumnView::kill_local_rows(std::vector<std::size_t>& touched) {
+  std::size_t killed = 0;
+  for (std::size_t w = 0; w < nwords_; ++w) {
+    // Dead rows sit in no class mask, so this picks exactly the live locals.
+    std::uint64_t local = wcls_[0][w] | wcls_[1][w];
+    wcls_[0][w] = 0;
+    wcls_[1][w] = 0;
+    while (local) {
+      const unsigned b = static_cast<unsigned>(std::countr_zero(local));
+      local &= local - 1;
+      const std::uint64_t bit = std::uint64_t{1} << b;
+      ++killed;
+      weight_[(w << 6) + b] = 0;
+      for (std::size_t c = 0; c < ncols_; ++c) {
+        std::uint64_t& x = colx_[c * nwords_ + w];
+        std::uint64_t& z = colz_[c * nwords_ + w];
+        if ((x | z) & bit) {
+          x &= ~bit;
+          z &= ~bit;
+          touched.push_back(c);
+          break;  // weight <= 1: at most one occupied column
+        }
+      }
+    }
+  }
+  return killed;
+}
 
 void Bsf::apply_clifford2q(const Clifford2Q& c) {
   const Clifford2QAction& act = action_for(c.sigma0, c.sigma1);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,123 @@ class Bsf {
  private:
   std::size_t n_ = 0;
   std::vector<Row> rows_;
+};
+
+/// The bit-level conjugation action of an Eq. (5) generator, in GF(2)-linear
+/// form. A Clifford2Q's 16-entry action table (see bsf.cpp) maps the four
+/// tableau bits (x0, z0, x1, z1) of its qubit pair; because H, S, and CNOT
+/// all act linearly on tableau bits, that map is linear over GF(2) — only
+/// the sign flip is nonlinear, and signs never enter the Eq. (6) cost.
+/// Output bit k is the XOR of the input bits selected by out_mask[k], which
+/// is what lets BsfColumnView evaluate a candidate's effect on a whole
+/// column of rows with a handful of word-wide XORs instead of a per-row
+/// table lookup. Derived from (and verified against) the same action tables
+/// apply_clifford2q uses, so the two can never drift apart.
+struct Clifford2QBitAction {
+  std::uint8_t out_mask[4];  ///< bit i of out_mask[k]: input i feeds output k
+};
+
+/// The bit action of generator C(sigma0, sigma1). Throws if (sigma0, sigma1)
+/// is not one of the six Eq. (5) generators.
+const Clifford2QBitAction& clifford2q_bit_action(Pauli sigma0, Pauli sigma1);
+
+/// Bit-transposed (column-major) view of a Bsf for batched column-delta
+/// evaluation: for each qubit column the X and Z bits of all rows are packed
+/// into 64-bit words (bit r = row r), alongside per-row weights and
+/// weight-class masks. probe() then answers "what would candidate C do to
+/// the Eq. (6) column counts and to the local/nonlocal row census?" with a
+/// few word-parallel XOR/OR/popcount passes over just the candidate's two
+/// columns — read-only, no tableau mutation, no apply/undo round-trip. This
+/// is the batched column-delta kernel behind the simplify frontier
+/// (DESIGN.md §11).
+///
+/// The view is bound to a fixed row set: rebuild() after rows are added or
+/// removed (the search rebuilds once per epoch, after peeling local rows);
+/// between rebuilds, mirror every applied conjugation with apply().
+class BsfColumnView {
+ public:
+  BsfColumnView() = default;
+
+  /// Full (re)build from the tableau, O(rows · qubits).
+  void rebuild(const Bsf& bsf);
+
+  /// Post-conjugation column state for a candidate on columns (q0, q1):
+  /// the new occupancy counts of both columns, plus how many rows cross the
+  /// local/nonlocal boundary (weight <= 1 vs > 1) in either direction.
+  /// Together with IncrementalBsfCost's global tallies this determines the
+  /// exact Eq. (6) cost after the candidate — see probe_cost2().
+  struct Probe {
+    std::size_t nx0 = 0, nz0 = 0, nu0 = 0;  ///< column q0 after C
+    std::size_t nx1 = 0, nz1 = 0, nu1 = 0;  ///< column q1 after C
+    std::size_t newly_local = 0;     ///< rows with weight > 1 dropping to <= 1
+    std::size_t newly_nonlocal = 0;  ///< rows with weight <= 1 rising to > 1
+  };
+  void probe(const Clifford2Q& c, Probe& out) const;
+
+  /// Split probe for cached rescoring. Fills the six column-count fields of
+  /// `out` (newly_local / newly_nonlocal are left untouched) and writes the
+  /// candidate's per-word weight-delta masks to `masks`, 4 words per row
+  /// word: masks[4w+0] = rows losing 1 or 2 from their support (dw < 0),
+  /// masks[4w+1] = rows losing exactly 2, masks[4w+2] / masks[4w+3] the
+  /// gaining mirrors. Everything written here depends ONLY on the
+  /// candidate's two columns — not on row weights or class masks — so a
+  /// cached result stays valid until one of those columns is transformed by
+  /// an apply(). census() turns the cached masks into the Probe's
+  /// local/nonlocal crossing counts under the *current* class masks.
+  void probe_counts(const Clifford2Q& c, Probe& out,
+                    std::uint64_t* masks) const;
+
+  /// Count the local/nonlocal boundary crossings implied by `masks` (as laid
+  /// out by probe_counts) under the current weight-class masks — O(words).
+  /// This is the whole per-epoch rescore cost of a cached frontier entry:
+  /// row weights drift on every applied move, but the drift is absorbed here
+  /// by reading the live class masks instead of invalidating the cache.
+  void census(const std::uint64_t* masks, std::size_t& newly_local,
+              std::size_t& newly_nonlocal) const;
+
+  /// Mirror an applied conjugation (the caller also applies it to the Bsf):
+  /// transforms the two columns and re-syncs row weights and class masks.
+  /// Cached probe_counts() output goes stale only for candidates reading
+  /// column c.q0 or c.q1 — class-mask movement does not invalidate anything,
+  /// because census() is re-run against the live masks at every rescore.
+  void apply(const Clifford2Q& c);
+
+  /// Tombstone every live row of weight <= 1, mirroring Bsf::pop_local_rows
+  /// without disturbing the surviving rows' bit positions: each dead row's
+  /// column bits are zeroed (a local row occupies at most one column) and
+  /// its weight-class bits cleared, so it contributes nothing to any later
+  /// probe — the view's column counts keep matching the compacted tableau's.
+  /// Appends each column whose words changed to `touched` (no dedup) and
+  /// returns the number of rows killed. Cached probes for untouched columns
+  /// stay valid — this is what lets the frontier survive the per-epoch peel
+  /// that would otherwise force a full rebuild and a cold cache.
+  std::size_t kill_local_rows(std::vector<std::size_t>& touched);
+
+  std::size_t num_rows() const { return nrows_; }
+  std::size_t num_cols() const { return ncols_; }
+  /// 64-bit words per packed column; probe_counts() writes 4× this many
+  /// mask words per candidate.
+  std::size_t num_words() const { return nwords_; }
+  std::size_t row_weight(std::size_t r) const { return weight_[r]; }
+
+ private:
+  const std::uint64_t* colx(std::size_t c) const {
+    return colx_.data() + c * nwords_;
+  }
+  const std::uint64_t* colz(std::size_t c) const {
+    return colz_.data() + c * nwords_;
+  }
+
+  std::size_t nrows_ = 0;
+  std::size_t ncols_ = 0;
+  std::size_t nwords_ = 0;            ///< words per column, (nrows + 63) / 64
+  std::vector<std::uint64_t> colx_;   ///< ncols × nwords, column-major
+  std::vector<std::uint64_t> colz_;
+  std::vector<std::uint32_t> weight_;  ///< per-row support size
+  /// wcls_[k]: mask of rows with weight exactly k, k < 4. Rows of weight
+  /// >= 4 appear in no mask — a single conjugation changes a row's weight by
+  /// at most 2, so only classes 0–3 can cross the local/nonlocal boundary.
+  std::vector<std::uint64_t> wcls_[4];
 };
 
 }  // namespace phoenix

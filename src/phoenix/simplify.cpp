@@ -1,11 +1,17 @@
 #include "phoenix/simplify.hpp"
 
+#include <algorithm>
 #include <cstdint>
+#include <exception>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <string>
-#include <unordered_set>
+#include <tuple>
+#include <utility>
+
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 
 namespace phoenix {
@@ -94,6 +100,8 @@ void IncrementalBsfCost::restore(const ColumnSnapshot& s) {
 
 namespace {
 
+constexpr std::uint64_t kNoCost = std::numeric_limits<std::uint64_t>::max();
+
 /// All Clifford2Q candidates over the currently occupied columns: unordered
 /// pairs for the symmetric generators C(X,X)/C(Y,Y)/C(Z,Z), both orders for
 /// the asymmetric ones. Refills `out` so its capacity is reused across
@@ -144,45 +152,224 @@ Clifford2Q row_reduction_move(Bsf& bsf, std::size_t r) {
               "row_reduction_move: no reducing generator found");
 }
 
-std::uint64_t pair_key(const Clifford2Q& c) {
-  const std::uint64_t lo = std::min(c.q0, c.q1), hi = std::max(c.q0, c.q1);
-  return (lo << 32) | hi;
+/// Unordered qubit pairs already used by a group's Cliffords, as a flat
+/// byte map — the tie-break reads it once per cost-tied candidate, so the
+/// lookup must be an indexed load, not a hash probe.
+class UsedPairs {
+ public:
+  UsedPairs() = default;
+  explicit UsedPairs(std::size_t num_qubits)
+      : n_(num_qubits), bits_(num_qubits * num_qubits, 0) {}
+  void insert(const Clifford2Q& c) { bits_[index(c)] = 1; }
+  bool contains(const Clifford2Q& c) const { return bits_[index(c)] != 0; }
+
+ private:
+  std::size_t index(const Clifford2Q& c) const {
+    const std::size_t lo = std::min(c.q0, c.q1), hi = std::max(c.q0, c.q1);
+    return lo * n_ + hi;
+  }
+  std::size_t n_ = 0;
+  std::vector<std::uint8_t> bits_;
+};
+
+/// SplitMix64 finalizer, the tie-break perturbation hash for racing starts.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
 
-}  // namespace
+/// Work tallies of one descent, accumulated locally and traced once by the
+/// caller (racing starts run on pool workers, which must not touch the
+/// caller's trace collector; summing locals also keeps the published totals
+/// deterministic under any thread count).
+struct SimplifyTally {
+  std::size_t epochs = 0;
+  std::size_t candidates = 0;
+  std::size_t pruned = 0;
+  std::size_t frontier_hits = 0;
+  std::size_t frontier_invalidated = 0;
 
-SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
-                             const SimplifyOptions& opt) {
-  if (terms.empty())
-    throw Error(Stage::Simplify, "simplify_bsf: empty term list");
+  void add(const SimplifyTally& o) {
+    epochs += o.epochs;
+    candidates += o.candidates;
+    pruned += o.pruned;
+    frontier_hits += o.frontier_hits;
+    frontier_invalidated += o.frontier_invalidated;
+  }
+};
+
+/// Ties among cost-equal candidates break toward qubit pairs already used by
+/// this group and toward short index spans — the cost function is frequently
+/// degenerate, and locality-friendly choices shrink the interaction graph
+/// handed to the router (§IV-C.3's goal). Racing starts k > 0 add a seeded
+/// hash as the last component, steering cost-equal choices down different
+/// descent paths; tie_seed 0 (start 0, and every single-start run) keeps the
+/// canonical scan-order-wins behavior bit-for-bit.
+using TieRank = std::tuple<int, std::size_t, std::uint64_t>;
+
+TieRank tie_rank(const Clifford2Q& c, const UsedPairs& used_pairs,
+                 std::uint64_t tie_seed) {
+  const std::size_t lo = std::min(c.q0, c.q1), hi = std::max(c.q0, c.q1);
+  std::uint64_t perturb = 0;
+  if (tie_seed != 0) {
+    std::uint64_t h = mix64(tie_seed);
+    h = mix64(h ^ static_cast<std::uint64_t>(c.sigma0));
+    h = mix64(h ^ (static_cast<std::uint64_t>(c.sigma1) << 8));
+    h = mix64(h ^ static_cast<std::uint64_t>(c.q0));
+    perturb = mix64(h ^ static_cast<std::uint64_t>(c.q1));
+  }
+  return {used_pairs.contains(c) ? 0 : 1, hi - lo, perturb};
+}
+
+/// Exact cost ×2 after `cand`, evaluated on the live tableau by the
+/// reference (rescan) strategy: inert candidates — conjugations fixing every
+/// row, detectable from the occupancy counts alone — report the current cost
+/// without touching the tableau; everything else runs the apply/refresh/undo
+/// round-trip (Clifford2Qs are self-inverse), O(rows). The tableau and model
+/// are unchanged on return.
+std::uint64_t rescan_cost2(Bsf& bsf, IncrementalBsfCost& inc,
+                           const Clifford2Q& cand, SimplifyTally* tally) {
+  if (inc.anticommuting_rows(cand.sigma0, cand.q0) == 0 &&
+      inc.anticommuting_rows(cand.sigma1, cand.q1) == 0) {
+    // Inert candidate: the conjugation fixes every row (a row changes iff
+    // its Pauli anticommutes with sigma0 at q0 or with sigma1 at q1), so its
+    // cost is the current cost — skip the O(rows) round-trip. The candidate
+    // still competes in the comparison with an identical cost and tie rank,
+    // so the greedy choice is bit-identical to the unpruned search.
+    if (tally) ++tally->pruned;
+#ifdef PHOENIX_EXPENSIVE_CHECKS
+    {
+      const std::string before = bsf.to_string();
+      bsf.apply_clifford2q(cand);
+      if (bsf.to_string() != before)
+        throw Error(Stage::Simplify,
+                    "simplify_bsf: candidate classified inert mutated the "
+                    "tableau");
+      bsf.apply_clifford2q(cand);  // self-inverse: undo
+    }
+#endif
+    return inc.cost2();
+  }
+  const auto snap = inc.snapshot(cand.q0, cand.q1);
+  bsf.apply_clifford2q(cand);
+  inc.refresh_columns(bsf, cand.q0, cand.q1);
+  const std::uint64_t cost2 = inc.cost2();
+#ifdef PHOENIX_EXPENSIVE_CHECKS
+  if (inc.cost() != bsf_cost(bsf))
+    throw Error(Stage::Simplify,
+                "simplify_bsf: incremental Eq. (6) cost diverged from the "
+                "reference");
+#endif
+  bsf.apply_clifford2q(cand);  // self-inverse: undo
+  inc.restore(snap);
+  return cost2;
+}
+
+struct ScanOut {
+  Clifford2Q chosen;
+  bool have = false;
+  std::uint64_t best2 = kNoCost;
+};
+
+/// Running (cost, tie-rank) minimum of a scan. The winner's tie rank is
+/// cached so a cost tie costs one tie_rank evaluation, not two — the cost
+/// surface is degenerate enough that ties dominate the scan's non-probe
+/// work. Candidates must be offered in enumeration order (ties of equal
+/// rank keep the earlier candidate, exactly the reference semantics).
+struct ScanMin {
+  ScanOut out;
+  TieRank best_rank;
+
+  void offer(const Clifford2Q& cand, std::uint64_t cost2,
+             const UsedPairs& used_pairs, std::uint64_t tie_seed) {
+    if (!out.have || cost2 < out.best2) {
+      out.best2 = cost2;
+      out.chosen = cand;
+      out.have = true;
+      best_rank = tie_rank(cand, used_pairs, tie_seed);
+    } else if (cost2 == out.best2) {
+      TieRank r = tie_rank(cand, used_pairs, tie_seed);
+      if (r < best_rank) {
+        out.chosen = cand;
+        best_rank = std::move(r);
+      }
+    }
+  }
+};
+
+/// Full-rescan greedy scan: evaluate every candidate in enumeration order
+/// and keep the (cost, tie-rank) minimum. The pre-frontier reference path,
+/// and the cross-check oracle for the frontier scan.
+ScanOut scan_rescan(Bsf& bsf, IncrementalBsfCost& inc,
+                    const std::vector<Clifford2Q>& cands,
+                    const UsedPairs& used_pairs, std::uint64_t tie_seed,
+                    const CancelToken& cancel, std::uint32_t& cancel_tick,
+                    SimplifyTally* tally) {
+  ScanMin min;
+  for (const auto& cand : cands) {
+    cancel.poll(cancel_tick, Stage::Simplify);
+    min.offer(cand, rescan_cost2(bsf, inc, cand, tally), used_pairs, tie_seed);
+  }
+  return min.out;
+}
+
+/// One cached frontier candidate: the Clifford2Q plus its last
+/// probe_counts() result and the per-column versions it was probed against
+/// (the delta masks live in a shared arena indexed by table position).
+/// Everything cached depends ONLY on the candidate's two columns, so the
+/// entry stays valid until an applied move transforms one of them —
+/// typically just 2 of w_tot columns per epoch. The parts that drift on
+/// every apply are re-read live at each rescoring instead: the weight-class
+/// census via BsfColumnView::census over the cached masks, and the global
+/// cost terms via IncrementalBsfCost::probe_cost2. That is also what keeps
+/// stale-key heaps — whose cached *costs* go stale on every apply through
+/// the nonlinear w_tot·n_nl² term — out of the design (DESIGN.md §11).
+struct FrontierEntry {
+  Clifford2Q cand;
+  BsfColumnView::Probe probe;
+  std::uint32_t vp = 0, vq = 0;  ///< col_version at probe time; 0 = never
+};
+
+/// One racing greedy descent (Algorithm 1 with beam width 1).
+SimplifiedGroup run_greedy(const std::vector<PauliTerm>& terms,
+                           const SimplifyOptions& opt, std::uint64_t tie_seed,
+                           SimplifyTally& tally) {
   Bsf bsf(terms);
-
   SimplifiedGroup g;
   g.num_qubits = bsf.num_qubits();
-  // Observability tallies, accumulated locally (one trace_count per group at
-  // the end — nothing extra in the candidate loop beyond a local add).
-  std::size_t weight_before = 0;
-  for (std::size_t i = 0; i < bsf.num_rows(); ++i)
-    weight_before += bsf.row_weight(i);
-  std::size_t candidates_evaluated = 0;
-  std::size_t candidates_pruned = 0;
-  std::size_t weight_peeled = 0;
 
-  constexpr std::uint64_t kNoCost = std::numeric_limits<std::uint64_t>::max();
+  const bool use_frontier = opt.search == SimplifySearch::Frontier;
   std::uint64_t last_cost2 = kNoCost;
   std::size_t stall = 0;
-  // Unordered qubit pairs already used by this group's Cliffords, maintained
-  // across epochs so the tie-break below is O(1) instead of rescanning
-  // g.cliffords per candidate.
-  std::unordered_set<std::uint64_t> used_pairs;
+  UsedPairs used_pairs(bsf.num_qubits());
   std::vector<Clifford2Q> cands;
   std::uint32_t cancel_tick = 0;
+
+  // Frontier state: the incremental cost model and column view persist
+  // across epochs (rebuilt only when peeling changed the row set) and are
+  // re-synced after each applied move; candidate probes are cached in
+  // `table` and invalidated per column via `col_version`. The occupied-
+  // column list is also maintained lazily: it goes stale only when peeling
+  // changed the rows or an applied move toggled a column between empty and
+  // occupied (column_occupancy), not once per epoch.
+  std::optional<IncrementalBsfCost> inc;
+  BsfColumnView view;
+  bool view_valid = false;
+  std::vector<FrontierEntry> table;
+  std::vector<std::uint64_t> mask_arena;  ///< 4·num_words() words per entry
+  std::vector<std::uint32_t> col_version(bsf.num_qubits(), 1);
+  std::vector<std::size_t> table_support;
+  std::vector<std::uint8_t> in_support;
+  bool table_valid = false;
+  std::vector<std::size_t> touched;
+  std::vector<std::size_t> support;
+  bool support_stale = true;
 
   while (bsf.total_weight() > 2) {
     opt.cancel.check(Stage::Simplify);
     std::vector<Bsf::Row> peeled = bsf.pop_local_rows();
-    for (const auto& r : peeled)
-      weight_peeled += BitVec::or_popcount(r.x, r.z);
     if (bsf.total_weight() <= 2) {
       g.locals.push_back(std::move(peeled));
       break;
@@ -190,78 +377,130 @@ SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
     if (++g.search_epochs > opt.max_epochs)
       throw Error(Stage::Simplify, "simplify_bsf: epoch limit exceeded");
 
+    if (!inc || !peeled.empty()) {
+      inc.emplace(bsf);  // O(rows·qubits), negligible next to the scan
+      support_stale = true;
+    }
+    if (use_frontier) {
+      if (!view_valid) {
+        view.rebuild(bsf);
+        view_valid = true;
+        table_valid = false;
+      } else if (!peeled.empty()) {
+        // Tombstone the peeled rows in place instead of rebuilding: only
+        // the columns they occupied lose cached probes, not the whole
+        // table. The kill count must match what pop_local_rows removed —
+        // the view maintains the same row weights the tableau does.
+        touched.clear();
+        if (view.kill_local_rows(touched) != peeled.size())
+          throw Error(Stage::Simplify,
+                      "simplify_bsf: column view diverged from the tableau "
+                      "on peel");
+        for (const std::size_t c : touched) ++col_version[c];
+      }
+    }
+
     Clifford2Q chosen;
     bool have_choice = false;
     if (stall < 25) {
-      // Greedy: the generator/pair minimizing the Eq. (6) cost. Ties are
-      // broken toward qubit pairs already used by this group and toward
-      // short index spans — the cost function is frequently degenerate, and
-      // locality-friendly choices shrink the interaction graph handed to
-      // the router (§IV-C.3's goal).
-      //
-      // Each candidate is evaluated by applying it to the tableau in place,
-      // re-syncing the two touched columns of the incremental cost, and
-      // undoing via a second application (Clifford2Qs are self-inverse) —
-      // no tableau copies, O(rows) per candidate.
-      IncrementalBsfCost inc(bsf);
-      std::uint64_t best2 = kNoCost;
-      auto tie_rank = [&](const Clifford2Q& c) {
-        const std::size_t lo = std::min(c.q0, c.q1), hi = std::max(c.q0, c.q1);
-        return std::pair<int, std::size_t>(
-            used_pairs.count(pair_key(c)) != 0 ? 0 : 1, hi - lo);
-      };
-      collect_candidates(bsf.support(), cands);
-      candidates_evaluated += cands.size();
-      for (const auto& cand : cands) {
-        opt.cancel.poll(cancel_tick, Stage::Simplify);
-        std::uint64_t cost2;
-        if (inc.anticommuting_rows(cand.sigma0, cand.q0) == 0 &&
-            inc.anticommuting_rows(cand.sigma1, cand.q1) == 0) {
-          // Inert candidate: the conjugation fixes every row (a row changes
-          // iff its Pauli anticommutes with sigma0 at q0 or with sigma1 at
-          // q1), so its cost is the current cost — skip the O(rows)
-          // apply/refresh/undo round-trip. The candidate still competes in
-          // the comparison below with an identical cost and tie rank, so
-          // the greedy choice is bit-identical to the unpruned search.
-          cost2 = inc.cost2();
-          ++candidates_pruned;
-#ifdef PHOENIX_EXPENSIVE_CHECKS
-          {
-            const std::string before = bsf.to_string();
-            bsf.apply_clifford2q(cand);
-            if (bsf.to_string() != before)
-              throw Error(Stage::Simplify,
-                          "simplify_bsf: candidate classified inert mutated "
-                          "the tableau");
-            bsf.apply_clifford2q(cand);  // self-inverse: undo
-          }
-#endif
-        } else {
-          const auto snap = inc.snapshot(cand.q0, cand.q1);
-          bsf.apply_clifford2q(cand);
-          inc.refresh_columns(bsf, cand.q0, cand.q1);
-          cost2 = inc.cost2();
-#ifdef PHOENIX_EXPENSIVE_CHECKS
-          if (inc.cost() != bsf_cost(bsf))
-            throw Error(Stage::Simplify,
-                        "simplify_bsf: incremental Eq. (6) cost diverged from "
-                        "the reference");
-#endif
-          bsf.apply_clifford2q(cand);  // self-inverse: undo
-          inc.restore(snap);
-        }
-        const bool better =
-            !have_choice || cost2 < best2 ||
-            (cost2 == best2 && tie_rank(cand) < tie_rank(chosen));
-        if (better) {
-          best2 = std::min(best2, cost2);
-          chosen = cand;
-          have_choice = true;
-        }
+      // Greedy: the generator/pair minimizing the Eq. (6) cost.
+      if (support_stale) {
+        support = bsf.support();
+        support_stale = false;
       }
-      if (best2 < last_cost2) {
+      ScanMin min;
+      if (use_frontier) {
+        const std::size_t stride = 4 * view.num_words();
+        if (table_valid && support != table_support &&
+            std::includes(table_support.begin(), table_support.end(),
+                          support.begin(), support.end())) {
+          // Support only shrank (peels emptied columns): filter the table in
+          // place. Dropping elements of the sorted support keeps the
+          // surviving pairs in collect_candidates enumeration order, and
+          // survivors keep their cached probes — per-column versions already
+          // cover any column the peel touched.
+          in_support.assign(bsf.num_qubits(), 0);
+          for (const std::size_t c : support) in_support[c] = 1;
+          std::size_t out = 0;
+          for (std::size_t i = 0; i < table.size(); ++i) {
+            if (!in_support[table[i].cand.q0] || !in_support[table[i].cand.q1])
+              continue;
+            if (out != i) {
+              table[out] = table[i];
+              std::copy_n(mask_arena.begin() + i * stride, stride,
+                          mask_arena.begin() + out * stride);
+            }
+            ++out;
+          }
+          table.resize(out);
+          table_support = support;
+        }
+        if (!table_valid || support != table_support) {
+          collect_candidates(support, cands);
+          table.clear();
+          table.reserve(cands.size());
+          for (const auto& c : cands) table.push_back(FrontierEntry{c, {}, 0, 0});
+          mask_arena.assign(table.size() * stride, 0);
+          table_support = support;
+          table_valid = true;
+        }
+        tally.candidates += table.size();
+        const std::uint64_t inert_cost2 = inc->cost2();
+        for (std::size_t i = 0; i < table.size(); ++i) {
+          FrontierEntry& e = table[i];
+          opt.cancel.poll(cancel_tick, Stage::Simplify);
+          std::uint64_t cost2;
+          if (inc->anticommuting_rows(e.cand.sigma0, e.cand.q0) == 0 &&
+              inc->anticommuting_rows(e.cand.sigma1, e.cand.q1) == 0) {
+            cost2 = inert_cost2;  // inert — see rescan_cost2
+            ++tally.pruned;
+          } else {
+            std::uint64_t* masks = mask_arena.data() + i * stride;
+            const std::uint32_t vp = col_version[e.cand.q0];
+            const std::uint32_t vq = col_version[e.cand.q1];
+            if (e.vp != vp || e.vq != vq) {
+              view.probe_counts(e.cand, e.probe, masks);
+              e.vp = vp;
+              e.vq = vq;
+              ++tally.frontier_invalidated;
+            } else {
+              ++tally.frontier_hits;
+            }
+            // The census is never cached: class masks move on every apply,
+            // so it is folded into the O(words) rescore instead.
+            view.census(masks, e.probe.newly_local, e.probe.newly_nonlocal);
+            cost2 = inc->probe_cost2(e.cand.q0, e.cand.q1, e.probe);
+          }
+          min.offer(e.cand, cost2, used_pairs, tie_seed);
+        }
+#ifdef PHOENIX_EXPENSIVE_CHECKS
+        {
+          // The frontier must make exactly the full rescan's decision.
+          if (support != bsf.support())
+            throw Error(Stage::Simplify,
+                        "simplify_bsf: lazily maintained support diverged");
+          collect_candidates(support, cands);
+          std::uint32_t tick = 0;
+          const ScanOut ref = scan_rescan(bsf, *inc, cands, used_pairs,
+                                          tie_seed, opt.cancel, tick, nullptr);
+          if (ref.have != min.out.have || ref.best2 != min.out.best2 ||
+              !(ref.chosen == min.out.chosen))
+            throw Error(Stage::Simplify,
+                        "simplify_bsf: frontier scan diverged from the full "
+                        "rescan");
+        }
+#endif
+      } else {
+        collect_candidates(support, cands);
+        tally.candidates += cands.size();
+        min.out = scan_rescan(bsf, *inc, cands, used_pairs, tie_seed,
+                              opt.cancel, cancel_tick, &tally);
+      }
+      chosen = min.out.chosen;
+      have_choice = min.out.have;
+      if (min.out.best2 < last_cost2) {
         stall = 0;
-        last_cost2 = best2;
+        last_cost2 = min.out.best2;
       } else {
         ++stall;
       }
@@ -273,23 +512,274 @@ SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
       chosen = row_reduction_move(bsf, r);
     }
 
+    const bool p_occupied = inc->column_occupancy(chosen.q0) > 0;
+    const bool q_occupied = inc->column_occupancy(chosen.q1) > 0;
     bsf.apply_clifford2q(chosen);
+    inc->refresh_columns(bsf, chosen.q0, chosen.q1);
+    if ((inc->column_occupancy(chosen.q0) > 0) != p_occupied ||
+        (inc->column_occupancy(chosen.q1) > 0) != q_occupied)
+      support_stale = true;
+    if (use_frontier) {
+      view.apply(chosen);
+      ++col_version[chosen.q0];
+      ++col_version[chosen.q1];
+    }
     g.cliffords.push_back(chosen);
-    used_pairs.insert(pair_key(chosen));
+    used_pairs.insert(chosen);
     g.locals.push_back(std::move(peeled));
   }
 
   // Align: locals[e] precedes cliffords[e]; locals[k] precedes the final BSF.
   while (g.locals.size() < g.cliffords.size() + 1) g.locals.emplace_back();
   g.final_bsf = std::move(bsf);
+  tally.epochs = g.search_epochs;
+  return g;
+}
 
-  std::size_t weight_after = weight_peeled;
+/// Beam-search descent: per epoch, every surviving state proposes its
+/// beam_width best moves (by cost, tie rank, then scan order); the pool of
+/// proposals is cut back to the beam_width best by (cost, parent state
+/// index, within-parent rank) — all-deterministic rankings, so the beam is
+/// reproducible under any thread count. States whose tableau reaches
+/// w_tot <= 2 retire in index order; the winner is the retired state with
+/// the fewest two_qubit_gates(), ties to earliest retirement.
+SimplifiedGroup run_beam(const std::vector<PauliTerm>& terms,
+                         const SimplifyOptions& opt, std::uint64_t tie_seed,
+                         SimplifyTally& tally) {
+  struct BeamState {
+    Bsf bsf;
+    SimplifiedGroup g;
+    std::uint64_t last_cost2 = kNoCost;
+    std::size_t stall = 0;
+    UsedPairs used_pairs;
+  };
+  struct Proposal {
+    std::uint64_t cost2 = kNoCost;
+    std::size_t parent = 0;
+    std::size_t rank = 0;
+    Clifford2Q move;
+    std::uint64_t scan_best2 = kNoCost;  ///< parent scan's best (stall rule)
+    bool plateau = false;
+  };
+
+  std::vector<BeamState> beam;
+  {
+    BeamState s;
+    s.bsf = Bsf(terms);
+    s.g.num_qubits = s.bsf.num_qubits();
+    s.used_pairs = UsedPairs(s.bsf.num_qubits());
+    beam.push_back(std::move(s));
+  }
+  std::vector<SimplifiedGroup> finished;
+  std::vector<Clifford2Q> cands;
+  std::uint32_t cancel_tick = 0;
+
+  while (!beam.empty()) {
+    opt.cancel.check(Stage::Simplify);
+    // Peel locals; retire finished states in index order.
+    std::vector<BeamState> active;
+    for (auto& s : beam) {
+      if (s.bsf.total_weight() <= 2) {
+        while (s.g.locals.size() < s.g.cliffords.size() + 1)
+          s.g.locals.emplace_back();
+        s.g.final_bsf = std::move(s.bsf);
+        tally.epochs += s.g.search_epochs;
+        finished.push_back(std::move(s.g));
+        continue;
+      }
+      std::vector<Bsf::Row> peeled = s.bsf.pop_local_rows();
+      s.g.locals.push_back(std::move(peeled));
+      if (s.bsf.total_weight() <= 2) {
+        while (s.g.locals.size() < s.g.cliffords.size() + 1)
+          s.g.locals.emplace_back();
+        s.g.final_bsf = std::move(s.bsf);
+        tally.epochs += s.g.search_epochs;
+        finished.push_back(std::move(s.g));
+        continue;
+      }
+      if (++s.g.search_epochs > opt.max_epochs)
+        throw Error(Stage::Simplify, "simplify_bsf: epoch limit exceeded");
+      active.push_back(std::move(s));
+    }
+    if (active.empty()) break;
+
+    // Expand: each active state proposes its top beam_width moves.
+    std::vector<Proposal> proposals;
+    for (std::size_t pi = 0; pi < active.size(); ++pi) {
+      BeamState& s = active[pi];
+      IncrementalBsfCost inc(s.bsf);
+      if (s.stall < 25) {
+        collect_candidates(s.bsf.support(), cands);
+        tally.candidates += cands.size();
+        // Keep the state's beam_width best (cost2, tie, scan order), by
+        // bounded insertion — beam widths are small.
+        struct Ranked {
+          std::uint64_t cost2;
+          TieRank tie;
+          std::size_t order;
+          Clifford2Q cand;
+        };
+        std::vector<Ranked> top;
+        std::uint64_t scan_best2 = kNoCost;
+        for (std::size_t ci = 0; ci < cands.size(); ++ci) {
+          opt.cancel.poll(cancel_tick, Stage::Simplify);
+          const std::uint64_t cost2 =
+              rescan_cost2(s.bsf, inc, cands[ci], &tally);
+          scan_best2 = std::min(scan_best2, cost2);
+          Ranked r{cost2, tie_rank(cands[ci], s.used_pairs, tie_seed), ci,
+                   cands[ci]};
+          auto pos = std::upper_bound(
+              top.begin(), top.end(), r, [](const Ranked& a, const Ranked& b) {
+                return std::tie(a.cost2, a.tie, a.order) <
+                       std::tie(b.cost2, b.tie, b.order);
+              });
+          top.insert(pos, std::move(r));
+          if (top.size() > opt.beam_width) top.pop_back();
+        }
+        for (std::size_t k = 0; k < top.size(); ++k)
+          proposals.push_back(
+              Proposal{top[k].cost2, pi, k, top[k].cand, scan_best2, false});
+      } else {
+        // Plateau guard, one forced proposal (see run_greedy).
+        std::size_t r = 0;
+        while (r < s.bsf.num_rows() && s.bsf.row_weight(r) <= 1) ++r;
+        const Clifford2Q move = row_reduction_move(s.bsf, r);
+        const std::uint64_t cost2 = rescan_cost2(s.bsf, inc, move, nullptr);
+        proposals.push_back(Proposal{cost2, pi, 0, move, kNoCost, true});
+      }
+    }
+
+    // Cut the pool back to the beam_width best proposals.
+    std::sort(proposals.begin(), proposals.end(),
+              [](const Proposal& a, const Proposal& b) {
+                return std::tie(a.cost2, a.parent, a.rank) <
+                       std::tie(b.cost2, b.parent, b.rank);
+              });
+    if (proposals.size() > opt.beam_width) proposals.resize(opt.beam_width);
+
+    std::vector<BeamState> next;
+    next.reserve(proposals.size());
+    for (const auto& p : proposals) {
+      BeamState child = active[p.parent];  // parents may fan out: copy
+      child.bsf.apply_clifford2q(p.move);
+      child.g.cliffords.push_back(p.move);
+      child.used_pairs.insert(p.move);
+      if (!p.plateau) {
+        if (p.scan_best2 < child.last_cost2) {
+          child.stall = 0;
+          child.last_cost2 = p.scan_best2;
+        } else {
+          ++child.stall;
+        }
+      }
+      next.push_back(std::move(child));
+    }
+    beam = std::move(next);
+  }
+
+  if (finished.empty())
+    throw Error(Stage::Simplify, "simplify_bsf: beam search retired no state");
+  std::size_t winner = 0;
+  std::size_t best = finished[0].two_qubit_gates();
+  for (std::size_t k = 1; k < finished.size(); ++k) {
+    const std::size_t c = finished[k].two_qubit_gates();
+    if (c < best) {
+      best = c;
+      winner = k;
+    }
+  }
+  return std::move(finished[winner]);
+}
+
+std::size_t rows_weight(const std::vector<Bsf::Row>& rows) {
+  std::size_t w = 0;
+  for (const auto& r : rows) w += BitVec::or_popcount(r.x, r.z);
+  return w;
+}
+
+}  // namespace
+
+std::size_t SimplifiedGroup::two_qubit_gates() const {
+  std::size_t n = 2 * cliffords.size() * Clifford2Q::cnot_cost();
+  for (std::size_t i = 0; i < final_bsf.num_rows(); ++i) {
+    const std::size_t w = final_bsf.row_weight(i);
+    if (w >= 2) n += 2 * (w - 1);
+  }
+  return n;
+}
+
+SimplifiedGroup simplify_bsf(const std::vector<PauliTerm>& terms,
+                             const SimplifyOptions& opt) {
+  if (terms.empty())
+    throw Error(Stage::Simplify, "simplify_bsf: empty term list");
+  if (opt.num_starts == 0)
+    throw Error(Stage::Simplify, "simplify_bsf: num_starts must be >= 1");
+  if (opt.beam_width == 0)
+    throw Error(Stage::Simplify, "simplify_bsf: beam_width must be >= 1");
+
+  std::size_t weight_before = 0;
+  for (const auto& t : terms)
+    weight_before += BitVec::or_popcount(t.string.x(), t.string.z());
+
+  auto run_one = [&](std::uint64_t seed, SimplifyTally& t) {
+    return opt.beam_width > 1 ? run_beam(terms, opt, seed, t)
+                              : run_greedy(terms, opt, seed, t);
+  };
+
+  SimplifiedGroup g;
+  SimplifyTally tally;
+  std::size_t winner = 0;
+  if (opt.num_starts == 1) {
+    g = run_one(0, tally);
+  } else {
+    // Racing starts across the shared pool (nested parallel_for is
+    // help-while-waiting safe; with zero workers the race runs inline).
+    // Start 0 is the canonical unperturbed descent, so the winner-by-
+    // two_qubit_gates rule — ties to the lowest start index — can only
+    // improve on the single-start result. Errors propagate from the lowest
+    // failing start for determinism.
+    std::vector<SimplifiedGroup> results(opt.num_starts);
+    std::vector<SimplifyTally> tallies(opt.num_starts);
+    std::vector<std::exception_ptr> errors(opt.num_starts);
+    ThreadPool::shared().parallel_for(opt.num_starts, [&](std::size_t k) {
+      try {
+        results[k] = run_one(k, tallies[k]);
+      } catch (...) {
+        errors[k] = std::current_exception();
+      }
+    });
+    for (auto& e : errors)
+      if (e) std::rethrow_exception(e);
+    std::size_t best = results[0].two_qubit_gates();
+    for (std::size_t k = 1; k < opt.num_starts; ++k) {
+      const std::size_t c = results[k].two_qubit_gates();
+      if (c < best) {
+        best = c;
+        winner = k;
+      }
+    }
+    g = std::move(results[winner]);
+    for (const auto& t : tallies) tally.add(t);
+  }
+
+  std::size_t weight_after = 0;
+  for (const auto& rows : g.locals) weight_after += rows_weight(rows);
   for (std::size_t i = 0; i < g.final_bsf.num_rows(); ++i)
     weight_after += g.final_bsf.row_weight(i);
+
   trace_count("simplify.groups", 1);
-  trace_count("simplify.epochs", g.search_epochs);
-  trace_count("simplify.candidates", candidates_evaluated);
-  trace_count("simplify.pruned_pairs", candidates_pruned);
+  trace_count("simplify.epochs", tally.epochs);
+  trace_count("simplify.candidates", tally.candidates);
+  trace_count("simplify.pruned_pairs", tally.pruned);
+  trace_count("simplify.frontier_hits", tally.frontier_hits);
+  trace_count("simplify.frontier_invalidated", tally.frontier_invalidated);
+  trace_count("simplify.starts_won", winner > 0 ? 1 : 0);
+  // Pre-peephole 2Q cost of the winning descent. Summed over a compile this
+  // is the metric the multi-start race provably never worsens: start 0 is
+  // the canonical single-start descent and the winner rule is a per-group
+  // min. (The *final* circuit's 2Q count is not monotone in it — peephole
+  // cancellation across group boundaries can favor a costlier sequence.)
+  trace_count("simplify.two_qubit_gates", g.two_qubit_gates());
   trace_count("simplify.weight_removed",
               weight_before > weight_after ? weight_before - weight_after : 0);
   return g;

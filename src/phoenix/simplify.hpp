@@ -70,6 +70,34 @@ class IncrementalBsfCost {
   ColumnSnapshot snapshot(std::size_t a, std::size_t b) const;
   void restore(const ColumnSnapshot& s);
 
+  /// Exact cost ×2 after a hypothetical conjugation on columns (p, q),
+  /// from a BsfColumnView::Probe of that candidate — O(1), no tableau
+  /// mutation. Equals what apply + refresh_columns + cost2() would report:
+  /// the pair sum swaps the two columns' terms for their post-conjugation
+  /// values, w_tot adjusts by the columns' occupied/empty transitions, and
+  /// n_nl by the rows crossing the local/nonlocal boundary. Requires p != q
+  /// (a Clifford2Q never has q0 == q1).
+  std::uint64_t probe_cost2(std::size_t p, std::size_t q,
+                            const BsfColumnView::Probe& pr) const {
+    const std::uint64_t pair_sum2 =
+        pair_sum2_ - column_term2(p) - column_term2(q) +
+        term2_from(pr.nx0, pr.nz0, pr.nu0) + term2_from(pr.nx1, pr.nz1, pr.nu1);
+    const std::size_t w_tot = w_tot_ - (nu_[p] > 0 ? 1 : 0) -
+                              (nu_[q] > 0 ? 1 : 0) + (pr.nu0 > 0 ? 1 : 0) +
+                              (pr.nu1 > 0 ? 1 : 0);
+    const std::size_t n_nl = n_nl_ + pr.newly_nonlocal - pr.newly_local;
+    return 2 * static_cast<std::uint64_t>(w_tot) *
+               static_cast<std::uint64_t>(n_nl) *
+               static_cast<std::uint64_t>(n_nl) +
+           pair_sum2;
+  }
+
+  /// Rows occupying column c (nu). The search uses this to detect support
+  /// changes without rescanning the tableau: occupancy moves only in the two
+  /// columns an applied conjugation refreshed, so the occupied-column list is
+  /// stale only when one of them toggled between empty and occupied.
+  std::size_t column_occupancy(std::size_t c) const { return nu_[c]; }
+
   /// Rows whose Pauli in column c anticommutes with `sigma`, from the
   /// maintained occupancy counts — O(1), no tableau scan. A Pauli
   /// anticommutes with X iff its Z bit is set (Z or Y), with Z iff its X bit
@@ -96,7 +124,11 @@ class IncrementalBsfCost {
     return r * (r - 1) - m * (m - 1);
   }
   std::uint64_t column_term2(std::size_t c) const {
-    return pair2(nu_[c]) + (pair2(nx_[c]) + pair2(nz_[c])) / 2;
+    return term2_from(nx_[c], nz_[c], nu_[c]);
+  }
+  std::uint64_t term2_from(std::size_t nx, std::size_t nz,
+                           std::size_t nu) const {
+    return pair2(nu) + (pair2(nx) + pair2(nz)) / 2;
   }
 
   std::size_t rows_ = 0;                 ///< R, fixed for the model lifetime
@@ -137,16 +169,53 @@ struct SimplifiedGroup {
     static const std::vector<Bsf::Row> kEmpty;
     return locals.empty() ? kEmpty : locals.front();
   }
+
+  /// Pre-peephole 2Q gate count of emit(): 1 CNOT per Clifford2Q, applied
+  /// both forward and backward (2k total), plus the CNOT ladder of each
+  /// remaining nonlocal rotation (2·(w−1) for weight w ≥ 2). The multi-start
+  /// race ranks candidate descents by this metric — it is exactly the 2Q
+  /// cost the descent was minimizing, computable without emitting.
+  std::size_t two_qubit_gates() const;
+};
+
+/// Candidate evaluation strategy for the greedy descent.
+enum class SimplifySearch {
+  /// Incrementally maintained candidate frontier: per-candidate column
+  /// probes (BsfColumnView) cached across epochs and invalidated only for
+  /// candidates touching columns dirtied by the last applied Clifford2Q;
+  /// every candidate is rescored in O(1) each epoch. Chooses bit-identically
+  /// to Rescan (cross-checked under PHOENIX_EXPENSIVE_CHECKS). The default.
+  Frontier,
+  /// Full per-epoch rescan via apply/refresh/undo on the live tableau — the
+  /// pre-frontier reference path, kept as the differential baseline.
+  Rescan,
 };
 
 struct SimplifyOptions {
   /// Abort knob for pathological inputs; the greedy search normally
   /// terminates in O(total weight) epochs.
   std::size_t max_epochs = 10000;
+  /// Candidate evaluation strategy; identical output either way.
+  SimplifySearch search = SimplifySearch::Frontier;
+  /// Number of racing greedy descents (>= 1). Start 0 runs the canonical
+  /// unperturbed tie-break; starts k > 0 perturb tie-breaking among
+  /// cost-equal candidates with a seeded hash. The winner is the descent
+  /// with the fewest two_qubit_gates(), ties to the lowest start index — so
+  /// num_starts > 1 never yields a costlier group than num_starts == 1, and
+  /// the result is deterministic regardless of thread count. Starts race
+  /// across the shared ThreadPool.
+  std::size_t num_starts = 1;
+  /// Beam width (>= 1). Width 1 is the pure greedy descent; width B > 1
+  /// keeps the B best tableaux per epoch (ranked by cost, then parent state
+  /// index, then within-parent candidate rank) and returns the finished
+  /// state with the fewest two_qubit_gates(), ties to earliest finish.
+  /// Deterministic; composes with num_starts (each start runs its own beam).
+  std::size_t beam_width = 1;
   /// Cooperative cancellation: checked once per epoch and polled (amortized,
   /// see CancelToken::poll) inside the candidate loop, so a cancelled or
   /// deadline-expired compile leaves the greedy descent within a few hundred
   /// candidate evaluations. Empty by default — one pointer test per probe.
+  /// Honored by every racing start.
   CancelToken cancel;
 };
 

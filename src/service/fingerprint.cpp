@@ -46,6 +46,12 @@ Digest128 fingerprint_request(const std::vector<PauliTerm>& terms,
   h.write_size(opt.sabre.layout_rounds);
   h.write_u64(opt.sabre.seed);
   h.write_size(opt.simplify.max_epochs);
+  // simplify.search is deliberately NOT hashed: Frontier and Rescan choose
+  // bit-identically by contract (cross-checked under expensive checks), so
+  // hashing it would split the cache for identical artifacts — same
+  // rationale as num_threads. The race/beam knobs DO change the output.
+  h.write_size(opt.simplify.num_starts);
+  h.write_size(opt.simplify.beam_width);
   h.write_u64(static_cast<std::uint64_t>(opt.validation.level));
   h.write_size(opt.validation.exact_max_qubits);
   h.write_double(opt.validation.angle_tol);

@@ -37,8 +37,11 @@ namespace phoenix {
 /// output regardless: `num_threads` (per-group simplify is deterministic for
 /// any thread count) and `trace` (probes never change the compiled circuit;
 /// the trace `stats` member is not part of the cached artifact either, see
-/// src/phoenix/serialize.hpp).
-inline constexpr std::uint64_t kFingerprintSchemaVersion = 2;
+/// src/phoenix/serialize.hpp). `simplify.search` joins that excluded set:
+/// Frontier and Rescan choose bit-identically by contract. The multi-start
+/// race and beam knobs (`simplify.num_starts`, `simplify.beam_width`) are
+/// hashed — they legitimately change the compiled circuit (v3 added them).
+inline constexpr std::uint64_t kFingerprintSchemaVersion = 3;
 
 /// Fingerprint a request against `coupling` (pass nullptr for logical-level
 /// compilation; `opt.coupling` is ignored in favor of the argument so

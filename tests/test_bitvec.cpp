@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/simd.hpp"
 
 namespace phoenix {
 namespace {
@@ -130,6 +136,133 @@ TEST(BitVec, FusedOrPopcountsRejectSizeMismatch) {
   BitVec a(5), b(6);
   EXPECT_THROW(BitVec::or_popcount(a, b), std::invalid_argument);
   EXPECT_THROW(BitVec::or3_popcount(a, a, b), std::invalid_argument);
+}
+
+// --- SIMD kernel property tests --------------------------------------------
+// Every dispatched kernel against a trivially-correct per-word reference,
+// across random word counts straddling kVectorThreshold (both the inline
+// scalar path and the dispatched one), random contents, and unaligned start
+// offsets (the AVX2 paths use unaligned loads; an offset of 1..3 words
+// breaks any accidental 32-byte alignment of the vector's allocation).
+
+std::vector<std::uint64_t> random_words(Rng& rng, std::size_t n) {
+  std::vector<std::uint64_t> w(n);
+  for (auto& x : w) {
+    switch (rng.next_below(4)) {
+      case 0: x = 0; break;
+      case 1: x = ~std::uint64_t{0}; break;
+      default: x = rng.next_u64(); break;
+    }
+  }
+  return w;
+}
+
+std::size_t ref_popcount(const std::uint64_t* a, std::size_t n) {
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint64_t w = a[i]; w != 0; w &= w - 1) ++c;
+  }
+  return c;
+}
+
+TEST(Simd, ActiveLevelIsAKnownName) {
+  const std::string level = simd::active_level();
+  EXPECT_TRUE(level == "avx2" || level == "scalar") << level;
+#ifdef PHOENIX_DISABLE_SIMD
+  EXPECT_EQ(level, "scalar");
+#endif
+}
+
+TEST(Simd, KernelsMatchScalarReferenceAcrossSizesAndOffsets) {
+  Rng rng(20260809);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Sizes 0..~4 cache lines, biased to straddle kVectorThreshold; offsets
+    // 0..3 words shift the effective alignment of every operand.
+    const std::size_t n = rng.next_below(4 * simd::kVectorThreshold + 1);
+    const std::size_t off_a = rng.next_below(4);
+    const std::size_t off_b = rng.next_below(4);
+    const std::size_t off_c = rng.next_below(4);
+    const auto wa = random_words(rng, n + off_a);
+    const auto wb = random_words(rng, n + off_b);
+    const auto wc = random_words(rng, n + off_c);
+    const std::uint64_t* a = wa.data() + off_a;
+    const std::uint64_t* b = wb.data() + off_b;
+    const std::uint64_t* c = wc.data() + off_c;
+
+    EXPECT_EQ(simd::popcount_words(a, n), ref_popcount(a, n))
+        << "n=" << n << " trial=" << trial;
+
+    std::size_t ref_or2 = 0, ref_or3 = 0;
+    std::uint64_t and_acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t ab = a[i] | b[i];
+      ref_or2 += ref_popcount(&ab, 1);
+      const std::uint64_t abc = ab | c[i];
+      ref_or3 += ref_popcount(&abc, 1);
+      and_acc ^= a[i] & b[i];
+    }
+    EXPECT_EQ(simd::or_popcount_words(a, b, n), ref_or2)
+        << "n=" << n << " trial=" << trial;
+    EXPECT_EQ(simd::or3_popcount_words(a, b, c, n), ref_or3)
+        << "n=" << n << " trial=" << trial;
+    EXPECT_EQ(simd::and_parity_words(a, b, n), (ref_popcount(&and_acc, 1) & 1))
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(Simd, KernelsHandleLargeInputsWithScalarTails) {
+  Rng rng(424242);
+  // Large enough for several 8-word unrolled blocks plus every tail length.
+  for (std::size_t n = 64; n < 64 + 8; ++n) {
+    const auto wa = random_words(rng, n);
+    const auto wb = random_words(rng, n);
+    const auto wc = random_words(rng, n);
+    EXPECT_EQ(simd::popcount_words(wa.data(), n), ref_popcount(wa.data(), n));
+    std::size_t ref_or2 = 0, ref_or3 = 0;
+    std::uint64_t and_acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t ab = wa[i] | wb[i];
+      ref_or2 += ref_popcount(&ab, 1);
+      const std::uint64_t abc = ab | wc[i];
+      ref_or3 += ref_popcount(&abc, 1);
+      and_acc ^= wa[i] & wb[i];
+    }
+    EXPECT_EQ(simd::or_popcount_words(wa.data(), wb.data(), n), ref_or2) << n;
+    EXPECT_EQ(simd::or3_popcount_words(wa.data(), wb.data(), wc.data(), n),
+              ref_or3)
+        << n;
+    EXPECT_EQ(simd::and_parity_words(wa.data(), wb.data(), n),
+              (ref_popcount(&and_acc, 1) & 1))
+        << n;
+  }
+}
+
+TEST(Simd, BitVecRoutesThroughKernelsAtNonWordSizes) {
+  Rng rng(7);
+  // BitVec sizes with size % 64 != 0: partial-word semantics (zeroed tail
+  // bits) must survive the kernel routing at every size class.
+  for (std::size_t bits :
+       {std::size_t{1}, std::size_t{63}, std::size_t{65}, std::size_t{447},
+        std::size_t{513}, std::size_t{1023}}) {
+    BitVec a(bits), b(bits), v3(bits);
+    std::size_t ref_a = 0, ref_or2 = 0, ref_or3 = 0, ref_and = 0;
+    for (std::size_t i = 0; i < bits; ++i) {
+      const bool ba = rng.next_below(2) != 0;
+      const bool bb = rng.next_below(2) != 0;
+      const bool bc = rng.next_below(2) != 0;
+      a.set(i, ba);
+      b.set(i, bb);
+      v3.set(i, bc);
+      ref_a += ba ? 1 : 0;
+      ref_or2 += (ba || bb) ? 1 : 0;
+      ref_or3 += (ba || bb || bc) ? 1 : 0;
+      ref_and += (ba && bb) ? 1 : 0;
+    }
+    EXPECT_EQ(a.popcount(), ref_a) << bits;
+    EXPECT_EQ(BitVec::or_popcount(a, b), ref_or2) << bits;
+    EXPECT_EQ(BitVec::or3_popcount(a, b, v3), ref_or3) << bits;
+    EXPECT_EQ(BitVec::and_parity(a, b), (ref_and & 1) != 0) << bits;
+  }
 }
 
 }  // namespace

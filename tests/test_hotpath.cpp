@@ -226,6 +226,120 @@ TEST(Simplify, CopyFreeSearchMatchesReferenceImplementation) {
 }
 
 // ---------------------------------------------------------------------------
+// The candidate frontier (cached column probes, tombstoned peels) against
+// the full per-epoch rescan: identical choices, epoch for epoch, is the
+// frontier's core contract — cross-checked every epoch under
+// PHOENIX_EXPENSIVE_CHECKS and asserted end-to-end here.
+
+TEST(Simplify, FrontierMatchesRescanOnRandomTableaus) {
+  Rng rng(20250807);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 3 + rng.next_below(6);
+    const std::size_t rows = 2 + rng.next_below(7);
+    const auto terms = random_terms(rng, n, rows);
+    SimplifyOptions rescan;
+    rescan.search = SimplifySearch::Rescan;
+    const SimplifiedGroup f = simplify_bsf(terms);  // default: Frontier
+    const SimplifiedGroup r = simplify_bsf(terms, rescan);
+    ASSERT_EQ(f.cliffords.size(), r.cliffords.size()) << "trial " << trial;
+    for (std::size_t e = 0; e < r.cliffords.size(); ++e)
+      EXPECT_EQ(f.cliffords[e], r.cliffords[e])
+          << "trial " << trial << " epoch " << e;
+    EXPECT_EQ(f.search_epochs, r.search_epochs);
+    EXPECT_EQ(f.final_bsf, r.final_bsf);
+    EXPECT_EQ(f.emit(n).to_qasm(), r.emit(n).to_qasm());
+  }
+}
+
+TEST(Simplify, FrontierMatchesRescanAcrossSeedSuite) {
+  const auto suite = uccsd_suite();
+  for (std::size_t idx : {std::size_t{10}, std::size_t{15}}) {
+    const auto& b = suite[idx];
+    PhoenixOptions ropt;
+    ropt.simplify.search = SimplifySearch::Rescan;
+    const Circuit f = phoenix_compile(b.terms, b.num_qubits).circuit;
+    const Circuit r = phoenix_compile(b.terms, b.num_qubits, ropt).circuit;
+    ASSERT_EQ(f.size(), r.size()) << b.name;
+    for (std::size_t i = 0; i < f.size(); ++i)
+      ASSERT_TRUE(f.gates()[i].same_as(r.gates()[i], /*tol=*/0.0))
+          << b.name << " gate " << i;
+  }
+}
+
+// The pre-peephole 2Q accounting the multi-start race ranks descents by
+// must agree with what emit() actually produces.
+TEST(Simplify, TwoQubitGatesMatchesEmittedCircuit) {
+  Rng rng(5);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 3 + rng.next_below(5);
+    const auto terms = random_terms(rng, n, 2 + rng.next_below(6));
+    const SimplifiedGroup g = simplify_bsf(terms);
+    EXPECT_EQ(g.two_qubit_gates(), g.emit(n).count_2q()) << "trial " << trial;
+  }
+}
+
+TEST(Simplify, MultiStartNeverCostsMoreAndValidates) {
+  const auto suite = uccsd_suite();
+  for (std::size_t idx : {std::size_t{10}, std::size_t{15}}) {
+    const auto& b = suite[idx];
+    PhoenixOptions single;
+    single.validation.level = ValidationLevel::Cheap;
+    single.trace = true;
+    const auto res1 = phoenix_compile(b.terms, b.num_qubits, single);
+    EXPECT_TRUE(res1.validation.passed()) << b.name;
+
+    PhoenixOptions multi = single;
+    multi.simplify.num_starts = 4;
+    const auto res4 = phoenix_compile(b.terms, b.num_qubits, multi);
+    EXPECT_TRUE(res4.validation.passed()) << b.name;
+    // Start 0 runs the canonical unperturbed tie-break and the winner rule
+    // is a per-group min of the pre-peephole 2Q cost, so the race can only
+    // lower that metric. (The final circuit's 2Q count is not monotone in
+    // it: peephole cancellation across group boundaries can favor a
+    // costlier clifford sequence, so it is not asserted here.)
+    EXPECT_LE(res4.stats.counter("simplify.two_qubit_gates"),
+              res1.stats.counter("simplify.two_qubit_gates"))
+        << b.name;
+
+    // The race is deterministic regardless of thread count.
+    PhoenixOptions threaded = multi;
+    threaded.num_threads = 4;
+    const auto res4t = phoenix_compile(b.terms, b.num_qubits, threaded);
+    EXPECT_EQ(res4.circuit.to_qasm(), res4t.circuit.to_qasm()) << b.name;
+  }
+}
+
+TEST(Simplify, BeamSearchIsValidAndDeterministic) {
+  Rng rng(99);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::size_t n = 4 + rng.next_below(4);
+    const auto terms = random_terms(rng, n, 3 + rng.next_below(5));
+    SimplifyOptions opt;
+    opt.beam_width = 3;
+    const SimplifiedGroup a = simplify_bsf(terms, opt);
+    const SimplifiedGroup b = simplify_bsf(terms, opt);
+    EXPECT_LE(a.final_bsf.total_weight(), 2u) << "trial " << trial;
+    EXPECT_EQ(a.emit(n).to_qasm(), b.emit(n).to_qasm()) << "trial " << trial;
+    // Width 1 must be exactly the plain greedy descent.
+    SimplifyOptions w1;
+    w1.beam_width = 1;
+    EXPECT_EQ(simplify_bsf(terms, w1).emit(n).to_qasm(),
+              simplify_bsf(terms).emit(n).to_qasm())
+        << "trial " << trial;
+  }
+}
+
+TEST(Simplify, ZeroStartsOrZeroBeamWidthThrow) {
+  const std::vector<PauliTerm> terms = {PauliTerm("XXZ", 0.5)};
+  SimplifyOptions zero_starts;
+  zero_starts.num_starts = 0;
+  EXPECT_THROW(simplify_bsf(terms, zero_starts), Error);
+  SimplifyOptions zero_beam;
+  zero_beam.beam_width = 0;
+  EXPECT_THROW(simplify_bsf(terms, zero_beam), Error);
+}
+
+// ---------------------------------------------------------------------------
 // Tetris ordering: the linked-list pending set must pick exactly like the
 // erase-based formulation it replaced.
 

@@ -173,6 +173,14 @@ TEST(Fingerprint, SemanticOptionsChangeDigest) {
   PhoenixOptions val = opt;
   val.validation.level = ValidationLevel::Cheap;
   EXPECT_NE(base, fingerprint_request(terms, 4, val));
+
+  PhoenixOptions starts = opt;
+  starts.simplify.num_starts = 4;
+  EXPECT_NE(base, fingerprint_request(terms, 4, starts));
+
+  PhoenixOptions beam = opt;
+  beam.simplify.beam_width = 3;
+  EXPECT_NE(base, fingerprint_request(terms, 4, beam));
 }
 
 TEST(Fingerprint, OutputInvariantOptionsDoNotChangeDigest) {
@@ -187,6 +195,12 @@ TEST(Fingerprint, OutputInvariantOptionsDoNotChangeDigest) {
   PhoenixOptions traced = opt;
   traced.trace = true;
   EXPECT_EQ(base, fingerprint_request(terms, 4, traced));
+
+  // Frontier and Rescan choose bit-identically by contract, so the search
+  // strategy must not split the cache.
+  PhoenixOptions rescan = opt;
+  rescan.simplify.search = SimplifySearch::Rescan;
+  EXPECT_EQ(base, fingerprint_request(terms, 4, rescan));
 }
 
 TEST(Fingerprint, CouplingEdgeSetMatters) {
