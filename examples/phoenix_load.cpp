@@ -1,0 +1,400 @@
+// Load generator for the phoenix_served daemon: replays a UCCSD/QAOA
+// program mix against a live server at a configured request rate and
+// publishes latency percentiles and cache-hit curves as BENCH_serve.json.
+//
+//   $ ./example_phoenix_load [--port N | --unix PATH]   # or self-serve
+//       [--host ADDR] [--mix uccsd|qaoa|both] [--max-qubits N]
+//       [--rate R] [--duration-s S] [--deadline-ms MS]
+//       [--cancel-every N] [--expired-every N] [--verify]
+//       [--json PATH] [--assert-zero-frame-errors] [--assert-warm-p99-ms MS]
+//       [--jobs N] [--cache-dir DIR]
+//
+// Without --port/--unix it self-serves: an in-process ServedServer on an
+// ephemeral loopback TCP port (--jobs/--cache-dir configure it), so the
+// binary doubles as a one-command smoke test of the whole network stack.
+//
+// Phases: `cold` submits every program in the mix once (misses that compile
+// on the server), then optional `--verify` recompiles each program
+// in-process and checks the bytes received over the wire are bit-identical,
+// then `warm` replays the mix closed-loop at --rate for --duration-s.
+// --cancel-every N makes every Nth warm request a fresh (never-cached)
+// program cancelled mid-flight; --expired-every N submits every Nth as a
+// fresh program with an already-expired deadline (exercising the server's
+// immediate DeadlineExceeded path). The --assert-* flags turn the run into
+// a pass/fail gate for CI.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "hamlib/qaoa.hpp"
+#include "hamlib/uccsd.hpp"
+#include "phoenix/serialize.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace phoenix;
+using clock_t_ = std::chrono::steady_clock;
+
+struct Program {
+  std::string name;
+  std::vector<PauliTerm> terms;
+  std::size_t num_qubits = 0;
+};
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(v.size()) - 1.0,
+                       std::ceil(p * static_cast<double>(v.size())) - 1.0));
+  return v[idx];
+}
+
+double ms_since(clock_t_::time_point t0) {
+  return std::chrono::duration<double, std::milli>(clock_t_::now() - t0)
+      .count();
+}
+
+struct PhaseStats {
+  std::vector<double> latencies_ms;  // successful results only
+  std::size_t requests = 0;
+  std::size_t hits = 0;
+  std::size_t errors = 0;
+};
+
+void print_phase(const char* name, const PhaseStats& p) {
+  std::printf(
+      "%-5s %6zu requests, hit rate %5.1f%%, p50 %8.3f ms, p99 %8.3f ms, "
+      "%zu errors\n",
+      name, p.requests,
+      p.requests > 0 ? 100.0 * static_cast<double>(p.hits) /
+                           static_cast<double>(p.requests)
+                     : 0.0,
+      percentile(p.latencies_ms, 0.50), percentile(p.latencies_ms, 0.99),
+      p.errors);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  const char* unix_path = nullptr;
+  std::string mix = "both";
+  std::size_t max_qubits = 16;
+  double rate = 200.0;
+  double duration_s = 2.0;
+  double deadline_ms = CompileRequest::kNoDeadline;
+  std::size_t cancel_every = 0;
+  std::size_t expired_every = 0;
+  bool verify = false;
+  const char* json_path = "BENCH_serve.json";
+  bool assert_zero_frame_errors = false;
+  double assert_warm_p99_ms = 0.0;
+  std::size_t jobs = 0;
+  const char* cache_dir = nullptr;
+
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--host")) host = value("--host");
+    else if (!std::strcmp(argv[i], "--port"))
+      port = static_cast<std::uint16_t>(
+          std::strtoul(value("--port"), nullptr, 10));
+    else if (!std::strcmp(argv[i], "--unix")) unix_path = value("--unix");
+    else if (!std::strcmp(argv[i], "--mix")) mix = value("--mix");
+    else if (!std::strcmp(argv[i], "--max-qubits"))
+      max_qubits = std::strtoul(value("--max-qubits"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--rate"))
+      rate = std::strtod(value("--rate"), nullptr);
+    else if (!std::strcmp(argv[i], "--duration-s"))
+      duration_s = std::strtod(value("--duration-s"), nullptr);
+    else if (!std::strcmp(argv[i], "--deadline-ms"))
+      deadline_ms = std::strtod(value("--deadline-ms"), nullptr);
+    else if (!std::strcmp(argv[i], "--cancel-every"))
+      cancel_every = std::strtoul(value("--cancel-every"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--expired-every"))
+      expired_every = std::strtoul(value("--expired-every"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--verify")) verify = true;
+    else if (!std::strcmp(argv[i], "--json")) json_path = value("--json");
+    else if (!std::strcmp(argv[i], "--assert-zero-frame-errors"))
+      assert_zero_frame_errors = true;
+    else if (!std::strcmp(argv[i], "--assert-warm-p99-ms"))
+      assert_warm_p99_ms = std::strtod(value("--assert-warm-p99-ms"), nullptr);
+    else if (!std::strcmp(argv[i], "--jobs"))
+      jobs = std::strtoul(value("--jobs"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--cache-dir"))
+      cache_dir = value("--cache-dir");
+    else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return 1;
+    }
+  }
+  if (mix != "uccsd" && mix != "qaoa" && mix != "both") {
+    std::fprintf(stderr, "--mix must be uccsd, qaoa, or both\n");
+    return 1;
+  }
+
+  // ---- program mix -------------------------------------------------------
+  std::vector<Program> programs;
+  if (mix != "qaoa")
+    for (auto& b : uccsd_suite_small(max_qubits))
+      programs.push_back({b.name, std::move(b.terms), b.num_qubits});
+  if (mix != "uccsd")
+    for (auto& b : qaoa_suite())
+      if (b.num_qubits <= max_qubits)
+        programs.push_back({b.name, std::move(b.terms), b.num_qubits});
+  if (programs.empty()) {
+    std::fprintf(stderr, "empty program mix (max-qubits too small?)\n");
+    return 1;
+  }
+
+  // ---- server ------------------------------------------------------------
+  std::unique_ptr<ServedServer> self_server;
+  const bool self_serve = port == 0 && unix_path == nullptr;
+  const char* transport = unix_path != nullptr ? "unix" : "tcp";
+  try {
+    if (self_serve) {
+      ServerOptions sopt;
+      sopt.enable_tcp = true;
+      sopt.tcp_port = 0;
+      sopt.service.num_threads = jobs;
+      if (cache_dir != nullptr) sopt.service.cache.disk_dir = cache_dir;
+      self_server = std::make_unique<ServedServer>(std::move(sopt));
+      self_server->start();
+      port = self_server->tcp_port();
+      std::printf("phoenix_load: self-serving on 127.0.0.1:%u\n",
+                  static_cast<unsigned>(port));
+      host = "127.0.0.1";
+    }
+    ServedClient client = unix_path != nullptr
+                              ? ServedClient::connect_unix(unix_path)
+                              : ServedClient::connect_tcp(host, port);
+    std::printf("phoenix_load: %zu programs (%s mix), %s transport\n\n",
+                programs.size(), mix.c_str(), transport);
+
+    auto make_request = [](const Program& p) {
+      CompileRequest req;
+      req.terms = p.terms;
+      req.num_qubits = p.num_qubits;
+      return req;
+    };
+
+    // ---- cold phase ------------------------------------------------------
+    PhaseStats cold;
+    std::vector<std::string> cold_payloads(programs.size());
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+      const auto t0 = clock_t_::now();
+      const auto ack = client.submit(make_request(programs[i]));
+      cold_payloads[i] = client.await_raw(ack.request_id);
+      cold.latencies_ms.push_back(ms_since(t0));
+      ++cold.requests;
+      if (ack.hit) ++cold.hits;
+    }
+    print_phase("cold", cold);
+
+    // ---- verify ----------------------------------------------------------
+    std::size_t verified = 0;
+    if (verify) {
+      CompileService local;
+      for (std::size_t i = 0; i < programs.size(); ++i) {
+        const auto res = local.compile(make_request(programs[i]));
+        if (compile_result_to_bytes(*res) == cold_payloads[i]) {
+          ++verified;
+        } else {
+          std::fprintf(stderr,
+                       "verify: %s differs between wire and in-process\n",
+                       programs[i].name.c_str());
+        }
+      }
+      std::printf("verify %4zu/%zu bit-identical to in-process compiles\n",
+                  verified, programs.size());
+    }
+
+    // ---- warm phase ------------------------------------------------------
+    PhaseStats warm;
+    std::size_t deadline_exceeded = 0, cancelled = 0, overloaded = 0;
+    struct Sample {
+      double t_s;
+      double latency_ms;
+      bool hit;
+      bool ok;
+    };
+    std::vector<Sample> samples;
+    double perturb = 0.0;  // makes cancel/expired probes cache-unique
+    const auto warm_t0 = clock_t_::now();
+    for (std::size_t i = 0;; ++i) {
+      const double elapsed_s =
+          std::chrono::duration<double>(clock_t_::now() - warm_t0).count();
+      if (elapsed_s >= duration_s) break;
+      if (rate > 0.0) {
+        const auto next =
+            warm_t0 + std::chrono::duration_cast<clock_t_::duration>(
+                          std::chrono::duration<double>(
+                              static_cast<double>(i) / rate));
+        std::this_thread::sleep_until(next);
+      }
+
+      const Program& p = programs[(i * 2654435761u) % programs.size()];
+      const bool do_cancel = cancel_every > 0 && (i + 1) % cancel_every == 0;
+      const bool do_expired =
+          !do_cancel && expired_every > 0 && (i + 1) % expired_every == 0;
+      CompileRequest req = make_request(p);
+      if (do_cancel || do_expired) {
+        perturb += 1e-9;
+        req.terms.front().coeff += perturb;  // fresh fingerprint: cold miss
+        if (do_expired) req.deadline_ms = 0.0;
+      } else {
+        req.deadline_ms = deadline_ms;
+      }
+
+      ++warm.requests;
+      const auto t0 = clock_t_::now();
+      try {
+        const auto ack = client.submit(req);
+        if (do_cancel) client.cancel(ack.request_id);
+        const std::string payload = client.await_raw(ack.request_id);
+        warm.latencies_ms.push_back(ms_since(t0));
+        if (ack.hit) ++warm.hits;
+        samples.push_back({elapsed_s, ms_since(t0), ack.hit, true});
+      } catch (const Error& e) {
+        ++warm.errors;
+        samples.push_back({elapsed_s, ms_since(t0), false, false});
+        switch (e.kind()) {
+          case Error::Kind::DeadlineExceeded: ++deadline_exceeded; break;
+          case Error::Kind::Cancelled: ++cancelled; break;
+          case Error::Kind::Overloaded: ++overloaded; break;
+          default:
+            std::fprintf(stderr, "warm request failed: %s\n", e.what());
+            return 1;
+        }
+      }
+    }
+    print_phase("warm", warm);
+    if (cancel_every > 0 || expired_every > 0)
+      std::printf(
+          "      (%zu cancelled mid-flight, %zu deadline-exceeded, "
+          "%zu overloaded)\n",
+          cancelled, deadline_exceeded, overloaded);
+
+    // ---- server counters -------------------------------------------------
+    std::map<std::string, std::uint64_t> server_stats;
+    for (const auto& [name, v] : client.stats()) server_stats[name] = v;
+    const std::uint64_t frame_errors = server_stats["net.frame_errors"];
+
+    // ---- BENCH_serve.json ------------------------------------------------
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    auto phase_json = [&](const char* name, const PhaseStats& p) {
+      std::fprintf(
+          f,
+          "    \"%s\": {\"requests\": %zu, \"hits\": %zu, \"errors\": %zu, "
+          "\"hit_rate\": %.4f, \"p50_ms\": %.4f, \"p99_ms\": %.4f}",
+          name, p.requests, p.hits, p.errors,
+          p.requests > 0 ? static_cast<double>(p.hits) /
+                               static_cast<double>(p.requests)
+                         : 0.0,
+          percentile(p.latencies_ms, 0.50), percentile(p.latencies_ms, 0.99));
+    };
+    std::fprintf(f, "{\n  \"bench\": \"phoenix_served\",\n");
+    std::fprintf(f, "  \"transport\": \"%s\",\n", transport);
+    std::fprintf(f, "  \"mix\": \"%s\",\n  \"programs\": %zu,\n", mix.c_str(),
+                 programs.size());
+    std::fprintf(f, "  \"rate_rps\": %.1f,\n  \"duration_s\": %.2f,\n", rate,
+                 duration_s);
+    std::fprintf(f, "  \"phases\": {\n");
+    phase_json("cold", cold);
+    std::fprintf(f, ",\n");
+    phase_json("warm", warm);
+    std::fprintf(f, "\n  },\n");
+    std::fprintf(f,
+                 "  \"warm_errors\": {\"deadline_exceeded\": %zu, "
+                 "\"cancelled\": %zu, \"overloaded\": %zu},\n",
+                 deadline_exceeded, cancelled, overloaded);
+    if (verify)
+      std::fprintf(f,
+                   "  \"verify\": {\"checked\": %zu, \"bit_identical\": "
+                   "%zu},\n",
+                   programs.size(), verified);
+    // Per-second hit-rate / latency curve over the warm phase.
+    std::fprintf(f, "  \"curve\": [");
+    const std::size_t buckets =
+        static_cast<std::size_t>(std::ceil(duration_s));
+    bool first = true;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      std::size_t reqs = 0, hits = 0;
+      std::vector<double> lat;
+      for (const Sample& s : samples) {
+        if (static_cast<std::size_t>(s.t_s) != b) continue;
+        ++reqs;
+        if (s.hit) ++hits;
+        if (s.ok) lat.push_back(s.latency_ms);
+      }
+      if (reqs == 0) continue;
+      std::fprintf(f,
+                   "%s\n    {\"t_s\": %zu, \"requests\": %zu, \"hit_rate\": "
+                   "%.4f, \"p50_ms\": %.4f, \"p99_ms\": %.4f}",
+                   first ? "" : ",", b, reqs,
+                   static_cast<double>(hits) / static_cast<double>(reqs),
+                   percentile(lat, 0.50), percentile(lat, 0.99));
+      first = false;
+    }
+    std::fprintf(f, "\n  ],\n");
+    std::fprintf(f, "  \"server\": {");
+    first = true;
+    for (const auto& [name, v] : server_stats) {
+      std::fprintf(f, "%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+                   static_cast<unsigned long long>(v));
+      first = false;
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", json_path);
+
+    // ---- CI gates --------------------------------------------------------
+    int rc = 0;
+    if (assert_zero_frame_errors && frame_errors != 0) {
+      std::fprintf(stderr, "ASSERT FAILED: net.frame_errors = %llu\n",
+                   static_cast<unsigned long long>(frame_errors));
+      rc = 1;
+    }
+    if (verify && verified != programs.size()) {
+      std::fprintf(stderr,
+                   "ASSERT FAILED: %zu/%zu results bit-identical\n", verified,
+                   programs.size());
+      rc = 1;
+    }
+    const double warm_p99 = percentile(warm.latencies_ms, 0.99);
+    if (assert_warm_p99_ms > 0.0 && warm_p99 > assert_warm_p99_ms) {
+      std::fprintf(stderr,
+                   "ASSERT FAILED: warm p99 %.3f ms > budget %.3f ms\n",
+                   warm_p99, assert_warm_p99_ms);
+      rc = 1;
+    }
+    if (self_server != nullptr) self_server->stop();
+    return rc;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "phoenix_load: %s\n", e.what());
+    return 1;
+  }
+}

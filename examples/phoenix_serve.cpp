@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   int repeat = 2;
   const char* cache_dir = nullptr;
   std::size_t max_qubits = 64;
-  double deadline_ms = 0;
+  double deadline_ms = CompileRequest::kNoDeadline;
   std::size_t max_queue = 0;
   for (int i = 1; i < argc; ++i) {
     auto value = [&](const char* flag) -> const char* {
@@ -144,7 +144,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.disk_hits - before.disk_hits),
         static_cast<unsigned long long>(s.inflight_joins -
                                         before.inflight_joins));
-    if (deadline_ms > 0 || max_queue > 0)
+    if (deadline_ms != CompileRequest::kNoDeadline || max_queue > 0)
       std::printf(", dropped %zu [timeouts %llu, shed %llu]", dropped,
                   static_cast<unsigned long long>(s.timeouts - before.timeouts),
                   static_cast<unsigned long long>(s.rejected -

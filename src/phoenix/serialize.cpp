@@ -266,8 +266,23 @@ CompileResult compile_result_from_bytes(const std::string& bytes) {
     }
   }
   r.expect("end");
+  // A well-formed document ends at "end". Anything after it — a second
+  // concatenated document, garbage from a mis-framed network read — means
+  // the caller's byte stream does not hold exactly one result, and silently
+  // accepting it would let a corrupted frame round-trip as "valid".
+  std::string trailing;
+  if (r.in >> trailing)
+    fail("trailing bytes after 'end' (starting with '" + trailing + "')");
   return res;
 }
+
+std::string wire_escape(const std::string& s) { return escape(s); }
+
+std::string wire_unescape(const std::string& token) {
+  return unescape(token);
+}
+
+std::string wire_double_bits(double d) { return double_bits(d); }
 
 std::size_t compile_result_approx_bytes(const CompileResult& r) {
   std::size_t b = sizeof(CompileResult);

@@ -32,13 +32,24 @@ inline constexpr int kCompileResultSchemaVersion = 1;
 std::string compile_result_to_bytes(const CompileResult& r);
 
 /// Parse a `compile_result_to_bytes` document. Throws phoenix::Error
-/// (Stage::Parse) on a stale or foreign schema tag, truncation, or any
-/// malformed field.
+/// (Stage::Parse) on a stale or foreign schema tag, truncation, any
+/// malformed field, or trailing bytes after the final `end` token — the
+/// input must hold exactly one document, so concatenated or mis-framed
+/// network payloads cannot round-trip as a valid result.
 CompileResult compile_result_from_bytes(const std::string& bytes);
 
 /// Estimated resident size of a result in bytes (gates, sub-gates, layouts,
 /// diagnostic strings). Used by the compile cache's byte budget; an estimate
 /// on the high side of shallow sizeof, deliberately cheap rather than exact.
 std::size_t compile_result_approx_bytes(const CompileResult& r);
+
+/// Token-level encoding shared by every phoenix wire document (this result
+/// format and the service/protocol.hpp request frames): strings travel as
+/// single whitespace-free tokens ('%'-escaped), doubles as the hex of their
+/// IEEE-754 bit pattern so round-trips are bit-identical.
+std::string wire_escape(const std::string& s);
+/// Throws phoenix::Error (Stage::Parse) on a malformed escape.
+std::string wire_unescape(const std::string& token);
+std::string wire_double_bits(double d);
 
 }  // namespace phoenix

@@ -1,11 +1,13 @@
 #include "service/cache.hpp"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -105,6 +107,61 @@ void backoff_sleep(double ms) {
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
+/// Per-process nonce for writer temp names: a fresh CompileCache in the same
+/// process (or a second daemon on the same directory) can never reuse a live
+/// writer's temp file. Seeded from the clock so nonces differ across forks
+/// that inherit the counter.
+std::uint64_t next_tmp_nonce() {
+  static std::atomic<std::uint64_t> counter{
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) |
+      1};
+  return counter.fetch_add(0x9e3779b97f4a7c15ull, std::memory_order_relaxed);
+}
+
+std::string tmp_stamp_suffix() {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, ".%ld-%016llx.tmp",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(next_tmp_nonce()));
+  return buf;
+}
+
+/// Parse the `.<pid>-<nonce>.tmp` stamp out of a temp file name. Returns
+/// false for unstamped legacy litter (pre-stamp builds).
+bool parse_tmp_stamp(const std::string& filename, long& pid) {
+  if (filename.size() < 5 || filename.compare(filename.size() - 4, 4, ".tmp"))
+    return false;
+  const std::size_t dash = filename.rfind('-');
+  if (dash == std::string::npos) return false;
+  const std::size_t dot = filename.rfind('.', dash);
+  if (dot == std::string::npos || dot + 1 >= dash) return false;
+  long value = 0;
+  for (std::size_t i = dot + 1; i < dash; ++i) {
+    const char c = filename[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  pid = value;
+  return pid > 0;
+}
+
+/// Conservative liveness probe: only an ESRCH verdict proves the writer is
+/// gone. EPERM (a daemon under another uid) and success both mean "assume
+/// alive" — the grace window handles genuinely wedged writers.
+bool pid_provably_dead(long pid) {
+  return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+}
+
+double file_age_seconds(const fs::path& p) {
+  std::error_code ec;
+  const auto mtime = fs::last_write_time(p, ec);
+  if (ec) return 0.0;  // can't tell: treat as brand new (never sweep)
+  return std::chrono::duration<double>(fs::file_time_type::clock::now() -
+                                       mtime)
+      .count();
+}
+
 }  // namespace
 
 struct CompileCache::Impl {
@@ -134,11 +191,29 @@ struct CompileCache::Impl {
       if (ec)
         throw Error(Stage::Service, "CompileCache: cannot create disk dir '" +
                                         opt.disk_dir + "': " + ec.message());
-      // Sweep `*.tmp` litter left by writers that crashed between open and
-      // rename. Published `.phxc` entries are never touched here.
-      for (const auto& e : fs::directory_iterator(opt.disk_dir, ec)) {
-        if (e.path().extension() == ".tmp") fs::remove(e.path(), ec);
-      }
+      sweep_orphaned_tmp();
+    }
+  }
+
+  /// Sweep `*.tmp` litter left by writers that crashed between open and
+  /// rename. Published `.phxc` entries are never touched, and — because the
+  /// directory may be shared across processes — a temp file is only an
+  /// orphan when its stamped writer PID is provably dead or the file has
+  /// outlived the grace window. Anything else may be a live writer of
+  /// another daemon mid-write; deleting it would yank the file out from
+  /// under its rename.
+  void sweep_orphaned_tmp() {
+    std::error_code ec;
+    for (const auto& e :
+         fs::recursive_directory_iterator(opt.disk_dir, ec)) {
+      if (!e.is_regular_file(ec)) continue;
+      const fs::path& p = e.path();
+      if (p.extension() != ".tmp") continue;
+      long pid = 0;
+      const bool stamped = parse_tmp_stamp(p.filename().string(), pid);
+      const bool dead_owner = stamped && pid_provably_dead(pid);
+      if (dead_owner || file_age_seconds(p) >= opt.sweep_grace_seconds)
+        fs::remove(p, ec);
     }
   }
 
@@ -146,7 +221,16 @@ struct CompileCache::Impl {
     return shards[static_cast<std::size_t>(key.lo) % shards.size()];
   }
 
+  /// Published location: fingerprint-sharded subdirectory (first two hex
+  /// digits, 256 shards) so a shared cache tier spreads directory traffic.
   std::string disk_path(const Digest128& key) const {
+    const std::string hex = key.hex();
+    return opt.disk_dir + "/" + hex.substr(0, 2) + "/" + hex + ".phxc";
+  }
+
+  /// Pre-sharding flat location, still consulted on read so a cache dir
+  /// written by an older build stays warm after an upgrade.
+  std::string legacy_disk_path(const Digest128& key) const {
     return opt.disk_dir + "/" + key.hex() + ".phxc";
   }
 
@@ -204,7 +288,12 @@ struct CompileCache::Impl {
 
   ResultPtr lookup_disk(const Digest128& key) {
     if (opt.disk_dir.empty()) return nullptr;
-    const std::string path = disk_path(key);
+    if (ResultPtr hit = lookup_disk_at(disk_path(key))) return hit;
+    // Entries persisted before the sharded layout live flat in disk_dir.
+    return lookup_disk_at(legacy_disk_path(key));
+  }
+
+  ResultPtr lookup_disk_at(const std::string& path) {
     std::string blob;
     bool read_ok = false;
     for (std::size_t attempt = 0; attempt <= opt.disk_retry_limit; ++attempt) {
@@ -241,7 +330,12 @@ struct CompileCache::Impl {
   void write_disk(const Digest128& key, const CompileResult& value) {
     if (opt.disk_dir.empty()) return;
     const std::string path = disk_path(key);
-    const std::string tmp = path + ".tmp";
+    const std::string shard_dir = fs::path(path).parent_path().string();
+    // PID + nonce stamp: concurrent writers — other daemons on the shared
+    // directory, or a second cache instance in this process — each write a
+    // distinct temp file, and the startup sweep can tell a live writer's
+    // temp from a crashed one's.
+    const std::string tmp = path + tmp_stamp_suffix();
     std::string doc = compile_result_to_bytes(value);
     doc += checksum_footer(doc);
     for (std::size_t attempt = 0; attempt <= opt.disk_retry_limit; ++attempt) {
@@ -251,6 +345,8 @@ struct CompileCache::Impl {
         backoff_sleep(opt.disk_retry_backoff_ms);
       }
       std::error_code ec;
+      fs::create_directories(shard_dir, ec);
+      if (ec) continue;
       if (fault::triggered("disk.write") || !write_file_durable(tmp, doc)) {
         fs::remove(tmp, ec);  // never leave a half-written tmp behind
         continue;
@@ -260,7 +356,7 @@ struct CompileCache::Impl {
         fs::remove(tmp, ec);
         continue;
       }
-      fsync_dir(opt.disk_dir);
+      fsync_dir(shard_dir);
       return;
     }
     // Persistence is best-effort: the in-memory entry stands, but make the

@@ -21,16 +21,33 @@ struct CacheOptions {
   /// Lock shards (fingerprints are spread by their low digest bits). More
   /// shards = less contention, coarser per-shard budget slices.
   std::size_t shards = 8;
-  /// When non-empty: persist entries as `<disk_dir>/<fingerprint-hex>.phxc`
-  /// (versioned compile_result_to_bytes documents followed by a checksum
-  /// footer, written via temp-file + fsync + rename + directory fsync so a
-  /// crash never publishes a partial entry). Misses consult the directory
-  /// and promote parses into memory; stale schema tags, torn writes, and
-  /// checksum mismatches count as `disk_rejects`, move the damaged file to
-  /// `<name>.quarantine`, and fall through to a normal miss (the entry is
-  /// recompiled and rewritten). Stale `*.tmp` litter from crashed writers is
-  /// swept at construction. The directory is created on first use.
+  /// When non-empty: persist entries as
+  /// `<disk_dir>/<hh>/<fingerprint-hex>.phxc`, where `<hh>` is the first
+  /// two hex digits of the fingerprint — 256 shard subdirectories, so a
+  /// fleet of daemons sharing one cache tier spreads directory traffic and
+  /// a shard can be rsynced/evicted independently. Entries are versioned
+  /// compile_result_to_bytes documents followed by a checksum footer,
+  /// written via temp-file + fsync + rename + directory fsync so a crash
+  /// never publishes a partial entry. The layout is safe across processes:
+  /// readers are lock-free (they only ever open published files, and
+  /// rename() is atomic), and writer temp files are stamped
+  /// `<name>.<pid>-<nonce>.tmp` so concurrent daemons never collide on a
+  /// temp name — two daemons racing the same fingerprint both publish
+  /// bit-identical bytes, so whichever rename lands last is equivalent.
+  /// Misses consult the directory and promote parses into memory; stale
+  /// schema tags, torn writes, and checksum mismatches count as
+  /// `disk_rejects`, move the damaged file to `<name>.quarantine`, and fall
+  /// through to a normal miss (the entry is recompiled and rewritten).
+  /// Entries persisted by older builds into the flat (unsharded) layout are
+  /// still found on read. Orphaned `*.tmp` litter from crashed writers is
+  /// swept at construction — but only when the stamped writer PID is dead
+  /// or the file's mtime exceeds `sweep_grace_seconds`, so the sweep never
+  /// races a live writer in another process mid-write.
   std::string disk_dir;
+  /// Grace window for the startup tmp sweep: a temp file whose owning
+  /// process cannot be shown dead (alive, unsignalable, or an unstamped
+  /// legacy name) is only removed once it is at least this old.
+  double sweep_grace_seconds = 900.0;
   /// Transient disk I/O (a failed write attempt, a short read) is retried up
   /// to this many extra times with `disk_retry_backoff_ms` sleeps between
   /// attempts; `disk_retries` counts the retries. Exhausting write attempts

@@ -1,0 +1,151 @@
+#include "service/client.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace phoenix {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& detail) {
+  throw Error(Stage::Parse, "phoenix-client: " + detail);
+}
+
+}  // namespace
+
+ServedClient ServedClient::connect_tcp(const std::string& host,
+                                       std::uint16_t port) {
+  return ServedClient(net::connect_tcp(host, port));
+}
+
+ServedClient ServedClient::connect_unix(const std::string& path) {
+  return ServedClient(net::connect_unix(path));
+}
+
+void ServedClient::send_bytes(const std::string& bytes) {
+  net::write_all(fd_, bytes.data(), bytes.size());
+}
+
+Frame ServedClient::read_frame() {
+  Frame f;
+  std::size_t consumed = 0;
+  char chunk[64 * 1024];
+  for (;;) {
+    if (decode_frame(buf_.data(), buf_.size(), kMaxFramePayload, f,
+                     consumed) == DecodeResult::Frame) {
+      buf_.erase(0, consumed);
+      return f;
+    }
+    const std::size_t n = net::read_some(fd_, chunk, sizeof chunk);
+    if (n == 0)
+      throw Error(Stage::Io, "phoenix-client: server closed the connection");
+    buf_.append(chunk, n);
+  }
+}
+
+Frame ServedClient::wait_for(FrameType a, FrameType b,
+                             std::uint64_t request_id) {
+  for (;;) {
+    Frame f = read_frame();
+    if (f.request_id == request_id && (f.type == a || f.type == b)) return f;
+    if (f.type == FrameType::Result || f.type == FrameType::ErrorReply) {
+      mailbox_.emplace(f.request_id, std::move(f));
+      continue;
+    }
+    fail(std::string("unexpected ") + frame_type_name(f.type) +
+         " frame for request " + std::to_string(f.request_id) +
+         " while waiting on request " + std::to_string(request_id));
+  }
+}
+
+ServedClient::Ack ServedClient::submit(const CompileRequest& req,
+                                       int priority) {
+  Ack ack;
+  ack.request_id = next_id_++;
+  Frame f;
+  f.type = FrameType::Submit;
+  f.request_id = ack.request_id;
+  f.payload = compile_request_to_bytes(req, priority);
+  send_bytes(encode_frame(f));
+
+  Frame reply =
+      wait_for(FrameType::SubmitAck, FrameType::ErrorReply, ack.request_id);
+  if (reply.type == FrameType::ErrorReply)
+    throw error_from_payload(reply.payload);
+  std::istringstream in(reply.payload);
+  std::string tag;
+  int hit = -1;
+  if (!(in >> tag >> ack.fingerprint_hex >> hit) || tag != "ack" || hit < 0 ||
+      hit > 1)
+    fail("malformed submit ack '" + reply.payload + "'");
+  ack.hit = hit == 1;
+  return ack;
+}
+
+std::string ServedClient::await_raw(std::uint64_t request_id) {
+  Frame f;
+  const auto it = mailbox_.find(request_id);
+  if (it != mailbox_.end()) {
+    f = std::move(it->second);
+    mailbox_.erase(it);
+  } else {
+    f = wait_for(FrameType::Result, FrameType::ErrorReply, request_id);
+  }
+  if (f.type == FrameType::ErrorReply) throw error_from_payload(f.payload);
+  return std::move(f.payload);
+}
+
+bool ServedClient::poll(std::uint64_t request_id, bool* known) {
+  Frame f;
+  f.type = FrameType::Poll;
+  f.request_id = request_id;
+  send_bytes(encode_frame(f));
+  const Frame reply =
+      wait_for(FrameType::Status, FrameType::Status, request_id);
+  std::istringstream in(reply.payload);
+  std::string tag;
+  int ready = -1, tracked = -1;
+  if (!(in >> tag >> ready >> tracked) || tag != "status" || ready < 0 ||
+      ready > 1 || tracked < 0 || tracked > 1)
+    fail("malformed status '" + reply.payload + "'");
+  if (known != nullptr) *known = tracked == 1;
+  return ready == 1;
+}
+
+bool ServedClient::cancel(std::uint64_t request_id) {
+  Frame f;
+  f.type = FrameType::Cancel;
+  f.request_id = request_id;
+  send_bytes(encode_frame(f));
+  const Frame reply =
+      wait_for(FrameType::CancelAck, FrameType::CancelAck, request_id);
+  std::istringstream in(reply.payload);
+  std::string tag;
+  int cancelled = -1;
+  if (!(in >> tag >> cancelled) || tag != "cancelled" || cancelled < 0 ||
+      cancelled > 1)
+    fail("malformed cancel ack '" + reply.payload + "'");
+  return cancelled == 1;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> ServedClient::stats() {
+  Frame f;
+  f.type = FrameType::Stats;
+  f.request_id = next_id_++;
+  send_bytes(encode_frame(f));
+  const Frame reply =
+      wait_for(FrameType::StatsReply, FrameType::StatsReply, f.request_id);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::istringstream in(reply.payload);
+  std::string tag, name;
+  std::uint64_t value = 0;
+  while (in >> tag) {
+    if (tag != "stat" || !(in >> name >> value))
+      fail("malformed stats reply line");
+    out.emplace_back(name, value);
+  }
+  return out;
+}
+
+}  // namespace phoenix

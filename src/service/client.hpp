@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "service/net.hpp"
+#include "service/protocol.hpp"
+
+namespace phoenix {
+
+/// Blocking client for the phoenix_served wire protocol (see protocol.hpp).
+/// Single-threaded by design: one ServedClient owns one connection and is
+/// driven from one thread, but it still multiplexes — submit as many
+/// requests as you like, then await them in any order; replies that arrive
+/// early are parked in a mailbox keyed by request id. phoenix_load and the
+/// server tests drive the daemon exclusively through this class.
+class ServedClient {
+ public:
+  static ServedClient connect_tcp(const std::string& host, std::uint16_t port);
+  static ServedClient connect_unix(const std::string& path);
+
+  ServedClient(ServedClient&&) = default;
+  ServedClient& operator=(ServedClient&&) = default;
+
+  struct Ack {
+    std::uint64_t request_id = 0;
+    std::string fingerprint_hex;
+    bool hit = false;  ///< ready at submission time (cache hit or joined)
+  };
+
+  /// Send a Submit frame and wait for its SubmitAck. Request ids are
+  /// assigned internally (monotonic). Throws the reconstructed phoenix::Error
+  /// when the server rejects the submission outright (malformed request,
+  /// admission control) — rejected submissions have no result to await.
+  Ack submit(const CompileRequest& req, int priority = 0);
+
+  /// Block until the terminal reply for `request_id` and return the raw
+  /// Result payload (exactly the serialize.hpp document — callers wanting a
+  /// CompileResult parse it with compile_result_from_bytes; callers checking
+  /// bit-identity compare it directly). Throws the reconstructed Error when
+  /// the terminal reply is an ErrorReply (DeadlineExceeded, Cancelled, ...).
+  std::string await_raw(std::uint64_t request_id);
+
+  /// Synchronous Poll round-trip: whether the submission is ready, and (via
+  /// `known`) whether the server still tracks it at all (terminal replies
+  /// retire submissions server-side).
+  bool poll(std::uint64_t request_id, bool* known = nullptr);
+
+  /// Synchronous Cancel round-trip. True when the compile was skipped or
+  /// aborted on this submission's behalf; the terminal ErrorReply (kind
+  /// Cancelled) still arrives and must be consumed via await_raw.
+  bool cancel(std::uint64_t request_id);
+
+  /// Synchronous Stats round-trip: `net.*` and `service.*` counters.
+  std::vector<std::pair<std::string, std::uint64_t>> stats();
+
+  /// Escape hatch for protocol tests: write raw bytes to the socket.
+  void send_bytes(const std::string& bytes);
+  /// Escape hatch for protocol tests: read the next frame off the wire
+  /// (bypasses the mailbox — use only on a connection with nothing pending).
+  Frame read_frame();
+
+ private:
+  explicit ServedClient(net::Fd fd) : fd_(std::move(fd)) {}
+
+  Frame wait_for(FrameType a, FrameType b, std::uint64_t request_id);
+
+  net::Fd fd_;
+  std::string buf_;
+  std::uint64_t next_id_ = 1;
+  /// Terminal replies (Result/ErrorReply) that arrived while waiting for
+  /// something else.
+  std::unordered_map<std::uint64_t, Frame> mailbox_;
+};
+
+}  // namespace phoenix

@@ -1,0 +1,178 @@
+#include "service/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace phoenix::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw Error(Stage::Io, "net: " + what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& o) noexcept {
+  if (this != &o) {
+    reset(o.fd_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+void Fd::shutdown_both() const {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Fd listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw Error(Stage::Io, "net: bad listen address '" + host + "'");
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    fail("bind " + host + ":" + std::to_string(port));
+  if (::listen(fd.get(), backlog) != 0) fail("listen");
+  return fd;
+}
+
+Fd listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    throw Error(Stage::Io, "net: unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket");
+  ::unlink(path.c_str());  // stale socket file from a previous daemon
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0)
+    fail("bind " + path);
+  if (::listen(fd.get(), backlog) != 0) fail("listen");
+  return fd;
+}
+
+Fd accept_conn(const Fd& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      // Harmless on Unix-domain sockets (fails silently); essential for
+      // small request/response frames over TCP.
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return Fd(fd);
+    }
+    if (errno == EINTR) continue;
+    return Fd();  // listener shut down or hard error: caller stops accepting
+  }
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw Error(Stage::Io, "net: bad connect address '" + host + "'");
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0)
+    fail("connect " + host + ":" + std::to_string(port));
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+Fd connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    throw Error(Stage::Io, "net: unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) fail("socket");
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0)
+    fail("connect " + path);
+  return fd;
+}
+
+std::uint16_t local_port(const Fd& socket) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(socket.get(), reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0)
+    fail("getsockname");
+  return ntohs(addr.sin_port);
+}
+
+bool read_exact(const Fd& fd, void* buf, std::size_t size) {
+  char* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd.get(), p + got, size - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF between messages
+      throw Error(Stage::Io, "net: connection closed mid-message (" +
+                                 std::to_string(got) + "/" +
+                                 std::to_string(size) + " bytes)");
+    }
+    if (errno == EINTR) continue;
+    fail("read");
+  }
+  return true;
+}
+
+std::size_t read_some(const Fd& fd, void* buf, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), buf, size);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return 0;
+    fail("read");
+  }
+}
+
+void write_all(const Fd& fd, const void* buf, std::size_t size) {
+  const char* p = static_cast<const char*>(buf);
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd.get(), p + sent, size - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    fail("write");
+  }
+}
+
+}  // namespace phoenix::net

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace phoenix::net {
+
+/// Thin POSIX socket layer under the phoenix_served daemon and its clients:
+/// blocking stream sockets only (TCP with TCP_NODELAY, and Unix-domain
+/// sockets for local clients), failures surfaced as phoenix::Error
+/// (Stage::Io). No event loop — the server runs thread-per-connection,
+/// which is the right shape for a compile service whose unit of work is
+/// milliseconds of CPU, not microseconds of I/O.
+
+/// RAII file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset(int fd = -1);
+  /// shutdown(SHUT_RDWR): unblocks any thread parked in read/write on this
+  /// socket without racing the close of the descriptor number.
+  void shutdown_both() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket on `host:port` (SO_REUSEADDR; port 0 picks an
+/// ephemeral port — read it back with local_port).
+Fd listen_tcp(const std::string& host, std::uint16_t port, int backlog = 64);
+
+/// Listening Unix-domain socket at `path` (an existing stale socket file is
+/// unlinked first).
+Fd listen_unix(const std::string& path, int backlog = 64);
+
+/// Blocking accept. Returns an invalid Fd when the listener was shut down
+/// (or on transient accept errors after shutdown was requested).
+Fd accept_conn(const Fd& listener);
+
+Fd connect_tcp(const std::string& host, std::uint16_t port);
+Fd connect_unix(const std::string& path);
+
+/// Port a TCP listener actually bound (for port 0).
+std::uint16_t local_port(const Fd& socket);
+
+/// Read exactly `size` bytes. Returns false on clean EOF before the first
+/// byte; throws phoenix::Error (Stage::Io) on mid-message EOF or I/O errors.
+bool read_exact(const Fd& fd, void* buf, std::size_t size);
+
+/// Read at most `size` bytes (one read() call, EINTR-retried). Returns 0 on
+/// EOF or after shutdown; throws on hard errors.
+std::size_t read_some(const Fd& fd, void* buf, std::size_t size);
+
+/// Write all of `size` bytes; throws phoenix::Error (Stage::Io) on failure
+/// (EPIPE included — callers treat it as "peer went away").
+void write_all(const Fd& fd, const void* buf, std::size_t size);
+
+}  // namespace phoenix::net

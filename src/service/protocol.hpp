@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "service/service.hpp"
+
+namespace phoenix {
+
+/// Wire protocol of the `phoenix_served` daemon: length-prefixed binary
+/// frames over a byte stream (TCP or a Unix-domain socket).
+///
+/// Frame layout (all integers little-endian):
+///
+///   offset  size  field
+///        0     4  magic        "PHX1" (0x31 0x58 0x48 0x50 on the wire)
+///        4     2  version      kProtocolVersion; mismatches are rejected
+///        6     2  type         FrameType
+///        8     8  request_id   client-chosen correlation id, echoed back
+///       16     4  payload_len  bytes of payload following the header
+///       20     -  payload      type-specific document (see below)
+///
+/// Versioning rules: the magic + version pair is checked on every frame, not
+/// once per connection, so a stale client fails fast with a structured
+/// error instead of desynchronizing the stream. Payload documents carry
+/// their own schema tags (`phoenix-compile-request v<N>`,
+/// `phoenix-compile-result v<N>`) exactly like the disk cache entries, so
+/// protocol framing and payload schema can evolve independently.
+///
+/// Conversation model: the client multiplexes requests on one connection by
+/// request_id. `Submit` is answered immediately with `SubmitAck` (the
+/// request's fingerprint and whether it was served from cache), then
+/// asynchronously with exactly one of `Result` (the serialized
+/// CompileResult, bit-identical to an in-process compile) or `ErrorReply`
+/// (structured kind/stage/detail — DeadlineExceeded for expired budgets,
+/// Overloaded for admission-control rejects, Cancelled after a mid-flight
+/// cancel). `Poll`, `Cancel`, and `Stats` are answered synchronously with
+/// `Status`, `CancelAck`, and `StatsReply`.
+///
+/// Error mapping: phoenix::Error travels as `err <kind> <stage> <detail>`
+/// (enum ordinals + escaped detail) and is rethrown client-side with the
+/// same kind and stage — a deadline that expires on the server is
+/// indistinguishable from one that expired in-process.
+inline constexpr std::uint32_t kFrameMagic = 0x31584850u;  // "PHX1"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+/// Hard ceiling a decoder enforces on payload_len before allocating:
+/// oversized frames are a protocol error (kind Failed, Stage::Parse), not an
+/// allocation. Servers and clients may configure a lower limit.
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+enum class FrameType : std::uint16_t {
+  Submit = 1,     ///< client -> server: compile_request_to_bytes payload
+  SubmitAck = 2,  ///< server -> client: `ack <fingerprint-hex> <hit 0|1>`
+  Result = 3,     ///< server -> client: compile_result_to_bytes payload
+  ErrorReply = 4, ///< server -> client: `err <kind> <stage> <detail>`
+  Poll = 5,       ///< client -> server: empty payload
+  Status = 6,     ///< server -> client: `status <ready 0|1> <known 0|1>`
+  Cancel = 7,     ///< client -> server: empty payload
+  CancelAck = 8,  ///< server -> client: `cancelled <0|1>`
+  Stats = 9,      ///< client -> server: empty payload
+  StatsReply = 10 ///< server -> client: `stat <name> <u64>` per line
+};
+
+const char* frame_type_name(FrameType t);
+
+struct Frame {
+  FrameType type = FrameType::Submit;
+  std::uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Header + payload as one contiguous byte string, ready to write.
+std::string encode_frame(const Frame& f);
+
+/// Incremental decoder result: a complete frame, or "need more bytes".
+/// Malformed input (bad magic, foreign version, payload_len above
+/// `max_payload`) throws phoenix::Error (Stage::Parse) — the connection is
+/// beyond recovery because stream framing is lost.
+enum class DecodeResult { Frame, NeedMore };
+DecodeResult decode_frame(const char* data, std::size_t size,
+                          std::size_t max_payload, Frame& out,
+                          std::size_t& consumed);
+
+/// Serialize a compile request (+ scheduling priority) as the Submit
+/// payload: register size, normalized-order-preserving term list, the
+/// output-relevant option subset the daemon accepts remotely (ISA, peephole
+/// level/engine, validation level, simplify search knobs, Tetris lookahead,
+/// and — when hardware-aware — the coupling edge list), the deadline and
+/// priority. `options.coupling`/`coupling` travel as an explicit edge list;
+/// cancel tokens and thread counts deliberately do not travel.
+std::string compile_request_to_bytes(const CompileRequest& req, int priority);
+
+/// Parse a Submit payload. Throws phoenix::Error (Stage::Parse) on schema
+/// mismatch, malformed fields, out-of-range enum ordinals, or trailing
+/// bytes. The returned request owns its coupling graph via `req.coupling`.
+CompileRequest compile_request_from_bytes(const std::string& bytes,
+                                          int& priority);
+
+/// ErrorReply payload codec.
+std::string error_to_payload(const Error& e);
+/// Reconstruct the Error carried by an ErrorReply payload (best-effort:
+/// unknown ordinals map to Failed/Service).
+Error error_from_payload(const std::string& payload);
+
+}  // namespace phoenix

@@ -1,0 +1,451 @@
+#include "service/server.hpp"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/trace.hpp"
+#include "phoenix/serialize.hpp"
+#include "service/net.hpp"
+
+namespace phoenix {
+
+namespace {
+
+/// One live client connection. The reader thread owns frame decoding and
+/// synchronous replies; every accepted Submit gets a waiter thread that
+/// blocks in Ticket::get and sends the Result/ErrorReply when the shared
+/// flight resolves. Writers interleave frames through `write_mu`, so a
+/// multi-frame reply sequence stays intact under request multiplexing.
+struct Conn {
+  net::Fd fd;
+  std::mutex write_mu;
+  std::thread reader;
+  std::atomic<bool> closed{false};
+
+  std::mutex tickets_mu;
+  std::map<std::uint64_t, CompileService::Ticket> tickets;
+
+  struct Waiter {
+    std::thread th;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::mutex waiters_mu;
+  std::vector<Waiter> waiters;
+};
+
+}  // namespace
+
+struct ServedServer::Impl {
+  ServerOptions opt;
+  CompileService service;
+
+  bool started = false;
+  std::atomic<bool> stopping{false};
+  net::Fd tcp_listener;
+  net::Fd unix_listener;
+  std::uint16_t bound_port = 0;
+  std::vector<std::thread> acceptors;
+
+  std::mutex conns_mu;
+  std::vector<std::shared_ptr<Conn>> conns;
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> in_flight{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> frame_errors{0};
+  std::atomic<std::uint64_t> submits{0};
+  std::atomic<std::uint64_t> results{0};
+  std::atomic<std::uint64_t> errors_sent{0};
+  std::atomic<std::uint64_t> cancels{0};
+
+  explicit Impl(ServerOptions o)
+      : opt(std::move(o)), service(opt.service, opt.compile_fn) {}
+
+  void send_frame(Conn& c, FrameType type, std::uint64_t request_id,
+                  std::string payload) {
+    Frame f;
+    f.type = type;
+    f.request_id = request_id;
+    f.payload = std::move(payload);
+    const std::string bytes = encode_frame(f);
+    std::lock_guard<std::mutex> lk(c.write_mu);
+    net::write_all(c.fd, bytes.data(), bytes.size());
+    bytes_out.fetch_add(bytes.size(), std::memory_order_relaxed);
+  }
+
+  void send_error(Conn& c, std::uint64_t request_id, const Error& e) {
+    send_frame(c, FrameType::ErrorReply, request_id, error_to_payload(e));
+    errors_sent.fetch_add(1, std::memory_order_relaxed);
+    trace_count("net.errors_sent", 1);
+  }
+
+  /// Terminal reply for one submission: Result on success, ErrorReply on
+  /// failure/cancel/deadline. Runs inline for warm hits, on a waiter thread
+  /// otherwise; either way it retires the ticket and the in_flight slot.
+  void reply_for_ticket(Conn& c, std::uint64_t request_id,
+                        CompileService::Ticket ticket) {
+    try {
+      try {
+        const CompileService::ResultPtr res = ticket.get();
+        if (res != nullptr) {
+          send_frame(c, FrameType::Result, request_id,
+                     compile_result_to_bytes(*res));
+          results.fetch_add(1, std::memory_order_relaxed);
+          trace_count("net.results", 1);
+        } else {
+          send_error(c, request_id,
+                     Error(Error::Kind::Cancelled, Stage::Service,
+                           "submission cancelled"));
+        }
+      } catch (const Error& e) {
+        send_error(c, request_id, e);
+      } catch (const std::exception& e) {
+        send_error(c, request_id, Error(Stage::Service, e.what()));
+      }
+    } catch (...) {
+      // The reply write failed: the peer is gone, the reader will notice.
+    }
+    {
+      std::lock_guard<std::mutex> lk(c.tickets_mu);
+      c.tickets.erase(request_id);
+    }
+    in_flight.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  void handle_submit(const std::shared_ptr<Conn>& c, Frame f) {
+    submits.fetch_add(1, std::memory_order_relaxed);
+    trace_count("net.submits", 1);
+
+    int priority = 0;
+    CompileRequest req;
+    try {
+      req = compile_request_from_bytes(f.payload, priority);
+    } catch (const Error& e) {
+      frame_errors.fetch_add(1, std::memory_order_relaxed);
+      trace_count("net.frame_errors", 1);
+      send_error(*c, f.request_id, e);
+      return;
+    }
+
+    {
+      std::lock_guard<std::mutex> lk(c->tickets_mu);
+      if (c->tickets.count(f.request_id) != 0) {
+        frame_errors.fetch_add(1, std::memory_order_relaxed);
+        trace_count("net.frame_errors", 1);
+        send_error(*c, f.request_id,
+                   Error(Stage::Parse, "phoenix-protocol: duplicate "
+                                       "in-flight request id"));
+        return;
+      }
+      if (opt.max_inflight_per_conn > 0 &&
+          c->tickets.size() >= opt.max_inflight_per_conn) {
+        send_error(*c, f.request_id,
+                   Error(Error::Kind::Overloaded, Stage::Service,
+                         "per-connection in-flight limit of " +
+                             std::to_string(opt.max_inflight_per_conn) +
+                             " submissions reached"));
+        return;
+      }
+    }
+
+    CompileService::Ticket ticket;
+    try {
+      ticket = service.submit(std::move(req), priority);
+    } catch (const Error& e) {
+      send_error(*c, f.request_id, e);  // queue-full Overloaded, mostly
+      return;
+    }
+
+    const bool hit = ticket.ready();
+    in_flight.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(c->tickets_mu);
+      c->tickets.emplace(f.request_id, ticket);
+    }
+    send_frame(*c, FrameType::SubmitAck, f.request_id,
+               "ack " + ticket.fingerprint().hex() + (hit ? " 1" : " 0"));
+
+    if (hit) {
+      // Warm path: answer on the reader thread, no waiter spawn.
+      reply_for_ticket(*c, f.request_id, std::move(ticket));
+      return;
+    }
+
+    // Reap waiters that already delivered before adding another, so a
+    // long-lived connection holds O(in-flight) threads, not O(history).
+    std::lock_guard<std::mutex> lk(c->waiters_mu);
+    for (auto it = c->waiters.begin(); it != c->waiters.end();) {
+      if (it->done->load(std::memory_order_acquire)) {
+        it->th.join();
+        it = c->waiters.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    const std::uint64_t request_id = f.request_id;
+    std::thread th([this, c, request_id, ticket = std::move(ticket), done] {
+      reply_for_ticket(*c, request_id, ticket);
+      done->store(true, std::memory_order_release);
+    });
+    c->waiters.push_back(Conn::Waiter{std::move(th), std::move(done)});
+  }
+
+  void handle_poll(Conn& c, const Frame& f) {
+    bool known = false;
+    bool ready = false;
+    {
+      std::lock_guard<std::mutex> lk(c.tickets_mu);
+      const auto it = c.tickets.find(f.request_id);
+      if (it != c.tickets.end()) {
+        known = true;
+        ready = it->second.ready();
+      }
+    }
+    send_frame(c, FrameType::Status, f.request_id,
+               std::string("status ") + (ready ? "1" : "0") + ' ' +
+                   (known ? "1" : "0"));
+  }
+
+  void handle_cancel(Conn& c, const Frame& f) {
+    cancels.fetch_add(1, std::memory_order_relaxed);
+    trace_count("net.cancels", 1);
+    CompileService::Ticket ticket;
+    bool known = false;
+    {
+      std::lock_guard<std::mutex> lk(c.tickets_mu);
+      const auto it = c.tickets.find(f.request_id);
+      if (it != c.tickets.end()) {
+        known = true;
+        ticket = it->second;
+      }
+    }
+    // The waiter observes the cancel through Ticket::get (nullptr) and sends
+    // the Cancelled ErrorReply; this ack only reports whether the compile
+    // was skipped or aborted on this submission's behalf.
+    const bool cancelled = known && ticket.cancel();
+    send_frame(c, FrameType::CancelAck, f.request_id,
+               std::string("cancelled ") + (cancelled ? "1" : "0"));
+  }
+
+  void handle_stats(Conn& c, const Frame& f) {
+    const ServerStats net = snapshot();
+    const ServiceStats svc = service.stats();
+    std::ostringstream out;
+    out << "stat net.accepted " << net.accepted << '\n'
+        << "stat net.connections " << net.connections << '\n'
+        << "stat net.in_flight " << net.in_flight << '\n'
+        << "stat net.bytes_in " << net.bytes_in << '\n'
+        << "stat net.bytes_out " << net.bytes_out << '\n'
+        << "stat net.frame_errors " << net.frame_errors << '\n'
+        << "stat net.submits " << net.submits << '\n'
+        << "stat net.results " << net.results << '\n'
+        << "stat net.errors_sent " << net.errors_sent << '\n'
+        << "stat net.cancels " << net.cancels << '\n'
+        << "stat service.requests " << svc.requests << '\n'
+        << "stat service.hits " << svc.hits << '\n'
+        << "stat service.disk_hits " << svc.disk_hits << '\n'
+        << "stat service.misses " << svc.misses << '\n'
+        << "stat service.inflight_joins " << svc.inflight_joins << '\n'
+        << "stat service.cancelled " << svc.cancelled << '\n'
+        << "stat service.cancelled_midflight " << svc.cancelled_midflight
+        << '\n'
+        << "stat service.timeouts " << svc.timeouts << '\n'
+        << "stat service.rejected " << svc.rejected << '\n'
+        << "stat service.queue_depth " << svc.queue_depth << '\n';
+    send_frame(c, FrameType::StatsReply, f.request_id, out.str());
+  }
+
+  void handle_frame(const std::shared_ptr<Conn>& c, Frame f) {
+    switch (f.type) {
+      case FrameType::Submit:
+        handle_submit(c, std::move(f));
+        return;
+      case FrameType::Poll:
+        handle_poll(*c, f);
+        return;
+      case FrameType::Cancel:
+        handle_cancel(*c, f);
+        return;
+      case FrameType::Stats:
+        handle_stats(*c, f);
+        return;
+      default:
+        break;
+    }
+    // Server-to-client frame types arriving at the server are a protocol
+    // violation; answer structurally and keep the stream (framing is intact).
+    frame_errors.fetch_add(1, std::memory_order_relaxed);
+    trace_count("net.frame_errors", 1);
+    send_error(*c, f.request_id,
+               Error(Stage::Parse,
+                     std::string("phoenix-protocol: unexpected frame type '") +
+                         frame_type_name(f.type) + "' from client"));
+  }
+
+  void conn_loop(const std::shared_ptr<Conn>& c) {
+    std::string buf;
+    std::vector<char> chunk(64 * 1024);
+    try {
+      for (;;) {
+        const std::size_t n = net::read_some(c->fd, chunk.data(), chunk.size());
+        if (n == 0) break;  // EOF or shutdown
+        bytes_in.fetch_add(n, std::memory_order_relaxed);
+        trace_count("net.bytes_in", n);
+        buf.append(chunk.data(), n);
+        std::size_t off = 0;
+        Frame f;
+        std::size_t consumed = 0;
+        while (decode_frame(buf.data() + off, buf.size() - off,
+                            opt.max_frame_payload, f,
+                            consumed) == DecodeResult::Frame) {
+          off += consumed;
+          handle_frame(c, std::move(f));
+        }
+        buf.erase(0, off);
+      }
+    } catch (const Error& e) {
+      // Framing is lost (bad magic/version/length) or the read failed hard.
+      // Best-effort structured goodbye, then drop the connection.
+      if (e.stage() == Stage::Parse) {
+        frame_errors.fetch_add(1, std::memory_order_relaxed);
+        trace_count("net.frame_errors", 1);
+      }
+      try {
+        send_error(*c, 0, e);
+      } catch (...) {
+      }
+    } catch (...) {
+    }
+
+    // The peer can no longer receive results: cancel whatever is still in
+    // flight so abandoned compiles abort mid-stage instead of burning
+    // workers, then wait for the waiter threads to retire.
+    {
+      std::lock_guard<std::mutex> lk(c->tickets_mu);
+      for (auto& [id, ticket] : c->tickets) ticket.cancel();
+    }
+    c->fd.shutdown_both();
+    {
+      std::lock_guard<std::mutex> lk(c->waiters_mu);
+      for (auto& w : c->waiters) w.th.join();
+      c->waiters.clear();
+    }
+    connections.fetch_sub(1, std::memory_order_relaxed);
+    c->closed.store(true, std::memory_order_release);
+  }
+
+  void accept_loop(net::Fd& listener) {
+    for (;;) {
+      net::Fd fd = net::accept_conn(listener);
+      if (!fd.valid()) return;  // listener shut down
+      if (stopping.load(std::memory_order_acquire)) return;
+      accepted.fetch_add(1, std::memory_order_relaxed);
+      connections.fetch_add(1, std::memory_order_relaxed);
+      trace_count("net.accepted", 1);
+      auto c = std::make_shared<Conn>();
+      c->fd = std::move(fd);
+      std::lock_guard<std::mutex> lk(conns_mu);
+      // Reap connections whose reader already finished.
+      for (auto it = conns.begin(); it != conns.end();) {
+        if ((*it)->closed.load(std::memory_order_acquire)) {
+          (*it)->reader.join();
+          it = conns.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      c->reader = std::thread([this, c] { conn_loop(c); });
+      conns.push_back(std::move(c));
+    }
+  }
+
+  ServerStats snapshot() const {
+    ServerStats s;
+    s.accepted = accepted.load(std::memory_order_relaxed);
+    s.connections = connections.load(std::memory_order_relaxed);
+    s.in_flight = in_flight.load(std::memory_order_relaxed);
+    s.bytes_in = bytes_in.load(std::memory_order_relaxed);
+    s.bytes_out = bytes_out.load(std::memory_order_relaxed);
+    s.frame_errors = frame_errors.load(std::memory_order_relaxed);
+    s.submits = submits.load(std::memory_order_relaxed);
+    s.results = results.load(std::memory_order_relaxed);
+    s.errors_sent = errors_sent.load(std::memory_order_relaxed);
+    s.cancels = cancels.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void stop() {
+    if (stopping.exchange(true)) {
+      // Another stop() already ran (or is running) the teardown below;
+      // nothing is left to release here.
+      return;
+    }
+    tcp_listener.shutdown_both();
+    unix_listener.shutdown_both();
+    tcp_listener.reset();
+    unix_listener.reset();
+    for (std::thread& t : acceptors) t.join();
+    acceptors.clear();
+
+    std::vector<std::shared_ptr<Conn>> snapshot_conns;
+    {
+      std::lock_guard<std::mutex> lk(conns_mu);
+      snapshot_conns.swap(conns);
+    }
+    for (const auto& c : snapshot_conns) {
+      {
+        std::lock_guard<std::mutex> lk(c->tickets_mu);
+        for (auto& [id, ticket] : c->tickets) ticket.cancel();
+      }
+      c->fd.shutdown_both();
+    }
+    for (const auto& c : snapshot_conns)
+      if (c->reader.joinable()) c->reader.join();
+  }
+};
+
+ServedServer::ServedServer(ServerOptions opt)
+    : impl_(std::make_unique<Impl>(std::move(opt))) {}
+
+ServedServer::~ServedServer() { stop(); }
+
+void ServedServer::start() {
+  Impl& s = *impl_;
+  if (s.started)
+    throw Error(Stage::Service, "phoenix_served: start() called twice");
+  if (!s.opt.enable_tcp && s.opt.unix_path.empty())
+    throw Error(Stage::Io,
+                "phoenix_served: no listener configured (enable TCP or set a "
+                "unix socket path)");
+  if (s.opt.enable_tcp) {
+    s.tcp_listener = net::listen_tcp(s.opt.tcp_host, s.opt.tcp_port);
+    s.bound_port = net::local_port(s.tcp_listener);
+  }
+  if (!s.opt.unix_path.empty())
+    s.unix_listener = net::listen_unix(s.opt.unix_path);
+  s.started = true;
+  if (s.tcp_listener.valid())
+    s.acceptors.emplace_back([&s] { s.accept_loop(s.tcp_listener); });
+  if (s.unix_listener.valid())
+    s.acceptors.emplace_back([&s] { s.accept_loop(s.unix_listener); });
+}
+
+void ServedServer::stop() { impl_->stop(); }
+
+std::uint16_t ServedServer::tcp_port() const { return impl_->bound_port; }
+
+CompileService& ServedServer::service() { return impl_->service; }
+
+ServerStats ServedServer::stats() const { return impl_->snapshot(); }
+
+}  // namespace phoenix

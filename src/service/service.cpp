@@ -31,8 +31,12 @@ std::size_t default_pool_workers(std::size_t requested) {
 }
 
 /// Absolute wait deadline of a request (`max()` when it carries none).
+/// `deadline_ms <= 0` maps to a deadline already in the past — the wait
+/// fails immediately with DeadlineExceeded rather than being misread as
+/// "no deadline" (the old magic-zero encoding).
 ServiceClock::time_point request_deadline(double deadline_ms) {
-  if (deadline_ms == 0) return ServiceClock::time_point::max();
+  if (deadline_ms == CompileRequest::kNoDeadline)
+    return ServiceClock::time_point::max();
   return ServiceClock::now() +
          std::chrono::duration_cast<ServiceClock::duration>(
              std::chrono::duration<double, std::milli>(deadline_ms));
@@ -48,8 +52,9 @@ ServiceClock::time_point request_deadline(double deadline_ms) {
 struct Flight {
   Flight(const Digest128& key, double deadline_ms, CancelToken parent)
       : fp(key),
-        source(deadline_ms != 0 ? CancelSource(deadline_ms, std::move(parent))
-                                : CancelSource(std::move(parent))) {
+        source(deadline_ms != CompileRequest::kNoDeadline
+                   ? CancelSource(deadline_ms, std::move(parent))
+                   : CancelSource(std::move(parent))) {
     future = promise.get_future().share();
   }
   Digest128 fp;
@@ -123,9 +128,7 @@ struct CompileService::Impl {
     bool created = false;
   };
   static void relax_deadline(Flight& flight, double deadline_ms) {
-    flight.source.extend_deadline(deadline_ms != 0
-                                      ? request_deadline(deadline_ms)
-                                      : ServiceClock::time_point::max());
+    flight.source.extend_deadline(request_deadline(deadline_ms));
   }
   JoinResult join_or_create(const CompileRequest& req, const Digest128& fp) {
     std::lock_guard<std::mutex> lock(flights_mu);
@@ -296,20 +299,30 @@ struct CompileService::Impl {
   }
 };
 
+namespace {
+
+CompileService::CompileFn default_compile_fn() {
+  return [](const CompileRequest& req) {
+    PhoenixOptions o = req.options;
+    if (req.coupling != nullptr) o.coupling = req.coupling.get();
+    // The service populates req.cancel with the flight's token (deadline
+    // = loosest joiner, tripped by last-cancel / shedding, chained to
+    // the caller's own token); custom CompileFn seams should do the
+    // same to stay cancellable.
+    if (req.cancel.valid()) o.cancel = req.cancel;
+    return phoenix_compile(req.terms, req.num_qubits, o);
+  };
+}
+
+}  // namespace
+
 CompileService::CompileService(ServiceOptions opt)
-    : CompileService(std::move(opt), [](const CompileRequest& req) {
-        PhoenixOptions o = req.options;
-        if (req.coupling != nullptr) o.coupling = req.coupling.get();
-        // The service populates req.cancel with the flight's token (deadline
-        // = loosest joiner, tripped by last-cancel / shedding, chained to
-        // the caller's own token); custom CompileFn seams should do the
-        // same to stay cancellable.
-        if (req.cancel.valid()) o.cancel = req.cancel;
-        return phoenix_compile(req.terms, req.num_qubits, o);
-      }) {}
+    : CompileService(std::move(opt), CompileFn()) {}
 
 CompileService::CompileService(ServiceOptions opt, CompileFn compile_fn)
-    : impl_(std::make_unique<Impl>(std::move(opt), std::move(compile_fn))) {}
+    : impl_(std::make_unique<Impl>(
+          std::move(opt),
+          compile_fn ? std::move(compile_fn) : default_compile_fn())) {}
 
 CompileService::~CompileService() = default;
 

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -19,17 +20,27 @@ namespace phoenix {
 /// guarantee that should own the graph through `coupling`, which takes
 /// precedence over (and keeps alive past) the raw pointer.
 struct CompileRequest {
+  /// Sentinel for "this request carries no deadline" (the default). Using
+  /// +infinity — rather than the old magic 0 — keeps 0 unambiguous: a zero
+  /// (or negative) deadline means "already expired", so a request that
+  /// arrives past its budget fails immediately with DeadlineExceeded
+  /// instead of silently waiting forever.
+  static constexpr double kNoDeadline =
+      std::numeric_limits<double>::infinity();
+
   std::vector<PauliTerm> terms;
   std::size_t num_qubits = 0;
   PhoenixOptions options;
   std::shared_ptr<const Graph> coupling;  ///< optional owning alternative
-  /// Per-request deadline, milliseconds from submission (0 = none, negative
-  /// = already expired). Enforced twice: the waiting side (`Ticket::get` /
-  /// sync `compile`) stops waiting and throws Error with kind
-  /// DeadlineExceeded, and the compile itself carries a deadline token so an
-  /// abandoned compile aborts mid-stage instead of burning a worker. A
-  /// deduped flight runs until its most patient joiner's deadline.
-  double deadline_ms = 0;
+  /// Per-request deadline, milliseconds from submission (kNoDeadline = none;
+  /// <= 0 = already expired, failing the wait immediately). Enforced twice:
+  /// the waiting side (`Ticket::get` / sync `compile`) stops waiting and
+  /// throws Error with kind DeadlineExceeded, and the compile itself carries
+  /// a deadline token so an abandoned compile aborts mid-stage instead of
+  /// burning a worker. A deduped flight runs until its most patient joiner's
+  /// deadline. Cache hits are exempt: a result that is already resident
+  /// costs no wait, so even an expired request is served.
+  double deadline_ms = kNoDeadline;
   /// Optional caller-held cancellation token, honored inside the compile's
   /// stage loops. The service re-parents it under the flight's own token, so
   /// beware: cancelling it aborts the shared flight for every joiner (use
@@ -104,6 +115,7 @@ class CompileService {
   using CompileFn = std::function<CompileResult(const CompileRequest&)>;
 
   explicit CompileService(ServiceOptions opt = {});
+  /// An empty `compile_fn` falls back to the default phoenix_compile path.
   CompileService(ServiceOptions opt, CompileFn compile_fn);
   ~CompileService();
 

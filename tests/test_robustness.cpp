@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -114,6 +115,12 @@ std::string read_file(const std::string& path) {
 void write_file(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out << contents;
+}
+
+/// Published on-disk location of a cache entry (fingerprint-sharded layout).
+std::string entry_path(const TempDir& dir, const Digest128& k) {
+  const std::string hex = k.hex();
+  return dir.str() + "/" + hex.substr(0, 2) + "/" + hex + ".phxc";
 }
 
 // --- cancel tokens ----------------------------------------------------------
@@ -291,7 +298,7 @@ TEST(RobustnessDisk, TornEntryIsQuarantinedAndRecompiled) {
   const Digest128 k = cache_key(small_terms(), 4);
   auto value = std::make_shared<const CompileResult>(
       phoenix_compile(small_terms(), 4));
-  const std::string path = dir.str() + "/" + k.hex() + ".phxc";
+  const std::string path = entry_path(dir, k);
   {
     CacheOptions opt;
     opt.disk_dir = dir.str();
@@ -320,7 +327,7 @@ TEST(RobustnessDisk, TornEntryIsQuarantinedAndRecompiled) {
 TEST(RobustnessDisk, BitFlipInPayloadFailsTheChecksum) {
   const TempDir dir("bitflip");
   const Digest128 k = cache_key(small_terms(), 4);
-  const std::string path = dir.str() + "/" + k.hex() + ".phxc";
+  const std::string path = entry_path(dir, k);
   {
     CacheOptions opt;
     opt.disk_dir = dir.str();
@@ -356,12 +363,62 @@ TEST(RobustnessDisk, FooterlessLegacyFileIsRejected) {
 
 TEST(RobustnessDisk, StaleTmpFilesAreSweptAtStartup) {
   const TempDir dir("sweep");
-  const std::string tmp = dir.str() + "/deadbeef.phxc.tmp";
-  write_file(tmp, "half-written litter");
+  // Unstamped legacy litter past the grace window: swept. Backdate the
+  // mtime instead of sleeping through a real window.
+  const std::string stale = dir.str() + "/deadbeef.phxc.tmp";
+  write_file(stale, "half-written litter");
+  std::filesystem::last_write_time(
+      stale, std::filesystem::file_time_type::clock::now() -
+                 std::chrono::hours(1));
+  // A temp stamped with a provably-dead PID is swept regardless of age.
+  pid_t dead_pid = ::fork();
+  if (dead_pid == 0) ::_exit(0);
+  ASSERT_GT(dead_pid, 0);
+  ::waitpid(dead_pid, nullptr, 0);
+  const std::string dead = dir.str() + "/cafe.phxc." +
+                           std::to_string(dead_pid) +
+                           "-00000000000000aa.tmp";
+  write_file(dead, "crashed writer litter");
+
   CacheOptions opt;
   opt.disk_dir = dir.str();
+  opt.sweep_grace_seconds = 120.0;
   CompileCache cache(opt);
-  EXPECT_FALSE(std::filesystem::exists(tmp));
+  EXPECT_FALSE(std::filesystem::exists(stale));
+  EXPECT_FALSE(std::filesystem::exists(dead));
+}
+
+// Regression (cross-process cache): the startup sweep used to delete EVERY
+// `*.tmp` unconditionally, racing a second live process mid-write — its
+// rename would then fail and the entry was silently lost. A temp stamped by
+// a live PID inside the grace window must survive a concurrent sweep.
+TEST(RobustnessDisk, SweepSparesLiveWritersTmpFiles) {
+  const TempDir dir("sweeplive");
+  const std::string live = dir.str() + "/beef.phxc." +
+                           std::to_string(::getpid()) +
+                           "-0000000000000001.tmp";
+  write_file(live, "another process is mid-write here");
+  // Unstamped but fresh: also inside the grace window, also spared.
+  const std::string fresh = dir.str() + "/f00d.phxc.tmp";
+  write_file(fresh, "fresh unstamped litter");
+
+  CacheOptions opt;
+  opt.disk_dir = dir.str();
+  opt.sweep_grace_seconds = 3600.0;
+  CompileCache cache(opt);
+  EXPECT_TRUE(std::filesystem::exists(live));
+  EXPECT_TRUE(std::filesystem::exists(fresh));
+
+  // Once the writer is provably dead (or the grace window passes), a later
+  // startup does reclaim the litter.
+  std::filesystem::last_write_time(
+      fresh, std::filesystem::file_time_type::clock::now() -
+                 std::chrono::hours(2));
+  CacheOptions strict = opt;
+  strict.sweep_grace_seconds = 60.0;
+  CompileCache second(strict);
+  EXPECT_TRUE(std::filesystem::exists(live));   // PID still alive
+  EXPECT_FALSE(std::filesystem::exists(fresh));  // grace window exceeded
 }
 
 TEST(RobustnessDisk, TransientWriteFailureIsRetried) {
@@ -397,7 +454,7 @@ TEST(RobustnessDisk, ExhaustedWriteRetriesAreCountedNotFatal) {
   cache.put(k, std::make_shared<const CompileResult>(
                    phoenix_compile(small_terms(), 4)));
   EXPECT_EQ(cache.counters().disk_write_failures, 1u);
-  EXPECT_FALSE(std::filesystem::exists(dir.str() + "/" + k.hex() + ".phxc"));
+  EXPECT_FALSE(std::filesystem::exists(entry_path(dir, k)));
   EXPECT_NE(cache.get(k), nullptr);  // the in-memory entry still serves
 }
 
@@ -475,6 +532,46 @@ TEST(RobustnessService, ExpiredDeadlineYieldsStructuredErrorInBoundedTime) {
   // The verdict is sticky.
   EXPECT_EQ(kind_of([&] { ticket.get(); }), Error::Kind::DeadlineExceeded);
   EXPECT_TRUE(ticket.ready());
+}
+
+// Regression: deadline_ms == 0 used to be the "no deadline" magic value, so
+// a request arriving with an exhausted budget would wait forever. 0 now
+// means "already expired" (immediate DeadlineExceeded on the wait path) and
+// the unset default is the explicit kNoDeadline sentinel.
+TEST(RobustnessService, ZeroDeadlineMeansAlreadyExpired) {
+  CompileService svc;
+  CompileRequest req;
+  req.terms = lih_bk().terms;
+  req.num_qubits = lih_bk().num_qubits;
+  req.deadline_ms = 0.0;
+  auto ticket = svc.submit(req);
+  const auto t0 = Clock::now();
+  EXPECT_EQ(kind_of([&] { ticket.get(); }), Error::Kind::DeadlineExceeded);
+  EXPECT_LT(ms_since(t0), 1'000.0);
+  // The sync path agrees: a cold compile with a zero budget fails, it does
+  // not run to completion.
+  EXPECT_EQ(kind_of([&] { svc.compile(req); }),
+            Error::Kind::DeadlineExceeded);
+}
+
+TEST(RobustnessService, NoDeadlineSentinelWaitsForCompletion) {
+  CompileRequest req = tiny_request(3.5);
+  // The unset default is the sentinel, not 0.
+  EXPECT_EQ(req.deadline_ms, CompileRequest::kNoDeadline);
+  CompileService svc;
+  auto ticket = svc.submit(req);
+  EXPECT_NE(ticket.get(), nullptr);  // waits for the compile, no timeout
+}
+
+TEST(RobustnessService, ExpiredDeadlineStillServesACacheHit) {
+  // A resident result costs no wait, so even a zero budget is served — the
+  // deadline bounds waiting, not cache lookups.
+  CompileRequest req = tiny_request(4.5);
+  CompileService svc;
+  ASSERT_NE(svc.compile(req), nullptr);  // warm the cache
+  req.deadline_ms = 0.0;
+  auto ticket = svc.submit(req);
+  EXPECT_NE(ticket.get(), nullptr);
 }
 
 TEST(RobustnessService, TicketDeadlineAbandonsAStuckCompile) {

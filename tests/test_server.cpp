@@ -1,0 +1,788 @@
+// phoenix_served tests: the frame codec under malformed and fuzzed input,
+// the compile-request payload codec, live client/server round-trips over
+// TCP and Unix-domain sockets (bit-identical to in-process compiles,
+// multiplexing, deadlines, mid-flight cancel, admission control, protocol
+// violations that must not take the daemon down), and the fork-based
+// multi-process disk-cache stress (suite MultiProcessCache, deliberately
+// outside the TSan/chaos CI filters: TSan does not follow fork()).
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "phoenix/serialize.hpp"
+#include "service/client.hpp"
+#include "service/net.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+
+namespace phoenix {
+namespace {
+
+using namespace std::chrono_literals;
+
+std::vector<PauliTerm> small_terms(double c0 = 0.5) {
+  return {{"XXII", c0}, {"IYYI", -0.25}, {"IIZZ", 0.125}, {"ZIIZ", 1.0}};
+}
+
+CompileRequest tiny_request(double c0 = 0.5) {
+  CompileRequest req;
+  req.terms = small_terms(c0);
+  req.num_qubits = 4;
+  return req;
+}
+
+/// A scratch directory under the system temp dir, removed on destruction.
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const char* tag) {
+    path = std::filesystem::temp_directory_path() /
+           (std::string("phoenix_") + tag + "_" +
+            std::to_string(::getpid()) + "_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+Error::Kind kind_of(const std::function<void()>& f) {
+  try {
+    f();
+  } catch (const Error& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "expected a phoenix::Error";
+  return Error::Kind::Failed;
+}
+
+/// Deterministic xorshift for the fuzz tests (no unseeded randomness).
+struct Fuzz {
+  std::uint64_t s = 0x243f6a8885a308d3ull;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+};
+
+// --- frame codec ------------------------------------------------------------
+
+TEST(Protocol, FrameRoundTripsHeaderAndPayload) {
+  Frame f;
+  f.type = FrameType::Submit;
+  f.request_id = 0xdeadbeefcafe1234ull;
+  f.payload = std::string("hello\0world", 11);  // embedded NUL survives
+  const std::string bytes = encode_frame(f);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes + 11);
+
+  Frame out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(decode_frame(bytes.data(), bytes.size(), kMaxFramePayload, out,
+                         consumed),
+            DecodeResult::Frame);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(out.type, f.type);
+  EXPECT_EQ(out.request_id, f.request_id);
+  EXPECT_EQ(out.payload, f.payload);
+}
+
+TEST(Protocol, TruncatedFramesNeedMoreAtEveryPrefixLength) {
+  Frame f;
+  f.type = FrameType::Result;
+  f.request_id = 7;
+  f.payload = "phoenix-compile-result v1 ...";
+  const std::string bytes = encode_frame(f);
+  Frame out;
+  std::size_t consumed = 1;
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    ASSERT_EQ(decode_frame(bytes.data(), len, kMaxFramePayload, out, consumed),
+              DecodeResult::NeedMore)
+        << "prefix length " << len;
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(Protocol, RejectsBadMagicForeignVersionAndUnknownType) {
+  Frame f;
+  f.type = FrameType::Poll;
+  f.request_id = 1;
+  const std::string good = encode_frame(f);
+  Frame out;
+  std::size_t consumed = 0;
+
+  std::string bad = good;
+  bad[0] = 'X';
+  EXPECT_THROW(
+      decode_frame(bad.data(), bad.size(), kMaxFramePayload, out, consumed),
+      Error);
+
+  bad = good;
+  bad[4] = static_cast<char>(kProtocolVersion + 1);
+  EXPECT_THROW(
+      decode_frame(bad.data(), bad.size(), kMaxFramePayload, out, consumed),
+      Error);
+
+  bad = good;
+  bad[6] = 99;  // frame type far outside the enum
+  EXPECT_THROW(
+      decode_frame(bad.data(), bad.size(), kMaxFramePayload, out, consumed),
+      Error);
+}
+
+TEST(Protocol, RejectsOversizedPayloadBeforeBuffering) {
+  Frame f;
+  f.type = FrameType::Submit;
+  f.payload = std::string(1024, 'x');
+  std::string bytes = encode_frame(f);
+  // Header claims a payload bigger than the configured cap; the decoder must
+  // reject from the header alone, without waiting for (or allocating) it.
+  Frame out;
+  std::size_t consumed = 0;
+  try {
+    decode_frame(bytes.data(), bytes.size(), 512, out, consumed);
+    FAIL() << "oversized payload accepted";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.stage(), Stage::Parse);
+  }
+}
+
+TEST(Protocol, HeaderFuzzNeverCrashesOrOverreads) {
+  // 4k random 20-byte headers (plus whatever payload bytes follow): decode
+  // must always terminate in Frame / NeedMore / Error(Stage::Parse).
+  Fuzz rng;
+  std::string buf(kFrameHeaderBytes + 64, '\0');
+  for (int iter = 0; iter < 4096; ++iter) {
+    for (auto& c : buf) c = static_cast<char>(rng.next() & 0xff);
+    Frame out;
+    std::size_t consumed = 0;
+    try {
+      const DecodeResult r =
+          decode_frame(buf.data(), buf.size(), 1u << 20, out, consumed);
+      if (r == DecodeResult::Frame) EXPECT_LE(consumed, buf.size());
+    } catch (const Error& e) {
+      EXPECT_EQ(e.stage(), Stage::Parse);
+    }
+  }
+}
+
+TEST(Protocol, BitFlippedSubmitPayloadNeverCrashesTheParser) {
+  const std::string doc = compile_request_to_bytes(tiny_request(), 3);
+  Fuzz rng;
+  for (int iter = 0; iter < 2048; ++iter) {
+    std::string bad = doc;
+    bad[rng.next() % bad.size()] ^=
+        static_cast<char>(1u << (rng.next() % 8));
+    int priority = 0;
+    try {
+      // A single bit flip may still parse (e.g. inside a coefficient's hex
+      // bits); what it must never do is crash or hang.
+      compile_request_from_bytes(bad, priority);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.stage(), Stage::Parse);
+    }
+  }
+}
+
+// --- compile-request payload codec ------------------------------------------
+
+TEST(Protocol, CompileRequestRoundTripsTermsOptionsAndPriority) {
+  CompileRequest req = tiny_request();
+  req.options.isa = TwoQubitIsa::Su4;
+  req.options.peephole = PeepholeLevel::O3;
+  req.options.lookahead = 7;
+  req.options.simplify.num_starts = 3;
+  req.options.simplify.beam_width = 2;
+  req.deadline_ms = 1250.5;
+
+  int priority = 0;
+  const CompileRequest out =
+      compile_request_from_bytes(compile_request_to_bytes(req, -4), priority);
+  EXPECT_EQ(priority, -4);
+  EXPECT_EQ(out.num_qubits, req.num_qubits);
+  ASSERT_EQ(out.terms.size(), req.terms.size());
+  for (std::size_t i = 0; i < out.terms.size(); ++i) {
+    EXPECT_EQ(out.terms[i].string.to_string(),
+              req.terms[i].string.to_string());
+    EXPECT_EQ(out.terms[i].coeff, req.terms[i].coeff);
+  }
+  EXPECT_EQ(out.options.isa, req.options.isa);
+  EXPECT_EQ(out.options.peephole, req.options.peephole);
+  EXPECT_EQ(out.options.lookahead, req.options.lookahead);
+  EXPECT_EQ(out.options.simplify.num_starts, 3u);
+  EXPECT_EQ(out.options.simplify.beam_width, 2u);
+  EXPECT_EQ(out.deadline_ms, 1250.5);
+  EXPECT_EQ(out.coupling_graph(), nullptr);
+}
+
+TEST(Protocol, CompileRequestNoDeadlineSentinelSurvivesTheWire) {
+  int priority = 0;
+  const CompileRequest out = compile_request_from_bytes(
+      compile_request_to_bytes(tiny_request(), 0), priority);
+  EXPECT_EQ(out.deadline_ms, CompileRequest::kNoDeadline);
+}
+
+TEST(Protocol, CompileRequestCouplingGraphTravelsAsEdgeList) {
+  CompileRequest req = tiny_request();
+  auto g = std::make_shared<Graph>(4);
+  g->add_edge(0, 1);
+  g->add_edge(1, 2);
+  g->add_edge(2, 3);
+  req.coupling = g;
+  req.options.hardware_aware = true;
+
+  int priority = 0;
+  const CompileRequest out =
+      compile_request_from_bytes(compile_request_to_bytes(req, 0), priority);
+  ASSERT_NE(out.coupling_graph(), nullptr);
+  EXPECT_TRUE(out.options.hardware_aware);
+  EXPECT_EQ(out.coupling_graph()->num_vertices(), 4u);
+  EXPECT_EQ(out.coupling_graph()->num_edges(), 3u);
+}
+
+TEST(Protocol, CompileRequestRejectsTrailingAndOutOfRangeInput) {
+  const std::string doc = compile_request_to_bytes(tiny_request(), 0);
+  int priority = 0;
+  EXPECT_THROW(compile_request_from_bytes(doc + " junk", priority), Error);
+  EXPECT_THROW(compile_request_from_bytes(doc + doc, priority), Error);
+
+  // Out-of-range validation ordinal: field 4 of the options line.
+  std::string bad = doc;
+  const auto pos = bad.find("options ");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 8, "optionz ");
+  EXPECT_THROW(compile_request_from_bytes(bad, priority), Error);
+}
+
+TEST(Protocol, ErrorPayloadRoundTripsKindStageAndDetail)
+{
+  const Error in(Error::Kind::DeadlineExceeded, Stage::Service,
+                 "budget blown by 3ms");
+  const Error out = error_from_payload(error_to_payload(in));
+  EXPECT_EQ(out.kind(), Error::Kind::DeadlineExceeded);
+  EXPECT_EQ(out.stage(), Stage::Service);
+  EXPECT_EQ(out.detail(), in.detail());
+
+  // Unknown ordinals from a future build degrade to Failed/Service rather
+  // than rejecting the reply.
+  const Error degraded = error_from_payload("err 250 250 mystery");
+  EXPECT_EQ(degraded.kind(), Error::Kind::Failed);
+  EXPECT_EQ(degraded.stage(), Stage::Service);
+}
+
+// --- live server round-trips ------------------------------------------------
+
+TEST(Server, TcpRoundTripIsBitIdenticalToInProcessCompile) {
+  ServerOptions opt;
+  opt.enable_tcp = true;
+  opt.tcp_port = 0;
+  opt.service.num_threads = 1;
+  ServedServer server(opt);
+  server.start();
+  ASSERT_NE(server.tcp_port(), 0);
+
+  ServedClient client = ServedClient::connect_tcp("127.0.0.1",
+                                                  server.tcp_port());
+  const auto ack = client.submit(tiny_request());
+  EXPECT_EQ(ack.fingerprint_hex.size(), 32u);
+  const std::string wire = client.await_raw(ack.request_id);
+
+  CompileService local;
+  const auto in_process = local.compile(tiny_request());
+  EXPECT_EQ(wire, compile_result_to_bytes(*in_process));
+  // And the parsed circuit is usable client-side.
+  const CompileResult parsed = compile_result_from_bytes(wire);
+  EXPECT_EQ(parsed.circuit.num_qubits(), 4u);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.frame_errors, 0u);
+  EXPECT_EQ(stats.results, 1u);
+  server.stop();
+}
+
+TEST(Server, UnixSocketRoundTripAndWarmHitFlag) {
+  const TempDir dir("uds");
+  ServerOptions opt;
+  opt.unix_path = dir.str() + "/served.sock";
+  opt.service.num_threads = 1;
+  ServedServer server(opt);
+  server.start();
+  EXPECT_EQ(server.tcp_port(), 0);  // TCP off: local clients only
+
+  ServedClient client = ServedClient::connect_unix(opt.unix_path);
+  const auto cold = client.submit(tiny_request());
+  const std::string first = client.await_raw(cold.request_id);
+
+  const auto warm = client.submit(tiny_request());
+  EXPECT_TRUE(warm.hit);  // resident in the content-addressed cache now
+  EXPECT_EQ(client.await_raw(warm.request_id), first);
+  EXPECT_EQ(warm.fingerprint_hex, cold.fingerprint_hex);
+  server.stop();
+}
+
+TEST(Server, MultiplexedSubmissionsAwaitInAnyOrder) {
+  ServerOptions opt;
+  opt.enable_tcp = true;
+  opt.service.num_threads = 1;
+  ServedServer server(opt);
+  server.start();
+  ServedClient client = ServedClient::connect_tcp("127.0.0.1",
+                                                  server.tcp_port());
+
+  std::vector<ServedClient::Ack> acks;
+  for (int i = 0; i < 4; ++i)
+    acks.push_back(client.submit(tiny_request(0.25 + i)));
+  // Await newest-first: earlier results park in the client mailbox.
+  for (int i = 3; i >= 0; --i) {
+    const CompileResult r =
+        compile_result_from_bytes(client.await_raw(acks[i].request_id));
+    EXPECT_EQ(r.circuit.num_qubits(), 4u);
+  }
+  // The counter increments just after the reply hits the wire, so the
+  // client can observe the result a beat before the stat: wait it out.
+  for (int i = 0; i < 2000 && server.stats().results != 4u; ++i)
+    std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(server.stats().results, 4u);
+  server.stop();
+}
+
+TEST(Server, DeadlineExceededTravelsAsStructuredError) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ServerOptions opt;
+  opt.enable_tcp = true;
+  opt.service.num_threads = 1;
+  opt.compile_fn = [&](const CompileRequest& req) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    CompileResult r;
+    r.circuit = Circuit(req.num_qubits);
+    return r;
+  };
+  ServedServer server(opt);
+  server.start();
+  ServedClient client = ServedClient::connect_tcp("127.0.0.1",
+                                                  server.tcp_port());
+
+  CompileRequest req = tiny_request();
+  req.deadline_ms = 40.0;
+  const auto ack = client.submit(req);
+  EXPECT_EQ(kind_of([&] { client.await_raw(ack.request_id); }),
+            Error::Kind::DeadlineExceeded);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  server.stop();
+  EXPECT_EQ(server.stats().frame_errors, 0u);
+}
+
+TEST(Server, MidFlightCancelAbortsTheCompile) {
+  std::atomic<bool> entered{false};
+  ServerOptions opt;
+  opt.enable_tcp = true;
+  opt.service.num_threads = 1;
+  opt.compile_fn = [&](const CompileRequest& req) {
+    entered.store(true);
+    // Cooperative loop: aborts promptly once the flight token trips.
+    while (!req.cancel.cancel_requested()) std::this_thread::sleep_for(1ms);
+    req.cancel.check(Stage::Service);
+    CompileResult r;
+    r.circuit = Circuit(req.num_qubits);
+    return r;
+  };
+  ServedServer server(opt);
+  server.start();
+  ServedClient client = ServedClient::connect_tcp("127.0.0.1",
+                                                  server.tcp_port());
+
+  const auto ack = client.submit(tiny_request());
+  while (!entered.load()) std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(client.cancel(ack.request_id));
+  EXPECT_EQ(kind_of([&] { client.await_raw(ack.request_id); }),
+            Error::Kind::Cancelled);
+  // Cancelling an unknown (already retired) request id is a clean no.
+  EXPECT_FALSE(client.cancel(ack.request_id));
+  server.stop();
+}
+
+TEST(Server, PollReportsPendingThenReady) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ServerOptions opt;
+  opt.enable_tcp = true;
+  opt.service.num_threads = 1;
+  opt.compile_fn = [&](const CompileRequest& req) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    CompileResult r;
+    r.circuit = Circuit(req.num_qubits);
+    return r;
+  };
+  ServedServer server(opt);
+  server.start();
+  ServedClient client = ServedClient::connect_tcp("127.0.0.1",
+                                                  server.tcp_port());
+
+  const auto ack = client.submit(tiny_request());
+  bool known = false;
+  EXPECT_FALSE(client.poll(ack.request_id, &known));
+  EXPECT_TRUE(known);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_EQ(compile_result_from_bytes(client.await_raw(ack.request_id))
+                .circuit.num_qubits(),
+            4u);
+  // Terminal replies retire the submission server-side.
+  EXPECT_FALSE(client.poll(ack.request_id, &known));
+  EXPECT_FALSE(known);
+  server.stop();
+}
+
+TEST(Server, PerConnectionInflightLimitRejectsWithOverloaded) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ServerOptions opt;
+  opt.enable_tcp = true;
+  opt.service.num_threads = 1;
+  opt.max_inflight_per_conn = 1;
+  opt.compile_fn = [&](const CompileRequest& req) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    CompileResult r;
+    r.circuit = Circuit(req.num_qubits);
+    return r;
+  };
+  ServedServer server(opt);
+  server.start();
+  ServedClient client = ServedClient::connect_tcp("127.0.0.1",
+                                                  server.tcp_port());
+
+  const auto first = client.submit(tiny_request(1.0));
+  EXPECT_EQ(kind_of([&] { client.submit(tiny_request(2.0)); }),
+            Error::Kind::Overloaded);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  // The connection survived the reject and still delivers the first result.
+  EXPECT_EQ(compile_result_from_bytes(client.await_raw(first.request_id))
+                .circuit.num_qubits(),
+            4u);
+  server.stop();
+  EXPECT_EQ(server.stats().frame_errors, 0u);
+}
+
+TEST(Server, StatsFrameReportsNetAndServiceCounters) {
+  ServerOptions opt;
+  opt.enable_tcp = true;
+  opt.service.num_threads = 1;
+  ServedServer server(opt);
+  server.start();
+  ServedClient client = ServedClient::connect_tcp("127.0.0.1",
+                                                  server.tcp_port());
+  const auto ack = client.submit(tiny_request());
+  client.await_raw(ack.request_id);
+
+  bool saw_accepted = false, saw_misses = false;
+  for (const auto& [name, value] : client.stats()) {
+    if (name == "net.accepted") {
+      saw_accepted = true;
+      EXPECT_EQ(value, 1u);
+    }
+    if (name == "service.misses") {
+      saw_misses = true;
+      EXPECT_EQ(value, 1u);
+    }
+    if (name == "net.frame_errors") EXPECT_EQ(value, 0u);
+  }
+  EXPECT_TRUE(saw_accepted);
+  EXPECT_TRUE(saw_misses);
+  server.stop();
+}
+
+// --- protocol-edge behavior of the live daemon ------------------------------
+
+TEST(ServerWire, GarbageBytesGetAStructuredErrorAndTheDaemonSurvives) {
+  ServerOptions opt;
+  opt.enable_tcp = true;
+  opt.service.num_threads = 1;
+  ServedServer server(opt);
+  server.start();
+
+  {
+    ServedClient rogue = ServedClient::connect_tcp("127.0.0.1",
+                                                   server.tcp_port());
+    rogue.send_bytes("GET / HTTP/1.1\r\nHost: phoenix\r\n\r\n");
+    // The server answers with an ErrorReply frame (request id 0), then
+    // closes; the reply is still well-framed.
+    const Frame f = rogue.read_frame();
+    EXPECT_EQ(f.type, FrameType::ErrorReply);
+    EXPECT_EQ(f.request_id, 0u);
+    EXPECT_EQ(error_from_payload(f.payload).stage(), Stage::Parse);
+  }
+
+  // A fresh, well-behaved connection still gets served.
+  ServedClient client = ServedClient::connect_tcp("127.0.0.1",
+                                                  server.tcp_port());
+  const auto ack = client.submit(tiny_request());
+  EXPECT_FALSE(client.await_raw(ack.request_id).empty());
+  EXPECT_GE(server.stats().frame_errors, 1u);
+  server.stop();
+}
+
+TEST(ServerWire, TruncatedFrameThenDisconnectLeavesNoWedgedState) {
+  ServerOptions opt;
+  opt.enable_tcp = true;
+  opt.service.num_threads = 1;
+  ServedServer server(opt);
+  server.start();
+  {
+    Frame f;
+    f.type = FrameType::Submit;
+    f.request_id = 9;
+    f.payload = compile_request_to_bytes(tiny_request(), 0);
+    const std::string bytes = encode_frame(f);
+    ServedClient rogue = ServedClient::connect_tcp("127.0.0.1",
+                                                   server.tcp_port());
+    rogue.send_bytes(bytes.substr(0, bytes.size() / 2));
+  }  // disconnect mid-frame
+  ServedClient client = ServedClient::connect_tcp("127.0.0.1",
+                                                  server.tcp_port());
+  const auto ack = client.submit(tiny_request());
+  EXPECT_FALSE(client.await_raw(ack.request_id).empty());
+  EXPECT_EQ(server.stats().frame_errors, 0u);  // truncation is just EOF
+  server.stop();
+}
+
+TEST(ServerWire, OversizedFrameHeaderIsRejectedStructurally) {
+  ServerOptions opt;
+  opt.enable_tcp = true;
+  opt.service.num_threads = 1;
+  opt.max_frame_payload = 4096;
+  ServedServer server(opt);
+  server.start();
+  ServedClient rogue = ServedClient::connect_tcp("127.0.0.1",
+                                                 server.tcp_port());
+  Frame f;
+  f.type = FrameType::Submit;
+  f.request_id = 1;
+  f.payload = std::string(8192, 'x');  // exceeds the server's 4 KiB cap
+  rogue.send_bytes(encode_frame(f));
+  const Frame reply = rogue.read_frame();
+  EXPECT_EQ(reply.type, FrameType::ErrorReply);
+  EXPECT_EQ(error_from_payload(reply.payload).stage(), Stage::Parse);
+  server.stop();
+  EXPECT_GE(server.stats().frame_errors, 1u);
+}
+
+TEST(ServerWire, CorruptSubmitPayloadKeepsTheConnectionUsable) {
+  ServerOptions opt;
+  opt.enable_tcp = true;
+  opt.service.num_threads = 1;
+  ServedServer server(opt);
+  server.start();
+  ServedClient client = ServedClient::connect_tcp("127.0.0.1",
+                                                  server.tcp_port());
+
+  Frame f;
+  f.type = FrameType::Submit;
+  f.request_id = 77;
+  f.payload = "phoenix-compile-request v1\nqubits MANY terms FEW\n";
+  client.send_bytes(encode_frame(f));
+  const Frame reply = client.read_frame();
+  EXPECT_EQ(reply.type, FrameType::ErrorReply);
+  EXPECT_EQ(reply.request_id, 77u);
+  EXPECT_EQ(error_from_payload(reply.payload).stage(), Stage::Parse);
+
+  // Framing stayed intact, so the same connection still compiles.
+  const auto ack = client.submit(tiny_request());
+  EXPECT_FALSE(client.await_raw(ack.request_id).empty());
+  EXPECT_GE(server.stats().frame_errors, 1u);
+  server.stop();
+}
+
+TEST(ServerWire, DisconnectWithInflightCompileCancelsIt) {
+  std::atomic<bool> entered{false};
+  std::atomic<bool> aborted{false};
+  ServerOptions opt;
+  opt.enable_tcp = true;
+  opt.service.num_threads = 1;
+  opt.compile_fn = [&](const CompileRequest& req) {
+    entered.store(true);
+    for (int i = 0; i < 5000 && !req.cancel.cancel_requested(); ++i)
+      std::this_thread::sleep_for(1ms);
+    aborted.store(req.cancel.cancel_requested());
+    req.cancel.check(Stage::Service);
+    CompileResult r;
+    r.circuit = Circuit(req.num_qubits);
+    return r;
+  };
+  ServedServer server(opt);
+  server.start();
+  {
+    ServedClient client = ServedClient::connect_tcp("127.0.0.1",
+                                                    server.tcp_port());
+    client.submit(tiny_request());
+    while (!entered.load()) std::this_thread::sleep_for(1ms);
+  }  // client vanishes with the compile still running
+  // The reader notices EOF, cancels the orphaned flight, and the compile
+  // aborts through its token instead of burning the worker for 5s.
+  for (int i = 0; i < 2000 && !aborted.load(); ++i)
+    std::this_thread::sleep_for(1ms);
+  EXPECT_TRUE(aborted.load());
+  server.stop();
+}
+
+// --- multi-process disk cache (fork-based; not run under TSan/chaos) --------
+
+/// Child-side check helper: returns an exit code instead of using gtest
+/// assertions (the child must not run the test framework).
+int child_compile_all(const std::string& dir, int programs,
+                      bool expect_no_miss) {
+  ServiceOptions opt;
+  opt.num_threads = 1;  // fresh dedicated worker; never the parent's pools
+  opt.cache.disk_dir = dir;
+  CompileService svc(opt);
+  for (int j = 0; j < programs; ++j) {
+    CompileRequest req = tiny_request(0.5 + j);
+    req.options.num_threads = 1;  // fully serial compile inside the child
+    try {
+      if (svc.compile(req) == nullptr) return 10;
+    } catch (...) {
+      return 11;
+    }
+  }
+  const ServiceStats s = svc.stats();
+  if (s.disk_rejects != 0) return 12;  // torn/corrupt disk read
+  if (expect_no_miss && s.misses != 0) return 13;  // recompiled a warm key
+  return 0;
+}
+
+int wait_for_exit(pid_t pid) {
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  if (!WIFEXITED(status)) return -2;
+  return WEXITSTATUS(status);
+}
+
+TEST(MultiProcessCache, WarmDirectoryServesEveryProcessWithoutRecompiles) {
+  const TempDir dir("mpwarm");
+  constexpr int kPrograms = 4;
+  {
+    ServiceOptions opt;
+    opt.num_threads = 1;
+    opt.cache.disk_dir = dir.str();
+    CompileService warmer(opt);
+    for (int j = 0; j < kPrograms; ++j) {
+      CompileRequest req = tiny_request(0.5 + j);
+      req.options.num_threads = 1;
+      ASSERT_NE(warmer.compile(req), nullptr);
+    }
+    EXPECT_EQ(warmer.stats().misses, static_cast<std::uint64_t>(kPrograms));
+  }
+
+  constexpr int kChildren = 4;
+  std::vector<pid_t> pids;
+  for (int i = 0; i < kChildren; ++i) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0)
+      ::_exit(child_compile_all(dir.str(), kPrograms,
+                                /*expect_no_miss=*/true));
+    pids.push_back(pid);
+  }
+  for (const pid_t pid : pids) EXPECT_EQ(wait_for_exit(pid), 0);
+
+  // Exactly-once compiles per fingerprint: the disk tier served every other
+  // process, and nobody quarantined a healthy entry or left a tmp behind.
+  std::size_t entries = 0;
+  for (const auto& e :
+       std::filesystem::recursive_directory_iterator(dir.path)) {
+    if (!e.is_regular_file()) continue;
+    const std::string name = e.path().filename().string();
+    EXPECT_EQ(name.find(".quarantine"), std::string::npos) << name;
+    EXPECT_NE(name.size() >= 4 && name.substr(name.size() - 4) == ".tmp",
+              true)
+        << name;
+    if (name.size() > 5 && name.substr(name.size() - 5) == ".phxc") ++entries;
+  }
+  EXPECT_EQ(entries, static_cast<std::size_t>(kPrograms));
+}
+
+TEST(MultiProcessCache, ConcurrentWritersAndSweepingReadersDontCorrupt) {
+  const TempDir dir("mprace");
+  constexpr int kPrograms = 5;
+  constexpr int kChildren = 4;
+  constexpr int kRounds = 3;
+
+  std::vector<pid_t> pids;
+  for (int i = 0; i < kChildren; ++i) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Each round builds a fresh service — and therefore runs the startup
+      // tmp sweep — while sibling processes are actively writing the same
+      // entries. The grace window must keep the sweep off their live tmps.
+      for (int r = 0; r < kRounds; ++r) {
+        const int rc = child_compile_all(dir.str(), kPrograms,
+                                         /*expect_no_miss=*/false);
+        if (rc != 0) ::_exit(rc);
+      }
+      ::_exit(0);
+    }
+    pids.push_back(pid);
+  }
+  for (const pid_t pid : pids) EXPECT_EQ(wait_for_exit(pid), 0);
+
+  // Quiet aftermath: a fresh process sees a complete, healthy cache.
+  ServiceOptions opt;
+  opt.num_threads = 1;
+  opt.cache.disk_dir = dir.str();
+  CompileService svc(opt);
+  for (int j = 0; j < kPrograms; ++j) {
+    CompileRequest req = tiny_request(0.5 + j);
+    req.options.num_threads = 1;
+    EXPECT_NE(svc.compile(req), nullptr);
+  }
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.disk_rejects, 0u);
+  EXPECT_EQ(s.disk_hits, static_cast<std::uint64_t>(kPrograms));
+  for (const auto& e :
+       std::filesystem::recursive_directory_iterator(dir.path)) {
+    const std::string name = e.path().filename().string();
+    EXPECT_EQ(name.find(".quarantine"), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace phoenix

@@ -302,6 +302,31 @@ TEST(SerializeResult, RejectsStaleOrForeignSchema) {
                Error);
 }
 
+// Regression: the parser used to stop at the final "end" token and silently
+// ignore whatever followed, so a concatenation of two documents — or a
+// network frame with garbage appended — round-tripped as a "valid" result.
+TEST(SerializeResult, RejectsTrailingGarbage) {
+  const CompileResult cold = phoenix_compile(small_terms(), 4);
+  const std::string bytes = compile_result_to_bytes(cold);
+
+  for (const std::string& tail :
+       {std::string("junk"), std::string("end"), bytes}) {
+    EXPECT_THROW(
+        {
+          try {
+            compile_result_from_bytes(bytes + tail);
+          } catch (const Error& e) {
+            EXPECT_EQ(e.stage(), Stage::Parse);
+            throw;
+          }
+        },
+        Error)
+        << "trailing bytes accepted: " << tail.substr(0, 16);
+  }
+  // Pure trailing whitespace is not garbage (the document is token-based).
+  EXPECT_NO_THROW(compile_result_from_bytes(bytes + "\n \n"));
+}
+
 // --- cache ------------------------------------------------------------------
 
 /// A synthetic result with a payload of roughly `gates` gates, for byte-
@@ -414,8 +439,10 @@ TEST(CompileCache, DiskRejectsStaleSchemaTag) {
     writer.put(k, std::make_shared<const CompileResult>(
                       phoenix_compile(small_terms(), 4)));
   }
-  // Corrupt the schema tag in place.
-  const std::string path = dir.str() + "/" + k.hex() + ".phxc";
+  // Corrupt the schema tag in place (entries live in fingerprint-sharded
+  // subdirectories: first two hex digits of the key).
+  const std::string path =
+      dir.str() + "/" + k.hex().substr(0, 2) + "/" + k.hex() + ".phxc";
   std::string contents;
   {
     std::ifstream in(path, std::ios::binary);
