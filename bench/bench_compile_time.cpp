@@ -81,13 +81,18 @@ void BM_PhoenixLogicalTraced(benchmark::State& state) {
   PhoenixOptions opt;
   opt.trace = true;
   CompileStats last;
+  std::size_t two_q = 0, two_q_depth = 0;
   for (auto _ : state) {
     auto res = phoenix_compile(b.terms, b.num_qubits, opt);
     benchmark::DoNotOptimize(res.circuit.size());
+    two_q = res.circuit.two_qubit_count();
+    two_q_depth = res.circuit.two_qubit_depth();
     last = std::move(res.stats);
   }
   state.SetLabel(b.name);
   state.counters["paulis"] = static_cast<double>(b.terms.size());
+  state.counters["two_qubit_gates"] = static_cast<double>(two_q);
+  state.counters["two_qubit_depth"] = static_cast<double>(two_q_depth);
   std::map<std::string, double> stage_ms;
   for (const auto& s : last.spans)
     if (s.depth == 0) stage_ms[stage_counter_key(s.name)] += s.millis;

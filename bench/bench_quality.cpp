@@ -1,0 +1,187 @@
+// Quality gate for the O4 Clifford-region resynthesis tier: compile the
+// UCCSD suite (logical) and a pair of routed QAOA workloads at O3 and at
+// O4, print the per-entry 2Q count/depth deltas, and emit a JSON record
+// (BENCH_quality.json at the repo root when refreshed by hand or CI).
+//
+//   $ ./bench_quality [--json PATH] [--paranoid] [--max-qubits N]
+//                     [--assert-no-regression] [--min-improved N]
+//
+// --paranoid upgrades translation validation from Cheap to Paranoid (adds
+// the exact unitary cross-check on registers small enough to simulate).
+// --assert-no-regression exits nonzero if any entry's O4 2Q count exceeds
+// its O3 count — the acceptor contract says this can never happen.
+// --min-improved N exits nonzero unless at least N entries strictly
+// improved, guarding against a future change neutering the tier.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "hamlib/qaoa.hpp"
+#include "hamlib/uccsd.hpp"
+#include "mapping/topology.hpp"
+#include "phoenix/compiler.hpp"
+
+namespace {
+
+struct Entry {
+  std::string name;
+  std::string mode;  // "logical" | "routed"
+  std::size_t qubits = 0;
+  std::size_t o3_2q = 0, o3_depth2q = 0;
+  std::size_t o4_2q = 0, o4_depth2q = 0;
+  std::string o3_validation, o4_validation;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace phoenix;
+  using namespace phoenix::bench;
+
+  const char* json_path = nullptr;
+  bool paranoid = false;
+  bool assert_no_regression = false;
+  std::size_t min_improved = 0;
+  std::size_t max_qubits = 64;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--json"))
+      json_path = value("--json");
+    else if (!std::strcmp(argv[i], "--paranoid"))
+      paranoid = true;
+    else if (!std::strcmp(argv[i], "--assert-no-regression"))
+      assert_no_regression = true;
+    else if (!std::strcmp(argv[i], "--min-improved"))
+      min_improved = std::strtoul(value("--min-improved"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--max-qubits"))
+      max_qubits = std::strtoul(value("--max-qubits"), nullptr, 10);
+    else {
+      std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const ValidationLevel vlevel =
+      paranoid ? ValidationLevel::Paranoid : ValidationLevel::Cheap;
+  std::vector<Entry> entries;
+  Stopwatch sw;
+
+  auto run_pair = [&](const std::string& name, const std::string& mode,
+                      const std::vector<PauliTerm>& terms, std::size_t n,
+                      const Graph* coupling) {
+    Entry e;
+    e.name = name;
+    e.mode = mode;
+    e.qubits = n;
+    for (int tier = 0; tier < 2; ++tier) {
+      PhoenixOptions opt;
+      opt.peephole = PeepholeLevel::O3;
+      opt.validation.level = vlevel;
+      if (coupling != nullptr) {
+        opt.hardware_aware = true;
+        opt.coupling = coupling;
+      }
+      opt.resynth = tier == 0 ? ResynthLevel::Off
+                    : coupling != nullptr ? ResynthLevel::Routed
+                                          : ResynthLevel::Logical;
+      const CompileResult r = phoenix_compile(terms, n, opt);
+      const std::string status = validation_status_name(r.validation.status);
+      if (tier == 0) {
+        e.o3_2q = r.circuit.two_qubit_count();
+        e.o3_depth2q = r.circuit.two_qubit_depth();
+        e.o3_validation = status;
+      } else {
+        e.o4_2q = r.circuit.two_qubit_count();
+        e.o4_depth2q = r.circuit.two_qubit_depth();
+        e.o4_validation = status;
+      }
+    }
+    entries.push_back(e);
+    const long delta = static_cast<long>(e.o4_2q) - static_cast<long>(e.o3_2q);
+    std::printf("%-16s %-7s %3zuq  O3: %5zu 2Q (d %4zu)  O4: %5zu 2Q (d %4zu)"
+                "  delta %+ld  [%s/%s]\n",
+                e.name.c_str(), e.mode.c_str(), e.qubits, e.o3_2q, e.o3_depth2q,
+                e.o4_2q, e.o4_depth2q, delta, e.o3_validation.c_str(),
+                e.o4_validation.c_str());
+  };
+
+  std::printf("O3 vs O4 (Clifford-region resynthesis), validation %s\n",
+              paranoid ? "paranoid" : "cheap");
+  print_rule(100);
+  for (const auto& b : uccsd_suite()) {
+    if (b.num_qubits > max_qubits) continue;
+    run_pair(b.name, "logical", b.terms, b.num_qubits, nullptr);
+  }
+
+  // Routed entries: QAOA MaxCut layers on a 2D grid, resynthesized under
+  // the coupling-aware synthesizer (every CNOT lands on a device edge).
+  const Graph grid = topology_grid(3, 4);
+  Rng rng(7);
+  for (std::size_t degree : {3u, 4u}) {
+    const Graph g = random_regular_graph(12, degree, rng);
+    const auto terms = qaoa_cost_terms(g, 0.35);
+    run_pair("qaoa12_d" + std::to_string(degree), "routed", terms, 12, &grid);
+  }
+  print_rule(100);
+
+  std::size_t improved = 0, regressed = 0, failed_validation = 0;
+  for (const auto& e : entries) {
+    if (e.o4_2q < e.o3_2q) ++improved;
+    if (e.o4_2q > e.o3_2q) ++regressed;
+    if (e.o4_validation != "pass" || e.o3_validation != "pass")
+      ++failed_validation;
+  }
+  std::printf("%zu entries: %zu improved, %zu regressed, %zu validation "
+              "failures; total time %.2fs\n",
+              entries.size(), improved, regressed, failed_validation,
+              sw.seconds());
+
+  if (json_path != nullptr) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path);
+      return 2;
+    }
+    out << "{\n  \"benchmark\": \"o3_vs_o4_two_qubit_quality\",\n";
+    out << "  \"validation\": \"" << (paranoid ? "paranoid" : "cheap")
+        << "\",\n  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const Entry& e = entries[i];
+      out << "    {\"name\": \"" << e.name << "\", \"mode\": \"" << e.mode
+          << "\", \"qubits\": " << e.qubits << ", \"o3_2q\": " << e.o3_2q
+          << ", \"o3_2q_depth\": " << e.o3_depth2q
+          << ", \"o4_2q\": " << e.o4_2q
+          << ", \"o4_2q_depth\": " << e.o4_depth2q << ", \"o3_validation\": \""
+          << e.o3_validation << "\", \"o4_validation\": \"" << e.o4_validation
+          << "\"}" << (i + 1 < entries.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"summary\": {\"entries\": " << entries.size()
+        << ", \"improved\": " << improved << ", \"regressed\": " << regressed
+        << ", \"validation_failures\": " << failed_validation << "}\n}\n";
+    std::printf("wrote %s\n", json_path);
+  }
+
+  if (assert_no_regression && (regressed > 0 || failed_validation > 0)) {
+    std::fprintf(stderr,
+                 "FAIL: %zu regressions, %zu validation failures\n",
+                 regressed, failed_validation);
+    return 1;
+  }
+  if (improved < min_improved) {
+    std::fprintf(stderr, "FAIL: only %zu entries improved (need %zu)\n",
+                 improved, min_improved);
+    return 1;
+  }
+  return 0;
+}

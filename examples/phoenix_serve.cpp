@@ -6,7 +6,8 @@
 //
 //   $ ./example_phoenix_serve [--jobs N] [--repeat N] [--cache-dir DIR]
 //                             [--max-qubits N] [--deadline-ms MS]
-//                             [--max-queue N]
+//                             [--max-queue N] [--opt-level own|o3]
+//                             [--resynth off|logical|routed]
 //
 // Defaults: jobs = hardware, repeat = 2, in-memory cache only, full suite,
 // no deadlines, unbounded queue. With --cache-dir the cache persists: a
@@ -38,6 +39,8 @@ int main(int argc, char** argv) {
   std::size_t max_qubits = 64;
   double deadline_ms = CompileRequest::kNoDeadline;
   std::size_t max_queue = 0;
+  PeepholeLevel opt_level = PeepholeLevel::Own;
+  ResynthLevel resynth = ResynthLevel::Off;
   for (int i = 1; i < argc; ++i) {
     auto value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -58,7 +61,30 @@ int main(int argc, char** argv) {
       deadline_ms = std::strtod(value("--deadline-ms"), nullptr);
     else if (!std::strcmp(argv[i], "--max-queue"))
       max_queue = std::strtoul(value("--max-queue"), nullptr, 10);
-    else {
+    else if (!std::strcmp(argv[i], "--opt-level")) {
+      const char* v = value("--opt-level");
+      if (!std::strcmp(v, "own")) {
+        opt_level = PeepholeLevel::Own;
+      } else if (!std::strcmp(v, "o3")) {
+        opt_level = PeepholeLevel::O3;
+      } else {
+        std::fprintf(stderr, "--opt-level must be own|o3, got '%s'\n", v);
+        return 1;
+      }
+    } else if (!std::strcmp(argv[i], "--resynth")) {
+      const char* v = value("--resynth");
+      if (!std::strcmp(v, "off")) {
+        resynth = ResynthLevel::Off;
+      } else if (!std::strcmp(v, "logical")) {
+        resynth = ResynthLevel::Logical;
+      } else if (!std::strcmp(v, "routed")) {
+        resynth = ResynthLevel::Routed;
+      } else {
+        std::fprintf(stderr, "--resynth must be off|logical|routed, got '%s'\n",
+                     v);
+        return 1;
+      }
+    } else {
       std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
       return 1;
     }
@@ -87,6 +113,8 @@ int main(int argc, char** argv) {
       CompileRequest req;
       req.terms = b.terms;
       req.num_qubits = b.num_qubits;
+      req.options.peephole = opt_level;
+      req.options.resynth = resynth;
       req.deadline_ms = deadline_ms;
       // Shortest-job-first: small programs return while big ones compile.
       const int priority = -static_cast<int>(b.terms.size());

@@ -4,6 +4,7 @@
 //
 //   $ ./example_qaoa_compile [n] [degree] [--profile out.json]
 //                            [--repeat N] [--jobs N] [--cache-dir DIR]
+//                            [--opt-level own|o3] [--resynth off|logical|routed]
 //
 // Defaults: n=16, degree=3. With --profile, the PHOENIX compile runs with
 // stage tracing on: the stage table prints to stdout and a chrome://tracing
@@ -33,6 +34,8 @@ int main(int argc, char** argv) {
   const char* cache_dir = nullptr;
   int repeat = 0;
   std::size_t jobs = 0;
+  PeepholeLevel opt_level = PeepholeLevel::Own;
+  ResynthLevel resynth = ResynthLevel::Off;
   std::vector<const char*> positional;
   auto flag_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -44,6 +47,29 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--profile")) {
       profile_path = flag_value(i, "--profile");
+    } else if (!std::strcmp(argv[i], "--opt-level")) {
+      const char* v = flag_value(i, "--opt-level");
+      if (!std::strcmp(v, "own")) {
+        opt_level = PeepholeLevel::Own;
+      } else if (!std::strcmp(v, "o3")) {
+        opt_level = PeepholeLevel::O3;
+      } else {
+        std::fprintf(stderr, "--opt-level must be own|o3, got '%s'\n", v);
+        return 1;
+      }
+    } else if (!std::strcmp(argv[i], "--resynth")) {
+      const char* v = flag_value(i, "--resynth");
+      if (!std::strcmp(v, "off")) {
+        resynth = ResynthLevel::Off;
+      } else if (!std::strcmp(v, "logical")) {
+        resynth = ResynthLevel::Logical;
+      } else if (!std::strcmp(v, "routed")) {
+        resynth = ResynthLevel::Routed;
+      } else {
+        std::fprintf(stderr, "--resynth must be off|logical|routed, got '%s'\n",
+                     v);
+        return 1;
+      }
     } else if (!std::strcmp(argv[i], "--repeat")) {
       repeat = std::atoi(flag_value(i, "--repeat"));
     } else if (!std::strcmp(argv[i], "--jobs")) {
@@ -80,6 +106,8 @@ int main(int argc, char** argv) {
   opt.hardware_aware = true;
   opt.coupling = &device;
   opt.trace = profile_path != nullptr;
+  opt.peephole = opt_level;
+  opt.resynth = resynth;
   const CompileResult p = phoenix_compile(terms, n, opt);
   if (profile_path != nullptr) {
     std::printf("\n%s\n", TraceExport::table(p.stats).c_str());

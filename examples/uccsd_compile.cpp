@@ -4,6 +4,7 @@
 //
 //   $ ./example_uccsd_compile [molecule] [--profile out.json]
 //                             [--repeat N] [--jobs N] [--cache-dir DIR]
+//                             [--opt-level own|o3] [--resynth off|logical|routed]
 //
 // Molecule is one of CH2 | H2O | LiH | NH. With --profile, the logical
 // PHOENIX compile runs with stage tracing on: the per-stage table prints to
@@ -38,6 +39,8 @@ int main(int argc, char** argv) {
   const char* cache_dir = nullptr;
   int repeat = 0;
   std::size_t jobs = 0;
+  PeepholeLevel opt_level = PeepholeLevel::Own;
+  ResynthLevel resynth = ResynthLevel::Off;
   auto flag_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
       std::fprintf(stderr, "%s requires a value\n", flag);
@@ -48,6 +51,29 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--profile")) {
       profile_path = flag_value(i, "--profile");
+    } else if (!std::strcmp(argv[i], "--opt-level")) {
+      const char* v = flag_value(i, "--opt-level");
+      if (!std::strcmp(v, "own")) {
+        opt_level = PeepholeLevel::Own;
+      } else if (!std::strcmp(v, "o3")) {
+        opt_level = PeepholeLevel::O3;
+      } else {
+        std::fprintf(stderr, "--opt-level must be own|o3, got '%s'\n", v);
+        return 1;
+      }
+    } else if (!std::strcmp(argv[i], "--resynth")) {
+      const char* v = flag_value(i, "--resynth");
+      if (!std::strcmp(v, "off")) {
+        resynth = ResynthLevel::Off;
+      } else if (!std::strcmp(v, "logical")) {
+        resynth = ResynthLevel::Logical;
+      } else if (!std::strcmp(v, "routed")) {
+        resynth = ResynthLevel::Routed;
+      } else {
+        std::fprintf(stderr, "--resynth must be off|logical|routed, got '%s'\n",
+                     v);
+        return 1;
+      }
     } else if (!std::strcmp(argv[i], "--repeat")) {
       repeat = std::atoi(flag_value(i, "--repeat"));
     } else if (!std::strcmp(argv[i], "--jobs")) {
@@ -86,6 +112,8 @@ int main(int argc, char** argv) {
 
     PhoenixOptions logical;
     logical.trace = profile_path != nullptr;
+    logical.peephole = opt_level;
+    logical.resynth = resynth;
     const CompileResult phx = phoenix_compile(b.terms, b.num_qubits, logical);
     std::printf("  PHOENIX     : %6zu CNOT, 2Q depth %6zu\n",
                 phx.circuit.count(GateKind::Cnot), phx.circuit.depth_2q());
@@ -108,6 +136,8 @@ int main(int argc, char** argv) {
     PhoenixOptions hw;
     hw.hardware_aware = true;
     hw.coupling = &device;
+    hw.peephole = opt_level;
+    hw.resynth = resynth;
     const CompileResult routed = phoenix_compile(b.terms, b.num_qubits, hw);
     std::printf("  PHOENIX @heavy-hex: %6zu CNOT, 2Q depth %6zu, %zu SWAPs\n\n",
                 routed.circuit.count(GateKind::Cnot), routed.circuit.depth_2q(),

@@ -44,6 +44,18 @@ class Circuit {
   /// Circuit depth counting only 2Q gates (paper's "Depth-2Q").
   std::size_t depth_2q() const;
 
+  /// Canonical 2Q resource audit used by the O4 resynthesis acceptor and the
+  /// quality benchmark. `two_qubit_count()` counts entangling gates as they
+  /// appear in the gate list — Cnot/Cz each 1, and a Swap or Su4 block also 1
+  /// (call `flattened()` first for CNOT-equivalent accounting of Su4;
+  /// O4 itself never emits Swap, so its rewrites can't hide CNOTs there).
+  /// `two_qubit_depth()` is the critical-path length counting only those
+  /// gates. Tie-breaker contract of the acceptor: a rewrite is kept iff it
+  /// strictly lowers two_qubit_count(), or matches it and strictly lowers
+  /// two_qubit_depth().
+  std::size_t two_qubit_count() const { return count_2q(); }
+  std::size_t two_qubit_depth() const { return depth_2q(); }
+
   /// Qubits touched by at least one gate.
   std::vector<std::size_t> support() const;
 

@@ -63,6 +63,24 @@ std::vector<Gate> parity_tree(const std::vector<std::size_t>& qubits,
   return out;
 }
 
+/// Emit exp(-i·(angle/2)·Z) on `q`. Clifford angles (multiples of π/2 per
+/// `clifford_quarter_turns`) lower to the discrete S / Z / S† gate so
+/// downstream Clifford consumers — the tableau, the O4 region extractor —
+/// see them as absorbable Cliffords instead of opaque rotations; a full
+/// turn is a global phase and emits nothing. All other angles stay Rz.
+void append_z_rotation(Circuit& c, std::size_t q, double angle) {
+  const double a = wrap_angle(angle);
+  if (const auto k = clifford_quarter_turns(a)) {
+    switch (*k) {
+      case 0: return;
+      case 1: c.append(Gate::s(q)); return;
+      case 2: c.append(Gate::z(q)); return;
+      case 3: c.append(Gate::sdg(q)); return;
+    }
+  }
+  c.append(Gate::rz(q, a));
+}
+
 }  // namespace
 
 void append_pauli_rotation(Circuit& c, const PauliTerm& term, CnotTree tree,
@@ -84,8 +102,9 @@ void append_pauli_rotation(Circuit& c, const PauliTerm& term, CnotTree tree,
   for (const Gate& g : pre) c.append(g);
   for (const Gate& g : ladder) c.append(g);
   // 2θ can leave the principal range for large coefficients; Rz is
-  // 2π-periodic up to global phase, so emit the canonical representative.
-  c.append(Gate::rz(root, wrap_angle(2.0 * term.coeff)));
+  // 2π-periodic up to global phase, so emit the canonical representative
+  // (as a discrete Clifford gate when the angle is a multiple of π/2).
+  append_z_rotation(c, root, 2.0 * term.coeff);
   for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) c.append(*it);
   for (auto it = pre.rbegin(); it != pre.rend(); ++it) c.append(it->inverse());
 }
@@ -112,7 +131,7 @@ void append_pauli_rotation_chain(Circuit& c, const PauliTerm& term,
 
   for (const Gate& g : pre) c.append(g);
   for (const Gate& g : ladder) c.append(g);
-  c.append(Gate::rz(chain.back(), wrap_angle(2.0 * term.coeff)));
+  append_z_rotation(c, chain.back(), 2.0 * term.coeff);
   for (auto it = ladder.rbegin(); it != ladder.rend(); ++it) c.append(*it);
   for (auto it = pre.rbegin(); it != pre.rend(); ++it) c.append(it->inverse());
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cmath>
+#include <optional>
 
 namespace phoenix {
 
@@ -14,6 +15,19 @@ inline double wrap_angle(double a) {
   a = std::remainder(a, 2.0 * M_PI);  // lands in [−π, π]
   if (a <= -M_PI) a = M_PI;
   return a;
+}
+
+/// Classify a rotation angle as a Clifford angle: returns k ∈ {0,1,2,3} such
+/// that `a ≈ k·(π/2) (mod 2π)` within `tol` (measured in quarter turns), or
+/// nullopt for non-Clifford angles. Shared by the tableau (which only accepts
+/// Clifford rotations), Pauli-rotation synthesis (which lowers Clifford-angle
+/// Rz to discrete S/Z/S† so the O4 region extractor sees them), and the O4
+/// extractor itself — one classification rule, one tolerance convention.
+inline std::optional<int> clifford_quarter_turns(double a, double tol = 1e-9) {
+  const double k = a / (M_PI / 2.0);
+  const long ki = std::lround(k);
+  if (std::abs(k - static_cast<double>(ki)) > tol) return std::nullopt;
+  return static_cast<int>(((ki % 4) + 4) % 4);
 }
 
 }  // namespace phoenix

@@ -15,6 +15,7 @@ const char* stage_name(Stage s) {
     case Stage::Validation: return "validation";
     case Stage::Simulation: return "simulation";
     case Stage::Service: return "service";
+    case Stage::Resynth: return "resynth";
   }
   return "unknown";
 }

@@ -20,6 +20,7 @@ enum class Stage {
   Validation,
   Simulation,
   Service,  ///< compile service: cache, scheduling, thread-pool misuse
+  Resynth,  ///< O4 Clifford-region resynthesis tier
 };
 
 const char* stage_name(Stage s);

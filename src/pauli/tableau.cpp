@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/angles.hpp"
 #include "pauli/polynomial.hpp"
 
 namespace phoenix {
@@ -106,11 +107,10 @@ void CliffordTableau::apply_gate(const Gate& g) {
     case GateKind::Rx:
     case GateKind::Ry: {
       // Accept only Clifford angles (multiples of π/2).
-      const double k = g.param / (M_PI / 2);
-      const long ki = std::lround(k);
-      if (std::abs(k - static_cast<double>(ki)) > 1e-9)
+      const auto turns = clifford_quarter_turns(g.param);
+      if (!turns)
         throw std::invalid_argument("CliffordTableau: non-Clifford rotation");
-      const int m = static_cast<int>(((ki % 4) + 4) % 4);
+      const int m = *turns;
       auto quarter = [&](void (CliffordTableau::*pos)(std::size_t)) {
         for (int i = 0; i < m; ++i) (this->*pos)(g.q0);
       };

@@ -84,6 +84,33 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
       throw Error(Stage::Validation, "translation validation " + verdict);
   };
 
+  // O4 Clifford-region resynthesis (src/resynth/), run on the logical
+  // circuit after the peephole and, in Routed mode, again on the physical
+  // circuit with coupling-constrained CNOTs. The per-region acceptor only
+  // ever splices in strict 2Q improvements, and accepted rewrites re-derive
+  // the region tableau bit-identically, so the pass can't regress quality
+  // or correctness; the follow-up peephole cleans region seams (it never
+  // adds 2Q gates — cancellation and 1Q fusion only).
+  auto run_resynth = [&](Circuit& circ, const Graph* coupling,
+                         const char* label) {
+    const auto t0 = Clock::now();
+    ResynthOptions ropt;
+    ropt.coupling = coupling;
+    ropt.cancel = opt.cancel;
+    const ResynthStats rst = resynthesize_clifford_regions(circ, ropt);
+    if (rst.accepted > 0) {
+      if (opt.peephole == PeepholeLevel::O3)
+        optimize_o3(circ, opt.peephole_engine, opt.cancel);
+      else
+        optimize_o2(circ, opt.peephole_engine, opt.cancel);
+    }
+    record(label, t0, false,
+           std::to_string(rst.regions) + " regions, " +
+               std::to_string(rst.accepted) + " accepted, 2q " +
+               std::to_string(rst.two_q_before) + "->" +
+               std::to_string(circ.two_qubit_count()));
+  };
+
   // Commuting 2-local programs (QAOA cost layers): the Trotter arrangement
   // is completely free, so hardware-aware compilation uses the
   // commutativity-aware router (§IV-C.3 specialized to 2-local IR groups)
@@ -91,6 +118,7 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   if (opt.hardware_aware && terms.size() <= 4096 &&
       is_commuting_two_local(terms)) {
     const auto t0 = Clock::now();
+    Circuit routed_circuit(num_qubits);
     {
       TraceSpan span("route(qaoa)");
       opt.cancel.check(Stage::Routing);
@@ -103,13 +131,18 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
       Circuit logical(num_qubits);
       for (const auto& t : terms) append_pauli_rotation(logical, t);
       res.logical = std::move(logical);
-      res.circuit = opt.isa == TwoQubitIsa::Su4 ? rebase_su4(routed.circuit)
-                                                : std::move(routed.circuit);
-      if (paranoid) check_circuit_wellformed(res.circuit, opt.coupling);
+      routed_circuit = std::move(routed.circuit);
       trace_count("qaoa.swaps", res.num_swaps);
     }
     record("route(qaoa)", t0, paranoid,
            std::to_string(res.num_swaps) + " swaps");
+    // O4 runs on the routed CNOT-level circuit, before any Su4 rebase
+    // (Su4 blocks are non-Clifford barriers the extractor can't absorb).
+    if (opt.resynth == ResynthLevel::Routed)
+      run_resynth(routed_circuit, opt.coupling, "resynth(routed)");
+    res.circuit = opt.isa == TwoQubitIsa::Su4 ? rebase_su4(routed_circuit)
+                                              : std::move(routed_circuit);
+    if (paranoid) check_circuit_wellformed(res.circuit, opt.coupling);
     validate_final();
     finish_stats();
     return res;
@@ -229,6 +262,10 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
   }
   stage_span.reset();
   record("peephole", t_stage, false);
+
+  // 4b. O4 Clifford-region resynthesis on the logical circuit.
+  if (opt.resynth != ResynthLevel::Off)
+    run_resynth(assembled, /*coupling=*/nullptr, "resynth");
   res.logical = assembled;
 
   // 5. ISA emission / hardware mapping.
@@ -272,6 +309,14 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
     optimize_o2(physical, opt.peephole_engine, opt.cancel);
   else
     optimize_o3(physical, opt.peephole_engine, opt.cancel);
+  stage_span.reset();
+  record("peephole(post-route)", t_stage, false);
+
+  // 6b. O4 on the physical circuit: the synthesizer emits only
+  // coupling-edge CNOTs, so rewrites stay routable by construction.
+  if (opt.resynth == ResynthLevel::Routed)
+    run_resynth(physical, opt.coupling, "resynth(routed)");
+
   if (opt.isa == TwoQubitIsa::Su4) {
     TraceSpan span("rebase(su4)");
     res.circuit = rebase_su4(physical);
@@ -279,8 +324,6 @@ CompileResult phoenix_compile(const std::vector<PauliTerm>& terms,
     res.circuit = std::move(physical);
   }
   if (paranoid) check_circuit_wellformed(res.circuit, opt.coupling);
-  stage_span.reset();
-  record("peephole(post-route)", t_stage, paranoid);
   validate_final();
   finish_stats();
   return res;

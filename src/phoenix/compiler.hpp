@@ -12,6 +12,7 @@
 #include "pauli/pauli.hpp"
 #include "phoenix/ordering.hpp"
 #include "phoenix/simplify.hpp"
+#include "resynth/resynth.hpp"
 #include "transpile/peephole.hpp"
 #include "verify/verify.hpp"
 
@@ -33,6 +34,13 @@ struct PhoenixOptions {
   /// engine (default) or the legacy quadratic scan (differential baseline).
   /// Both produce equivalent circuits; see transpile/peephole.hpp.
   PeepholeEngine peephole_engine = PeepholeEngine::Dag;
+  /// O4 Clifford-region resynthesis tier (src/resynth/): Off skips it,
+  /// Logical reruns maximal Clifford regions through the tableau normal
+  /// form after the logical peephole, Routed additionally resynthesizes the
+  /// physical circuit post-mapping with coupling-constrained CNOTs. The
+  /// acceptor keeps a rewrite only on a strict 2Q-count win (ties broken by
+  /// 2Q depth), so enabling O4 never increases `two_qubit_count()`.
+  ResynthLevel resynth = ResynthLevel::Off;
   /// Hardware-aware mode: routing-aware Tetris ordering plus SABRE mapping
   /// onto `coupling` (must be non-null and connected).
   bool hardware_aware = false;

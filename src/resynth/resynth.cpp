@@ -1,0 +1,359 @@
+#include "resynth/resynth.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "common/angles.hpp"
+#include "common/error.hpp"
+#include "common/trace.hpp"
+#include "transpile/peephole.hpp"
+
+namespace phoenix {
+
+bool is_clifford_gate(const Gate& g, double angle_tol) {
+  switch (g.kind) {
+    case GateKind::I:
+    case GateKind::H:
+    case GateKind::S:
+    case GateKind::Sdg:
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+    case GateKind::SqrtX:
+    case GateKind::SqrtXdg:
+    case GateKind::Cnot:
+    case GateKind::Cz:
+    case GateKind::Swap:
+      return true;
+    case GateKind::Rx:
+    case GateKind::Ry:
+    case GateKind::Rz:
+      return clifford_quarter_turns(g.param, angle_tol).has_value();
+    default:  // T, Tdg, Su4
+      return false;
+  }
+}
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+/// Elimination state: the working tableau being reduced toward the
+/// identity plus the gates applied so far, in application order. The
+/// synthesized circuit is the reversed, inverted gate list.
+struct Eliminator {
+  CliffordTableau t;
+  const Graph* coupling;
+  std::vector<Gate> applied;
+
+  void put(const Gate& g) {
+    t.apply_gate(g);
+    applied.push_back(g);
+  }
+
+  /// BFS shortest path c → t (inclusive endpoints). Throws when the
+  /// coupling graph doesn't connect them — a malformed device graph.
+  std::vector<std::size_t> path(std::size_t c, std::size_t to) const {
+    std::vector<std::size_t> parent(coupling->num_vertices(), kNone);
+    std::vector<std::size_t> frontier{c};
+    parent[c] = c;
+    while (!frontier.empty() && parent[to] == kNone) {
+      std::vector<std::size_t> next;
+      for (std::size_t v : frontier)
+        for (std::size_t w : coupling->neighbors(v))
+          if (parent[w] == kNone) {
+            parent[w] = v;
+            next.push_back(w);
+          }
+      frontier = std::move(next);
+    }
+    if (parent[to] == kNone)
+      throw Error(Stage::Resynth,
+                  "coupling graph disconnects qubits " + std::to_string(c) +
+                      " and " + std::to_string(to));
+    std::vector<std::size_t> p{to};
+    while (p.back() != c) p.push_back(parent[p.back()]);
+    std::reverse(p.begin(), p.end());
+    return p;
+  }
+
+  /// CNOT(c → t), routed along a shortest path when the endpoints are not
+  /// coupled. The prefix-parity construction uses 4(k−1) edge CNOTs for a
+  /// k-hop path and restores every intermediate qubit exactly (pure-CNOT
+  /// circuits are GF(2)-linear maps, so the whole block acts as the single
+  /// long-range CNOT).
+  void cnot(std::size_t c, std::size_t to) {
+    if (coupling == nullptr || coupling->has_edge(c, to)) {
+      put(Gate::cnot(c, to));
+      return;
+    }
+    const auto p = path(c, to);
+    const std::size_t k = p.size() - 1;  // hops, >= 2 here
+    for (std::size_t i = 0; i + 1 <= k; ++i) put(Gate::cnot(p[i], p[i + 1]));
+    for (std::size_t i = k - 1; i-- > 0;) put(Gate::cnot(p[i], p[i + 1]));
+    for (std::size_t i = 1; i + 1 <= k; ++i) put(Gate::cnot(p[i], p[i + 1]));
+    for (std::size_t i = k - 1; i-- > 1;) put(Gate::cnot(p[i], p[i + 1]));
+  }
+};
+
+Gate invert_gate(const Gate& g) {
+  switch (g.kind) {
+    case GateKind::S: return Gate::sdg(g.q0);
+    case GateKind::Sdg: return Gate::s(g.q0);
+    case GateKind::SqrtX: return Gate::sqrt_xdg(g.q0);
+    case GateKind::SqrtXdg: return Gate::sqrt_x(g.q0);
+    default: return g;  // H, X, Z, CNOT are involutions
+  }
+}
+
+}  // namespace
+
+Circuit synthesize_tableau(const CliffordTableau& tab, const Graph* coupling) {
+  const std::size_t n = tab.num_qubits();
+  if (coupling != nullptr && coupling->num_vertices() < n)
+    throw Error(Stage::Resynth, "coupling graph smaller than tableau");
+  Eliminator e{tab, coupling, {}};
+
+  // Row images as plain bit accessors. image_of_* folds the sign into the
+  // term coefficient as ±1.
+  auto destab = [&](std::size_t q) { return e.t.image_of_x(q); };
+  auto stab = [&](std::size_t q) { return e.t.image_of_z(q); };
+
+  for (std::size_t q = 0; q < n; ++q) {
+    // Fast path: qubit already reduced (common when the tableau acts on a
+    // small support inside a large register).
+    {
+      const PauliTerm a = destab(q), b = stab(q);
+      if (a.string == PauliString::single(n, q, Pauli::X) &&
+          b.string == PauliString::single(n, q, Pauli::Z))
+        continue;  // signs handled by the final pass
+    }
+
+    // --- Destabilizer row: reduce C X_q C† to ±X_q. ---------------------
+    PauliTerm a = destab(q);
+    if (!a.string.x().get(q)) {
+      // Pivot into column q. Prefer an existing x-column (one CNOT); fall
+      // back to a z-column turned into x by H. A pivot always exists: the
+      // image is a nonzero Pauli whose support cannot dip below q once
+      // rows < q are fixed (it commutes with every fixed generator).
+      std::size_t piv = kNone;
+      bool via_h = false;
+      for (std::size_t j = 0; j < n && piv == kNone; ++j)
+        if (a.string.x().get(j)) piv = j;
+      if (piv == kNone) {
+        for (std::size_t j = 0; j < n && piv == kNone; ++j)
+          if (a.string.z().get(j)) piv = j;
+        via_h = true;
+      }
+      if (piv == kNone)
+        throw Error(Stage::Resynth, "tableau row lost symplectic rank");
+      if (via_h) e.put(Gate::h(piv));
+      if (piv != q) e.cnot(piv, q);
+      a = destab(q);
+    }
+    // Clear every other x-column with CNOTs out of q.
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != q && a.string.x().get(j)) e.cnot(q, j);
+    a = destab(q);
+    // Clear the z-part: make z_q set (S), fold other z-columns into it
+    // (CNOT j→q only touches z_j and x_q, and x_j is already 0), drop it
+    // with a final S.
+    if (a.string.z().any()) {
+      if (!a.string.z().get(q)) {
+        e.put(Gate::s(q));
+        a = destab(q);
+      }
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != q && a.string.z().get(j)) e.cnot(j, q);
+      e.put(Gate::s(q));
+    }
+
+    // --- Stabilizer row: reduce C Z_q C† to ±Z_q, preserving ±X_q. ------
+    // Anticommutation with the fixed ±X_q forces z_q = 1 throughout.
+    PauliTerm b = stab(q);
+    if (b.string.x().any()) {
+      std::vector<std::size_t> sup;
+      for (std::size_t j = 0; j < n; ++j)
+        if (j != q && b.string.x().get(j)) sup.push_back(j);
+      if (!sup.empty()) {
+        // Fold the x-support (outside q) onto one column, then rotate that
+        // column's X/Y into Z. None of these touch column q, so the
+        // destabilizer row ±X_q is untouched.
+        const std::size_t j0 = sup.front();
+        for (std::size_t i = 1; i < sup.size(); ++i) e.cnot(j0, sup[i]);
+        b = stab(q);
+        if (b.string.z().get(j0)) e.put(Gate::s(j0));
+        e.put(Gate::h(j0));
+        b = stab(q);
+      }
+      // A leftover Y at q rotates to Z with √X (X→X, so ±X_q survives).
+      if (b.string.x().get(q)) e.put(Gate::sqrt_x(q));
+      b = stab(q);
+    }
+    // Clear z-columns outside q; CNOT j→q leaves a pure ±X_q row alone.
+    for (std::size_t j = 0; j < n; ++j)
+      if (j != q && b.string.z().get(j)) e.cnot(j, q);
+  }
+
+  // Sign pass: rows are pure ±generators now, and Z(q)/X(q) flip exactly
+  // one row's sign each.
+  for (std::size_t q = 0; q < n; ++q) {
+    if (destab(q).coeff < 0.0) e.put(Gate::z(q));
+    if (stab(q).coeff < 0.0) e.put(Gate::x(q));
+  }
+
+  if (!e.t.is_identity())
+    throw Error(Stage::Resynth, "tableau elimination did not reach identity");
+
+  // h_m ∘ … ∘ h_1 ∘ C = I  ⟹  C = h_1† ∘ … ∘ h_m†, applied h_m† first.
+  Circuit out(n);
+  for (auto it = e.applied.rbegin(); it != e.applied.rend(); ++it)
+    out.append(invert_gate(*it));
+  return out;
+}
+
+namespace {
+
+/// One open region of the greedy extractor scan.
+struct RegionBuf {
+  std::vector<Gate> orig;     ///< every region gate, original order
+  std::vector<Gate> members;  ///< Clifford gates absorbed into the tableau
+  std::vector<Gate> pending;  ///< non-Clifford gates deferred past members
+  std::size_t members_2q = 0;
+
+  bool open() const { return !members.empty(); }
+  void clear() {
+    orig.clear();
+    members.clear();
+    pending.clear();
+    members_2q = 0;
+  }
+};
+
+void emit_original(Circuit& out, const RegionBuf& buf) {
+  for (const Gate& g : buf.orig) out.append(g);
+}
+
+/// Resynthesize one region and splice the better variant into `out`.
+void rewrite_region(Circuit& out, const RegionBuf& buf,
+                    const ResynthOptions& opt, ResynthStats& st) {
+  st.regions += 1;
+  if (buf.members_2q < opt.min_region_2q) {
+    emit_original(out, buf);
+    return;
+  }
+  st.gates_absorbed += buf.members.size();
+
+  const std::size_t n = out.num_qubits();
+  CliffordTableau tab(n);
+  Circuit members(n);
+  for (const Gate& g : buf.members) {
+    tab.apply_gate(g);
+    members.append(g);
+  }
+
+  Circuit cand = synthesize_tableau(tab, opt.coupling);
+  // The raw elimination output profits from the standard cleanup (adjacent
+  // cancellation + 1Q fusion); both preserve the unitary exactly, and the
+  // acceptor re-derives the tableau afterwards anyway.
+  optimize_o3(cand, PeepholeEngine::Dag, opt.cancel);
+
+  // Acceptor: strict 2Q-count improvement, ties broken by 2Q depth — and
+  // the rewrite must provably implement the region (bit-identical tableau;
+  // a synthesis defect downgrades to a rejected rewrite, never a
+  // miscompile). In routed mode every 2Q gate must also sit on an edge.
+  bool ok = cand.two_qubit_count() < members.two_qubit_count() ||
+            (cand.two_qubit_count() == members.two_qubit_count() &&
+             cand.two_qubit_depth() < members.two_qubit_depth());
+  if (ok && opt.coupling != nullptr) {
+    for (const Gate& g : cand.gates())
+      if (g.is_two_qubit() && !opt.coupling->has_edge(g.q0, g.q1)) {
+        ok = false;
+        break;
+      }
+  }
+  if (ok) {
+    try {
+      ok = CliffordTableau::from_circuit(cand) == tab;
+    } catch (const std::invalid_argument&) {
+      ok = false;  // cleanup fused a rotation the tableau won't classify
+    }
+  }
+
+  if (!ok) {
+    st.rejected += 1;
+    emit_original(out, buf);
+    return;
+  }
+  st.accepted += 1;
+  for (const Gate& g : cand.gates()) out.append(g);
+  for (const Gate& g : buf.pending) out.append(g);
+}
+
+}  // namespace
+
+ResynthStats resynthesize_clifford_regions(Circuit& c,
+                                           const ResynthOptions& opt) {
+  TraceSpan span("resynth");
+  ResynthStats st;
+  st.two_q_before = c.two_qubit_count();
+  const std::size_t depth_before = c.two_qubit_depth();
+
+  Circuit out(c.num_qubits());
+  RegionBuf buf;
+  std::uint32_t tick = 0;
+
+  auto flush = [&]() {
+    if (buf.open()) {
+      opt.cancel.check(Stage::Resynth);
+      rewrite_region(out, buf, opt, st);
+    } else {
+      emit_original(out, buf);  // stray pendings can't occur; orig is empty
+    }
+    buf.clear();
+  };
+
+  for (const Gate& g : c.gates()) {
+    opt.cancel.poll(tick, Stage::Resynth);
+    if (is_clifford_gate(g, opt.angle_tol)) {
+      // Absorb across the pending non-Clifford barrier only when the gate
+      // commutes with every deferred gate (conservative syntactic test —
+      // false negatives cost optimization, never correctness).
+      bool commutes = true;
+      for (const Gate& p : buf.pending)
+        if (!gates_commute(g, p)) {
+          commutes = false;
+          break;
+        }
+      if (!commutes) flush();
+      buf.orig.push_back(g);
+      buf.members.push_back(g);
+      if (g.is_two_qubit()) buf.members_2q += 1;
+    } else {
+      if (!buf.open()) {
+        out.append(g);
+        continue;
+      }
+      buf.orig.push_back(g);
+      buf.pending.push_back(g);
+      if (buf.pending.size() >= opt.max_pending) flush();
+    }
+  }
+  flush();
+
+  c = std::move(out);
+  st.two_q_after = c.two_qubit_count();
+
+  trace_count("resynth.regions", st.regions);
+  trace_count("resynth.gates_absorbed", st.gates_absorbed);
+  trace_count("resynth.accepted", st.accepted);
+  trace_count("resynth.rejected", st.rejected);
+  trace_count("resynth.two_q_before", st.two_q_before);
+  trace_count("resynth.two_q_after", st.two_q_after);
+  trace_count("resynth.two_q_depth_before", depth_before);
+  trace_count("resynth.two_q_depth_after", c.two_qubit_depth());
+  return st;
+}
+
+}  // namespace phoenix

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "circuit/circuit.hpp"
+#include "common/cancel.hpp"
+#include "common/graph.hpp"
+#include "pauli/tableau.hpp"
+
+namespace phoenix {
+
+/// O4: Clifford-region resynthesis, the optimization tier above the O2/O3
+/// peepholes. Where the peephole engine rewrites a sliding window of
+/// adjacent gates, O4 absorbs a *maximal Clifford region* of the circuit
+/// into an n-qubit `CliffordTableau` — forgetting how the region was
+/// originally decomposed into gates — and re-emits it from scratch via a
+/// normal-form elimination (Aaronson–Gottesman-style row reduction in the
+/// spirit of Proctor & Young's asymptotically optimal recipe). A rewrite is
+/// kept only when it strictly improves the 2Q gate count (ties broken by 2Q
+/// depth), so O4 output is never worse than its input under
+/// `Circuit::two_qubit_count()`.
+///
+/// `Off` disables the tier, `Logical` runs it on the logical circuit after
+/// the O2/O3 peephole, `Routed` additionally reruns it post-mapping with a
+/// coupling-aware synthesizer whose every CNOT lands on a device edge
+/// (long-range CNOTs route along shortest paths).
+enum class ResynthLevel : std::uint8_t { Off, Logical, Routed };
+
+struct ResynthOptions {
+  /// Non-null: every CNOT the synthesizer emits must be a coupling edge;
+  /// non-adjacent CNOTs are routed along a shortest path (4(k−1) edge
+  /// CNOTs for a k-hop path; never a SWAP, so routed rewrites can't hide
+  /// 2Q cost inside Swap gates).
+  const Graph* coupling = nullptr;
+
+  /// Cooperative cancellation; polled once per gate scanned and checked at
+  /// every region flush (Stage::Resynth).
+  CancelToken cancel;
+
+  /// Tolerance (in quarter turns) for classifying Rx/Ry/Rz parameters as
+  /// Clifford angles; matches the tableau's own acceptance rule.
+  double angle_tol = 1e-9;
+
+  /// Upper bound on non-Clifford gates held "pending" while the extractor
+  /// absorbs later Clifford gates across them. Caps the per-gate
+  /// commutation-check cost at O(max_pending).
+  std::size_t max_pending = 64;
+
+  /// Regions with fewer 2Q members than this are emitted unchanged: a
+  /// strict 2Q improvement is impossible below 1 and pointless to attempt
+  /// below 2 without a depth-only win being likely.
+  std::size_t min_region_2q = 2;
+};
+
+/// Counters for `resynth.*` trace export and compile diagnostics.
+struct ResynthStats {
+  std::size_t regions = 0;         ///< flushed regions with ≥1 Clifford gate
+  std::size_t gates_absorbed = 0;  ///< Clifford gates folded into tableaux
+  std::size_t accepted = 0;        ///< rewrites kept (strict improvement)
+  std::size_t rejected = 0;        ///< rewrites discarded by the acceptor
+  std::size_t two_q_before = 0;    ///< circuit 2Q count entering the pass
+  std::size_t two_q_after = 0;     ///< circuit 2Q count leaving the pass
+};
+
+/// True when `g` is a gate the absorber can fold into a tableau: H, S, S†,
+/// X, Y, Z, √X, √X†, CNOT, CZ, SWAP, and Rx/Ry/Rz at Clifford angles
+/// (classified by `clifford_quarter_turns` with `angle_tol`). T/T† and Su4
+/// blocks are non-Clifford barriers.
+bool is_clifford_gate(const Gate& g, double angle_tol = 1e-9);
+
+/// Re-emit `tab` as a circuit (equal as a Clifford map, i.e. up to global
+/// phase) by reducing a working copy to the identity one qubit at a time
+/// and replaying the inverted gate list backwards. Emits only H, S, S†, X,
+/// Z, √X, √X† and CNOT — never SWAP, so `two_qubit_count()` of the result
+/// is an honest CNOT-equivalent figure. With `coupling`, every CNOT is an
+/// edge of the graph (long-range interactions are routed along BFS shortest
+/// paths; the graph must be connected across the tableau's support).
+Circuit synthesize_tableau(const CliffordTableau& tab,
+                           const Graph* coupling = nullptr);
+
+/// The O4 pass: extract maximal Clifford regions from `c` (greedy scan with
+/// commutation-aware absorption across non-Clifford barriers), resynthesize
+/// each through `synthesize_tableau`, and splice a rewrite back in only when
+/// the acceptor proves it strictly improves 2Q count (ties broken by 2Q
+/// depth) AND its tableau re-derives bit-identically to the region's —
+/// a synthesis bug can only ever cost optimization, never correctness.
+/// Rejected regions are re-emitted in their original gate order.
+ResynthStats resynthesize_clifford_regions(Circuit& c,
+                                           const ResynthOptions& opt = {});
+
+}  // namespace phoenix

@@ -37,6 +37,7 @@ Digest128 fingerprint_request(const std::vector<PauliTerm>& terms,
   h.write_u64(static_cast<std::uint64_t>(opt.isa));
   h.write_u64(static_cast<std::uint64_t>(opt.peephole));
   h.write_u64(static_cast<std::uint64_t>(opt.peephole_engine));
+  h.write_u64(static_cast<std::uint64_t>(opt.resynth));
   h.write_bool(opt.hardware_aware);
   h.write_size(opt.lookahead);
   h.write_size(opt.sabre.extended_set_size);

@@ -41,7 +41,9 @@ namespace phoenix {
 /// Frontier and Rescan choose bit-identically by contract. The multi-start
 /// race and beam knobs (`simplify.num_starts`, `simplify.beam_width`) are
 /// hashed — they legitimately change the compiled circuit (v3 added them).
-inline constexpr std::uint64_t kFingerprintSchemaVersion = 3;
+/// `resynth` joined the hashed set in v4: the O4 tier rewrites the compiled
+/// circuit, so Off/Logical/Routed requests must address distinct entries.
+inline constexpr std::uint64_t kFingerprintSchemaVersion = 4;
 
 /// Fingerprint a request against `coupling` (pass nullptr for logical-level
 /// compilation; `opt.coupling` is ignored in favor of the argument so

@@ -109,7 +109,10 @@ Enum checked_enum(std::uint64_t v, Enum max, const char* what) {
   return static_cast<Enum>(v);
 }
 
-inline constexpr int kCompileRequestSchemaVersion = 1;
+// v2 added the O4 `resynth` ordinal to the options line. Schema tags are
+// exact-match: a v1 peer's request is rejected with a clear "stale schema"
+// error instead of silently compiling at the wrong tier.
+inline constexpr int kCompileRequestSchemaVersion = 2;
 
 }  // namespace
 
@@ -180,6 +183,7 @@ std::string compile_request_to_bytes(const CompileRequest& req, int priority) {
   out << "options " << static_cast<unsigned>(o.isa) << ' '
       << static_cast<unsigned>(o.peephole) << ' '
       << static_cast<unsigned>(o.peephole_engine) << ' '
+      << static_cast<unsigned>(o.resynth) << ' '
       << static_cast<unsigned>(o.validation.level) << ' ' << o.lookahead
       << ' ' << o.simplify.num_starts << ' ' << o.simplify.beam_width << '\n';
   const Graph* g = req.coupling_graph();
@@ -231,6 +235,8 @@ CompileRequest compile_request_from_bytes(const std::string& bytes,
       checked_enum(r.u64("peephole"), PeepholeLevel::O3, "peephole level");
   o.peephole_engine = checked_enum(r.u64("peephole engine"),
                                    PeepholeEngine::Legacy, "peephole engine");
+  o.resynth =
+      checked_enum(r.u64("resynth"), ResynthLevel::Routed, "resynth level");
   o.validation.level = checked_enum(r.u64("validation"),
                                     ValidationLevel::Paranoid, "validation");
   o.lookahead = static_cast<std::size_t>(r.u64("lookahead"));

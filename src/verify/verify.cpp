@@ -123,6 +123,24 @@ const std::unordered_map<int, std::string>& cliff1q_words() {
   return table;
 }
 
+/// Matrix representative of each Clifford action key (the product of its
+/// word from cliff1q_words, so frame_apply_word(key) realizes exactly this
+/// matrix up to global phase).
+const std::unordered_map<int, Mat2>& cliff1q_matrices() {
+  static const std::unordered_map<int, Mat2> table = [] {
+    std::unordered_map<int, Mat2> t;
+    const Mat2 h = gate_matrix_1q(Gate::h(0));
+    const Mat2 s = gate_matrix_1q(Gate::s(0));
+    for (const auto& [key, word] : cliff1q_words()) {
+      Mat2 m{1, 0, 0, 1};
+      for (char g : word) m = mat_mul(g == 'H' ? h : s, m);
+      t.emplace(key, m);
+    }
+    return t;
+  }();
+  return table;
+}
+
 // --- Pauli frame: source strings conjugated through the Clifford prefix ---
 
 /// Applies one Clifford gate to both the source-term frame (BSF rows) and
@@ -171,6 +189,18 @@ struct RunCandidate {
   double angle;  ///< remaining rotation angle of the source term
 };
 
+/// A non-Clifford axis-diagonal rotation stranded on a wire: the peephole
+/// commutes fused Rz factors rightward past CNOT controls / CZ legs (and
+/// fused Rx factors past CNOT targets), splitting one logical 1Q run across
+/// a 2Q gate. The walk carries the stranded factor forward — checking each
+/// crossed 2Q gate really commutes with it — until the next run on the same
+/// wire folds it back into its lump.
+struct Deferred {
+  Mat2 m{1, 0, 0, 1};
+  char axis = 'Z';  ///< 'Z': z-diagonal; 'X': x-diagonal (Rx form)
+  bool active = false;
+};
+
 /// The walk state shared across run flushes.
 struct FrameWalk {
   Bsf frame;                          ///< images of the distinct source strings
@@ -178,9 +208,10 @@ struct FrameWalk {
   std::vector<PauliString> strings;   ///< distinct source strings (physical)
   std::vector<double> remaining;      ///< unconsumed angle per string
   std::vector<PauliTerm> realized;    ///< consumption order certificate
+  std::vector<Deferred> deferred;     ///< stranded rotation per wire
   double angle_tol = 1e-7;
 
-  explicit FrameWalk(std::size_t n) : frame(n), tab(n) {}
+  explicit FrameWalk(std::size_t n) : frame(n), tab(n), deferred(n) {}
 
   std::vector<RunCandidate> candidates_on(std::size_t q) const {
     std::vector<RunCandidate> out;
@@ -238,27 +269,122 @@ struct FrameWalk {
     return false;
   }
 
+  /// Factor `u` as V·C with C a 1Q Clifford and V an axis-diagonal rotation
+  /// the peephole could have commuted out of this run (z-diagonal across a
+  /// CNOT control / CZ, x-diagonal across a CNOT target). On success C is
+  /// folded into the frame now and V is parked on the wire's deferral slot
+  /// to rejoin the next run there. Among the quarter-turn-equivalent splits
+  /// the one with the smallest residual rotation is chosen (canonical, and
+  /// matches the frame the peephole's own algebra implies most often).
+  bool try_defer(std::size_t q, const Mat2& u) {
+    int best_key = -1;
+    Mat2 best_v{};
+    char best_axis = 0;
+    double best_mag = 0.0;
+    for (const auto& [key, cm] : cliff1q_matrices()) {
+      const Mat2 w = mat_mul(u, mat_adjoint(cm));
+      char axis = 0;
+      double mag = 0.0;
+      if (std::abs(w[1]) < kSnapTol && std::abs(w[2]) < kSnapTol) {
+        axis = 'Z';
+        mag = std::abs(std::remainder(std::arg(w[3]) - std::arg(w[0]), 2 * M_PI));
+      } else if (std::abs(w[0] - w[3]) < kSnapTol &&
+                 std::abs(w[1] - w[2]) < kSnapTol &&
+                 std::abs(std::real(w[1] * std::conj(w[0]))) < kSnapTol) {
+        axis = 'X';
+        mag = 2.0 * std::atan2(std::abs(w[1]), std::abs(w[0]));
+      } else {
+        continue;
+      }
+      if (best_key < 0 || mag < best_mag) {
+        best_key = key;
+        best_v = w;
+        best_axis = axis;
+        best_mag = mag;
+      }
+    }
+    if (best_key < 0) return false;
+    frame_apply_word(frame, tab, q, cliff1q_words().at(best_key));
+    deferred[q] = {best_v, best_axis, true};
+    return true;
+  }
+
+  /// Fallback lump factorization used when lump_dfs fails outright: same
+  /// peel recursion, but a leaf may end in a deferral (V·C residue) instead
+  /// of a pure Clifford. Peels are explored before the terminal test so the
+  /// walk consumes as many source rotations as possible and only the truly
+  /// stranded factor is deferred.
+  bool lump_dfs_defer(std::size_t q, const Mat2& u,
+                      const std::vector<RunCandidate>& cands, unsigned used,
+                      std::vector<std::size_t>& order, std::size_t& budget) {
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (used >> i & 1u) continue;
+      if (budget == 0) return false;
+      --budget;
+      const RunCandidate& c = cands[i];
+      const Mat2 peeled =
+          mat_mul(u, mat_adjoint(axis_rotation(c.axis, c.negated, c.angle)));
+      order.push_back(i);
+      if (lump_dfs_defer(q, peeled, cands, used | (1u << i), order, budget))
+        return true;
+      order.pop_back();
+    }
+    return try_defer(q, u);
+  }
+
   /// Interpret a maximal 1Q run on qubit `q`. Gates are processed greedily:
   /// Clifford gates conjugate the frame directly and rotation gates must
   /// exactly consume a candidate source term. The first gate that does
   /// neither starts a fused lump (peephole ZYZ resynthesis output), which
-  /// must factor as (1Q Clifford) x (candidate rotations) via lump_dfs.
+  /// must factor as (1Q Clifford) x (candidate rotations) via lump_dfs —
+  /// or, when the peephole commuted part of a fused run across a 2Q gate,
+  /// as (deferred rotation) x (1Q Clifford) x (candidate rotations) via
+  /// lump_dfs_defer. A rotation deferred by an earlier run on this wire is
+  /// prepended to the lump (it is the earliest factor in time).
   bool flush_run(std::size_t q, std::vector<Gate>& run) {
-    if (run.empty()) return true;
+    Deferred& defer = deferred[q];
+    if (run.empty()) {
+      if (!defer.active) return true;
+      // A 2Q gate is crossing a wire that only carries a deferred rotation:
+      // consume it if it exactly realizes a source term here, fold it if it
+      // became Clifford, otherwise keep carrying it forward.
+      if (consume_exact(q, defer.m)) {
+        defer.active = false;
+        return true;
+      }
+      const int key = action_key(defer.m);
+      if (key >= 0) {
+        frame_apply_word(frame, tab, q, cliff1q_words().at(key));
+        defer.active = false;
+      }
+      return true;
+    }
     Mat2 pend{1, 0, 0, 1};
     bool pending = false;
+    if (defer.active) {
+      pend = defer.m;
+      pending = true;
+      defer.active = false;
+    }
     for (const Gate& g : run) {
       const Mat2 m = gate_matrix_1q(g);
       if (pending) {
         pend = mat_mul(m, pend);
         continue;
       }
+      // Consumption is tried BEFORE the Clifford branch: a source term with
+      // an exactly-Clifford coefficient lowers to a discrete S/Z/S† (see
+      // synthesis.cpp), and folding that gate into the frame instead of
+      // consuming the term would leave an "unrealized" rotation behind.
+      // consume_exact only fires on exact angle matches, so genuinely
+      // frame-level Cliffords (basis changes, peephole residue) still land
+      // in the branch below.
+      if (consume_exact(q, m)) continue;
       const int key = action_key(m);
       if (key >= 0) {
         frame_apply_word(frame, tab, q, cliff1q_words().at(key));
         continue;
       }
-      if (consume_exact(q, m)) continue;
       pend = m;
       pending = true;
     }
@@ -268,7 +394,11 @@ struct FrameWalk {
     const auto cands = candidates_on(q);
     std::vector<std::size_t> order;
     std::size_t budget = 100000;
-    if (!lump_dfs(q, pend, cands, 0u, order, budget)) return false;
+    if (!lump_dfs(q, pend, cands, 0u, order, budget)) {
+      order.clear();
+      budget = 100000;
+      if (!lump_dfs_defer(q, pend, cands, 0u, order, budget)) return false;
+    }
     for (std::size_t i : order) {
       const RunCandidate& c = cands[i];
       realized.emplace_back(strings[c.row], c.angle);
@@ -394,6 +524,18 @@ ValidationReport validate_translation(const Circuit& circuit,
         fail_msg = "unmatched 1Q run on qubit " + std::to_string(q);
       }
     };
+    // A deferred rotation may ride across a 2Q gate only when the gate
+    // provably commutes with it: z-diagonal factors across a CNOT control
+    // or either CZ leg, x-diagonal factors across a CNOT target — exactly
+    // the moves the peephole's own commutation rules allow.
+    auto defer_commutes = [&](const Gate& g, std::size_t w) {
+      const Deferred& d = walk.deferred[w];
+      if (!d.active) return true;
+      if (d.axis == 'Z')
+        return (g.kind == GateKind::Cnot && g.q0 == w) ||
+               g.kind == GateKind::Cz;
+      return g.kind == GateKind::Cnot && g.q1 == w;
+    };
     for (const Gate& g : flat.gates()) {
       if (inconclusive) break;
       if (g.kind == GateKind::I) continue;
@@ -403,9 +545,19 @@ ValidationReport validate_translation(const Circuit& circuit,
       }
       flush(g.q0);
       if (!inconclusive) flush(g.q1);
+      if (!inconclusive && (!defer_commutes(g, g.q0) || !defer_commutes(g, g.q1))) {
+        inconclusive = true;
+        fail_msg = "deferred rotation blocked by " + g.to_string();
+      }
       if (!inconclusive) frame_apply(walk.frame, walk.tab, g);
     }
     for (std::size_t q = 0; q < n_phys && !inconclusive; ++q) flush(q);
+    for (std::size_t q = 0; q < n_phys && !inconclusive; ++q) {
+      if (walk.deferred[q].active && !is_phase_identity(walk.deferred[q].m)) {
+        inconclusive = true;
+        fail_msg = "unresolved deferred rotation on qubit " + std::to_string(q);
+      }
+    }
   }
 
   std::vector<std::size_t> sigma;
@@ -457,18 +609,23 @@ ValidationReport validate_translation(const Circuit& circuit,
     rep.message = fail_msg;
   }
 
-  // Exact unitary cross-check: unconditional under Paranoid, fallback
-  // otherwise — feasible only on small registers.
+  // Exact unitary cross-check: confirms the certificate under Paranoid and
+  // rescues walks that bailed without a verdict — feasible only on small
+  // registers. A definite frame failure is a proof of inequivalence (an
+  // unrealized rotation or an unsanctioned residual permutation) and must
+  // not be overturned by a reference that would bake the same defect in.
   const bool want_exact =
-      opt.level == ValidationLevel::Paranoid || !rep.frame_ok;
+      (opt.level == ValidationLevel::Paranoid && rep.frame_ok) || inconclusive;
   if (want_exact && n_phys <= opt.exact_max_qubits) {
     TraceSpan exact_span("verify.exact");
     trace_count("verify.exact_checks", 1);
-    // Reference order: the frame certificate when available, else the
-    // aggregated source order (exact for commuting sets; a reordering
-    // compiler may false-fail here, which the message records).
+    // Reference order: the frame certificate when available. Otherwise the
+    // rotations the walk did consume (in consumption order — they all
+    // precede the failure point) followed by the unconsumed remainder in
+    // aggregated source order; exact for commuting sets, and a reordering
+    // compiler may still false-fail on the tail, which the message records.
     std::vector<PauliTerm> order = rep.frame_ok ? rep.realized_order
-                                                : std::vector<PauliTerm>{};
+                                                : walk.realized;
     if (!rep.frame_ok)
       for (std::size_t i = 0; i < walk.strings.size(); ++i)
         order.emplace_back(walk.strings[i], walk.remaining[i]);
