@@ -22,6 +22,35 @@
 // fresh program with an already-expired deadline (exercising the server's
 // immediate DeadlineExceeded path). The --assert-* flags turn the run into
 // a pass/fail gate for CI.
+//
+// ---- fleet mode -----------------------------------------------------------
+//
+//   $ ./example_phoenix_load --fleet 4 --fleet-sweep
+//       [--pipeline B] [--retry N] [--kill-restart]
+//       [--assert-no-lost] [--assert-disk-recovery]
+//       [--assert-fleet-scaling X] [--assert-pipeline-speedup]
+//   $ ./example_phoenix_load --endpoints host:p1,host:p2 --retry 10 ...
+//
+// --fleet N self-serves N daemons (each with its own disk-cache shard under
+// --cache-dir) and drives them through the fingerprint-sharded
+// ShardedClient; --endpoints drives an externally managed fleet instead.
+// --fleet-sweep measures warm throughput for shard counts 1/2/4 in both
+// serial (one blocking round-trip in flight) and pipelined (bursts of
+// --pipeline requests, one batched write each) modes and publishes the
+// records under "fleet" in the JSON. Pipelined latency is reported as the
+// amortized per-slot latency (burst wall-time / burst size) — the number a
+// throughput-oriented caller experiences per request.
+//
+// The soak phase (any fleet run that is not sweep-only) hammers the fleet
+// with pipelined bursts for --duration-s and accounts for every submission:
+// completed, terminal server error, or lost (transport failure surviving
+// the --retry budget). --kill-restart stops one self-served daemon at 40%
+// of the soak and restarts it on the same port + cache dir at 70%,
+// exercising fail-over re-routing and the disk cache's crash recovery; with
+// external endpoints the harness expects the operator (the CI job) to
+// SIGKILL and restart a daemon mid-run. The recovery sweep afterwards
+// replays every program once and, under --assert-disk-recovery, requires
+// 100% cache hits plus disk-tier hits on the restarted daemon.
 
 #include <algorithm>
 #include <chrono>
@@ -40,6 +69,7 @@
 #include "hamlib/uccsd.hpp"
 #include "phoenix/serialize.hpp"
 #include "service/client.hpp"
+#include "service/router.hpp"
 #include "service/server.hpp"
 
 namespace {
@@ -86,6 +116,486 @@ void print_phase(const char* name, const PhaseStats& p) {
       p.errors);
 }
 
+// ---- fleet mode -----------------------------------------------------------
+
+struct FleetConfig {
+  std::vector<Endpoint> endpoints;  ///< external fleet (--endpoints)
+  std::size_t self_fleet = 0;       ///< --fleet N: self-serve N daemons
+  std::size_t pipeline = 32;        ///< burst size for pipelined modes
+  bool sweep = false;
+  bool kill_restart = false;
+  std::size_t retry = 0;
+  double retry_backoff_ms = 2.0;
+  double duration_s = 2.0;
+  std::size_t jobs = 0;
+  const char* cache_dir = nullptr;
+  const char* json_path = "BENCH_serve.json";
+  std::string mix;
+  bool assert_no_lost = false;
+  bool assert_disk_recovery = false;
+  double assert_fleet_scaling = 0.0;
+  bool assert_pipeline_speedup = false;
+  bool assert_zero_frame_errors = false;
+  double assert_warm_p99_ms = 0.0;
+};
+
+/// One self-served shard we own (and can kill / restart).
+struct Shard {
+  std::unique_ptr<ServedServer> server;
+  std::uint16_t port = 0;
+  std::string cache_dir;
+};
+
+/// One measured (shards, mode) point of the sweep.
+struct FleetRecord {
+  std::size_t shards = 0;
+  const char* mode = "serial";
+  std::size_t window = 1;  ///< requests per batched write (1 = serial)
+  std::size_t requests = 0;
+  std::size_t hits = 0;
+  std::size_t errors = 0;
+  double elapsed_s = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct SoakResult {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t terminal_errors = 0;  ///< structured server errors
+  std::size_t lost = 0;             ///< transport failures after retries
+  std::vector<double> latencies_ms;
+  RouterStats router;
+  ClientStats client;
+  std::size_t sweep_checked = 0;
+  std::size_t sweep_hits = 0;
+  std::uint64_t disk_hits = 0;  ///< sum of service.disk_hits across fleet
+  bool killed = false;
+  bool restarted = false;
+};
+
+ShardedClientOptions sharded_options(const FleetConfig& cfg) {
+  ShardedClientOptions copt;
+  copt.retry.limit = cfg.retry;
+  copt.retry.backoff_ms = cfg.retry_backoff_ms;
+  return copt;
+}
+
+CompileRequest request_for(const Program& p) {
+  CompileRequest req;
+  req.terms = p.terms;
+  req.num_qubits = p.num_qubits;
+  return req;
+}
+
+/// Measure one sweep point: cold-warm the caches for this routing config,
+/// then drive the fleet closed-loop for `duration_s`. Serial mode keeps one
+/// blocking round-trip in flight (the single-daemon baseline at shards=1);
+/// pipelined mode submits bursts of `window` and records the amortized
+/// per-slot latency.
+FleetRecord measure_config(const std::vector<Endpoint>& eps, bool pipelined,
+                           std::size_t window,
+                           const std::vector<Program>& programs,
+                           const FleetConfig& cfg) {
+  FleetRecord rec;
+  rec.shards = eps.size();
+  rec.mode = pipelined ? "pipelined" : "serial";
+  rec.window = pipelined ? window : 1;
+
+  ShardedClient client(eps, sharded_options(cfg));
+  for (const Program& p : programs) client.compile_raw(request_for(p));
+
+  // Fingerprint + serialize each program once: the warm loop measures the
+  // serving fleet, not the client's per-request serialization pass.
+  std::vector<PreparedRequest> prepared;
+  prepared.reserve(programs.size());
+  for (const Program& p : programs) prepared.push_back(client.prepare(request_for(p)));
+
+  std::vector<double> lat;
+  const auto t0 = clock_t_::now();
+  std::size_t i = 0;
+  for (;;) {
+    const double elapsed_s =
+        std::chrono::duration<double>(clock_t_::now() - t0).count();
+    if (elapsed_s >= cfg.duration_s) break;
+    if (!pipelined) {
+      const auto r0 = clock_t_::now();
+      try {
+        auto h = client.submit(prepared[(i * 2654435761u) % prepared.size()]);
+        if (h.ack().hit) ++rec.hits;
+        h.get();
+        lat.push_back(ms_since(r0));
+      } catch (const Error&) {
+        ++rec.errors;
+      }
+      ++rec.requests;
+      ++i;
+      continue;
+    }
+    std::vector<PreparedRequest> burst;
+    burst.reserve(window);
+    for (std::size_t b = 0; b < window; ++b, ++i)
+      burst.push_back(prepared[(i * 2654435761u) % prepared.size()]);
+    const auto r0 = clock_t_::now();
+    try {
+      auto handles = client.submit_burst(std::move(burst));
+      for (auto& h : handles) {
+        try {
+          if (h.ack().hit) ++rec.hits;
+          h.get();
+        } catch (const Error&) {
+          ++rec.errors;
+        }
+      }
+      const double slot_ms = ms_since(r0) / static_cast<double>(window);
+      for (std::size_t b = 0; b < window; ++b) lat.push_back(slot_ms);
+    } catch (const Error&) {
+      rec.errors += window;
+    }
+    rec.requests += window;
+  }
+  rec.elapsed_s = std::chrono::duration<double>(clock_t_::now() - t0).count();
+  rec.qps = rec.elapsed_s > 0.0
+                ? static_cast<double>(rec.requests) / rec.elapsed_s
+                : 0.0;
+  rec.p50_ms = percentile(lat, 0.50);
+  rec.p99_ms = percentile(lat, 0.99);
+  std::printf(
+      "fleet %zu shard%s %-9s %7zu requests, %9.0f qps, p50 %8.4f ms, "
+      "p99 %8.4f ms, %zu errors\n",
+      rec.shards, rec.shards == 1 ? " " : "s", rec.mode, rec.requests, rec.qps,
+      rec.p50_ms, rec.p99_ms, rec.errors);
+  return rec;
+}
+
+/// Soak the full fleet with pipelined bursts, optionally killing and
+/// restarting one self-served shard mid-run, then account for every
+/// submission and replay the mix once to measure post-crash cache recovery.
+SoakResult run_soak(const std::vector<Endpoint>& eps, std::vector<Shard>* fleet,
+                    const std::vector<Program>& programs,
+                    const FleetConfig& cfg) {
+  SoakResult soak;
+  ShardedClientOptions copt = sharded_options(cfg);
+  if (cfg.kill_restart && copt.retry.limit == 0)
+    copt.retry.limit = 8;  // a kill with no retry budget would only measure
+                           // the budget, not the fail-over
+  ShardedClient client(eps, copt);
+  for (const Program& p : programs) client.compile_raw(request_for(p));
+
+  std::vector<PreparedRequest> prepared;
+  prepared.reserve(programs.size());
+  for (const Program& p : programs) prepared.push_back(client.prepare(request_for(p)));
+
+  const std::size_t window = cfg.pipeline > 0 ? cfg.pipeline : 16;
+  const std::size_t victim = eps.size() - 1;
+  const auto t0 = clock_t_::now();
+  std::size_t i = 0;
+  for (;;) {
+    const double elapsed_s =
+        std::chrono::duration<double>(clock_t_::now() - t0).count();
+    if (elapsed_s >= cfg.duration_s) break;
+    if (cfg.kill_restart && fleet != nullptr) {
+      if (!soak.killed && elapsed_s > 0.4 * cfg.duration_s) {
+        std::printf("soak: killing shard %zu (port %u) at %.2fs\n", victim,
+                    static_cast<unsigned>((*fleet)[victim].port), elapsed_s);
+        (*fleet)[victim].server->stop();
+        (*fleet)[victim].server.reset();
+        soak.killed = true;
+      } else if (soak.killed && !soak.restarted &&
+                 elapsed_s > 0.7 * cfg.duration_s) {
+        Shard& s = (*fleet)[victim];
+        ServerOptions sopt;
+        sopt.enable_tcp = true;
+        sopt.tcp_port = s.port;  // same port: the endpoint identity (and the
+                                 // rendezvous label) survives the restart
+        sopt.service.num_threads = cfg.jobs;
+        if (!s.cache_dir.empty()) sopt.service.cache.disk_dir = s.cache_dir;
+        for (int attempt = 0;; ++attempt) {
+          try {
+            s.server = std::make_unique<ServedServer>(std::move(sopt));
+            s.server->start();
+            break;
+          } catch (const Error&) {
+            s.server.reset();
+            if (attempt >= 40) throw;
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+        }
+        std::printf("soak: restarted shard %zu (port %u) at %.2fs\n", victim,
+                    static_cast<unsigned>(s.port), elapsed_s);
+        soak.restarted = true;
+      }
+    }
+    std::vector<PreparedRequest> burst;
+    burst.reserve(window);
+    for (std::size_t b = 0; b < window; ++b, ++i)
+      burst.push_back(prepared[(i * 2654435761u) % prepared.size()]);
+    soak.submitted += window;
+    const auto r0 = clock_t_::now();
+    std::vector<ShardedClient::Handle> handles;
+    try {
+      handles = client.submit_burst(std::move(burst));
+    } catch (const Error& e) {
+      if (e.stage() == Stage::Io) soak.lost += window;
+      else soak.terminal_errors += window;
+      continue;
+    }
+    for (auto& h : handles) {
+      try {
+        h.get();
+        ++soak.completed;
+      } catch (const Error& e) {
+        if (e.stage() == Stage::Io) ++soak.lost;
+        else ++soak.terminal_errors;
+      }
+    }
+    const double slot_ms = ms_since(r0) / static_cast<double>(window);
+    for (std::size_t b = 0; b < window; ++b) soak.latencies_ms.push_back(slot_ms);
+  }
+
+  // Recovery sweep: with every daemon back up, each program must come back
+  // as a cache hit — a daemon restarted onto its disk-cache shard serves
+  // its keys from the disk tier instead of recompiling.
+  for (const Program& p : programs) {
+    ++soak.sweep_checked;
+    try {
+      auto h = client.submit(request_for(p));
+      if (h.ack().hit) ++soak.sweep_hits;
+      h.get();
+    } catch (const Error&) {
+    }
+  }
+  for (std::size_t e = 0; e < eps.size(); ++e) {
+    try {
+      for (const auto& [name, v] : client.server_stats(e))
+        if (name == "service.disk_hits") soak.disk_hits += v;
+    } catch (const Error&) {
+    }
+  }
+  soak.router = client.router_stats();
+  soak.client = client.client_stats();
+  std::printf(
+      "soak  %6zu submitted, %zu completed, %zu server errors, %zu lost, "
+      "p99 %.4f ms\n      (router: %llu routed, %llu reroutes, %llu probes, "
+      "%llu retries; recovery sweep %zu/%zu hit, disk hits %llu)\n",
+      soak.submitted, soak.completed, soak.terminal_errors, soak.lost,
+      percentile(soak.latencies_ms, 0.99),
+      static_cast<unsigned long long>(soak.router.routed),
+      static_cast<unsigned long long>(soak.router.reroutes),
+      static_cast<unsigned long long>(soak.router.probes),
+      static_cast<unsigned long long>(soak.router.retries), soak.sweep_hits,
+      soak.sweep_checked, static_cast<unsigned long long>(soak.disk_hits));
+  return soak;
+}
+
+int run_fleet(const std::vector<Program>& programs, FleetConfig cfg) {
+  // ---- fleet: self-served shards or external endpoints ------------------
+  std::vector<Shard> fleet;
+  if (cfg.self_fleet > 0) {
+    for (std::size_t i = 0; i < cfg.self_fleet; ++i) {
+      Shard s;
+      if (cfg.cache_dir != nullptr)
+        s.cache_dir =
+            std::string(cfg.cache_dir) + "/shard" + std::to_string(i);
+      ServerOptions sopt;
+      sopt.enable_tcp = true;
+      sopt.tcp_port = 0;
+      sopt.service.num_threads = cfg.jobs;
+      if (!s.cache_dir.empty()) sopt.service.cache.disk_dir = s.cache_dir;
+      s.server = std::make_unique<ServedServer>(std::move(sopt));
+      s.server->start();
+      s.port = s.server->tcp_port();
+      cfg.endpoints.push_back(Endpoint::tcp("127.0.0.1", s.port));
+      fleet.push_back(std::move(s));
+    }
+    std::printf("phoenix_load: self-serving fleet of %zu daemons\n",
+                fleet.size());
+  }
+  std::printf("phoenix_load: fleet of %zu endpoint%s, %zu programs (%s mix)\n\n",
+              cfg.endpoints.size(), cfg.endpoints.size() == 1 ? "" : "s",
+              programs.size(), cfg.mix.c_str());
+
+  // ---- sweep: shard counts 1/2/4 x serial/pipelined ---------------------
+  std::vector<FleetRecord> records;
+  if (cfg.sweep) {
+    const std::size_t window = cfg.pipeline > 0 ? cfg.pipeline : 32;
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{4}}) {
+      if (shards > cfg.endpoints.size()) continue;
+      const std::vector<Endpoint> subset(cfg.endpoints.begin(),
+                                         cfg.endpoints.begin() +
+                                             static_cast<std::ptrdiff_t>(
+                                                 shards));
+      records.push_back(
+          measure_config(subset, /*pipelined=*/false, window, programs, cfg));
+      records.push_back(
+          measure_config(subset, /*pipelined=*/true, window, programs, cfg));
+    }
+  }
+
+  // ---- soak (+ optional kill/restart + recovery sweep) ------------------
+  bool ran_soak = false;
+  SoakResult soak;
+  if (!cfg.sweep || cfg.kill_restart) {
+    soak = run_soak(cfg.endpoints, fleet.empty() ? nullptr : &fleet, programs,
+                    cfg);
+    ran_soak = true;
+  }
+
+  // ---- aggregate frame errors across the fleet --------------------------
+  std::uint64_t frame_errors = 0;
+  {
+    ShardedClient client(cfg.endpoints, sharded_options(cfg));
+    for (std::size_t e = 0; e < cfg.endpoints.size(); ++e) {
+      try {
+        for (const auto& [name, v] : client.server_stats(e))
+          if (name == "net.frame_errors") frame_errors += v;
+      } catch (const Error&) {
+      }
+    }
+  }
+
+  // ---- BENCH_serve.json -------------------------------------------------
+  std::FILE* f = std::fopen(cfg.json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", cfg.json_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"phoenix_fleet\",\n");
+  std::fprintf(f, "  \"mix\": \"%s\",\n  \"programs\": %zu,\n",
+               cfg.mix.c_str(), programs.size());
+  std::fprintf(f, "  \"endpoints\": %zu,\n  \"duration_s\": %.2f,\n",
+               cfg.endpoints.size(), cfg.duration_s);
+  std::fprintf(f, "  \"pipeline_window\": %zu,\n",
+               cfg.pipeline > 0 ? cfg.pipeline : 32);
+  std::fprintf(f, "  \"fleet\": [");
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const FleetRecord& rec = records[r];
+    std::fprintf(
+        f,
+        "%s\n    {\"shards\": %zu, \"mode\": \"%s\", \"window\": %zu, "
+        "\"requests\": %zu, \"qps\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": "
+        "%.4f, \"hit_rate\": %.4f, \"errors\": %zu}",
+        r == 0 ? "" : ",", rec.shards, rec.mode, rec.window, rec.requests,
+        rec.qps, rec.p50_ms, rec.p99_ms,
+        rec.requests > 0 ? static_cast<double>(rec.hits) /
+                               static_cast<double>(rec.requests)
+                         : 0.0,
+        rec.errors);
+  }
+  std::fprintf(f, "\n  ]");
+  if (ran_soak) {
+    std::fprintf(
+        f,
+        ",\n  \"soak\": {\"submitted\": %zu, \"completed\": %zu, "
+        "\"server_errors\": %zu, \"lost\": %zu, \"p50_ms\": %.4f, "
+        "\"p99_ms\": %.4f, \"killed\": %s, \"restarted\": %s,\n"
+        "    \"router\": {\"routed\": %llu, \"reroutes\": %llu, \"probes\": "
+        "%llu, \"retries\": %llu},\n"
+        "    \"client\": {\"submits\": %llu, \"results\": %llu, "
+        "\"burst_writes\": %llu, \"burst_frames\": %llu, \"conns_opened\": "
+        "%llu, \"io_errors\": %llu, \"connect_retries\": %llu},\n"
+        "    \"recovery_sweep\": {\"checked\": %zu, \"hits\": %zu, "
+        "\"disk_hits\": %llu}}",
+        soak.submitted, soak.completed, soak.terminal_errors, soak.lost,
+        percentile(soak.latencies_ms, 0.50),
+        percentile(soak.latencies_ms, 0.99), soak.killed ? "true" : "false",
+        soak.restarted ? "true" : "false",
+        static_cast<unsigned long long>(soak.router.routed),
+        static_cast<unsigned long long>(soak.router.reroutes),
+        static_cast<unsigned long long>(soak.router.probes),
+        static_cast<unsigned long long>(soak.router.retries),
+        static_cast<unsigned long long>(soak.client.submits),
+        static_cast<unsigned long long>(soak.client.results),
+        static_cast<unsigned long long>(soak.client.burst_writes),
+        static_cast<unsigned long long>(soak.client.burst_frames),
+        static_cast<unsigned long long>(soak.client.conns_opened),
+        static_cast<unsigned long long>(soak.client.io_errors),
+        static_cast<unsigned long long>(soak.client.connect_retries),
+        soak.sweep_checked, soak.sweep_hits,
+        static_cast<unsigned long long>(soak.disk_hits));
+  }
+  std::fprintf(f, ",\n  \"frame_errors\": %llu\n}\n",
+               static_cast<unsigned long long>(frame_errors));
+  std::fclose(f);
+  std::printf("\nwrote %s\n", cfg.json_path);
+
+  // ---- CI gates ---------------------------------------------------------
+  int rc = 0;
+  if (cfg.assert_zero_frame_errors && frame_errors != 0) {
+    std::fprintf(stderr, "ASSERT FAILED: net.frame_errors = %llu\n",
+                 static_cast<unsigned long long>(frame_errors));
+    rc = 1;
+  }
+  if (cfg.assert_warm_p99_ms > 0.0) {
+    double worst = 0.0;
+    for (const FleetRecord& rec : records) worst = std::max(worst, rec.p99_ms);
+    if (ran_soak)
+      worst = std::max(worst, percentile(soak.latencies_ms, 0.99));
+    if (worst > cfg.assert_warm_p99_ms) {
+      std::fprintf(stderr, "ASSERT FAILED: warm p99 %.3f ms > budget %.3f ms\n",
+                   worst, cfg.assert_warm_p99_ms);
+      rc = 1;
+    }
+  }
+  if (cfg.assert_no_lost && (!ran_soak || soak.lost != 0)) {
+    std::fprintf(stderr, "ASSERT FAILED: %zu requests lost in transport\n",
+                 soak.lost);
+    rc = 1;
+  }
+  if (cfg.assert_disk_recovery &&
+      (!ran_soak || soak.sweep_hits != soak.sweep_checked ||
+       soak.disk_hits == 0)) {
+    std::fprintf(stderr,
+                 "ASSERT FAILED: recovery sweep %zu/%zu hit, disk hits %llu "
+                 "(want all hits and disk_hits > 0)\n",
+                 soak.sweep_hits, soak.sweep_checked,
+                 static_cast<unsigned long long>(soak.disk_hits));
+    rc = 1;
+  }
+  auto find_record = [&](std::size_t shards,
+                         const char* mode) -> const FleetRecord* {
+    for (const FleetRecord& rec : records)
+      if (rec.shards == shards && !std::strcmp(rec.mode, mode)) return &rec;
+    return nullptr;
+  };
+  if (cfg.assert_fleet_scaling > 0.0) {
+    const FleetRecord* base = find_record(1, "serial");
+    const FleetRecord* best = find_record(4, "pipelined");
+    if (base == nullptr || best == nullptr) {
+      std::fprintf(stderr,
+                   "ASSERT FAILED: --assert-fleet-scaling needs a sweep over "
+                   "1 and 4 shards\n");
+      rc = 1;
+    } else if (best->qps < cfg.assert_fleet_scaling * base->qps) {
+      std::fprintf(stderr,
+                   "ASSERT FAILED: 4-shard pipelined %.0f qps < %.2fx "
+                   "1-shard serial baseline %.0f qps\n",
+                   best->qps, cfg.assert_fleet_scaling, base->qps);
+      rc = 1;
+    }
+  }
+  if (cfg.assert_pipeline_speedup) {
+    const FleetRecord* serial = find_record(1, "serial");
+    const FleetRecord* piped = find_record(1, "pipelined");
+    if (serial == nullptr || piped == nullptr) {
+      std::fprintf(stderr,
+                   "ASSERT FAILED: --assert-pipeline-speedup needs a sweep\n");
+      rc = 1;
+    } else if (piped->p50_ms >= serial->p50_ms) {
+      std::fprintf(stderr,
+                   "ASSERT FAILED: pipelined warm p50 %.4f ms >= serial warm "
+                   "p50 %.4f ms\n",
+                   piped->p50_ms, serial->p50_ms);
+      rc = 1;
+    }
+  }
+  for (Shard& s : fleet)
+    if (s.server != nullptr) s.server->stop();
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,6 +615,7 @@ int main(int argc, char** argv) {
   double assert_warm_p99_ms = 0.0;
   std::size_t jobs = 0;
   const char* cache_dir = nullptr;
+  FleetConfig fleet;
 
   for (int i = 1; i < argc; ++i) {
     auto value = [&](const char* flag) -> const char* {
@@ -142,6 +653,46 @@ int main(int argc, char** argv) {
       jobs = std::strtoul(value("--jobs"), nullptr, 10);
     else if (!std::strcmp(argv[i], "--cache-dir"))
       cache_dir = value("--cache-dir");
+    else if (!std::strcmp(argv[i], "--fleet"))
+      fleet.self_fleet = std::strtoul(value("--fleet"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--endpoints")) {
+      std::string specs = value("--endpoints");
+      std::size_t start = 0;
+      while (start <= specs.size()) {
+        const std::size_t comma = specs.find(',', start);
+        const std::string one =
+            specs.substr(start, comma == std::string::npos ? std::string::npos
+                                                           : comma - start);
+        if (!one.empty()) {
+          try {
+            fleet.endpoints.push_back(Endpoint::parse(one));
+          } catch (const Error& e) {
+            std::fprintf(stderr, "--endpoints: %s\n", e.what());
+            return 1;
+          }
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (!std::strcmp(argv[i], "--pipeline"))
+      fleet.pipeline = std::strtoul(value("--pipeline"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--fleet-sweep")) fleet.sweep = true;
+    else if (!std::strcmp(argv[i], "--kill-restart"))
+      fleet.kill_restart = true;
+    else if (!std::strcmp(argv[i], "--retry"))
+      fleet.retry = std::strtoul(value("--retry"), nullptr, 10);
+    else if (!std::strcmp(argv[i], "--retry-backoff-ms"))
+      fleet.retry_backoff_ms =
+          std::strtod(value("--retry-backoff-ms"), nullptr);
+    else if (!std::strcmp(argv[i], "--assert-no-lost"))
+      fleet.assert_no_lost = true;
+    else if (!std::strcmp(argv[i], "--assert-disk-recovery"))
+      fleet.assert_disk_recovery = true;
+    else if (!std::strcmp(argv[i], "--assert-fleet-scaling"))
+      fleet.assert_fleet_scaling =
+          std::strtod(value("--assert-fleet-scaling"), nullptr);
+    else if (!std::strcmp(argv[i], "--assert-pipeline-speedup"))
+      fleet.assert_pipeline_speedup = true;
     else {
       std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
       return 1;
@@ -164,6 +715,33 @@ int main(int argc, char** argv) {
   if (programs.empty()) {
     std::fprintf(stderr, "empty program mix (max-qubits too small?)\n");
     return 1;
+  }
+
+  // ---- fleet mode --------------------------------------------------------
+  if (fleet.self_fleet > 0 || !fleet.endpoints.empty()) {
+    if (fleet.self_fleet > 0 && !fleet.endpoints.empty()) {
+      std::fprintf(stderr, "--fleet and --endpoints are mutually exclusive\n");
+      return 1;
+    }
+    if (fleet.kill_restart && fleet.self_fleet == 0) {
+      std::fprintf(stderr,
+                   "--kill-restart needs a self-served fleet (--fleet N); "
+                   "with --endpoints the operator kills a daemon instead\n");
+      return 1;
+    }
+    fleet.duration_s = duration_s;
+    fleet.jobs = jobs;
+    fleet.cache_dir = cache_dir;
+    fleet.json_path = json_path;
+    fleet.mix = mix;
+    fleet.assert_zero_frame_errors = assert_zero_frame_errors;
+    fleet.assert_warm_p99_ms = assert_warm_p99_ms;
+    try {
+      return run_fleet(programs, std::move(fleet));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "phoenix_load: %s\n", e.what());
+      return 1;
+    }
   }
 
   // ---- server ------------------------------------------------------------

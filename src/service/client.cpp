@@ -1,8 +1,16 @@
 #include "service/client.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 
 namespace phoenix {
 
@@ -12,22 +20,154 @@ namespace {
   throw Error(Stage::Parse, "phoenix-client: " + detail);
 }
 
-}  // namespace
-
-ServedClient ServedClient::connect_tcp(const std::string& host,
-                                       std::uint16_t port) {
-  return ServedClient(net::connect_tcp(host, port));
+void backoff_sleep(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
 }
 
-ServedClient ServedClient::connect_unix(const std::string& path) {
-  return ServedClient(net::connect_unix(path));
+/// Connect with the PR 6 bounded-retry idiom: any Stage::Io failure (refused,
+/// unreachable, daemon restarting) is retried `retry.limit` extra times.
+net::Fd connect_with_retry(const std::function<net::Fd()>& connect,
+                           const RetryOptions& retry,
+                           std::uint64_t* retries_out) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return connect();
+    } catch (const Error& e) {
+      if (e.stage() != Stage::Io || attempt >= retry.limit) throw;
+      if (retries_out != nullptr) ++*retries_out;
+      trace_count("client.connect_retries", 1);
+      backoff_sleep(retry.backoff_ms);
+    }
+  }
+}
+
+AckInfo parse_ack_payload(const std::string& payload, std::uint64_t id) {
+  AckInfo ack;
+  ack.request_id = id;
+  std::istringstream in(payload);
+  std::string tag;
+  int hit = -1;
+  if (!(in >> tag >> ack.fingerprint_hex >> hit) || tag != "ack" || hit < 0 ||
+      hit > 1)
+    fail("malformed submit ack '" + payload + "'");
+  ack.hit = hit == 1;
+  return ack;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> parse_stats_payload(
+    const std::string& payload) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::istringstream in(payload);
+  std::string tag, name;
+  std::uint64_t value = 0;
+  while (in >> tag) {
+    if (tag != "stat" || !(in >> name >> value))
+      fail("malformed stats reply line");
+    out.emplace_back(name, value);
+  }
+  return out;
+}
+
+bool parse_flag_payload(const std::string& payload, const char* tag_want) {
+  std::istringstream in(payload);
+  std::string tag;
+  int flag = -1;
+  if (!(in >> tag >> flag) || tag != tag_want || flag < 0 || flag > 1)
+    fail("malformed " + std::string(tag_want) + " reply '" + payload + "'");
+  return flag == 1;
+}
+
+}  // namespace
+
+// --- Endpoint ---------------------------------------------------------------
+
+Endpoint Endpoint::tcp(std::string host, std::uint16_t port) {
+  Endpoint e;
+  e.host = std::move(host);
+  e.port = port;
+  return e;
+}
+
+Endpoint Endpoint::uds(std::string path) {
+  Endpoint e;
+  e.unix_path = std::move(path);
+  return e;
+}
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  if (spec.rfind("unix:", 0) == 0) {
+    const std::string path = spec.substr(5);
+    if (path.empty())
+      throw Error(Stage::Parse, "phoenix-client: empty unix socket path in "
+                                "endpoint spec '" + spec + "'");
+    return uds(path);
+  }
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size())
+    throw Error(Stage::Parse,
+                "phoenix-client: endpoint spec '" + spec +
+                    "' is neither 'host:port' nor 'unix:<path>'");
+  const std::string host = colon == 0 ? "127.0.0.1" : spec.substr(0, colon);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || port == 0 || port > 65535)
+    throw Error(Stage::Parse, "phoenix-client: bad port in endpoint spec '" +
+                                  spec + "'");
+  return tcp(host, static_cast<std::uint16_t>(port));
+}
+
+std::string Endpoint::label() const {
+  if (is_unix()) return "unix:" + unix_path;
+  return host + ":" + std::to_string(port);
+}
+
+// --- ServedClient -----------------------------------------------------------
+
+ServedClient ServedClient::connect_tcp(const std::string& host,
+                                       std::uint16_t port,
+                                       const RetryOptions& retry) {
+  std::uint64_t retries = 0;
+  net::Fd fd = connect_with_retry(
+      [&] { return net::connect_tcp(host, port); }, retry, &retries);
+  ServedClient c(std::move(fd));
+  c.retry_ = retry;
+  c.stats_.connect_retries = retries;
+  ++c.stats_.conns_opened;
+  return c;
+}
+
+ServedClient ServedClient::connect_unix(const std::string& path,
+                                        const RetryOptions& retry) {
+  std::uint64_t retries = 0;
+  net::Fd fd = connect_with_retry([&] { return net::connect_unix(path); },
+                                  retry, &retries);
+  ServedClient c(std::move(fd));
+  c.retry_ = retry;
+  c.stats_.connect_retries = retries;
+  ++c.stats_.conns_opened;
+  return c;
 }
 
 void ServedClient::send_bytes(const std::string& bytes) {
+  flush();
   net::write_all(fd_, bytes.data(), bytes.size());
 }
 
+void ServedClient::flush() {
+  if (out_buf_.empty()) return;
+  if (out_frames_ > 1) {
+    ++stats_.burst_writes;
+    stats_.burst_frames += out_frames_;
+    trace_count("client.burst_writes", 1);
+  }
+  net::write_all(fd_, out_buf_.data(), out_buf_.size());
+  out_buf_.clear();
+  out_frames_ = 0;
+}
+
 Frame ServedClient::read_frame() {
+  flush();  // never block reading replies to frames still sitting in the buffer
   Frame f;
   std::size_t consumed = 0;
   char chunk[64 * 1024];
@@ -53,34 +193,79 @@ Frame ServedClient::wait_for(FrameType a, FrameType b,
       mailbox_.emplace(f.request_id, std::move(f));
       continue;
     }
+    if (f.type == FrameType::SubmitAck) {
+      acks_.emplace(f.request_id, std::move(f));
+      continue;
+    }
     fail(std::string("unexpected ") + frame_type_name(f.type) +
          " frame for request " + std::to_string(f.request_id) +
          " while waiting on request " + std::to_string(request_id));
   }
 }
 
-ServedClient::Ack ServedClient::submit(const CompileRequest& req,
-                                       int priority) {
-  Ack ack;
-  ack.request_id = next_id_++;
+ServedClient::Pending ServedClient::submit_async(const CompileRequest& req,
+                                                 int priority) {
   Frame f;
   f.type = FrameType::Submit;
-  f.request_id = ack.request_id;
+  f.request_id = next_id_++;
   f.payload = compile_request_to_bytes(req, priority);
-  send_bytes(encode_frame(f));
+  out_buf_ += encode_frame(f);
+  ++out_frames_;
+  ++stats_.submits;
+  trace_count("client.submits", 1);
+  return Pending(this, f.request_id);
+}
 
-  Frame reply =
-      wait_for(FrameType::SubmitAck, FrameType::ErrorReply, ack.request_id);
-  if (reply.type == FrameType::ErrorReply)
-    throw error_from_payload(reply.payload);
-  std::istringstream in(reply.payload);
-  std::string tag;
-  int hit = -1;
-  if (!(in >> tag >> ack.fingerprint_hex >> hit) || tag != "ack" || hit < 0 ||
-      hit > 1)
-    fail("malformed submit ack '" + reply.payload + "'");
-  ack.hit = hit == 1;
-  return ack;
+ServedClient::Ack ServedClient::take_ack(std::uint64_t request_id) {
+  Frame f;
+  const auto parked = acks_.find(request_id);
+  if (parked != acks_.end()) {
+    f = std::move(parked->second);
+    acks_.erase(parked);
+  } else {
+    // A rejected submission answers with ErrorReply instead of an ack; it
+    // may already be parked in the terminal mailbox.
+    const auto term = mailbox_.find(request_id);
+    if (term != mailbox_.end() && term->second.type == FrameType::ErrorReply) {
+      f = std::move(term->second);
+      mailbox_.erase(term);
+    } else {
+      f = wait_for(FrameType::SubmitAck, FrameType::ErrorReply, request_id);
+    }
+  }
+  if (f.type == FrameType::ErrorReply) {
+    ++stats_.error_replies;
+    throw error_from_payload(f.payload);
+  }
+  return parse_ack_payload(f.payload, request_id);
+}
+
+ServedClient::Ack ServedClient::Pending::ack() {
+  return owner_->take_ack(id_);
+}
+
+std::string ServedClient::Pending::get() { return owner_->await_raw(id_); }
+
+ServedClient::Ack ServedClient::submit_once(const CompileRequest& req,
+                                            int priority) {
+  Pending p = submit_async(req, priority);
+  flush();
+  return take_ack(p.request_id());
+}
+
+ServedClient::Ack ServedClient::submit(const CompileRequest& req,
+                                       int priority) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return submit_once(req, priority);
+    } catch (const Error& e) {
+      if (e.kind() != Error::Kind::Overloaded || attempt >= retry_.limit)
+        throw;
+      ++stats_.retries;
+      trace_count("client.retries", 1);
+      backoff_sleep(retry_.backoff_ms);
+    }
+  }
 }
 
 std::string ServedClient::await_raw(std::uint64_t request_id) {
@@ -92,7 +277,11 @@ std::string ServedClient::await_raw(std::uint64_t request_id) {
   } else {
     f = wait_for(FrameType::Result, FrameType::ErrorReply, request_id);
   }
-  if (f.type == FrameType::ErrorReply) throw error_from_payload(f.payload);
+  if (f.type == FrameType::ErrorReply) {
+    ++stats_.error_replies;
+    throw error_from_payload(f.payload);
+  }
+  ++stats_.results;
   return std::move(f.payload);
 }
 
@@ -120,13 +309,7 @@ bool ServedClient::cancel(std::uint64_t request_id) {
   send_bytes(encode_frame(f));
   const Frame reply =
       wait_for(FrameType::CancelAck, FrameType::CancelAck, request_id);
-  std::istringstream in(reply.payload);
-  std::string tag;
-  int cancelled = -1;
-  if (!(in >> tag >> cancelled) || tag != "cancelled" || cancelled < 0 ||
-      cancelled > 1)
-    fail("malformed cancel ack '" + reply.payload + "'");
-  return cancelled == 1;
+  return parse_flag_payload(reply.payload, "cancelled");
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> ServedClient::stats() {
@@ -136,16 +319,446 @@ std::vector<std::pair<std::string, std::uint64_t>> ServedClient::stats() {
   send_bytes(encode_frame(f));
   const Frame reply =
       wait_for(FrameType::StatsReply, FrameType::StatsReply, f.request_id);
-  std::vector<std::pair<std::string, std::uint64_t>> out;
-  std::istringstream in(reply.payload);
-  std::string tag, name;
-  std::uint64_t value = 0;
-  while (in >> tag) {
-    if (tag != "stat" || !(in >> name >> value))
-      fail("malformed stats reply line");
-    out.emplace_back(name, value);
-  }
-  return out;
+  return parse_stats_payload(reply.payload);
 }
+
+// --- PooledClient -----------------------------------------------------------
+
+namespace detail {
+
+/// Future state for one pooled submission. The reader thread fulfills it;
+/// any number of caller threads may block on `cv`.
+struct PoolPending {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t request_id = 0;
+  std::weak_ptr<PoolConn> conn;  ///< for Handle::cancel()
+  bool have_ack = false;
+  AckInfo ack;
+  bool have_terminal = false;
+  std::string payload;            ///< Result payload (moved out by get())
+  std::unique_ptr<Error> error;   ///< terminal error, server or transport
+};
+
+/// Blocking slot for one synchronous round-trip (Cancel/Stats).
+struct SyncWait {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Frame reply;
+  std::unique_ptr<Error> error;
+};
+
+/// One pooled connection: a socket, its reader thread, and the in-flight
+/// futures it owns. Dead connections are replaced lazily at the next
+/// submit that round-robins onto their slot.
+struct PoolConn {
+  net::Fd fd;
+  std::thread reader;
+  std::mutex write_mu;
+  std::mutex mu;  ///< guards pending/sync/next_id
+  std::unordered_map<std::uint64_t, std::shared_ptr<PoolPending>> pending;
+  std::unordered_map<std::uint64_t, std::shared_ptr<SyncWait>> sync;
+  std::uint64_t next_id = 1;
+  std::atomic<bool> dead{false};
+};
+
+}  // namespace detail
+
+using detail::PoolConn;
+using detail::PoolPending;
+using detail::SyncWait;
+
+struct PooledClient::Impl {
+  Endpoint ep;
+  PooledClientOptions opt;
+
+  std::mutex pool_mu;
+  std::vector<std::shared_ptr<PoolConn>> conns;  ///< fixed slots, lazily filled
+  std::uint64_t rr = 0;
+
+  std::atomic<std::uint64_t> submits{0};
+  std::atomic<std::uint64_t> results{0};
+  std::atomic<std::uint64_t> error_replies{0};
+  std::atomic<std::uint64_t> connect_retries{0};
+  std::atomic<std::uint64_t> conns_opened{0};
+  std::atomic<std::uint64_t> io_errors{0};
+  std::atomic<std::uint64_t> burst_writes{0};
+  std::atomic<std::uint64_t> burst_frames{0};
+
+  Impl(Endpoint e, PooledClientOptions o) : ep(std::move(e)), opt(o) {
+    conns.resize(opt.connections == 0 ? 1 : opt.connections);
+  }
+
+  void fail_pending(PoolPending& p, const Error& e) {
+    std::lock_guard<std::mutex> lk(p.mu);
+    if (!p.have_terminal) {
+      p.have_terminal = true;
+      p.error = std::make_unique<Error>(e);
+    }
+    p.cv.notify_all();
+  }
+
+  void dispatch(const std::shared_ptr<PoolConn>& c, Frame f) {
+    if (f.type == FrameType::Status || f.type == FrameType::CancelAck ||
+        f.type == FrameType::StatsReply) {
+      std::shared_ptr<SyncWait> w;
+      {
+        std::lock_guard<std::mutex> lk(c->mu);
+        const auto it = c->sync.find(f.request_id);
+        if (it == c->sync.end()) return;  // stale round-trip; drop
+        w = it->second;
+        c->sync.erase(it);
+      }
+      std::lock_guard<std::mutex> lk(w->mu);
+      w->reply = std::move(f);
+      w->done = true;
+      w->cv.notify_all();
+      return;
+    }
+
+    std::shared_ptr<PoolPending> p;
+    {
+      std::lock_guard<std::mutex> lk(c->mu);
+      const auto it = c->pending.find(f.request_id);
+      if (it == c->pending.end()) return;  // e.g. server goodbye with id 0
+      p = it->second;
+      if (f.type != FrameType::SubmitAck) c->pending.erase(it);
+    }
+    std::lock_guard<std::mutex> lk(p->mu);
+    switch (f.type) {
+      case FrameType::SubmitAck:
+        try {
+          p->ack = parse_ack_payload(f.payload, f.request_id);
+          p->have_ack = true;
+        } catch (const Error& e) {
+          p->have_terminal = true;
+          p->error = std::make_unique<Error>(e);
+        }
+        break;
+      case FrameType::Result:
+        p->payload = std::move(f.payload);
+        p->have_terminal = true;
+        results.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case FrameType::ErrorReply:
+        p->have_terminal = true;
+        p->error = std::make_unique<Error>(error_from_payload(f.payload));
+        error_replies.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        p->have_terminal = true;
+        p->error = std::make_unique<Error>(
+            Stage::Parse, std::string("phoenix-client: unexpected ") +
+                              frame_type_name(f.type) + " frame");
+        break;
+    }
+    p->cv.notify_all();
+  }
+
+  void reader_loop(const std::shared_ptr<PoolConn>& c) {
+    std::string buf;
+    std::vector<char> chunk(64 * 1024);
+    try {
+      for (;;) {
+        const std::size_t n =
+            net::read_some(c->fd, chunk.data(), chunk.size());
+        if (n == 0) break;
+        buf.append(chunk.data(), n);
+        std::size_t off = 0;
+        Frame f;
+        std::size_t consumed = 0;
+        while (decode_frame(buf.data() + off, buf.size() - off,
+                            kMaxFramePayload, f,
+                            consumed) == DecodeResult::Frame) {
+          off += consumed;
+          dispatch(c, std::move(f));
+        }
+        buf.erase(0, off);
+      }
+    } catch (...) {
+      // Hard read error or lost framing: everything below fails the
+      // outstanding futures; nothing to add here.
+    }
+    c->dead.store(true, std::memory_order_release);
+
+    // Fail every outstanding future and sync waiter: the peer can no longer
+    // answer them, and a blocked caller must wake with a structured error.
+    const Error lost(Stage::Io, "phoenix-client: connection to " + ep.label() +
+                                    " lost");
+    std::unordered_map<std::uint64_t, std::shared_ptr<PoolPending>> pending;
+    std::unordered_map<std::uint64_t, std::shared_ptr<SyncWait>> sync;
+    {
+      std::lock_guard<std::mutex> lk(c->mu);
+      pending.swap(c->pending);
+      sync.swap(c->sync);
+    }
+    if (!pending.empty() || !sync.empty()) {
+      // Only a connection that stranded in-flight work counts as an I/O
+      // error; a clean idle close (pool teardown) does not.
+      io_errors.fetch_add(1, std::memory_order_relaxed);
+      trace_count("net.pool.io_errors", 1);
+    }
+    for (auto& [id, p] : pending) fail_pending(*p, lost);
+    for (auto& [id, w] : sync) {
+      std::lock_guard<std::mutex> lk(w->mu);
+      w->error = std::make_unique<Error>(lost);
+      w->done = true;
+      w->cv.notify_all();
+    }
+  }
+
+  /// Round-robin a pool slot, (re)connecting it if empty or dead. Callers
+  /// retry per `opt.retry` around the Stage::Io throw.
+  std::shared_ptr<PoolConn> checkout() {
+    std::lock_guard<std::mutex> lk(pool_mu);
+    const std::size_t slot = rr++ % conns.size();
+    std::shared_ptr<PoolConn>& c = conns[slot];
+    if (c != nullptr && !c->dead.load(std::memory_order_acquire)) return c;
+    if (c != nullptr) {
+      c->fd.shutdown_both();
+      if (c->reader.joinable()) c->reader.join();
+      c.reset();
+    }
+    auto fresh = std::make_shared<PoolConn>();
+    fresh->fd = ep.is_unix() ? net::connect_unix(ep.unix_path)
+                             : net::connect_tcp(ep.host, ep.port);
+    fresh->reader = std::thread([this, fresh] { reader_loop(fresh); });
+    conns_opened.fetch_add(1, std::memory_order_relaxed);
+    trace_count("net.pool.conns_opened", 1);
+    c = fresh;
+    return fresh;
+  }
+
+  /// Mark a connection broken after a failed write and unregister the ids
+  /// we had just claimed on it (their futures were never observable).
+  void break_conn(const std::shared_ptr<PoolConn>& c,
+                  const std::vector<std::uint64_t>& ids) {
+    c->dead.store(true, std::memory_order_release);
+    c->fd.shutdown_both();  // wakes the reader, which fails any older ids
+    std::lock_guard<std::mutex> lk(c->mu);
+    for (const std::uint64_t id : ids) c->pending.erase(id);
+  }
+
+  std::vector<Handle> submit_frames(const std::vector<CompileRequest>& reqs,
+                                    int priority) {
+    std::vector<std::string> bodies;
+    bodies.reserve(reqs.size());
+    for (const CompileRequest& r : reqs)
+      bodies.push_back(compile_request_to_bytes(r, priority));
+    std::vector<const std::string*> ptrs;
+    ptrs.reserve(bodies.size());
+    for (const std::string& b : bodies) ptrs.push_back(&b);
+    return submit_bodies(ptrs);
+  }
+
+  std::vector<Handle> submit_bodies(
+      const std::vector<const std::string*>& bodies) {
+    for (std::size_t attempt = 0;; ++attempt) {
+      try {
+        const std::shared_ptr<PoolConn> c = checkout();
+        std::vector<std::shared_ptr<PoolPending>> ps;
+        std::vector<std::uint64_t> ids;
+        std::string bytes;
+        {
+          std::lock_guard<std::mutex> lk(c->mu);
+          for (const std::string* body : bodies) {
+            const std::uint64_t id = c->next_id++;
+            auto p = std::make_shared<PoolPending>();
+            p->request_id = id;
+            p->conn = c;
+            c->pending.emplace(id, p);
+            ps.push_back(std::move(p));
+            ids.push_back(id);
+            append_frame(bytes, FrameType::Submit, id, *body);
+          }
+        }
+        try {
+          std::lock_guard<std::mutex> lk(c->write_mu);
+          net::write_all(c->fd, bytes.data(), bytes.size());
+        } catch (...) {
+          break_conn(c, ids);
+          throw;
+        }
+        submits.fetch_add(bodies.size(), std::memory_order_relaxed);
+        trace_count("net.pool.submits", bodies.size());
+        if (bodies.size() > 1) {
+          burst_writes.fetch_add(1, std::memory_order_relaxed);
+          burst_frames.fetch_add(bodies.size(), std::memory_order_relaxed);
+          trace_count("net.pool.burst_writes", 1);
+        }
+        std::vector<Handle> out;
+        out.reserve(ps.size());
+        for (auto& p : ps) out.push_back(Handle(std::move(p)));
+        return out;
+      } catch (const Error& e) {
+        if (e.stage() != Stage::Io || attempt >= opt.retry.limit) throw;
+        connect_retries.fetch_add(1, std::memory_order_relaxed);
+        trace_count("net.pool.connect_retries", 1);
+        backoff_sleep(opt.retry.backoff_ms);
+      }
+    }
+  }
+
+  Frame sync_round_trip(FrameType type, std::uint64_t request_id,
+                        const std::shared_ptr<PoolConn>& c) {
+    auto w = std::make_shared<SyncWait>();
+    {
+      std::lock_guard<std::mutex> lk(c->mu);
+      c->sync.emplace(request_id, w);
+    }
+    Frame f;
+    f.type = type;
+    f.request_id = request_id;
+    const std::string bytes = encode_frame(f);
+    try {
+      std::lock_guard<std::mutex> lk(c->write_mu);
+      net::write_all(c->fd, bytes.data(), bytes.size());
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(c->mu);
+        c->sync.erase(request_id);
+      }
+      c->dead.store(true, std::memory_order_release);
+      c->fd.shutdown_both();
+      throw;
+    }
+    std::unique_lock<std::mutex> lk(w->mu);
+    w->cv.wait(lk, [&] { return w->done; });
+    if (w->error != nullptr) throw Error(*w->error);
+    return std::move(w->reply);
+  }
+
+  void shutdown() {
+    std::lock_guard<std::mutex> lk(pool_mu);
+    for (auto& c : conns) {
+      if (c == nullptr) continue;
+      c->fd.shutdown_both();
+      if (c->reader.joinable()) c->reader.join();
+      c.reset();
+    }
+  }
+};
+
+PooledClient::PooledClient(Endpoint endpoint, PooledClientOptions opt)
+    : impl_(std::make_unique<Impl>(std::move(endpoint), opt)) {}
+
+PooledClient::~PooledClient() { impl_->shutdown(); }
+
+std::uint64_t PooledClient::Handle::request_id() const {
+  return p_ == nullptr ? 0 : p_->request_id;
+}
+
+AckInfo PooledClient::Handle::ack() {
+  PoolPending& p = *p_;
+  std::unique_lock<std::mutex> lk(p.mu);
+  p.cv.wait(lk, [&] { return p.have_ack || p.have_terminal; });
+  if (p.have_ack) return p.ack;
+  if (p.error != nullptr) throw Error(*p.error);
+  throw Error(Stage::Parse,
+              "phoenix-client: terminal Result arrived without a SubmitAck");
+}
+
+std::string PooledClient::Handle::get() {
+  PoolPending& p = *p_;
+  std::unique_lock<std::mutex> lk(p.mu);
+  p.cv.wait(lk, [&] { return p.have_terminal; });
+  if (p.error != nullptr) throw Error(*p.error);
+  return std::move(p.payload);
+}
+
+bool PooledClient::Handle::done() const {
+  PoolPending& p = *p_;
+  std::lock_guard<std::mutex> lk(p.mu);
+  return p.have_terminal;
+}
+
+bool PooledClient::Handle::cancel() {
+  PoolPending& p = *p_;
+  std::shared_ptr<PoolConn> c = p.conn.lock();
+  if (c == nullptr || c->dead.load(std::memory_order_acquire)) return false;
+  {
+    std::lock_guard<std::mutex> lk(p.mu);
+    if (p.have_terminal) return false;
+  }
+  auto w = std::make_shared<SyncWait>();
+  {
+    std::lock_guard<std::mutex> lk(c->mu);
+    c->sync.emplace(p.request_id, w);
+  }
+  Frame f;
+  f.type = FrameType::Cancel;
+  f.request_id = p.request_id;
+  const std::string bytes = encode_frame(f);
+  try {
+    std::lock_guard<std::mutex> lk(c->write_mu);
+    net::write_all(c->fd, bytes.data(), bytes.size());
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(c->mu);
+    c->sync.erase(p.request_id);
+    return false;
+  }
+  std::unique_lock<std::mutex> lk(w->mu);
+  w->cv.wait(lk, [&] { return w->done; });
+  if (w->error != nullptr) return false;
+  return parse_flag_payload(w->reply.payload, "cancelled");
+}
+
+PooledClient::Handle PooledClient::submit_async(const CompileRequest& req,
+                                                int priority) {
+  std::vector<CompileRequest> one(1, req);
+  return std::move(impl_->submit_frames(one, priority)[0]);
+}
+
+std::vector<PooledClient::Handle> PooledClient::submit_burst(
+    const std::vector<CompileRequest>& reqs, int priority) {
+  if (reqs.empty()) return {};
+  return impl_->submit_frames(reqs, priority);
+}
+
+PooledClient::Handle PooledClient::submit_payload(const std::string& body) {
+  const std::vector<const std::string*> one(1, &body);
+  return std::move(impl_->submit_bodies(one)[0]);
+}
+
+std::vector<PooledClient::Handle> PooledClient::submit_burst_payloads(
+    const std::vector<const std::string*>& bodies) {
+  if (bodies.empty()) return {};
+  return impl_->submit_bodies(bodies);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+PooledClient::server_stats() {
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      const std::shared_ptr<PoolConn> c = impl_->checkout();
+      std::uint64_t id = 0;
+      {
+        std::lock_guard<std::mutex> lk(c->mu);
+        id = c->next_id++;
+      }
+      const Frame reply = impl_->sync_round_trip(FrameType::Stats, id, c);
+      return parse_stats_payload(reply.payload);
+    } catch (const Error& e) {
+      if (e.stage() != Stage::Io || attempt >= impl_->opt.retry.limit) throw;
+      backoff_sleep(impl_->opt.retry.backoff_ms);
+    }
+  }
+}
+
+ClientStats PooledClient::stats() const {
+  ClientStats s;
+  s.submits = impl_->submits.load(std::memory_order_relaxed);
+  s.results = impl_->results.load(std::memory_order_relaxed);
+  s.error_replies = impl_->error_replies.load(std::memory_order_relaxed);
+  s.connect_retries = impl_->connect_retries.load(std::memory_order_relaxed);
+  s.conns_opened = impl_->conns_opened.load(std::memory_order_relaxed);
+  s.io_errors = impl_->io_errors.load(std::memory_order_relaxed);
+  s.burst_writes = impl_->burst_writes.load(std::memory_order_relaxed);
+  s.burst_frames = impl_->burst_frames.load(std::memory_order_relaxed);
+  return s;
+}
+
+const Endpoint& PooledClient::endpoint() const { return impl_->ep; }
 
 }  // namespace phoenix

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -11,31 +12,119 @@
 
 namespace phoenix {
 
+/// One phoenix_served address: TCP `host:port` or a Unix-domain socket
+/// path. The canonical `label()` doubles as the endpoint's identity in the
+/// rendezvous hash (router.hpp), so two processes that spell the same
+/// endpoint the same way route every fingerprint identically.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string unix_path;  ///< non-empty selects the Unix-domain transport
+
+  static Endpoint tcp(std::string host, std::uint16_t port);
+  static Endpoint uds(std::string path);
+  /// Parse `unix:<path>` or `host:port` (throws Error, Stage::Parse).
+  static Endpoint parse(const std::string& spec);
+
+  bool is_unix() const { return !unix_path.empty(); }
+  /// `host:port` or `unix:<path>` — the rendezvous identity.
+  std::string label() const;
+  bool operator==(const Endpoint&) const = default;
+};
+
+/// Bounded retry-with-backoff policy, the client-side sibling of the disk
+/// cache's `disk_retry_{limit,backoff_ms}` (PR 6). Applied to connect
+/// attempts that fail with Stage::Io (connection refused, daemon
+/// restarting) and to submissions rejected with kind Overloaded. Off by
+/// default so protocol tests observe every error exactly once.
+struct RetryOptions {
+  std::size_t limit = 0;    ///< extra attempts after the first (0 = off)
+  double backoff_ms = 1.0;  ///< sleep between attempts
+};
+
+/// Client-side monotonic counters, the `ServiceStats` sibling for the
+/// transport layer. Mirrored onto any installed Trace as `net.pool.*`
+/// counters by the pooled client and `client.*` by the blocking client.
+struct ClientStats {
+  std::uint64_t submits = 0;         ///< Submit frames sent
+  std::uint64_t results = 0;         ///< Result payloads received
+  std::uint64_t error_replies = 0;   ///< terminal ErrorReply frames consumed
+  std::uint64_t retries = 0;         ///< Overloaded submissions retried
+  std::uint64_t connect_retries = 0; ///< failed connect attempts retried
+  std::uint64_t conns_opened = 0;    ///< connections (re)established
+  std::uint64_t io_errors = 0;       ///< connections lost mid-conversation
+  std::uint64_t burst_writes = 0;    ///< batched multi-frame writes
+  std::uint64_t burst_frames = 0;    ///< Submit frames carried by bursts
+};
+
+/// SubmitAck contents: the server-computed request fingerprint and whether
+/// the submission was ready at submission time (cache hit or joined an
+/// in-flight compile).
+struct AckInfo {
+  std::uint64_t request_id = 0;
+  std::string fingerprint_hex;
+  bool hit = false;
+};
+
 /// Blocking client for the phoenix_served wire protocol (see protocol.hpp).
 /// Single-threaded by design: one ServedClient owns one connection and is
 /// driven from one thread, but it still multiplexes — submit as many
-/// requests as you like, then await them in any order; replies that arrive
-/// early are parked in a mailbox keyed by request id. phoenix_load and the
-/// server tests drive the daemon exclusively through this class.
+/// requests as you like (pipelined without waiting for acks via
+/// `submit_async` + `flush`), then await them in any order; replies that
+/// arrive early are parked in mailboxes keyed by request id. phoenix_load
+/// and the server tests drive the daemon through this class; the fleet path
+/// (router.hpp) rides the thread-safe PooledClient below instead.
 class ServedClient {
  public:
-  static ServedClient connect_tcp(const std::string& host, std::uint16_t port);
-  static ServedClient connect_unix(const std::string& path);
+  /// `retry` bounds reconnect attempts when the daemon is not up yet (or is
+  /// restarting): any connect failure with Stage::Io is retried with
+  /// backoff. The policy is remembered and also applied to Overloaded
+  /// submission rejects in submit().
+  static ServedClient connect_tcp(const std::string& host, std::uint16_t port,
+                                  const RetryOptions& retry = {});
+  static ServedClient connect_unix(const std::string& path,
+                                   const RetryOptions& retry = {});
 
   ServedClient(ServedClient&&) = default;
   ServedClient& operator=(ServedClient&&) = default;
 
-  struct Ack {
-    std::uint64_t request_id = 0;
-    std::string fingerprint_hex;
-    bool hit = false;  ///< ready at submission time (cache hit or joined)
-  };
+  using Ack = AckInfo;
 
   /// Send a Submit frame and wait for its SubmitAck. Request ids are
   /// assigned internally (monotonic). Throws the reconstructed phoenix::Error
   /// when the server rejects the submission outright (malformed request,
   /// admission control) — rejected submissions have no result to await.
+  /// With a retry policy installed, Overloaded rejects are resubmitted up to
+  /// `retry.limit` times with `retry.backoff_ms` sleeps (counted in
+  /// client_stats().retries).
   Ack submit(const CompileRequest& req, int priority = 0);
+
+  /// Pipelined submission: the encoded Submit frame is appended to an
+  /// outgoing buffer without touching the socket, so a burst of
+  /// submit_async calls becomes ONE batched write at the next flush() (or
+  /// implicitly before the next read). The returned handle is a
+  /// single-threaded future: its ack()/get() pump this client's connection
+  /// until the wanted reply arrives, parking everything else.
+  class Pending {
+   public:
+    Pending() = default;
+    std::uint64_t request_id() const { return id_; }
+    /// Block for the SubmitAck (throws the reconstructed Error when the
+    /// server rejected the submission; a throwing ack() is terminal).
+    Ack ack();
+    /// Block for the terminal Result payload (throws like await_raw).
+    std::string get();
+
+   private:
+    friend class ServedClient;
+    Pending(ServedClient* owner, std::uint64_t id) : owner_(owner), id_(id) {}
+    ServedClient* owner_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+  Pending submit_async(const CompileRequest& req, int priority = 0);
+  /// Write every buffered frame in one write_all (counted as a burst write
+  /// when it carries more than one frame). No-op on an empty buffer.
+  void flush();
 
   /// Block until the terminal reply for `request_id` and return the raw
   /// Result payload (exactly the serialize.hpp document — callers wanting a
@@ -57,23 +146,132 @@ class ServedClient {
   /// Synchronous Stats round-trip: `net.*` and `service.*` counters.
   std::vector<std::pair<std::string, std::uint64_t>> stats();
 
-  /// Escape hatch for protocol tests: write raw bytes to the socket.
+  ClientStats client_stats() const { return stats_; }
+
+  /// Escape hatch for protocol tests: write raw bytes to the socket (any
+  /// buffered frames are flushed first so stream order is preserved).
   void send_bytes(const std::string& bytes);
   /// Escape hatch for protocol tests: read the next frame off the wire
-  /// (bypasses the mailbox — use only on a connection with nothing pending).
+  /// (bypasses the mailboxes — use only on a connection with nothing
+  /// pending).
   Frame read_frame();
 
  private:
   explicit ServedClient(net::Fd fd) : fd_(std::move(fd)) {}
 
+  Ack submit_once(const CompileRequest& req, int priority);
+  Ack take_ack(std::uint64_t request_id);
   Frame wait_for(FrameType a, FrameType b, std::uint64_t request_id);
 
   net::Fd fd_;
-  std::string buf_;
+  RetryOptions retry_;
+  ClientStats stats_;
+  std::string buf_;      ///< incoming byte stream, undecoded tail
+  std::string out_buf_;  ///< encoded frames awaiting the next flush()
+  std::size_t out_frames_ = 0;
   std::uint64_t next_id_ = 1;
   /// Terminal replies (Result/ErrorReply) that arrived while waiting for
-  /// something else.
+  /// something else, and SubmitAcks for pipelined submissions.
   std::unordered_map<std::uint64_t, Frame> mailbox_;
+  std::unordered_map<std::uint64_t, Frame> acks_;
+};
+
+namespace detail {
+struct PoolPending;
+struct PoolConn;
+}  // namespace detail
+
+struct PooledClientOptions {
+  /// Connections kept to the endpoint. Submissions round-robin across them,
+  /// each multiplexing many in-flight request ids (the server demuxes by
+  /// id), so one pooled client saturates a daemon without head-of-line
+  /// blocking on a single stream.
+  std::size_t connections = 2;
+  /// Connect/reconnect retry policy (Stage::Io failures at submission
+  /// time). Overloaded rejects are NOT retried here — they surface through
+  /// Handle::get() so the routing layer (ShardedClient) can apply its own
+  /// bounded re-route/backoff policy.
+  RetryOptions retry;
+};
+
+/// Thread-safe pooled, pipelined transport to ONE endpoint: a small
+/// connection pool, a reader thread per connection demultiplexing replies
+/// by request id into futures, batched frame writes for submit bursts, and
+/// automatic lazy reconnect of dead connections. This is the per-endpoint
+/// transport under ShardedClient (router.hpp); it can also be used directly
+/// as a faster drop-in for ServedClient when raw-frame escape hatches are
+/// not needed.
+///
+/// Failure semantics: when a connection dies (EOF, reset, daemon killed),
+/// every submission in flight on it fails with Error(Stage::Io); the next
+/// submit_async transparently reconnects that pool slot. A submission is
+/// never silently lost — each one terminates in exactly one of Result
+/// payload, structured server Error, or connection-loss Error.
+class PooledClient {
+ public:
+  explicit PooledClient(Endpoint endpoint, PooledClientOptions opt = {});
+  ~PooledClient();  ///< shuts down every connection and joins the readers
+
+  PooledClient(const PooledClient&) = delete;
+  PooledClient& operator=(const PooledClient&) = delete;
+
+  /// Future for one submission. Safe to await from any thread (and from a
+  /// different thread than the submitter); blocking calls wake when the
+  /// reader thread delivers the reply or the connection dies.
+  class Handle {
+   public:
+    Handle() = default;
+    bool valid() const { return p_ != nullptr; }
+    std::uint64_t request_id() const;
+    /// Block for the SubmitAck (throws the server's rejection Error or the
+    /// connection-loss Error; a throwing ack() is terminal).
+    AckInfo ack();
+    /// Block for the terminal reply; returns the raw Result payload, throws
+    /// the reconstructed Error otherwise. Single-shot: the payload is moved
+    /// out.
+    std::string get();
+    /// True once the terminal reply (or connection loss) arrived.
+    bool done() const;
+    /// Synchronous Cancel round-trip on the owning connection (false when
+    /// the connection is already gone or the compile had finished).
+    bool cancel();
+
+   private:
+    friend class PooledClient;
+    explicit Handle(std::shared_ptr<detail::PoolPending> p)
+        : p_(std::move(p)) {}
+    std::shared_ptr<detail::PoolPending> p_;
+  };
+
+  /// Pipelined submit: registers the future, writes the frame on one pool
+  /// connection, returns without waiting for any reply. Reconnects (with
+  /// the configured retry policy) when the chosen connection is dead.
+  Handle submit_async(const CompileRequest& req, int priority = 0);
+
+  /// Batched submit burst: every frame is encoded back-to-back and written
+  /// with ONE write_all on one connection, so an N-request burst costs one
+  /// syscall instead of N (counted in stats().burst_writes/burst_frames).
+  std::vector<Handle> submit_burst(const std::vector<CompileRequest>& reqs,
+                                   int priority = 0);
+
+  /// Pre-serialized variants: submit a Submit PAYLOAD produced earlier by
+  /// compile_request_to_bytes, skipping the per-submission serialization
+  /// pass. The routing tier's prepared requests (router.hpp) ride these for
+  /// repeat-heavy workloads and retry resubmission.
+  Handle submit_payload(const std::string& body);
+  std::vector<Handle> submit_burst_payloads(
+      const std::vector<const std::string*>& bodies);
+
+  /// Synchronous Stats round-trip: the endpoint's `net.*`/`service.*`
+  /// counters (opens a connection if none is live).
+  std::vector<std::pair<std::string, std::uint64_t>> server_stats();
+
+  ClientStats stats() const;
+  const Endpoint& endpoint() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 }  // namespace phoenix

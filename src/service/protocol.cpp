@@ -134,14 +134,19 @@ const char* frame_type_name(FrameType t) {
 
 std::string encode_frame(const Frame& f) {
   std::string out;
-  out.reserve(kFrameHeaderBytes + f.payload.size());
+  append_frame(out, f.type, f.request_id, f.payload);
+  return out;
+}
+
+void append_frame(std::string& out, FrameType type, std::uint64_t request_id,
+                  const std::string& payload) {
+  out.reserve(out.size() + kFrameHeaderBytes + payload.size());
   put_u32(out, kFrameMagic);
   put_u16(out, kProtocolVersion);
-  put_u16(out, static_cast<std::uint16_t>(f.type));
-  put_u64(out, f.request_id);
-  put_u32(out, static_cast<std::uint32_t>(f.payload.size()));
-  out += f.payload;
-  return out;
+  put_u16(out, static_cast<std::uint16_t>(type));
+  put_u64(out, request_id);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
 }
 
 DecodeResult decode_frame(const char* data, std::size_t size,

@@ -74,6 +74,12 @@ struct Frame {
 /// Header + payload as one contiguous byte string, ready to write.
 std::string encode_frame(const Frame& f);
 
+/// Append one encoded frame to `out` in place — the batched-write paths
+/// (submit bursts, coalesced warm replies) build multi-frame byte strings
+/// with one payload copy per frame and no intermediate allocations.
+void append_frame(std::string& out, FrameType type, std::uint64_t request_id,
+                  const std::string& payload);
+
 /// Incremental decoder result: a complete frame, or "need more bytes".
 /// Malformed input (bad magic, foreign version, payload_len above
 /// `max_payload`) throws phoenix::Error (Stage::Parse) — the connection is

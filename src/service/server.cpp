@@ -1,11 +1,14 @@
 #include "service/server.hpp"
 
 #include <atomic>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -66,6 +69,106 @@ struct ServedServer::Impl {
   std::atomic<std::uint64_t> results{0};
   std::atomic<std::uint64_t> errors_sent{0};
   std::atomic<std::uint64_t> cancels{0};
+  std::atomic<std::uint64_t> wire_hits{0};
+  std::atomic<std::uint64_t> reply_batches{0};
+
+  /// Serialized-result memo. compile_result_to_bytes costs milliseconds for
+  /// large programs — orders of magnitude more than the cache lookup it
+  /// follows — so serving a warm hit must not re-serialize. Keyed by the
+  /// request fingerprint (compiles are deterministic: fingerprint ->
+  /// result -> bytes), LRU-bounded, shared across connections.
+  static constexpr std::size_t kSerializedMemoMax = 64;
+  std::mutex ser_mu;
+  std::list<std::pair<Digest128, std::shared_ptr<const std::string>>> ser_lru;
+  std::unordered_map<std::string, decltype(ser_lru)::iterator> ser_map;
+
+  std::shared_ptr<const std::string> serialized_result(
+      const Digest128& fp, const CompileResult& res) {
+    const std::string key = fp.hex();
+    {
+      std::lock_guard<std::mutex> lk(ser_mu);
+      const auto it = ser_map.find(key);
+      if (it != ser_map.end()) {
+        ser_lru.splice(ser_lru.begin(), ser_lru, it->second);
+        trace_count("net.serialize_memo_hits", 1);
+        return it->second->second;
+      }
+    }
+    // Serialize outside the lock; a racing duplicate costs one extra
+    // serialization, never a wrong answer.
+    auto bytes =
+        std::make_shared<const std::string>(compile_result_to_bytes(res));
+    std::lock_guard<std::mutex> lk(ser_mu);
+    if (ser_map.find(key) == ser_map.end()) {
+      ser_lru.emplace_front(fp, bytes);
+      ser_map.emplace(key, ser_lru.begin());
+      while (ser_lru.size() > kSerializedMemoMax) {
+        ser_map.erase(ser_lru.back().first.hex());
+        ser_lru.pop_back();
+      }
+    }
+    trace_count("net.serialize_memo_misses", 1);
+    return bytes;
+  }
+
+  /// Wire-level reply memo: hash of the raw Submit PAYLOAD bytes -> the
+  /// finished reply (fingerprint + shared serialized Result). A repeated
+  /// byte-identical submission is answered without parsing the request,
+  /// re-fingerprinting it, or touching the service at all — the dominant
+  /// warm-path CPU on a hot fleet shard. Only successful Results are
+  /// memoized (errors, cancels, and deadline misses always re-enter the
+  /// service), and the memo is disabled when a compile_fn test seam is
+  /// installed so protocol tests observe exact service-level semantics.
+  /// The request_id lives in the frame HEADER, not the payload, so all
+  /// clients share entries regardless of their id sequences; priority and
+  /// deadline are payload bytes, so requests differing there get their own
+  /// entries instead of wrong answers.
+  struct WireReply {
+    std::string fingerprint_hex;
+    std::shared_ptr<const std::string> result_bytes;
+  };
+  static constexpr std::size_t kWireMemoMaxEntries = 256;
+  static constexpr std::size_t kWireMemoMaxBytes = 64ull << 20;
+  std::mutex wire_mu;
+  std::list<std::pair<std::string, WireReply>> wire_lru;
+  std::unordered_map<std::string, decltype(wire_lru)::iterator> wire_map;
+  std::size_t wire_bytes = 0;
+
+  static std::string wire_key(const std::string& payload) {
+    Hash128 h(0x7068786d656d6full);  // "phxmemo"
+    h.write_string(payload);
+    return h.digest().hex();
+  }
+
+  bool wire_lookup(const std::string& payload, WireReply* out) {
+    if (opt.compile_fn) return false;
+    const std::string key = wire_key(payload);
+    std::lock_guard<std::mutex> lk(wire_mu);
+    const auto it = wire_map.find(key);
+    if (it == wire_map.end()) return false;
+    wire_lru.splice(wire_lru.begin(), wire_lru, it->second);
+    *out = it->second->second;
+    return true;
+  }
+
+  void wire_store(const std::string& payload, std::string fingerprint_hex,
+                  std::shared_ptr<const std::string> result_bytes) {
+    if (opt.compile_fn) return;
+    std::string key = wire_key(payload);
+    std::lock_guard<std::mutex> lk(wire_mu);
+    if (wire_map.find(key) != wire_map.end()) return;
+    wire_bytes += result_bytes->size();
+    wire_lru.emplace_front(
+        std::move(key),
+        WireReply{std::move(fingerprint_hex), std::move(result_bytes)});
+    wire_map.emplace(wire_lru.front().first, wire_lru.begin());
+    while (wire_lru.size() > kWireMemoMaxEntries ||
+           (wire_bytes > kWireMemoMaxBytes && wire_lru.size() > 1)) {
+      wire_bytes -= wire_lru.back().second.result_bytes->size();
+      wire_map.erase(wire_lru.back().first);
+      wire_lru.pop_back();
+    }
+  }
 
   explicit Impl(ServerOptions o)
       : opt(std::move(o)), service(opt.service, opt.compile_fn) {}
@@ -88,42 +191,93 @@ struct ServedServer::Impl {
     trace_count("net.errors_sent", 1);
   }
 
-  /// Terminal reply for one submission: Result on success, ErrorReply on
-  /// failure/cancel/deadline. Runs inline for warm hits, on a waiter thread
-  /// otherwise; either way it retires the ticket and the in_flight slot.
+  /// Terminal reply for one cold submission, sent from its waiter thread
+  /// once the shared flight resolves: Result on success, ErrorReply on
+  /// failure/cancel/deadline. Retires the ticket and the in_flight slot.
+  /// (Warm hits never get here — handle_submit answers them inline with the
+  /// ack and terminal frame coalesced.)
   void reply_for_ticket(Conn& c, std::uint64_t request_id,
                         CompileService::Ticket ticket) {
+    Frame out;
+    out.request_id = request_id;
     try {
-      try {
-        const CompileService::ResultPtr res = ticket.get();
-        if (res != nullptr) {
-          send_frame(c, FrameType::Result, request_id,
-                     compile_result_to_bytes(*res));
-          results.fetch_add(1, std::memory_order_relaxed);
-          trace_count("net.results", 1);
-        } else {
-          send_error(c, request_id,
-                     Error(Error::Kind::Cancelled, Stage::Service,
-                           "submission cancelled"));
-        }
-      } catch (const Error& e) {
-        send_error(c, request_id, e);
-      } catch (const std::exception& e) {
-        send_error(c, request_id, Error(Stage::Service, e.what()));
+      const CompileService::ResultPtr res = ticket.get();
+      if (res != nullptr) {
+        out.type = FrameType::Result;
+        out.payload = *serialized_result(ticket.fingerprint(), *res);
+      } else {
+        out.type = FrameType::ErrorReply;
+        out.payload = error_to_payload(Error(
+            Error::Kind::Cancelled, Stage::Service, "submission cancelled"));
       }
-    } catch (...) {
-      // The reply write failed: the peer is gone, the reader will notice.
+    } catch (const Error& e) {
+      out.type = FrameType::ErrorReply;
+      out.payload = error_to_payload(e);
+    } catch (const std::exception& e) {
+      out.type = FrameType::ErrorReply;
+      out.payload = error_to_payload(Error(Stage::Service, e.what()));
     }
+    // Retire BEFORE writing: the terminal reply is the client's license to
+    // reuse the id (and to trust that Poll reports it unknown), so the
+    // ticket must be gone by the time the reply can possibly be read.
     {
       std::lock_guard<std::mutex> lk(c.tickets_mu);
       c.tickets.erase(request_id);
     }
     in_flight.fetch_sub(1, std::memory_order_relaxed);
+    try {
+      const std::string bytes = encode_frame(out);
+      {
+        std::lock_guard<std::mutex> lk(c.write_mu);
+        net::write_all(c.fd, bytes.data(), bytes.size());
+      }
+      bytes_out.fetch_add(bytes.size(), std::memory_order_relaxed);
+      if (out.type == FrameType::Result) {
+        results.fetch_add(1, std::memory_order_relaxed);
+        trace_count("net.results", 1);
+      } else {
+        errors_sent.fetch_add(1, std::memory_order_relaxed);
+        trace_count("net.errors_sent", 1);
+      }
+    } catch (...) {
+      // The reply write failed: the peer is gone, the reader will notice.
+    }
   }
 
-  void handle_submit(const std::shared_ptr<Conn>& c, Frame f) {
+  /// Send `bytes` now, or append them to the reader's per-chunk reply batch
+  /// (flushed as ONE write after every frame in the chunk is handled).
+  void emit(Conn& c, std::string bytes, std::string* batch) {
+    bytes_out.fetch_add(bytes.size(), std::memory_order_relaxed);
+    if (batch != nullptr) {
+      batch->append(bytes);
+      return;
+    }
+    std::lock_guard<std::mutex> lk(c.write_mu);
+    net::write_all(c.fd, bytes.data(), bytes.size());
+  }
+
+  void handle_submit(const std::shared_ptr<Conn>& c, Frame f,
+                     std::string* batch) {
     submits.fetch_add(1, std::memory_order_relaxed);
     trace_count("net.submits", 1);
+
+    // Wire-memo fast path: a byte-identical repeat of a finished compile is
+    // answered from the memo — no parse, no fingerprint, no service — with
+    // the ack and Result coalesced into the reply batch.
+    WireReply memo;
+    if (wire_lookup(f.payload, &memo)) {
+      wire_hits.fetch_add(1, std::memory_order_relaxed);
+      trace_count("net.wire_hits", 1);
+      std::string bytes;
+      append_frame(bytes, FrameType::SubmitAck, f.request_id,
+                   "ack " + memo.fingerprint_hex + " 1");
+      append_frame(bytes, FrameType::Result, f.request_id,
+                   *memo.result_bytes);
+      emit(*c, std::move(bytes), batch);
+      results.fetch_add(1, std::memory_order_relaxed);
+      trace_count("net.results", 1);
+      return;
+    }
 
     int priority = 0;
     CompileRequest req;
@@ -166,19 +320,58 @@ struct ServedServer::Impl {
     }
 
     const bool hit = ticket.ready();
+    if (hit) {
+      // Warm path: answer on the reader thread — no waiter spawn, no ticket
+      // bookkeeping (the reply retires the submission in the same breath) —
+      // with the ack and the terminal frame coalesced into one write, and
+      // successful Results memoized for the wire fast path above.
+      std::string bytes;
+      append_frame(bytes, FrameType::SubmitAck, f.request_id,
+                   "ack " + ticket.fingerprint().hex() + " 1");
+      Frame out;
+      out.request_id = f.request_id;
+      try {
+        const CompileService::ResultPtr res = ticket.get();
+        if (res != nullptr) {
+          const std::shared_ptr<const std::string> ser =
+              serialized_result(ticket.fingerprint(), *res);
+          out.type = FrameType::Result;
+          append_frame(bytes, FrameType::Result, f.request_id, *ser);
+          wire_store(f.payload, ticket.fingerprint().hex(), ser);
+        } else {
+          out.type = FrameType::ErrorReply;
+          append_frame(bytes, FrameType::ErrorReply, f.request_id,
+                       error_to_payload(Error(Error::Kind::Cancelled,
+                                              Stage::Service,
+                                              "submission cancelled")));
+        }
+      } catch (const Error& e) {
+        out.type = FrameType::ErrorReply;
+        append_frame(bytes, FrameType::ErrorReply, f.request_id,
+                     error_to_payload(e));
+      } catch (const std::exception& e) {
+        out.type = FrameType::ErrorReply;
+        append_frame(bytes, FrameType::ErrorReply, f.request_id,
+                     error_to_payload(Error(Stage::Service, e.what())));
+      }
+      emit(*c, std::move(bytes), batch);
+      if (out.type == FrameType::Result) {
+        results.fetch_add(1, std::memory_order_relaxed);
+        trace_count("net.results", 1);
+      } else {
+        errors_sent.fetch_add(1, std::memory_order_relaxed);
+        trace_count("net.errors_sent", 1);
+      }
+      return;
+    }
+
     in_flight.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lk(c->tickets_mu);
       c->tickets.emplace(f.request_id, ticket);
     }
     send_frame(*c, FrameType::SubmitAck, f.request_id,
-               "ack " + ticket.fingerprint().hex() + (hit ? " 1" : " 0"));
-
-    if (hit) {
-      // Warm path: answer on the reader thread, no waiter spawn.
-      reply_for_ticket(*c, f.request_id, std::move(ticket));
-      return;
-    }
+               "ack " + ticket.fingerprint().hex() + " 0");
 
     // Reap waiters that already delivered before adding another, so a
     // long-lived connection holds O(in-flight) threads, not O(history).
@@ -251,6 +444,10 @@ struct ServedServer::Impl {
         << "stat net.results " << net.results << '\n'
         << "stat net.errors_sent " << net.errors_sent << '\n'
         << "stat net.cancels " << net.cancels << '\n'
+        << "stat net.wire_hits "
+        << wire_hits.load(std::memory_order_relaxed) << '\n'
+        << "stat net.reply_batches "
+        << reply_batches.load(std::memory_order_relaxed) << '\n'
         << "stat service.requests " << svc.requests << '\n'
         << "stat service.hits " << svc.hits << '\n'
         << "stat service.disk_hits " << svc.disk_hits << '\n'
@@ -265,10 +462,11 @@ struct ServedServer::Impl {
     send_frame(c, FrameType::StatsReply, f.request_id, out.str());
   }
 
-  void handle_frame(const std::shared_ptr<Conn>& c, Frame f) {
+  void handle_frame(const std::shared_ptr<Conn>& c, Frame f,
+                    std::string* batch) {
     switch (f.type) {
       case FrameType::Submit:
-        handle_submit(c, std::move(f));
+        handle_submit(c, std::move(f), batch);
         return;
       case FrameType::Poll:
         handle_poll(*c, f);
@@ -305,13 +503,27 @@ struct ServedServer::Impl {
         std::size_t off = 0;
         Frame f;
         std::size_t consumed = 0;
+        // Warm replies for every frame in this chunk coalesce into one
+        // batched write: a pipelined client's N-submit burst costs the
+        // server one reply syscall, not N.
+        std::string batch;
+        std::size_t frames = 0;
         while (decode_frame(buf.data() + off, buf.size() - off,
                             opt.max_frame_payload, f,
                             consumed) == DecodeResult::Frame) {
           off += consumed;
-          handle_frame(c, std::move(f));
+          ++frames;
+          handle_frame(c, std::move(f), &batch);
         }
         buf.erase(0, off);
+        if (!batch.empty()) {
+          if (frames > 1) {
+            reply_batches.fetch_add(1, std::memory_order_relaxed);
+            trace_count("net.reply_batches", 1);
+          }
+          std::lock_guard<std::mutex> lk(c->write_mu);
+          net::write_all(c->fd, batch.data(), batch.size());
+        }
       }
     } catch (const Error& e) {
       // Framing is lost (bad magic/version/length) or the read failed hard.

@@ -1,0 +1,453 @@
+// Fleet-routing tests: the rendezvous hash ring's distribution balance and
+// minimal-remap properties (pure, no sockets), deterministic fail-over and
+// restore, and the live sharded client over real daemons — cache affinity,
+// endpoint-loss re-routing with zero lost submissions, batched burst
+// accounting, bounded Overloaded/connect-refused retry, and a TSan-targeted
+// concurrent pooled-client stress (suites Router*/ShardedFleet*/PooledStress*
+// run under the TSan CI job).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "phoenix/serialize.hpp"
+#include "service/client.hpp"
+#include "service/fingerprint.hpp"
+#include "service/router.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+
+namespace phoenix {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Deterministic synthetic fingerprints — the ring does not care that they
+/// never came from a Hamiltonian.
+Digest128 fp_of(std::uint64_t i) {
+  Hash128 h(0x746573746b657973ull);  // "testkeys"
+  h.write_u64(i);
+  return h.digest();
+}
+
+std::vector<Endpoint> synthetic_endpoints(std::size_t n) {
+  std::vector<Endpoint> eps;
+  for (std::size_t i = 0; i < n; ++i)
+    eps.push_back(Endpoint::tcp("127.0.0.1", static_cast<std::uint16_t>(7100 + i)));
+  return eps;
+}
+
+CompileRequest request_with(double c0, int num_qubits = 4) {
+  CompileRequest req;
+  req.terms = {{"XXII", c0}, {"IYYI", -0.25}, {"IIZZ", 0.125}, {"ZIIZ", 1.0}};
+  req.num_qubits = num_qubits;
+  return req;
+}
+
+CompileResult quick_result(const CompileRequest& req) {
+  CompileResult r;
+  r.circuit = Circuit(req.num_qubits);
+  return r;
+}
+
+// --- the ring itself (no sockets) -------------------------------------------
+
+TEST(Router, PreferenceIsADeterministicPermutation) {
+  RendezvousRouter router(synthetic_endpoints(8));
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    const Digest128 fp = fp_of(k);
+    const std::vector<std::size_t> pref = router.preference(fp);
+    ASSERT_EQ(pref.size(), 8u);
+    std::vector<char> seen(8, 0);
+    for (const std::size_t i : pref) {
+      ASSERT_LT(i, 8u);
+      EXPECT_EQ(seen[i], 0) << "index " << i << " repeated";
+      seen[i] = 1;
+    }
+    // Stable across calls, and consistent with the exposed score function.
+    EXPECT_EQ(router.preference(fp), pref);
+    for (std::size_t a = 0; a + 1 < pref.size(); ++a) {
+      const auto sa =
+          RendezvousRouter::score(fp, router.endpoint(pref[a]).label());
+      const auto sb =
+          RendezvousRouter::score(fp, router.endpoint(pref[a + 1]).label());
+      EXPECT_GE(sa, sb);
+    }
+    EXPECT_EQ(router.route(fp), pref.front());
+  }
+}
+
+TEST(Router, DistributionIsBalancedAcross2_4_8Endpoints) {
+  constexpr std::size_t kKeys = 10000;
+  for (const std::size_t n : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    RendezvousRouter router(synthetic_endpoints(n));
+    std::vector<std::size_t> counts(n, 0);
+    for (std::uint64_t k = 0; k < kKeys; ++k) ++counts[router.route(fp_of(k))];
+    const double fair = static_cast<double>(kKeys) / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Binomial stddev at n=8 is ~33 keys; a +/-20% band is ~7 sigma.
+      EXPECT_GT(static_cast<double>(counts[i]), 0.8 * fair)
+          << "endpoint " << i << " of " << n << " starved";
+      EXPECT_LT(static_cast<double>(counts[i]), 1.2 * fair)
+          << "endpoint " << i << " of " << n << " overloaded";
+    }
+  }
+}
+
+TEST(Router, AddingAnEndpointOnlyStealsItsOwnShare) {
+  constexpr std::uint64_t kKeys = 4000;
+  RendezvousRouter router(synthetic_endpoints(4));
+  std::map<std::uint64_t, std::string> before;
+  for (std::uint64_t k = 0; k < kKeys; ++k)
+    before[k] = router.endpoint(router.route(fp_of(k))).label();
+
+  Endpoint added = Endpoint::tcp("127.0.0.1", 7999);
+  router.add_endpoint(added);
+  std::size_t moved = 0;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    const std::string after = router.endpoint(router.route(fp_of(k))).label();
+    if (after == before[k]) continue;
+    // Every key that moved moved TO the new endpoint — nothing reshuffles
+    // between the old four.
+    EXPECT_EQ(after, added.label()) << "key " << k << " moved sideways";
+    ++moved;
+  }
+  // The newcomer's fair share is 1/5 of the keyspace.
+  EXPECT_GT(moved, kKeys / 10);
+  EXPECT_LT(moved, kKeys * 3 / 10);
+}
+
+TEST(Router, RemovingAnEndpointMovesOnlyItsOwnKeys) {
+  constexpr std::uint64_t kKeys = 4000;
+  RendezvousRouter router(synthetic_endpoints(5));
+  const std::string victim = router.endpoint(2).label();
+  std::map<std::uint64_t, std::string> before;
+  for (std::uint64_t k = 0; k < kKeys; ++k)
+    before[k] = router.endpoint(router.route(fp_of(k))).label();
+
+  router.remove_endpoint(2);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    const std::string after = router.endpoint(router.route(fp_of(k))).label();
+    if (before[k] == victim)
+      EXPECT_NE(after, victim);
+    else
+      EXPECT_EQ(after, before[k]) << "survivor key " << k << " moved";
+  }
+}
+
+TEST(Router, FailoverIsDeterministicAndRestoresExactly) {
+  constexpr std::uint64_t kKeys = 2000;
+  RendezvousRouter router(synthetic_endpoints(4));
+  std::map<std::uint64_t, std::size_t> before;
+  for (std::uint64_t k = 0; k < kKeys; ++k)
+    before[k] = router.route(fp_of(k));
+
+  router.set_healthy(1, false);
+  EXPECT_FALSE(router.healthy(1));
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    const std::size_t now = router.route(fp_of(k));
+    if (before[k] != 1) {
+      // Health bits never move keys whose preferred endpoint is still up.
+      EXPECT_EQ(now, before[k]);
+      continue;
+    }
+    // Displaced keys land on their own NEXT preference, deterministically.
+    const std::vector<std::size_t> pref = router.preference(fp_of(k));
+    ASSERT_EQ(pref.front(), 1u);
+    EXPECT_EQ(now, pref[1]);
+  }
+
+  router.set_healthy(1, true);
+  for (std::uint64_t k = 0; k < kKeys; ++k)
+    EXPECT_EQ(router.route(fp_of(k)), before[k]);
+}
+
+TEST(Router, AllDownStillRoutesDeterministically) {
+  RendezvousRouter router(synthetic_endpoints(3));
+  for (std::size_t i = 0; i < 3; ++i) router.set_healthy(i, false);
+  const Digest128 fp = fp_of(7);
+  EXPECT_EQ(router.route(fp), router.preference(fp).front());
+}
+
+// --- live fleet -------------------------------------------------------------
+
+/// One self-served daemon with an instrumented compile seam.
+struct TestShard {
+  ServerOptions opt;
+  std::unique_ptr<ServedServer> server;
+  std::atomic<std::uint64_t> compiles{0};
+
+  explicit TestShard(std::size_t threads = 1) {
+    opt.enable_tcp = true;
+    opt.service.num_threads = threads;
+    opt.compile_fn = [this](const CompileRequest& req) {
+      compiles.fetch_add(1, std::memory_order_relaxed);
+      return quick_result(req);
+    };
+    server = std::make_unique<ServedServer>(opt);
+    server->start();
+  }
+  Endpoint endpoint() const {
+    return Endpoint::tcp("127.0.0.1", server->tcp_port());
+  }
+};
+
+TEST(ShardedFleet, AffinityRoutesRepeatsToTheSameDaemon) {
+  TestShard a, b, c;
+  std::vector<Endpoint> eps = {a.endpoint(), b.endpoint(), c.endpoint()};
+  ShardedClient client(eps);
+
+  constexpr int kDistinct = 12;
+  std::vector<std::size_t> first_ep(kDistinct);
+  for (int round = 0; round < 3; ++round) {
+    for (int r = 0; r < kDistinct; ++r) {
+      auto h = client.submit(request_with(1.0 + r));
+      // The live routing decision matches the ring's prediction.
+      EXPECT_EQ(h.endpoint_index(), client.router().route(h.fingerprint()));
+      if (round == 0)
+        first_ep[r] = h.endpoint_index();
+      else
+        EXPECT_EQ(h.endpoint_index(), first_ep[r]) << "request " << r;
+      const AckInfo ack = h.ack();
+      // Repeats are warm on their home shard (round 0 may ALSO report hit
+      // when the trivial compile finishes before the ack is built).
+      if (round > 0) EXPECT_TRUE(ack.hit);
+      h.get();
+    }
+  }
+  // Affinity means each request compiled exactly once fleet-wide.
+  EXPECT_EQ(a.compiles.load() + b.compiles.load() + c.compiles.load(),
+            static_cast<std::uint64_t>(kDistinct));
+  EXPECT_EQ(client.router_stats().routed, 3u * kDistinct);
+  EXPECT_EQ(client.router_stats().reroutes, 0u);
+}
+
+TEST(ShardedFleet, PreparedRequestMatchesPlainSubmission) {
+  TestShard a;
+  ShardedClient client({a.endpoint()});
+  const CompileRequest req = request_with(2.5);
+  const PreparedRequest prepared = client.prepare(req);
+  EXPECT_EQ(prepared.fingerprint,
+            fingerprint_request(req.terms, req.num_qubits, req.options,
+                                req.coupling_graph()));
+  const std::string via_plain = client.compile_raw(req);
+  auto h = client.submit(prepared);
+  EXPECT_EQ(h.fingerprint(), prepared.fingerprint);
+  EXPECT_TRUE(h.ack().hit);  // same fingerprint: the plain submission warmed it
+  EXPECT_EQ(h.get(), via_plain);
+}
+
+TEST(ShardedFleet, EndpointLossFailsOverWithZeroLostSubmissions) {
+  TestShard a, b;
+  std::vector<Endpoint> eps = {a.endpoint(), b.endpoint()};
+  ShardedClientOptions copt;
+  copt.retry.limit = 6;
+  copt.retry.backoff_ms = 5.0;
+  copt.probe_down_ms = 10.0;
+  ShardedClient client(eps, copt);
+
+  constexpr int kDistinct = 10;
+  for (int r = 0; r < kDistinct; ++r)
+    client.compile_raw(request_with(10.0 + r));
+
+  b.server->stop();  // connections die; the port stops accepting
+
+  // Every submission still terminates in a Result: keys preferring the dead
+  // daemon re-route to the survivor (a cold compile there, not a loss).
+  std::size_t completed = 0;
+  for (int r = 0; r < kDistinct; ++r) {
+    auto h = client.submit(request_with(10.0 + r));
+    h.get();
+    ++completed;
+  }
+  EXPECT_EQ(completed, static_cast<std::size_t>(kDistinct));
+  EXPECT_FALSE(client.router().healthy(1));
+  const RouterStats rs = client.router_stats();
+  EXPECT_GT(rs.reroutes + rs.retries, 0u);
+}
+
+TEST(ShardedFleet, BurstKeepsRequestOrderAndBatchesWrites) {
+  TestShard a, b;
+  ShardedClient client({a.endpoint(), b.endpoint()});
+
+  std::vector<PreparedRequest> prepared;
+  for (int r = 0; r < 16; ++r)
+    prepared.push_back(client.prepare(request_with(20.0 + r)));
+
+  std::vector<ShardedClient::Handle> handles = client.submit_burst(prepared);
+  ASSERT_EQ(handles.size(), prepared.size());
+  for (std::size_t n = 0; n < handles.size(); ++n) {
+    EXPECT_EQ(handles[n].fingerprint(), prepared[n].fingerprint);
+    handles[n].get();
+  }
+  const ClientStats cs = client.client_stats();
+  EXPECT_EQ(cs.submits, prepared.size());
+  EXPECT_GE(cs.burst_writes, 1u);  // requests sharing a shard share a write
+  EXPECT_GE(cs.burst_frames, 2u);
+  EXPECT_EQ(client.router_stats().routed, prepared.size());
+}
+
+TEST(ShardedFleet, OverloadedIsRetriedWithinTheBudget) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ServerOptions opt;
+  opt.enable_tcp = true;
+  opt.service.num_threads = 1;
+  opt.max_inflight_per_conn = 1;
+  opt.compile_fn = [&](const CompileRequest& req) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    return quick_result(req);
+  };
+  ServedServer server(opt);
+  server.start();
+
+  ShardedClientOptions copt;
+  copt.pool.connections = 1;  // one stream: the second submit must overflow
+  copt.retry.limit = 200;
+  copt.retry.backoff_ms = 2.0;
+  ShardedClient client({Endpoint::tcp("127.0.0.1", server.tcp_port())}, copt);
+
+  auto first = client.submit(request_with(30.0));
+  auto second = client.submit(request_with(31.0));
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(50ms);
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  });
+  // The Overloaded reject surfaces inside get()'s retry loop and is
+  // re-submitted with backoff until the first compile frees the slot.
+  second.get();
+  first.get();
+  releaser.join();
+  EXPECT_GT(client.router_stats().retries, 0u);
+  server.stop();
+  EXPECT_EQ(server.stats().frame_errors, 0u);
+}
+
+TEST(ShardedFleet, ConnectRefusedRetriesUntilTheDaemonArrives) {
+  // Reserve a port by starting and stopping a daemon on it; SO_REUSEADDR
+  // lets the late-arriving daemon bind the same port.
+  std::uint16_t port = 0;
+  {
+    ServerOptions probe;
+    probe.enable_tcp = true;
+    probe.service.num_threads = 1;
+    ServedServer s(probe);
+    s.start();
+    port = s.tcp_port();
+    s.stop();
+  }
+
+  PooledClientOptions popt;
+  popt.connections = 1;
+  popt.retry.limit = 400;
+  popt.retry.backoff_ms = 10.0;
+  PooledClient client(Endpoint::tcp("127.0.0.1", port), popt);
+
+  std::unique_ptr<ServedServer> late;
+  std::thread starter([&] {
+    std::this_thread::sleep_for(150ms);
+    ServerOptions opt;
+    opt.enable_tcp = true;
+    opt.tcp_port = port;
+    opt.service.num_threads = 1;
+    opt.compile_fn = [](const CompileRequest& req) { return quick_result(req); };
+    for (int attempt = 0;; ++attempt) {
+      try {
+        late = std::make_unique<ServedServer>(std::move(opt));
+        late->start();
+        return;
+      } catch (const Error&) {
+        late.reset();
+        if (attempt >= 40) throw;
+        std::this_thread::sleep_for(50ms);
+      }
+    }
+  });
+
+  auto h = client.submit_async(request_with(40.0));
+  h.get();  // succeeds only because the connect retried through the refusals
+  starter.join();
+  EXPECT_GT(client.stats().connect_retries, 0u);
+  late->stop();
+}
+
+// --- concurrent pooled transport (TSan target) ------------------------------
+
+TEST(PooledStress, ConcurrentSubmittersShareThePoolCleanly) {
+  TestShard shard(/*threads=*/2);
+  PooledClientOptions popt;
+  popt.connections = 3;
+  PooledClient client(shard.endpoint(), popt);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  std::atomic<std::uint64_t> results{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::vector<PooledClient::Handle> mine;
+      for (int i = 0; i < kPerThread; ++i)
+        mine.push_back(client.submit_async(
+            request_with(50.0 + (t * kPerThread + i) % 7)));
+      for (auto& h : mine) {
+        EXPECT_FALSE(h.ack().fingerprint_hex.empty());
+        EXPECT_FALSE(h.get().empty());
+        results.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(results.load(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  const ClientStats cs = client.stats();
+  EXPECT_EQ(cs.submits, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(cs.results, cs.submits);
+  EXPECT_EQ(cs.io_errors, 0u);
+  shard.server->stop();
+  EXPECT_EQ(shard.server->stats().frame_errors, 0u);
+}
+
+TEST(PooledStress, ConcurrentShardedBurstsAcrossTwoDaemons) {
+  TestShard a(2), b(2);
+  ShardedClient client({a.endpoint(), b.endpoint()});
+
+  std::vector<PreparedRequest> prepared;
+  for (int r = 0; r < 8; ++r)
+    prepared.push_back(client.prepare(request_with(60.0 + r)));
+
+  constexpr int kThreads = 3;
+  constexpr int kBursts = 10;
+  std::atomic<std::uint64_t> completed{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int n = 0; n < kBursts; ++n) {
+        auto handles = client.submit_burst(prepared);
+        for (auto& h : handles) {
+          h.get();
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(completed.load(),
+            static_cast<std::uint64_t>(kThreads * kBursts * prepared.size()));
+  // Affinity held under concurrency: each distinct request compiled once.
+  EXPECT_EQ(a.compiles.load() + b.compiles.load(), prepared.size());
+}
+
+}  // namespace
+}  // namespace phoenix
